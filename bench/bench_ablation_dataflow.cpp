@@ -1,0 +1,166 @@
+// Ablation bench for the design choices DESIGN.md calls out:
+//   (1) fine-grained dataflow vs monolithic double-buffering vs serial,
+//   (2) skip scheme on/off across pruning ratios,
+//   (3) PE-bank parallelism p sweep,
+//   (4) DRAM bandwidth sensitivity,
+//   (5) tile-size sweep.
+// All on the ResNet-18/ImageNet descriptor at the Table III operating
+// point (BS=8, alpha=0.5) unless noted.
+
+//   (6) frequency-domain weight quantization (the paper's future-work
+//       pointer, refs [6][29]): accuracy and spectral SNR vs bit width.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util.hpp"
+#include "core/frequency_quant.hpp"
+#include "core/pruning.hpp"
+#include "core/serialization.hpp"
+#include "hw/accelerator.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+core::BcmCompressionConfig op_point() {
+  core::BcmCompressionConfig c;
+  c.block_size = 8;
+  c.alpha = 0.5;
+  return c;
+}
+
+double fps_for(const hw::HwConfig& cfg, double alpha = 0.5) {
+  auto cc = op_point();
+  cc.alpha = alpha;
+  const auto net = models::resnet18_imagenet_shape();
+  return hw::simulate_accelerator(net, cc, cfg).fps;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Ablations", "dataflow / skip scheme / p / bandwidth / "
+                                 "tiles on ResNet-18");
+
+  {
+    std::printf("\n(1) dataflow composition (Section IV-C)\n");
+    std::printf("%-40s %10s %10s\n", "dataflow", "FPS", "vs serial");
+    benchutil::rule();
+    hw::HwConfig serial;
+    serial.dataflow = hw::DataflowKind::kSerial;
+    const double fps_serial = fps_for(serial);
+    for (auto [name, kind] :
+         {std::pair{"serial (no double buffering)",
+                    hw::DataflowKind::kSerial},
+          std::pair{"monolithic FFT-eMAC-IFFT delay",
+                    hw::DataflowKind::kMonolithic},
+          std::pair{"fine-grained (proposed)",
+                    hw::DataflowKind::kFineGrained}}) {
+      hw::HwConfig cfg;
+      cfg.dataflow = kind;
+      const double fps = fps_for(cfg);
+      std::printf("%-40s %10.2f %9.2fx\n", name, fps, fps / fps_serial);
+    }
+  }
+
+  {
+    std::printf("\n(2) skip scheme vs conventional PE across alpha\n");
+    std::printf("%8s %14s %14s %10s\n", "alpha", "proposed FPS",
+                "conventional", "speedup");
+    benchutil::rule();
+    for (double alpha : {0.0, 0.25, 0.5, 0.75}) {
+      hw::HwConfig prop, conv;
+      conv.skip_scheme = false;
+      const double fp = fps_for(prop, alpha);
+      const double fc = fps_for(conv, alpha);
+      std::printf("%8.2f %14.2f %14.2f %9.2fx\n", alpha, fp, fc, fp / fc);
+    }
+  }
+
+  {
+    std::printf("\n(3) PE-bank parallelism p (DSP cost scales with p)\n");
+    std::printf("%8s %10s %10s %12s\n", "p", "FPS", "DSPs", "FPS/DSP");
+    benchutil::rule();
+    for (std::size_t p : {4u, 8u, 16u, 32u, 48u}) {
+      hw::HwConfig cfg;
+      cfg.parallelism = p;
+      const auto net = models::resnet18_imagenet_shape();
+      const auto r = hw::simulate_accelerator(net, op_point(), cfg);
+      std::printf("%8zu %10.2f %10zu %12.3f\n", p, r.fps, r.resources.dsps,
+                  r.fps_per_dsp());
+    }
+  }
+
+  {
+    std::printf("\n(4) DRAM bandwidth sensitivity\n");
+    std::printf("%12s %10s\n", "GB/s", "FPS");
+    benchutil::rule();
+    for (double bw : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      hw::HwConfig cfg;
+      cfg.dram_gbps = bw;
+      std::printf("%12.2f %10.2f\n", bw, fps_for(cfg));
+    }
+  }
+
+  {
+    std::printf("\n(5) output tile size\n");
+    std::printf("%12s %10s\n", "tile", "FPS");
+    benchutil::rule();
+    for (std::size_t t : {7u, 14u, 28u, 56u}) {
+      hw::HwConfig cfg;
+      cfg.tile_h = cfg.tile_w = t;
+      std::printf("%9zux%-2zu %10.2f\n", t, t, fps_for(cfg));
+    }
+  }
+
+  {
+    std::printf("\n(6) frequency-domain weight quantization (refs [6][29])\n");
+    // Train a small hadaBCM model once, snapshot it, then quantize the
+    // deployed spectra at decreasing widths and measure accuracy.
+    models::ScaledNetConfig mcfg;
+    mcfg.base_width = 16;
+    mcfg.classes = 16;
+    mcfg.kind = models::ConvKind::kHadaBcm;
+    mcfg.block_size = 8;
+    auto model = models::make_scaled_vgg(mcfg);
+    nn::SyntheticSpec dspec;
+    dspec.classes = 16;
+    dspec.train = 768;
+    dspec.test = 256;
+    dspec.noise = 1.2F;     // hard task: quantization damage is visible
+    dspec.phase_jitter = 1.3F;
+    const nn::SyntheticImageDataset data(dspec);
+    nn::TrainConfig tc;
+    tc.epochs = 8;
+    tc.steps_per_epoch = 20;
+    tc.batch = 16;
+    nn::Trainer trainer(*model, data, tc);
+    trainer.train();
+    std::stringstream snap;
+    core::save_checkpoint(*model, snap);
+    const double float_acc = trainer.evaluate();
+    std::printf("%8s %12s %12s\n", "bits", "accuracy", "min SNR(dB)");
+    benchutil::rule();
+    std::printf("%8s %11.1f%% %12s\n", "float", float_acc * 100.0, "-");
+    for (std::size_t bits : {16u, 12u, 10u, 8u, 6u, 4u}) {
+      snap.clear();
+      snap.seekg(0);
+      core::load_checkpoint(*model, snap);
+      const auto stats = core::quantize_model_frequency_weights(*model, bits);
+      double min_snr = 1e30;
+      for (const auto& st : stats) min_snr = std::min(min_snr, st.snr_db);
+      std::printf("%8zu %11.1f%% %12.1f\n", bits, trainer.evaluate() * 100.0,
+                  min_snr);
+    }
+  }
+
+  std::printf("\n");
+  benchutil::note(
+      "expected: fine-grained > monolithic > serial; skip-scheme speedup "
+      "~1/(1-alpha) at high alpha; FPS saturates in p once transfers "
+      "dominate; accuracy holds down to ~8-bit frequency-domain weights");
+  return 0;
+}

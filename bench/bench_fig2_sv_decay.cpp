@@ -1,0 +1,213 @@
+// Reproduces Fig. 2: singular-value decay of (i) original convolution
+// units, (ii) a Gaussian random matrix, and (iii) trained BCM blocks, at
+// unit sizes 16x16 (left panel) and 32x32 (right panel). The paper trains
+// VGG-16 on Cifar-10; we train the scaled VGG proxy on the synthetic
+// stand-in (DESIGN.md substitutions) — the rank pathology is a property of
+// the BCM parameterization under training, not of the dataset.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pruning.hpp"
+#include "core/rank_analysis.hpp"
+#include "numeric/stats.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+nn::SyntheticSpec dataset_spec() {
+  nn::SyntheticSpec s;
+  s.classes = 16;
+  s.train = 1024;
+  s.test = 256;
+  s.noise = 1.1F;            // hard task: gradients stay alive (no
+  s.phase_jitter = 1.3F;     // saturation), so spectra keep evolving
+  s.seed = 23;
+  return s;
+}
+
+nn::TrainConfig train_cfg() {
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.steps_per_epoch = 20;
+  tc.batch = 16;
+  tc.lr = 0.05F;
+  tc.seed = 41;
+  return tc;
+}
+
+// Trains a scaled VGG of the given kind and returns the model.
+std::unique_ptr<nn::Sequential> train_model(models::ConvKind kind,
+                                            std::size_t bs, double* acc) {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 32;
+  cfg.classes = 16;
+  cfg.kind = kind;
+  cfg.block_size = bs;
+  auto model = models::make_scaled_vgg(cfg);
+  const nn::SyntheticImageDataset data(dataset_spec());
+  nn::Trainer trainer(*model, data, train_cfg());
+  trainer.train();
+  if (acc) *acc = trainer.evaluate();
+  return model;
+}
+
+// Mean normalized SV curve over the BS x BS units of the first dense conv
+// with enough channels.
+std::vector<float> dense_unit_curve(nn::Sequential& model, std::size_t unit) {
+  std::vector<double> acc;
+  std::size_t count = 0;
+  model.visit([&](nn::Layer& l) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&l);
+    if (!conv) return;
+    const auto& s = conv->spec();
+    if (s.in_channels % unit != 0 || s.out_channels % unit != 0) return;
+    for (std::size_t kh = 0; kh < s.kernel; ++kh)
+      for (std::size_t kw = 0; kw < s.kernel; ++kw)
+        for (std::size_t bi = 0; bi < s.in_channels / unit; ++bi)
+          for (std::size_t bo = 0; bo < s.out_channels / unit; ++bo) {
+            auto sv = core::dense_unit_sv(*conv, unit, kh, kw, bi, bo);
+            const auto norm = numeric::normalize_by_max(sv);
+            if (acc.empty()) acc.assign(unit, 0.0);
+            for (std::size_t k = 0; k < unit; ++k) acc[k] += norm[k];
+            ++count;
+          }
+  });
+  std::vector<float> out(unit, 0.0F);
+  if (count)
+    for (std::size_t k = 0; k < unit; ++k)
+      out[k] = static_cast<float>(acc[k] / static_cast<double>(count));
+  return out;
+}
+
+// Aggregated rank report over all BCM layers of a model.
+core::RankReport aggregate_bcm_report(nn::Sequential& model) {
+  core::RankReport total;
+  auto set = core::BcmLayerSet::collect(model);
+  for (auto* layer : set.convs()) {
+    const auto r = core::analyze_bcm_layer(*layer);
+    total.total_units += r.total_units;
+    total.poor_units += r.poor_units;
+    total.mean_effective_rank +=
+        r.mean_effective_rank * static_cast<double>(r.total_units);
+    total.mean_decay_slope +=
+        r.mean_decay_slope * static_cast<double>(r.total_units);
+  }
+  if (total.total_units) {
+    const auto n = static_cast<double>(total.total_units);
+    total.poor_fraction = static_cast<double>(total.poor_units) / n;
+    total.mean_effective_rank /= n;
+    total.mean_decay_slope /= n;
+  }
+  return total;
+}
+
+std::vector<float> mean_bcm_curve(nn::Sequential& model) {
+  auto set = core::BcmLayerSet::collect(model);
+  std::vector<double> acc;
+  std::size_t layers = 0;
+  for (auto* layer : set.convs()) {
+    const auto curve = core::mean_bcm_decay_curve(*layer);
+    if (acc.empty()) acc.assign(curve.size(), 0.0);
+    for (std::size_t k = 0; k < curve.size(); ++k) acc[k] += curve[k];
+    ++layers;
+  }
+  std::vector<float> out(acc.size(), 0.0F);
+  for (std::size_t k = 0; k < acc.size(); ++k)
+    out[k] = static_cast<float>(acc[k] / static_cast<double>(layers));
+  return out;
+}
+
+void panel(std::size_t unit) {
+  std::printf("\n--- %zux%zu units ---\n", unit, unit);
+  double dense_acc = 0.0, bcm_acc = 0.0;
+  auto dense = train_model(models::ConvKind::kDense, unit, &dense_acc);
+  auto bcm = train_model(models::ConvKind::kBcm, unit, &bcm_acc);
+
+  numeric::Rng rng(unit);
+  const auto gauss = core::gaussian_reference_sv(unit, rng);
+  const auto orig = dense_unit_curve(*dense, unit);
+  const auto bcm_curve = mean_bcm_curve(*bcm);
+
+  benchutil::print_series("original conv (mean)", orig);
+  benchutil::print_series("gaussian random", gauss);
+  benchutil::print_series("BCM trained (mean)", bcm_curve);
+
+  const auto bcm_report = aggregate_bcm_report(*bcm);
+  std::printf("  trained accuracy: dense %.1f%%, BCM %.1f%%\n",
+              dense_acc * 100.0, bcm_acc * 100.0);
+  std::printf("  BCM blocks in poor rank-condition: %.1f%% of %zu "
+              "(paper: >70%% across BS 8/16/32)\n",
+              bcm_report.poor_fraction * 100.0, bcm_report.total_units);
+  std::printf("  BCM mean log-decay slope: %.3f (more negative = more "
+              "exponential)\n",
+              bcm_report.mean_decay_slope);
+
+  // Dense comparison: fraction of dense units in poor rank condition.
+  std::size_t dense_total = 0, dense_poor = 0;
+  dense->visit([&](nn::Layer& l) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&l);
+    if (!conv) return;
+    const auto r = core::analyze_dense_conv(*conv, unit);
+    dense_total += r.total_units;
+    dense_poor += r.poor_units;
+  });
+  if (dense_total)
+    std::printf("  dense conv units in poor rank-condition: %.1f%% of %zu "
+                "(paper: ~2%%)\n",
+                100.0 * static_cast<double>(dense_poor) /
+                    static_cast<double>(dense_total),
+                dense_total);
+}
+
+}  // namespace
+
+// The short synthetic-task trainings above show the *onset* of the rank
+// pathology; the paper's >70% poor-rank statistic belongs to networks
+// trained to convergence (hundreds of CIFAR epochs). The converged-regime
+// statistical model (core/rank_analysis.hpp) synthesizes blocks with the
+// spectral statistics of that regime; this panel reproduces the Fig. 2
+// numbers from it.
+void converged_regime_panel() {
+  std::printf("\n--- converged-regime statistical model (tau = spectral "
+              "decay constant) ---\n");
+  numeric::Rng rng(7);
+  std::printf("%8s %8s %16s %16s\n", "BS", "tau", "BCM poor(%)",
+              "Gaussian poor(%)");
+  for (std::size_t bs : {8u, 16u, 32u}) {
+    const double p = core::synth_bcm_poor_fraction(bs, 1.0, 500, rng);
+    // Gaussian random matrices of the same size never trip the criterion.
+    std::size_t gpoor = 0;
+    for (int s = 0; s < 200; ++s)
+      if (numeric::poor_rank_condition(core::gaussian_reference_sv(bs, rng)))
+        ++gpoor;
+    std::printf("%8zu %8.1f %15.1f%% %15.1f%%\n", bs, 1.0, p * 100.0,
+                gpoor / 2.0);
+  }
+  std::printf("\nmean decay curves at BS=16, tau=1.0:\n");
+  const auto bcm = core::synth_decay_curve(16, 1.0, 400, false, rng);
+  benchutil::print_series("BCM (converged model)", bcm);
+  numeric::Rng rng2(8);
+  benchutil::print_series("gaussian random",
+                          core::gaussian_reference_sv(16, rng2));
+  std::printf("paper (VGG-16/Cifar-10, trained): >70%% of BCMs poor across "
+              "BS 8/16/32; ~2%% for original conv units\n");
+}
+
+int main() {
+  benchutil::banner("Fig. 2",
+                    "singular-value decay: original conv vs Gaussian vs "
+                    "trained BCM");
+  panel(16);
+  panel(32);
+  converged_regime_panel();
+  benchutil::note(
+      "expected shape: Gaussian and original conv decay near-linearly; BCM "
+      "blocks decay exponentially. Short proxy training shows the onset "
+      "(steeper BCM slope); the converged-regime model reproduces the "
+      "paper's poor-rank percentages (see DESIGN.md substitutions)");
+  return 0;
+}

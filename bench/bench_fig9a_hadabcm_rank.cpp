@@ -1,0 +1,138 @@
+// Reproduces Fig. 9a and the Section V-B1 rank statistics: the singular
+// values of trained hadaBCM blocks decay much more linearly than trained
+// plain-BCM blocks (paper: 72.2% of plain-BCM blocks in poor
+// rank-condition vs 2.1% for hadaBCM).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/pruning.hpp"
+#include "core/rank_analysis.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+struct Trained {
+  std::unique_ptr<nn::Sequential> model;
+  double accuracy = 0.0;
+};
+
+Trained train(models::ConvKind kind, std::size_t bs) {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 32;
+  cfg.classes = 16;
+  cfg.kind = kind;
+  cfg.block_size = bs;
+  Trained t;
+  t.model = models::make_scaled_vgg(cfg);
+  nn::SyntheticSpec dspec;
+  dspec.classes = 16;
+  dspec.train = 1024;
+  dspec.test = 256;
+  dspec.noise = 1.1F;        // hard task: gradients stay alive (no
+  dspec.phase_jitter = 1.3F; // saturation), so spectra keep evolving
+  dspec.seed = 29;
+  const nn::SyntheticImageDataset data(dspec);
+  nn::TrainConfig tc;
+  tc.epochs = 10;
+  tc.steps_per_epoch = 20;
+  tc.batch = 16;
+  tc.lr = 0.05F;
+  tc.seed = 43;
+  nn::Trainer trainer(*t.model, data, tc);
+  trainer.train();
+  t.accuracy = trainer.evaluate();
+  return t;
+}
+
+struct Summary {
+  std::vector<float> curve;
+  double poor_fraction = 0.0;
+  double eff_rank = 0.0;
+  double slope = 0.0;
+  std::size_t units = 0;
+};
+
+Summary summarize(nn::Sequential& model) {
+  Summary s;
+  auto set = core::BcmLayerSet::collect(model);
+  std::vector<double> acc;
+  double poor = 0.0, eff = 0.0, slope = 0.0;
+  for (auto* layer : set.convs()) {
+    const auto curve = core::mean_bcm_decay_curve(*layer);
+    if (acc.empty()) acc.assign(curve.size(), 0.0);
+    for (std::size_t k = 0; k < curve.size(); ++k) acc[k] += curve[k];
+    const auto r = core::analyze_bcm_layer(*layer);
+    poor += static_cast<double>(r.poor_units);
+    eff += r.mean_effective_rank * static_cast<double>(r.total_units);
+    slope += r.mean_decay_slope * static_cast<double>(r.total_units);
+    s.units += r.total_units;
+  }
+  s.curve.resize(acc.size());
+  for (std::size_t k = 0; k < acc.size(); ++k)
+    s.curve[k] =
+        static_cast<float>(acc[k] / static_cast<double>(set.convs().size()));
+  if (s.units) {
+    s.poor_fraction = poor / static_cast<double>(s.units);
+    s.eff_rank = eff / static_cast<double>(s.units);
+    s.slope = slope / static_cast<double>(s.units);
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Fig. 9a", "hadaBCM repairs the BCM rank condition");
+
+  const std::size_t bs = 16;  // same block as the left panel of Fig. 2
+  auto plain = train(models::ConvKind::kBcm, bs);
+  auto hada = train(models::ConvKind::kHadaBcm, bs);
+
+  const auto sp = summarize(*plain.model);
+  const auto sh = summarize(*hada.model);
+
+  std::printf("normalized singular-value decay (mean over all %zu-size "
+              "blocks):\n", bs);
+  benchutil::print_series("BCM (trained)", sp.curve);
+  benchutil::print_series("hadaBCM (trained)", sh.curve);
+  benchutil::rule();
+  std::printf("%-24s %14s %14s\n", "", "BCM", "hadaBCM");
+  std::printf("%-24s %13.1f%% %13.1f%%\n", "poor rank-condition",
+              sp.poor_fraction * 100.0, sh.poor_fraction * 100.0);
+  std::printf("%-24s %14.2f %14.2f\n", "mean effective rank", sp.eff_rank,
+              sh.eff_rank);
+  std::printf("%-24s %14.3f %14.3f\n", "mean log-decay slope", sp.slope,
+              sh.slope);
+  std::printf("%-24s %13.1f%% %13.1f%%\n", "test accuracy",
+              plain.accuracy * 100.0, hada.accuracy * 100.0);
+  benchutil::rule();
+
+  // Converged-regime model (see core/rank_analysis.hpp and DESIGN.md): at
+  // the spectral statistics of fully-trained BCM layers, the Hadamard
+  // product of two factors — whose spectra convolve — repairs the rank.
+  std::printf("converged-regime statistical model (BS=16, tau sweep):\n");
+  std::printf("%8s %16s %18s\n", "tau", "BCM poor(%)", "hadaBCM poor(%)");
+  numeric::Rng rng(71);
+  for (double tau : {0.8, 1.0, 1.3, 1.8}) {
+    const double p = core::synth_bcm_poor_fraction(16, tau, 500, rng);
+    const double h = core::synth_hadabcm_poor_fraction(16, tau, 500, rng);
+    std::printf("%8.1f %15.1f%% %17.1f%%\n", tau, p * 100.0, h * 100.0);
+  }
+  std::printf("model decay curves at tau=1.0:\n");
+  benchutil::print_series("BCM (model)",
+                          core::synth_decay_curve(16, 1.0, 400, false, rng));
+  benchutil::print_series("hadaBCM (model)",
+                          core::synth_decay_curve(16, 1.0, 400, true, rng));
+  benchutil::rule();
+  std::printf("paper: 72.2%% poor (BCM) vs 2.1%% poor (hadaBCM) on "
+              "VGG-16/Cifar-10\n");
+  benchutil::note(
+      "expected shape: hadaBCM decays more linearly, has a much smaller "
+      "poor-rank fraction, and trains to equal-or-better accuracy at "
+      "identical deployed size");
+  return 0;
+}

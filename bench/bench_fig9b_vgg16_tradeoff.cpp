@@ -1,0 +1,18 @@
+// Reproduces Fig. 9b: VGG-16 on Cifar-10 — accuracy vs parameter
+// reduction for traditional BCM (BS=8/16/32) against RP-BCM (hadaBCM at
+// BS=8, then BCM-wise pruning). Scaled proxy on the synthetic Cifar-10
+// stand-in; see DESIGN.md substitutions.
+
+#include "tradeoff_common.hpp"
+
+int main() {
+  rpbcm::benchutil::TradeoffSetup s;
+  s.figure = "Fig. 9b";
+  s.network = "VGG-16 proxy / synthetic Cifar-10 stand-in (beta ~ paper's 92%)";
+  s.deep = false;
+  s.classes = 10;
+  s.beta_drop = 0.05;
+  s.seed = 51;
+  rpbcm::benchutil::run_tradeoff(s);
+  return 0;
+}

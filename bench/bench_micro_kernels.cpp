@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) of the computational kernels behind
+// the paper's complexity claims: O(n^2) direct circulant matvec vs
+// O(n log n) FFT path, the FFT itself, the fixed-point PE datapath, and
+// dense vs BCM-compressed convolution forward passes.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bcm_conv.hpp"
+#include "core/circulant.hpp"
+#include "hw/emac_pe.hpp"
+#include "hw/fft_pe.hpp"
+#include "nn/conv2d.hpp"
+#include "numeric/fft.hpp"
+#include "numeric/random.hpp"
+#include "tensor/init.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  return rng.gaussian_vector(n);
+}
+
+void BM_FftComplex(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numeric::TwiddleRom rom(n);
+  std::vector<numeric::cfloat> data(n);
+  numeric::Rng rng(n);
+  for (auto& v : data) v = {rng.gaussian(), rng.gaussian()};
+  for (auto _ : state) {
+    auto copy = data;
+    numeric::fft_inplace(std::span<numeric::cfloat>(copy), rom, false);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftComplex)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_CirculantMatvecDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = core::Circulant::from_first_column(random_vec(n, 1));
+  const auto x = random_vec(n, 2);
+  for (auto _ : state) {
+    auto y = c.matvec_direct(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CirculantMatvecDirect)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_CirculantMatvecFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto c = core::Circulant::from_first_column(random_vec(n, 1));
+  const auto x = random_vec(n, 2);
+  for (auto _ : state) {
+    auto y = c.matvec_fft(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_CirculantMatvecFft)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_FixedPointFftPe(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const hw::FftPe pe(n);
+  std::vector<hw::Fix16> x(n);
+  numeric::Rng rng(3);
+  for (auto& v : x) v = hw::Fix16::from_float(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    auto spec = pe.forward_real(x);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FixedPointFftPe)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_EmacHalf(benchmark::State& state) {
+  const auto bs = static_cast<std::size_t>(state.range(0));
+  const std::size_t half = bs / 2 + 1;
+  std::vector<hw::CFix16> w(half), x(half), acc(half);
+  numeric::Rng rng(4);
+  for (std::size_t k = 0; k < half; ++k) {
+    w[k] = hw::CFix16::from_floats(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    x[k] = hw::CFix16::from_floats(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  }
+  for (auto _ : state) {
+    hw::EmacPe::emac_half(w, x, acc);
+    benchmark::DoNotOptimize(acc.data());
+  }
+}
+BENCHMARK(BM_EmacHalf)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+nn::ConvSpec conv_spec(std::size_t c) {
+  nn::ConvSpec s;
+  s.in_channels = c;
+  s.out_channels = c;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+void BM_DenseConvForward(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  numeric::Rng rng(5);
+  nn::Conv2d conv(conv_spec(c), rng);
+  tensor::Tensor x({1, c, 14, 14});
+  tensor::fill_gaussian(x, rng);
+  for (auto _ : state) {
+    auto y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_DenseConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BcmConvForward(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  numeric::Rng rng(6);
+  core::BcmConv2d conv(conv_spec(c), 8,
+                       core::BcmParameterization::kHadamard, rng);
+  tensor::Tensor x({1, c, 14, 14});
+  tensor::fill_gaussian(x, rng);
+  for (auto _ : state) {
+    auto y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BcmConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BcmConvForwardPruned(benchmark::State& state) {
+  const auto c = static_cast<std::size_t>(state.range(0));
+  numeric::Rng rng(7);
+  core::BcmConv2d conv(conv_spec(c), 8,
+                       core::BcmParameterization::kHadamard, rng);
+  // Prune half the blocks: the software skip path mirrors the PE's.
+  for (std::size_t b = 0; b < conv.layout().total_blocks(); b += 2)
+    conv.prune_block(b);
+  tensor::Tensor x({1, c, 14, 14});
+  tensor::fill_gaussian(x, rng);
+  for (auto _ : state) {
+    auto y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_BcmConvForwardPruned)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// Reproduces Table I: compression comparison on ResNet-50/ImageNet.
+// FLOPs and parameter reductions are exact functions of the full-size
+// ResNet-50 layer shapes and the RP-BCM configuration (BS, alpha), so they
+// are regenerated analytically from the descriptor. Accuracy deltas come
+// from a scaled ResNet proxy trained on the synthetic ImageNet stand-in
+// (see DESIGN.md substitutions): the paper's published deltas are printed
+// alongside for comparison.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/compression_stats.hpp"
+#include "core/pruning.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+struct ProxyResult {
+  double baseline_acc;
+  double compressed_acc;
+};
+
+// Trains the scaled ResNet proxy dense and with RP-BCM at (bs, alpha) and
+// returns the two accuracies on the synthetic stand-in dataset.
+ProxyResult accuracy_proxy(std::size_t bs, float alpha) {
+  // A deliberately hard stand-in task (many classes, heavy noise and phase
+  // jitter) so the compression/accuracy trade-off is visible — on an easy
+  // task every variant saturates and the deltas degenerate to zero.
+  nn::SyntheticSpec dspec;
+  dspec.classes = 16;
+  dspec.train = 768;
+  dspec.test = 256;
+  dspec.noise = 1.1F;
+  dspec.phase_jitter = 1.3F;
+  dspec.seed = 17;
+  const nn::SyntheticImageDataset data(dspec);
+
+  nn::TrainConfig tc;
+  tc.epochs = 5;
+  tc.steps_per_epoch = 24;
+  tc.batch = 16;
+  tc.lr = 0.05F;
+  tc.seed = 31;
+
+  models::ScaledNetConfig base;
+  base.classes = 16;
+  base.base_width = 16;
+  base.block_size = bs;
+
+  ProxyResult out{};
+  {
+    auto cfg = base;
+    cfg.kind = models::ConvKind::kDense;
+    auto model = models::make_scaled_resnet(cfg);
+    // Match the compressed pipeline's total training budget (initial
+    // training + the incremental-pruning fine-tune epochs), otherwise the
+    // comparison hands the compressed model extra optimization for free.
+    nn::Trainer trainer(*model, data, tc);
+    trainer.train();
+    const std::size_t ft_rounds =
+        static_cast<std::size_t>(alpha / 0.2F);
+    trainer.fine_tune(2 * ft_rounds, 0.02F);
+    out.baseline_acc = trainer.fine_tune(5, 0.01F);
+  }
+  {
+    auto cfg = base;
+    cfg.kind = models::ConvKind::kHadaBcm;
+    auto model = models::make_scaled_resnet(cfg);
+    nn::Trainer trainer(*model, data, tc);
+    trainer.train();
+    // Prune incrementally with fine-tuning between steps, as Algorithm 1
+    // does — one-shot pruning at high alpha wrecks accuracy unfairly.
+    auto set = core::BcmLayerSet::collect(*model);
+    for (float a = 0.2F; a < alpha; a += 0.2F) {
+      core::BcmPruner::apply_ratio(set, a);
+      trainer.fine_tune(2, 0.02F);
+    }
+    core::BcmPruner::apply_ratio(set, alpha);
+    out.compressed_acc = trainer.fine_tune(5, 0.01F);
+  }
+  return out;
+}
+
+void published_row(const char* method, const char* top1, const char* d1,
+                   const char* top5, const char* d5, const char* flops,
+                   const char* params) {
+  std::printf("%-24s %8s %7s %8s %7s %10s %11s\n", method, top1, d1, top5,
+              d5, flops, params);
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Table I", "compression comparison on ResNet-50/ImageNet");
+
+  const auto net = models::resnet50_imagenet_shape();
+  std::printf("ResNet-50 descriptor: %.2fM params, %.2f GFLOPs (dense)\n\n",
+              static_cast<double>(net.dense_params()) / 1e6,
+              static_cast<double>(net.dense_flops()) / 1e9);
+
+  std::printf("%-24s %8s %7s %8s %7s %10s %11s\n", "Method", "Top-1", "d(%)",
+              "Top-5", "d(%)", "FLOPs.(%)", "Params.(%)");
+  benchutil::rule('-', 90);
+  published_row("Baseline", "76.15", "-", "92.87", "-", "-", "-");
+  published_row("BPPS [22]", "70.58", "-5.57", "90.00", "-2.87", "75.80",
+                "68.55");
+  published_row("GAL [23]", "71.80", "-4.35", "90.82", "-2.05", "55.01",
+                "24.27");
+  published_row("HRank [9]", "71.98", "-4.17", "91.01", "-1.86", "62.10",
+                "46.00");
+  published_row("ThiNet [24]", "72.04", "-4.11", "90.67", "-2.20", "36.79",
+                "33.72");
+  published_row("TRP [11]", "72.69", "-3.46", "91.41", "-1.46", "56.50",
+                "N/A");
+  published_row("CHIP [25]", "73.30", "-2.85", "91.48", "-1.39", "76.70",
+                "68.60");
+  published_row("FPGM [26]", "74.83", "-1.32", "92.32", "-0.55", "53.50",
+                "N/A");
+  benchutil::rule('-', 90);
+
+  struct OurPoint {
+    std::size_t bs;
+    double alpha;
+    const char* paper_flops;
+    const char* paper_params;
+    const char* paper_top1_delta;
+  };
+  const OurPoint points[] = {
+      {8, 0.5, "77.33", "92.40", "-4.16"},
+      {4, 0.7, "68.88", "88.79", "-3.02"},
+  };
+
+  for (const auto& p : points) {
+    core::BcmCompressionConfig cfg;
+    cfg.block_size = p.bs;
+    cfg.alpha = p.alpha;
+    cfg.compress_fc = true;
+    const auto rep = core::analyze_compression(net, cfg);
+    const auto proxy = accuracy_proxy(p.bs, static_cast<float>(p.alpha));
+    std::printf(
+        "Ours (BS=%zu, a=%.1f)      measured: FLOPs -%5.2f%% (paper %s)  "
+        "Params -%5.2f%% (paper %s)\n",
+        p.bs, p.alpha, rep.flops_reduction() * 100.0, p.paper_flops,
+        rep.param_reduction() * 100.0, p.paper_params);
+    std::printf(
+        "                          proxy acc: baseline %.1f%% -> RP-BCM "
+        "%.1f%% (delta %+.1f pts; paper delta %s on ImageNet)\n",
+        proxy.baseline_acc * 100.0, proxy.compressed_acc * 100.0,
+        (proxy.compressed_acc - proxy.baseline_acc) * 100.0,
+        p.paper_top1_delta);
+    std::printf(
+        "                          compressed params: %.2fM, compressed "
+        "FLOPs: %.2fG, skip index: %.1f KB\n",
+        static_cast<double>(rep.compressed_params) / 1e6,
+        static_cast<double>(rep.compressed_flops) / 1e9,
+        static_cast<double>(rep.skip_index_bits) / 8.0 / 1024.0);
+  }
+  benchutil::rule('-', 90);
+  benchutil::note(
+      "shape check: ours has by far the largest parameter reduction of any "
+      "method in the table (>88%), with FLOPs reduction in the 70-80% band "
+      "at BS=8");
+  return 0;
+}

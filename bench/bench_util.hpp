@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rpbcm::benchutil {
+
+/// Prints a horizontal rule sized to the standard bench table width.
+inline void rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+/// Prints the bench banner: which paper artifact this binary regenerates.
+inline void banner(const std::string& artifact, const std::string& detail) {
+  rule('=');
+  std::printf("%s — %s\n", artifact.c_str(), detail.c_str());
+  std::printf("RP-BCM reproduction (Song et al., DATE 2023)\n");
+  rule('=');
+}
+
+/// ASCII sparkline of a [0,1]-normalized series, for decay curves.
+inline std::string sparkline(std::span<const float> values) {
+  static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::string out;
+  for (float v : values) {
+    int idx = static_cast<int>(v * 7.0F + 0.5F);
+    if (idx < 0) idx = 0;
+    if (idx > 7) idx = 7;
+    out += levels[idx];
+  }
+  return out;
+}
+
+/// Prints one normalized decay series with a label.
+inline void print_series(const std::string& label,
+                         std::span<const float> values) {
+  std::printf("  %-28s |%s|  ", label.c_str(),
+              sparkline(values).c_str());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i >= 8 && values.size() > 12) {  // keep rows readable
+      std::printf("...");
+      break;
+    }
+    std::printf("%s%.3f", i ? " " : "", values[i]);
+  }
+  std::printf("\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("note: %s\n", text.c_str());
+}
+
+}  // namespace rpbcm::benchutil

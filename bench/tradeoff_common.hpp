@@ -1,0 +1,162 @@
+#pragma once
+
+// Shared harness for Figs. 9b and 9c: accuracy vs parameter-reduction
+// trade-off of traditional BCM compression (BS = 8/16/32) against RP-BCM
+// (hadaBCM at BS=8, then BCM-wise pruning with growing alpha). Trains the
+// scaled VGG proxies on the synthetic dataset stand-ins (DESIGN.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.hpp"
+#include "core/pruning.hpp"
+#include "models/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace rpbcm::benchutil {
+
+struct TradeoffSetup {
+  const char* figure;        // "Fig. 9b" / "Fig. 9c"
+  const char* network;       // proxy description
+  bool deep = false;         // VGG-19 proxy?
+  std::size_t classes = 10;
+  double beta = 0.0;         // target accuracy for Algorithm 1 (absolute)
+  double beta_drop = 0.05;   // if beta == 0: beta = trained_acc - drop
+  std::uint64_t seed = 51;
+};
+
+struct Point {
+  double param_reduction;
+  double accuracy;
+};
+
+inline nn::SyntheticSpec tradeoff_dataset(const TradeoffSetup& s) {
+  nn::SyntheticSpec d;
+  d.classes = s.classes;
+  d.train = 1024;
+  d.test = 512;
+  d.noise = 1.1F;        // hard stand-in: keeps every variant off the
+  d.phase_jitter = 1.3F; // ceiling so compression differences are visible
+  d.seed = s.seed;
+  return d;
+}
+
+inline nn::TrainConfig tradeoff_train_cfg(std::uint64_t seed) {
+  nn::TrainConfig tc;
+  tc.epochs = 10;  // the two-factor hadaBCM parameterization needs more
+                   // steps to converge than plain BCM; train all series to
+                   // (near) convergence as the paper does
+  tc.steps_per_epoch = 20;
+  tc.batch = 16;
+  tc.lr = 0.05F;
+  tc.seed = seed;
+  return tc;
+}
+
+inline void run_tradeoff(const TradeoffSetup& setup) {
+  banner(setup.figure, std::string("accuracy vs parameter reduction, ") +
+                           setup.network);
+  const nn::SyntheticImageDataset data(tradeoff_dataset(setup));
+
+  // Dense baseline: reference accuracy and parameter count.
+  models::ScaledNetConfig base;
+  base.base_width = 32;
+  base.classes = setup.classes;
+  std::size_t dense_params = 0;
+  double dense_acc = 0.0;
+  {
+    auto cfg = base;
+    cfg.kind = models::ConvKind::kDense;
+    auto model = models::make_scaled_vgg(cfg, setup.deep);
+    dense_params = model->deployed_param_count();
+    nn::Trainer trainer(*model, data, tradeoff_train_cfg(setup.seed + 1));
+    trainer.train();
+    dense_acc = trainer.evaluate();
+  }
+  std::printf("dense baseline: %.1f%% accuracy, %zu deployed params\n\n",
+              dense_acc * 100.0, dense_params);
+
+  auto reduction = [&](std::size_t deployed) {
+    return 1.0 - static_cast<double>(deployed) /
+                     static_cast<double>(dense_params);
+  };
+
+  std::printf("%-34s %10s %12s\n", "series / point", "params v(%)",
+              "accuracy(%)");
+  rule();
+
+  // Traditional BCM: the only compression knob is BS in {8, 16, 32}.
+  for (std::size_t bs : {8u, 16u, 32u}) {
+    auto cfg = base;
+    cfg.kind = models::ConvKind::kBcm;
+    cfg.block_size = bs;
+    auto model = models::make_scaled_vgg(cfg, setup.deep);
+    nn::Trainer trainer(*model, data, tradeoff_train_cfg(setup.seed + bs));
+    trainer.train();
+    const double acc = trainer.evaluate();
+    std::printf("%-34s %10.1f %12.1f\n",
+                (std::string("traditional BCM, BS=") + std::to_string(bs))
+                    .c_str(),
+                reduction(model->deployed_param_count()) * 100.0,
+                acc * 100.0);
+  }
+
+  // Ours *1: hadaBCM at BS=8 (same deployed size as trad BS=8).
+  auto cfg = base;
+  cfg.kind = models::ConvKind::kHadaBcm;
+  cfg.block_size = 8;
+  auto model = models::make_scaled_vgg(cfg, setup.deep);
+  nn::Trainer trainer(*model, data, tradeoff_train_cfg(setup.seed + 77));
+  trainer.train();
+  const double hada_acc = trainer.evaluate();
+  std::printf("%-34s %10.1f %12.1f\n", "ours *1: hadaBCM, BS=8",
+              reduction(model->deployed_param_count()) * 100.0,
+              hada_acc * 100.0);
+
+  // Ours *2: BCM-wise pruning sweep (Algorithm 1 trace). We log every
+  // round, then report the break-down point for target beta.
+  const double beta =
+      setup.beta > 0.0 ? setup.beta : hada_acc - setup.beta_drop;
+  auto set = core::BcmLayerSet::collect(*model);
+  const auto initial_norms = set.norm_list();
+  double best_alpha = 0.0, best_red = 0.0, best_acc = hada_acc;
+  for (float alpha = 0.25F; alpha <= 0.90F; alpha += 0.125F) {
+    // Threshold from the *initial* norm list, as Algorithm 1 specifies.
+    auto norms_sorted = initial_norms;
+    std::nth_element(
+        norms_sorted.begin(),
+        norms_sorted.begin() +
+            static_cast<long>(static_cast<double>(norms_sorted.size()) *
+                              alpha) -
+            1,
+        norms_sorted.end());
+    const double threshold =
+        norms_sorted[static_cast<std::size_t>(
+                         static_cast<double>(norms_sorted.size()) * alpha) -
+                     1];
+    set.prune_below(initial_norms, threshold);
+    const double acc = trainer.fine_tune(2, 0.01F);
+    const double red = reduction(model->deployed_param_count());
+    const bool meets = acc >= beta;
+    std::printf("%-34s %10.1f %12.1f%s\n",
+                (std::string("ours *2: pruned, alpha=") +
+                 std::to_string(alpha).substr(0, 5))
+                    .c_str(),
+                red * 100.0, acc * 100.0, meets ? "" : "   [below beta]");
+    if (meets) {
+      best_alpha = alpha;
+      best_red = red;
+      best_acc = acc;
+    }
+  }
+  rule();
+  std::printf("break-down point (beta = %.1f%%): alpha = %.3f, params "
+              "-%.1f%%, accuracy %.1f%%\n",
+              beta * 100.0, best_alpha, best_red * 100.0, best_acc * 100.0);
+  note("expected shape: at equal parameter reduction, ours (*1/*2) sits "
+       "above traditional BCM; larger BS degrades traditional BCM sharply");
+}
+
+}  // namespace rpbcm::benchutil

@@ -1,0 +1,70 @@
+// accelerator_explorer: design-space exploration of the RP-BCM FPGA
+// accelerator. Sweeps the PE parallelism p under the XC7Z020 resource
+// envelope and reports, for each feasible configuration, the FPS / power /
+// efficiency of ResNet-18 at a chosen compression point — the workflow a
+// deployment engineer would use to pick a design.
+//
+// Usage: ./build/examples/accelerator_explorer [alpha] [block_size]
+//        defaults: alpha=0.5, BS=8
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "hw/accelerator.hpp"
+#include "models/model_zoo.hpp"
+
+using namespace rpbcm;
+
+int main(int argc, char** argv) {
+  const double alpha = argc > 1 ? std::strtod(argv[1], nullptr) : 0.5;
+  const std::size_t bs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+
+  std::printf("== accelerator design-space exploration ==\n");
+  std::printf("workload: ResNet-18/ImageNet shapes, BS=%zu, alpha=%.2f\n\n",
+              bs, alpha);
+
+  const auto net = models::resnet18_imagenet_shape();
+  core::BcmCompressionConfig ccfg;
+  ccfg.block_size = bs;
+  ccfg.alpha = alpha;
+
+  std::printf("%4s %5s %8s %6s %7s %9s %8s %8s %9s %6s\n", "p", "fft",
+              "kLUT", "DSP", "BRAM", "power(W)", "FPS", "FPS/W", "FPS/DSP",
+              "fits");
+  for (std::size_t p : {4u, 8u, 16u, 24u, 32u, 48u, 64u}) {
+    for (std::size_t fft : {2u, 4u, 8u}) {
+      hw::HwConfig cfg;
+      cfg.parallelism = p;
+      cfg.fft_units = fft;
+      cfg.block_size = bs;
+      const auto r = hw::simulate_accelerator(net, ccfg, cfg);
+      const bool fits = r.resources.dsp_util(cfg.board) <= 1.0 &&
+                        r.resources.lut_util(cfg.board) <= 1.0 &&
+                        r.resources.bram_util(cfg.board) <= 1.0;
+      std::printf("%4zu %5zu %8.1f %6zu %7.1f %9.2f %8.2f %8.2f %9.3f %6s\n",
+                  p, fft, r.resources.kilo_luts, r.resources.dsps,
+                  r.resources.bram36, r.power.total_w(), r.fps,
+                  r.fps_per_watt(), r.fps_per_dsp(), fits ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\nper-layer breakdown at the default design point "
+              "(p=16, fft=4):\n");
+  hw::HwConfig cfg;
+  const auto r = hw::simulate_accelerator(net, ccfg, cfg);
+  std::printf("%-4s %12s %12s %12s %12s %12s\n", "#", "fft", "emac", "ifft",
+              "transfers", "total");
+  for (std::size_t i = 0; i < r.layers.size(); ++i) {
+    const auto& l = r.layers[i];
+    std::printf("%-4zu %12llu %12llu %12llu %12llu %12llu\n", i,
+                static_cast<unsigned long long>(l.fft),
+                static_cast<unsigned long long>(l.emac + l.skip_check),
+                static_cast<unsigned long long>(l.ifft),
+                static_cast<unsigned long long>(l.transfer_total()),
+                static_cast<unsigned long long>(l.total));
+  }
+  std::printf("total: %llu cycles -> %.2f FPS at %.0f MHz\n",
+              static_cast<unsigned long long>(r.total_cycles), r.fps,
+              cfg.frequency_mhz);
+  return 0;
+}

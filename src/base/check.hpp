@@ -1,0 +1,42 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rpbcm {
+
+/// Error type thrown by RPBCM_CHECK failures. Distinct from std::logic_error
+/// so callers can distinguish library-contract violations from other errors.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "RPBCM_CHECK failed: (" << cond << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace rpbcm
+
+/// Precondition / invariant check. Always on (the library is used for
+/// experiment harnesses where silent corruption is worse than the branch).
+#define RPBCM_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::rpbcm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RPBCM_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::rpbcm::detail::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+    }                                                                  \
+  } while (0)

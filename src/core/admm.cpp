@@ -1,0 +1,168 @@
+#include "core/admm.hpp"
+
+#include <cmath>
+
+namespace rpbcm::core {
+
+tensor::Tensor project_block_circulant(const tensor::Tensor& w,
+                                       std::size_t bs) {
+  RPBCM_CHECK_MSG(w.rank() == 4, "expected OIHW conv weights");
+  const std::size_t cout = w.dim(0), cin = w.dim(1), kh = w.dim(2),
+                    kw = w.dim(3);
+  RPBCM_CHECK_MSG(cout % bs == 0 && cin % bs == 0,
+                  "channels must divide the block size");
+  tensor::Tensor out(w.shape());
+  std::vector<float> diag(bs);
+  for (std::size_t p = 0; p < kh; ++p)
+    for (std::size_t q = 0; q < kw; ++q)
+      for (std::size_t bo = 0; bo < cout / bs; ++bo)
+        for (std::size_t bi = 0; bi < cin / bs; ++bi) {
+          // Average each circulant diagonal d = (i - j) mod bs, then
+          // broadcast the average back — the Euclidean projection.
+          std::fill(diag.begin(), diag.end(), 0.0F);
+          for (std::size_t i = 0; i < bs; ++i)
+            for (std::size_t j = 0; j < bs; ++j)
+              diag[(i + bs - j) % bs] +=
+                  w.at(bo * bs + i, bi * bs + j, p, q);
+          for (auto& d : diag) d /= static_cast<float>(bs);
+          for (std::size_t i = 0; i < bs; ++i)
+            for (std::size_t j = 0; j < bs; ++j)
+              out.at(bo * bs + i, bi * bs + j, p, q) =
+                  diag[(i + bs - j) % bs];
+        }
+  return out;
+}
+
+AdmmCirculantRegularizer::AdmmCirculantRegularizer(nn::Sequential& model,
+                                                   std::size_t block_size,
+                                                   float rho)
+    : block_size_(block_size), rho_(rho) {
+  RPBCM_CHECK(rho > 0.0F && numeric::is_pow2(block_size));
+  model.visit([this](nn::Layer& l) {
+    auto* conv = dynamic_cast<nn::Conv2d*>(&l);
+    if (!conv) return;
+    const auto& s = conv->spec();
+    if (s.in_channels % block_size_ != 0 ||
+        s.out_channels % block_size_ != 0)
+      return;
+    LayerState st;
+    st.conv = conv;
+    st.z = project_block_circulant(conv->weight().value, block_size_);
+    st.u = tensor::Tensor(conv->weight().value.shape());
+    layers_.push_back(std::move(st));
+  });
+  RPBCM_CHECK_MSG(!layers_.empty(),
+                  "no conv layer is compatible with the block size");
+}
+
+void AdmmCirculantRegularizer::add_penalty_gradients() {
+  for (auto& st : layers_) {
+    const auto& w = st.conv->weight().value;
+    auto& g = st.conv->weight().grad;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      g[i] += rho_ * (w[i] - st.z[i] + st.u[i]);
+  }
+}
+
+void AdmmCirculantRegularizer::dual_update() {
+  for (auto& st : layers_) {
+    const auto& w = st.conv->weight().value;
+    tensor::Tensor wu(w.shape());
+    for (std::size_t i = 0; i < w.size(); ++i) wu[i] = w[i] + st.u[i];
+    st.z = project_block_circulant(wu, block_size_);
+    for (std::size_t i = 0; i < w.size(); ++i)
+      st.u[i] = st.u[i] + w[i] - st.z[i];
+  }
+}
+
+double AdmmCirculantRegularizer::constraint_violation() const {
+  double total = 0.0;
+  for (const auto& st : layers_) {
+    const auto& w = st.conv->weight().value;
+    const auto proj = project_block_circulant(w, block_size_);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      const double d = static_cast<double>(w[i]) - proj[i];
+      num += d * d;
+      den += static_cast<double>(w[i]) * w[i];
+    }
+    total += std::sqrt(num / std::max(den, 1e-30));
+  }
+  return total / static_cast<double>(layers_.size());
+}
+
+void AdmmCirculantRegularizer::project_hard() {
+  for (auto& st : layers_)
+    st.conv->weight().value =
+        project_block_circulant(st.conv->weight().value, block_size_);
+}
+
+double admm_train(nn::Sequential& model, AdmmCirculantRegularizer& admm,
+                  const nn::SyntheticImageDataset& data,
+                  const nn::TrainConfig& cfg) {
+  nn::Sgd opt(cfg.lr, cfg.momentum, cfg.weight_decay);
+  nn::CosineAnnealing schedule(cfg.lr, cfg.epochs, cfg.min_lr);
+  nn::SoftmaxCrossEntropy loss;
+  numeric::Rng rng(cfg.seed);
+  const auto params = model.params();
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    opt.set_lr(schedule.lr(e));
+    for (std::size_t step = 0; step < cfg.steps_per_epoch; ++step) {
+      const auto b = data.train_batch(rng, cfg.batch);
+      nn::zero_grads(params);
+      const auto logits = model.forward(b.x, /*train=*/true);
+      loss.forward(logits, b.y);
+      model.backward(loss.backward());
+      admm.add_penalty_gradients();
+      opt.step(params);
+    }
+    admm.dual_update();
+    admm.scale_rho(1.3F);  // drive the iterate onto the constraint set
+  }
+  // Test accuracy.
+  double hits = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t off = 0; off < data.test_size(); off += 128) {
+    const auto b = data.test_batch(off, 128);
+    const auto logits = model.forward(b.x, /*train=*/false);
+    hits += nn::SoftmaxCrossEntropy::accuracy(logits, b.y) *
+            static_cast<double>(b.y.size());
+    seen += b.y.size();
+  }
+  return hits / static_cast<double>(seen);
+}
+
+double projected_finetune(nn::Sequential& model,
+                          AdmmCirculantRegularizer& admm,
+                          const nn::SyntheticImageDataset& data,
+                          const nn::TrainConfig& cfg, std::size_t epochs,
+                          float lr) {
+  nn::Sgd opt(lr, cfg.momentum, cfg.weight_decay);
+  nn::SoftmaxCrossEntropy loss;
+  numeric::Rng rng(cfg.seed + 1);
+  const auto params = model.params();
+  admm.project_hard();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t step = 0; step < cfg.steps_per_epoch; ++step) {
+      const auto b = data.train_batch(rng, cfg.batch);
+      nn::zero_grads(params);
+      const auto logits = model.forward(b.x, /*train=*/true);
+      loss.forward(logits, b.y);
+      model.backward(loss.backward());
+      opt.step(params);
+      admm.project_hard();  // stay on the circulant set
+    }
+  }
+  double hits = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t off = 0; off < data.test_size(); off += 128) {
+    const auto b = data.test_batch(off, 128);
+    const auto logits = model.forward(b.x, /*train=*/false);
+    hits += nn::SoftmaxCrossEntropy::accuracy(logits, b.y) *
+            static_cast<double>(b.y.size());
+    seen += b.y.size();
+  }
+  return hits / static_cast<double>(seen);
+}
+
+}  // namespace rpbcm::core

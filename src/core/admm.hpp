@@ -1,0 +1,89 @@
+#pragma once
+
+#include "core/bcm_conv.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+#include "nn/sequential.hpp"
+
+namespace rpbcm::core {
+
+/// ADMM-regularized block-circulant training — the training method of the
+/// CirCNN / REQ-YOLO lineage [4][6] that the paper's from-scratch BCM
+/// training replaces. A dense network is trained under the constraint
+/// W ∈ {block-circulant matrices}, relaxed via ADMM:
+///
+///   minimize  L(W) + (rho/2) || W - Z + U ||^2
+///   Z <- Pi(W + U)          (projection onto the circulant set:
+///                            per-block diagonal averaging)
+///   U <- U + W - Z
+///
+/// After convergence the dense weights sit close to the circulant set and
+/// the final hard projection costs little accuracy.
+class AdmmCirculantRegularizer {
+ public:
+  /// Registers every conv of the model whose channels divide `block_size`.
+  AdmmCirculantRegularizer(nn::Sequential& model, std::size_t block_size,
+                           float rho);
+
+  std::size_t layer_count() const { return layers_.size(); }
+  float rho() const { return rho_; }
+
+  /// Adds the augmented-Lagrangian gradient rho*(W - Z + U) to the
+  /// registered layers' weight gradients. Call between backward() and the
+  /// optimizer step.
+  void add_penalty_gradients();
+
+  /// ADMM dual update: Z <- Pi(W+U), U <- U + W - Z. Call once per epoch
+  /// (the standard cadence for DNN ADMM).
+  void dual_update();
+
+  /// Multiplies rho (standard ADMM schedule: grow the penalty as training
+  /// progresses so the iterate is driven onto the constraint set).
+  void scale_rho(float factor) {
+    RPBCM_CHECK(factor > 0.0F);
+    rho_ *= factor;
+  }
+
+  /// Mean relative distance ||W - Pi(W)|| / ||W|| over registered layers —
+  /// the constraint violation that ADMM drives toward zero.
+  double constraint_violation() const;
+
+  /// Hard-projects every registered dense conv onto the circulant set
+  /// in place (the terminal step before deployment).
+  void project_hard();
+
+ private:
+  struct LayerState {
+    nn::Conv2d* conv = nullptr;
+    tensor::Tensor z;  // auxiliary circulant-feasible copy
+    tensor::Tensor u;  // scaled dual
+  };
+
+  std::vector<LayerState> layers_;
+  std::size_t block_size_;
+  float rho_;
+};
+
+/// Projection of a dense OIHW conv weight onto the block-circulant set
+/// (least squares: per-block circulant-diagonal averaging).
+tensor::Tensor project_block_circulant(const tensor::Tensor& w,
+                                       std::size_t block_size);
+
+/// ADMM training loop: SGD with the augmented-Lagrangian penalty gradient
+/// per step and a dual update per epoch. Returns the final test accuracy
+/// (before any hard projection).
+double admm_train(nn::Sequential& model, AdmmCirculantRegularizer& admm,
+                  const nn::SyntheticImageDataset& data,
+                  const nn::TrainConfig& cfg);
+
+/// Projected-SGD fine-tuning: plain SGD steps, each followed by a hard
+/// projection onto the circulant set — the standard recovery phase after
+/// ADMM's hard projection [4][6]. Returns the final test accuracy.
+double projected_finetune(nn::Sequential& model,
+                          AdmmCirculantRegularizer& admm,
+                          const nn::SyntheticImageDataset& data,
+                          const nn::TrainConfig& cfg, std::size_t epochs,
+                          float lr);
+
+}  // namespace rpbcm::core

@@ -1,0 +1,445 @@
+#include "core/bcm_conv.hpp"
+
+#include <cmath>
+
+#include "core/circulant.hpp"
+#include "tensor/init.hpp"
+
+namespace rpbcm::core {
+
+namespace {
+
+// Loads SoA (re, im) into a scratch complex buffer, runs the FFT, stores
+// back. Hot paths below keep data SoA so the eMAC inner loops are plain
+// float arithmetic.
+void fft_soa(std::vector<numeric::cfloat>& scratch, float* re, float* im,
+             const numeric::TwiddleRom& rom, bool inverse) {
+  const std::size_t n = rom.size();
+  for (std::size_t k = 0; k < n; ++k) scratch[k] = {re[k], im[k]};
+  numeric::fft_inplace(std::span<numeric::cfloat>(scratch.data(), n), rom,
+                       inverse);
+  for (std::size_t k = 0; k < n; ++k) {
+    re[k] = scratch[k].real();
+    im[k] = scratch[k].imag();
+  }
+}
+
+}  // namespace
+
+BcmConv2d::BcmConv2d(nn::ConvSpec spec, std::size_t block_size,
+                     BcmParameterization mode, numeric::Rng& rng)
+    : spec_(spec),
+      layout_(spec.kernel, spec.in_channels, spec.out_channels, block_size),
+      mode_(mode) {
+  const std::size_t blocks = layout_.total_blocks();
+  const std::size_t bs = layout_.block_size;
+  skip_.assign(blocks, 1);
+  // Match the effective dense fan-in variance of a Kaiming init: the dense
+  // realization repeats each defining element BS times per block row, so the
+  // per-element stddev target is the usual sqrt(2 / (K^2 * Cin)).
+  const float std_w = std::sqrt(
+      2.0F / static_cast<float>(spec.kernel * spec.kernel * spec.in_channels));
+  if (mode_ == BcmParameterization::kHadamard) {
+    a_ = nn::Param("bcm.A", tensor::Tensor({blocks, bs}));
+    b_ = nn::Param("bcm.B", tensor::Tensor({blocks, bs}));
+    // A carries the plain-BCM init scale; B starts at ones. The effective
+    // weight and — via Eq. (1) — the gradient through A are then identical
+    // to plain BCM at initialization, so the two-factor parameterization
+    // costs nothing in optimization speed while B adds the rank-enhancing
+    // degree of freedom as training progresses.
+    tensor::fill_gaussian(a_.value, rng, std_w);
+    b_.value.fill(1.0F);
+  } else {
+    w_ = nn::Param("bcm.W", tensor::Tensor({blocks, bs}));
+    tensor::fill_gaussian(w_.value, rng, std_w);
+  }
+}
+
+std::unique_ptr<BcmConv2d> BcmConv2d::from_dense(const nn::Conv2d& dense,
+                                                 std::size_t block_size,
+                                                 BcmParameterization mode) {
+  numeric::Rng rng(0);
+  auto bcm =
+      std::make_unique<BcmConv2d>(dense.spec(), block_size, mode, rng);
+  const auto& lay = bcm->layout_;
+  const std::size_t bs = lay.block_size;
+  const auto& wd = dense.weight().value;
+  for (std::size_t kh = 0; kh < lay.kernel; ++kh) {
+    for (std::size_t kw = 0; kw < lay.kernel; ++kw) {
+      for (std::size_t bi = 0; bi < lay.in_blocks(); ++bi) {
+        for (std::size_t bo = 0; bo < lay.out_blocks(); ++bo) {
+          const std::size_t id = lay.block_id(kh, kw, bi, bo);
+          for (std::size_t d = 0; d < bs; ++d) {
+            // Least-squares circulant fit: average the d-th circulant
+            // diagonal of the dense block.
+            float acc = 0.0F;
+            for (std::size_t l = 0; l < bs; ++l) {
+              const std::size_t co = bo * bs + (l + d) % bs;
+              const std::size_t ci = bi * bs + l;
+              acc += wd.at(co, ci, kh, kw);
+            }
+            const float v = acc / static_cast<float>(bs);
+            if (mode == BcmParameterization::kHadamard) {
+              bcm->a_.value.at(id, d) = v;
+              bcm->b_.value.at(id, d) = 1.0F;
+            } else {
+              bcm->w_.value.at(id, d) = v;
+            }
+          }
+        }
+      }
+    }
+  }
+  return bcm;
+}
+
+std::vector<float> BcmConv2d::effective_defining(std::size_t block) const {
+  const std::size_t bs = layout_.block_size;
+  RPBCM_CHECK(block < layout_.total_blocks());
+  std::vector<float> w(bs, 0.0F);
+  if (skip_[block] == 0) return w;
+  if (mode_ == BcmParameterization::kHadamard) {
+    for (std::size_t k = 0; k < bs; ++k)
+      w[k] = a_.value.at(block, k) * b_.value.at(block, k);
+  } else {
+    for (std::size_t k = 0; k < bs; ++k) w[k] = w_.value.at(block, k);
+  }
+  return w;
+}
+
+std::vector<double> BcmConv2d::block_norms() const {
+  std::vector<double> norms(layout_.total_blocks(), 0.0);
+  for (std::size_t b = 0; b < norms.size(); ++b) {
+    const auto w = effective_defining(b);
+    double s = 0.0;
+    for (float v : w) s += static_cast<double>(v) * v;
+    // The paper measures the norm of the full BS x BS block; each defining
+    // element appears BS times, so scale accordingly.
+    norms[b] = std::sqrt(s * static_cast<double>(layout_.block_size));
+  }
+  return norms;
+}
+
+tensor::Tensor BcmConv2d::dense_block(std::size_t block) const {
+  return Circulant::from_first_column(effective_defining(block)).dense();
+}
+
+tensor::Tensor BcmConv2d::dense_weights() const {
+  const auto& lay = layout_;
+  const std::size_t bs = lay.block_size;
+  tensor::Tensor w(
+      {lay.out_channels, lay.in_channels, lay.kernel, lay.kernel});
+  for (std::size_t kh = 0; kh < lay.kernel; ++kh)
+    for (std::size_t kw = 0; kw < lay.kernel; ++kw)
+      for (std::size_t bi = 0; bi < lay.in_blocks(); ++bi)
+        for (std::size_t bo = 0; bo < lay.out_blocks(); ++bo) {
+          const auto def =
+              effective_defining(lay.block_id(kh, kw, bi, bo));
+          for (std::size_t i = 0; i < bs; ++i)
+            for (std::size_t j = 0; j < bs; ++j)
+              w.at(bo * bs + i, bi * bs + j, kh, kw) =
+                  def[(i + bs - j) % bs];
+        }
+  return w;
+}
+
+void BcmConv2d::prune_block(std::size_t block) {
+  RPBCM_CHECK(block < skip_.size());
+  skip_[block] = 0;
+  const std::size_t bs = layout_.block_size;
+  // "Eliminate A and B" (Algorithm 1, line 12): zero the parameters so the
+  // optimizer cannot resurrect them through momentum.
+  if (mode_ == BcmParameterization::kHadamard) {
+    for (std::size_t k = 0; k < bs; ++k) {
+      a_.value.at(block, k) = 0.0F;
+      b_.value.at(block, k) = 0.0F;
+    }
+  } else {
+    for (std::size_t k = 0; k < bs; ++k) w_.value.at(block, k) = 0.0F;
+  }
+}
+
+std::size_t BcmConv2d::pruned_count() const {
+  std::size_t n = 0;
+  for (auto s : skip_)
+    if (s == 0) ++n;
+  return n;
+}
+
+void BcmConv2d::reset_pruning() { skip_.assign(skip_.size(), 1); }
+
+void BcmConv2d::load_defining(std::size_t block, std::span<const float> w) {
+  const std::size_t bs = layout_.block_size;
+  RPBCM_CHECK(block < layout_.total_blocks() && w.size() == bs);
+  if (mode_ == BcmParameterization::kHadamard) {
+    for (std::size_t k = 0; k < bs; ++k) {
+      a_.value.at(block, k) = w[k];
+      b_.value.at(block, k) = 1.0F;
+    }
+  } else {
+    for (std::size_t k = 0; k < bs; ++k) w_.value.at(block, k) = w[k];
+  }
+}
+
+std::size_t BcmConv2d::deployed_param_count() {
+  return (layout_.total_blocks() - pruned_count()) * layout_.block_size;
+}
+
+BcmConv2d::Snapshot BcmConv2d::snapshot() const {
+  return Snapshot{a_.value, b_.value, w_.value, skip_};
+}
+
+void BcmConv2d::restore(const Snapshot& s) {
+  a_.value = s.a;
+  b_.value = s.b;
+  w_.value = s.w;
+  skip_ = s.skip;
+}
+
+std::vector<nn::Param*> BcmConv2d::params() {
+  if (mode_ == BcmParameterization::kHadamard) return {&a_, &b_};
+  return {&w_};
+}
+
+void BcmConv2d::refresh_weight_spectra() {
+  const std::size_t blocks = layout_.total_blocks();
+  const std::size_t bs = layout_.block_size;
+  wspec_re_.assign(blocks * bs, 0.0F);
+  wspec_im_.assign(blocks * bs, 0.0F);
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (skip_[blk] == 0) continue;
+    const auto def = effective_defining(blk);
+    for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
+    numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
+    for (std::size_t k = 0; k < bs; ++k) {
+      wspec_re_[blk * bs + k] = scratch[k].real();
+      wspec_im_[blk * bs + k] = scratch[k].imag();
+    }
+  }
+}
+
+nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
+  RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec_.in_channels,
+                  "BCM conv input must be NCHW with Cin="
+                      << spec_.in_channels);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec_.out_dim(h), wo = spec_.out_dim(w);
+  const std::size_t bs = layout_.block_size;
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+  const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
+
+  cached_input_ = x;
+  cached_n_ = n;
+  cached_h_ = h;
+  cached_w_ = w;
+  refresh_weight_spectra();
+
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+
+  // Input spectra for every in-bounds pixel and channel block ("FFT" stage).
+  xspec_re_.assign(n * h * w * nbi * bs, 0.0F);
+  xspec_im_.assign(n * h * w * nbi * bs, 0.0F);
+  const float* xd = x.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ih = 0; ih < h; ++ih)
+      for (std::size_t iw = 0; iw < w; ++iw)
+        for (std::size_t bi = 0; bi < nbi; ++bi) {
+          const std::size_t base =
+              (((ni * h + ih) * w + iw) * nbi + bi) * bs;
+          float* re = xspec_re_.data() + base;
+          float* im = xspec_im_.data() + base;
+          for (std::size_t c = 0; c < bs; ++c) {
+            re[c] = xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w +
+                       iw];
+            im[c] = 0.0F;
+          }
+          fft_soa(scratch, re, im, rom, false);
+        }
+
+  // eMAC stage: frequency-domain accumulation over all surviving blocks,
+  // then one IFFT per output pixel per out-block.
+  nn::Tensor y({n, spec_.out_channels, ho, wo});
+  float* yd = y.data();
+  std::vector<float> acc_re(nbo * bs), acc_im(nbo * bs);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oh = 0; oh < ho; ++oh) {
+      for (std::size_t ow = 0; ow < wo; ++ow) {
+        std::fill(acc_re.begin(), acc_re.end(), 0.0F);
+        std::fill(acc_im.begin(), acc_im.end(), 0.0F);
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const long ih =
+              static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
+          if (ih < 0 || ih >= static_cast<long>(h)) continue;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            const long iw =
+                static_cast<long>(ow * stride + kw) - static_cast<long>(pad);
+            if (iw < 0 || iw >= static_cast<long>(w)) continue;
+            const std::size_t pix_base =
+                (((ni * h + static_cast<std::size_t>(ih)) * w +
+                  static_cast<std::size_t>(iw)) *
+                 nbi) *
+                bs;
+            for (std::size_t bi = 0; bi < nbi; ++bi) {
+              const float* xr = xspec_re_.data() + pix_base + bi * bs;
+              const float* xi = xspec_im_.data() + pix_base + bi * bs;
+              const std::size_t row =
+                  ((kh * k + kw) * nbi + bi) * nbo;
+              for (std::size_t bo = 0; bo < nbo; ++bo) {
+                const std::size_t blk = row + bo;
+                if (skip_[blk] == 0) continue;  // skip-index scheme
+                const float* wr = wspec_re_.data() + blk * bs;
+                const float* wi = wspec_im_.data() + blk * bs;
+                float* ar = acc_re.data() + bo * bs;
+                float* ai = acc_im.data() + bo * bs;
+                for (std::size_t kk = 0; kk < bs; ++kk) {
+                  ar[kk] += wr[kk] * xr[kk] - wi[kk] * xi[kk];
+                  ai[kk] += wr[kk] * xi[kk] + wi[kk] * xr[kk];
+                }
+              }
+            }
+          }
+        }
+        // IFFT stage: recover the real-valued output channel block.
+        for (std::size_t bo = 0; bo < nbo; ++bo) {
+          float* ar = acc_re.data() + bo * bs;
+          float* ai = acc_im.data() + bo * bs;
+          fft_soa(scratch, ar, ai, rom, true);
+          for (std::size_t c = 0; c < bs; ++c)
+            yd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) * wo +
+               ow] = ar[c];
+        }
+      }
+    }
+  }
+  return y;
+}
+
+nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
+  RPBCM_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  const std::size_t n = cached_n_, h = cached_h_, w = cached_w_;
+  const std::size_t ho = spec_.out_dim(h), wo = spec_.out_dim(w);
+  RPBCM_CHECK(gy.rank() == 4 && gy.dim(0) == n &&
+              gy.dim(1) == spec_.out_channels && gy.dim(2) == ho &&
+              gy.dim(3) == wo);
+  const std::size_t bs = layout_.block_size;
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+  const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
+
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+
+  // Spectra of the output gradient blocks.
+  std::vector<float> gspec_re(n * ho * wo * nbo * bs);
+  std::vector<float> gspec_im(n * ho * wo * nbo * bs, 0.0F);
+  const float* gyd = gy.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t oh = 0; oh < ho; ++oh)
+      for (std::size_t ow = 0; ow < wo; ++ow)
+        for (std::size_t bo = 0; bo < nbo; ++bo) {
+          const std::size_t base =
+              (((ni * ho + oh) * wo + ow) * nbo + bo) * bs;
+          float* re = gspec_re.data() + base;
+          float* im = gspec_im.data() + base;
+          for (std::size_t c = 0; c < bs; ++c) {
+            re[c] = gyd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) *
+                            wo +
+                        ow];
+            im[c] = 0.0F;
+          }
+          fft_soa(scratch, re, im, rom, false);
+        }
+
+  // Frequency-domain accumulators for grad-input and grad-weight.
+  std::vector<float> gx_re(n * h * w * nbi * bs, 0.0F);
+  std::vector<float> gx_im(n * h * w * nbi * bs, 0.0F);
+  const std::size_t blocks = layout_.total_blocks();
+  std::vector<float> gw_re(blocks * bs, 0.0F);
+  std::vector<float> gw_im(blocks * bs, 0.0F);
+
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oh = 0; oh < ho; ++oh) {
+      for (std::size_t ow = 0; ow < wo; ++ow) {
+        const std::size_t g_base = ((ni * ho + oh) * wo + ow) * nbo * bs;
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const long ih =
+              static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
+          if (ih < 0 || ih >= static_cast<long>(h)) continue;
+          for (std::size_t kw = 0; kw < k; ++kw) {
+            const long iw =
+                static_cast<long>(ow * stride + kw) - static_cast<long>(pad);
+            if (iw < 0 || iw >= static_cast<long>(w)) continue;
+            const std::size_t pix_base =
+                (((ni * h + static_cast<std::size_t>(ih)) * w +
+                  static_cast<std::size_t>(iw)) *
+                 nbi) *
+                bs;
+            for (std::size_t bi = 0; bi < nbi; ++bi) {
+              const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
+              const float* xr = xspec_re_.data() + pix_base + bi * bs;
+              const float* xi = xspec_im_.data() + pix_base + bi * bs;
+              float* gxr = gx_re.data() + pix_base + bi * bs;
+              float* gxi = gx_im.data() + pix_base + bi * bs;
+              for (std::size_t bo = 0; bo < nbo; ++bo) {
+                const std::size_t blk = row + bo;
+                if (skip_[blk] == 0) continue;  // pruned: no grad, no compute
+                const float* wr = wspec_re_.data() + blk * bs;
+                const float* wi = wspec_im_.data() + blk * bs;
+                const float* gr = gspec_re.data() + g_base + bo * bs;
+                const float* gi = gspec_im.data() + g_base + bo * bs;
+                float* gwr = gw_re.data() + blk * bs;
+                float* gwi = gw_im.data() + blk * bs;
+                for (std::size_t kk = 0; kk < bs; ++kk) {
+                  // gX += conj(W) * G ; gW += conj(X) * G
+                  gxr[kk] += wr[kk] * gr[kk] + wi[kk] * gi[kk];
+                  gxi[kk] += wr[kk] * gi[kk] - wi[kk] * gr[kk];
+                  gwr[kk] += xr[kk] * gr[kk] + xi[kk] * gi[kk];
+                  gwi[kk] += xr[kk] * gi[kk] - xi[kk] * gr[kk];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Grad-input back to the time domain.
+  nn::Tensor gx({n, spec_.in_channels, h, w});
+  float* gxd = gx.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ih = 0; ih < h; ++ih)
+      for (std::size_t iw = 0; iw < w; ++iw)
+        for (std::size_t bi = 0; bi < nbi; ++bi) {
+          const std::size_t base =
+              (((ni * h + ih) * w + iw) * nbi + bi) * bs;
+          float* re = gx_re.data() + base;
+          float* im = gx_im.data() + base;
+          fft_soa(scratch, re, im, rom, true);
+          for (std::size_t c = 0; c < bs; ++c)
+            gxd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw] =
+                re[c];
+        }
+
+  // Grad of the defining vectors; chain through the Hadamard factors
+  // (Eq. (1): dL/dA = dL/dW ⊙ B, dL/dB = dL/dW ⊙ A).
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (skip_[blk] == 0) continue;
+    float* re = gw_re.data() + blk * bs;
+    float* im = gw_im.data() + blk * bs;
+    fft_soa(scratch, re, im, rom, true);
+    if (mode_ == BcmParameterization::kHadamard) {
+      for (std::size_t kk = 0; kk < bs; ++kk) {
+        a_.grad.at(blk, kk) += re[kk] * b_.value.at(blk, kk);
+        b_.grad.at(blk, kk) += re[kk] * a_.value.at(blk, kk);
+      }
+    } else {
+      for (std::size_t kk = 0; kk < bs; ++kk) w_.grad.at(blk, kk) += re[kk];
+    }
+  }
+  return gx;
+}
+
+}  // namespace rpbcm::core

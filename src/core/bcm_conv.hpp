@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bcm_layout.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/layer.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::core {
+
+/// How the defining vector of each BCM is parameterized during training.
+enum class BcmParameterization {
+  /// Traditional BCM compression [4]: one vector w per block.
+  kPlain,
+  /// hadaBCM (Section III-A): w = a ⊙ b, two vectors per block during
+  /// training, merged into one at deployment. Raises the rank bound of the
+  /// realized block from the degenerate trained-BCM regime toward r_a*r_b.
+  kHadamard,
+};
+
+/// BCM-compressed 2-D convolution (Fig. 1b) with optional hadaBCM
+/// parameterization and BCM-wise pruning state.
+///
+/// Forward/backward run the exact computation the accelerator performs:
+/// per-pixel channel-block FFTs, frequency-domain elementwise MACs over all
+/// surviving blocks, and one IFFT per output block ("FFT–eMAC–IFFT").
+/// Pruned blocks are skipped in both passes — the software analogue of the
+/// skip-index scheme of Section IV-B.
+class BcmConv2d : public nn::Layer {
+ public:
+  BcmConv2d(nn::ConvSpec spec, std::size_t block_size,
+            BcmParameterization mode, numeric::Rng& rng);
+
+  /// Projects a trained dense convolution onto the block-circulant
+  /// structure (per-block diagonal averaging, the least-squares circulant
+  /// fit). Hadamard mode seeds A with the projection and B with ones.
+  static std::unique_ptr<BcmConv2d> from_dense(const nn::Conv2d& dense,
+                                               std::size_t block_size,
+                                               BcmParameterization mode);
+
+  nn::Tensor forward(const nn::Tensor& x, bool train) override;
+  nn::Tensor backward(const nn::Tensor& gy) override;
+  std::vector<nn::Param*> params() override;
+  std::string name() const override { return "BcmConv2d"; }
+
+  /// Deployment stores one BS-vector per *surviving* block (A and B merge),
+  /// plus nothing else — the skip index is 1 bit/BCM and not counted here.
+  std::size_t deployed_param_count() override;
+
+  const BcmLayout& layout() const { return layout_; }
+  const nn::ConvSpec& spec() const { return spec_; }
+  BcmParameterization mode() const { return mode_; }
+
+  /// Effective defining vector of a block: a ⊙ b (Hadamard) or w (plain).
+  /// All-zero for pruned blocks.
+  std::vector<float> effective_defining(std::size_t block) const;
+
+  /// ℓ2-norms of all effective defining vectors — Algorithm 1's importance
+  /// scores. Includes pruned blocks (their norm is 0).
+  std::vector<double> block_norms() const;
+
+  /// Dense BS x BS realization of a block (for the rank analysis).
+  tensor::Tensor dense_block(std::size_t block) const;
+
+  /// Full dense OIHW weight tensor equivalent to the current parameters —
+  /// ground truth for equivalence tests against nn::conv2d_reference.
+  tensor::Tensor dense_weights() const;
+
+  // --- pruning interface (consumed by BcmPruner) ---
+  void prune_block(std::size_t block);
+  bool is_pruned(std::size_t block) const {
+    RPBCM_CHECK(block < skip_.size());
+    return skip_[block] == 0;
+  }
+  std::size_t pruned_count() const;
+  /// Skip index: 1 = compute, 0 = skip, one entry per BCM (Section IV-B).
+  const std::vector<std::uint8_t>& skip_index() const { return skip_; }
+  /// Replaces the skip index wholesale (checkpoint restore).
+  void set_skip_index(std::vector<std::uint8_t> skip) {
+    RPBCM_CHECK_MSG(skip.size() == skip_.size(), "skip index size mismatch");
+    skip_ = std::move(skip);
+  }
+  void reset_pruning();
+
+  /// Overwrites a block's defining vector (frequency-quantization
+  /// write-back, weight import). In Hadamard mode the vector lands in A
+  /// with B set to ones, preserving the effective weights.
+  void load_defining(std::size_t block, std::span<const float> w);
+
+  /// Full parameter+mask snapshot, used by Algorithm 1 to roll back the
+  /// final over-pruned round.
+  struct Snapshot {
+    tensor::Tensor a, b, w;
+    std::vector<std::uint8_t> skip;
+  };
+  Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  // Recomputes the cached frequency-domain weights (SoA re/im, full BS bins
+  // per block; pruned blocks zero).
+  void refresh_weight_spectra();
+
+  nn::ConvSpec spec_;
+  BcmLayout layout_;
+  BcmParameterization mode_;
+
+  nn::Param a_;  // [total_blocks, BS] (Hadamard) — or unused
+  nn::Param b_;
+  nn::Param w_;  // [total_blocks, BS] (plain) — or unused
+  std::vector<std::uint8_t> skip_;  // 1 = keep
+
+  // forward caches
+  tensor::Tensor cached_input_;
+  std::vector<float> wspec_re_, wspec_im_;      // [blocks*BS]
+  std::vector<float> xspec_re_, xspec_im_;      // [N*H*W*in_blocks*BS]
+  std::size_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+}  // namespace rpbcm::core

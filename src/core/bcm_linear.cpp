@@ -1,0 +1,263 @@
+#include "core/bcm_linear.hpp"
+
+#include <cmath>
+
+#include "core/circulant.hpp"
+#include "tensor/init.hpp"
+
+namespace rpbcm::core {
+
+namespace {
+
+void fft_soa(std::vector<numeric::cfloat>& scratch, float* re, float* im,
+             const numeric::TwiddleRom& rom, bool inverse) {
+  const std::size_t n = rom.size();
+  for (std::size_t k = 0; k < n; ++k) scratch[k] = {re[k], im[k]};
+  numeric::fft_inplace(std::span<numeric::cfloat>(scratch.data(), n), rom,
+                       inverse);
+  for (std::size_t k = 0; k < n; ++k) {
+    re[k] = scratch[k].real();
+    im[k] = scratch[k].imag();
+  }
+}
+
+}  // namespace
+
+BcmLinear::BcmLinear(std::size_t in_features, std::size_t out_features,
+                     std::size_t block_size, bool hadamard,
+                     numeric::Rng& rng)
+    : layout_(1, in_features, out_features, block_size),
+      hadamard_(hadamard) {
+  const std::size_t blocks = layout_.total_blocks();
+  const std::size_t bs = layout_.block_size;
+  skip_.assign(blocks, 1);
+  const float std_w = std::sqrt(2.0F / static_cast<float>(in_features));
+  if (hadamard_) {
+    a_ = nn::Param("bcmfc.A", tensor::Tensor({blocks, bs}));
+    b_ = nn::Param("bcmfc.B", tensor::Tensor({blocks, bs}));
+    // Same init policy as BcmConv2d: A at plain-BCM scale, B at ones.
+    tensor::fill_gaussian(a_.value, rng, std_w);
+    b_.value.fill(1.0F);
+  } else {
+    w_ = nn::Param("bcmfc.W", tensor::Tensor({blocks, bs}));
+    tensor::fill_gaussian(w_.value, rng, std_w);
+  }
+}
+
+std::vector<float> BcmLinear::effective_defining(std::size_t block) const {
+  const std::size_t bs = layout_.block_size;
+  RPBCM_CHECK(block < layout_.total_blocks());
+  std::vector<float> w(bs, 0.0F);
+  if (skip_[block] == 0) return w;
+  if (hadamard_) {
+    for (std::size_t k = 0; k < bs; ++k)
+      w[k] = a_.value.at(block, k) * b_.value.at(block, k);
+  } else {
+    for (std::size_t k = 0; k < bs; ++k) w[k] = w_.value.at(block, k);
+  }
+  return w;
+}
+
+std::vector<double> BcmLinear::block_norms() const {
+  std::vector<double> norms(layout_.total_blocks(), 0.0);
+  for (std::size_t blk = 0; blk < norms.size(); ++blk) {
+    const auto w = effective_defining(blk);
+    double s = 0.0;
+    for (float v : w) s += static_cast<double>(v) * v;
+    norms[blk] = std::sqrt(s * static_cast<double>(layout_.block_size));
+  }
+  return norms;
+}
+
+tensor::Tensor BcmLinear::dense_weights() const {
+  const std::size_t bs = layout_.block_size;
+  tensor::Tensor w({layout_.out_channels, layout_.in_channels});
+  for (std::size_t bi = 0; bi < layout_.in_blocks(); ++bi)
+    for (std::size_t bo = 0; bo < layout_.out_blocks(); ++bo) {
+      const auto def = effective_defining(layout_.block_id(0, 0, bi, bo));
+      for (std::size_t i = 0; i < bs; ++i)
+        for (std::size_t j = 0; j < bs; ++j)
+          w.at(bo * bs + i, bi * bs + j) = def[(i + bs - j) % bs];
+    }
+  return w;
+}
+
+void BcmLinear::prune_block(std::size_t block) {
+  RPBCM_CHECK(block < skip_.size());
+  skip_[block] = 0;
+  const std::size_t bs = layout_.block_size;
+  if (hadamard_) {
+    for (std::size_t k = 0; k < bs; ++k) {
+      a_.value.at(block, k) = 0.0F;
+      b_.value.at(block, k) = 0.0F;
+    }
+  } else {
+    for (std::size_t k = 0; k < bs; ++k) w_.value.at(block, k) = 0.0F;
+  }
+}
+
+std::size_t BcmLinear::pruned_count() const {
+  std::size_t n = 0;
+  for (auto s : skip_)
+    if (s == 0) ++n;
+  return n;
+}
+
+std::size_t BcmLinear::deployed_param_count() {
+  return (layout_.total_blocks() - pruned_count()) * layout_.block_size;
+}
+
+std::vector<nn::Param*> BcmLinear::params() {
+  if (hadamard_) return {&a_, &b_};
+  return {&w_};
+}
+
+void BcmLinear::refresh_weight_spectra() {
+  const std::size_t blocks = layout_.total_blocks();
+  const std::size_t bs = layout_.block_size;
+  wspec_re_.assign(blocks * bs, 0.0F);
+  wspec_im_.assign(blocks * bs, 0.0F);
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (skip_[blk] == 0) continue;
+    const auto def = effective_defining(blk);
+    for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
+    numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
+    for (std::size_t k = 0; k < bs; ++k) {
+      wspec_re_[blk * bs + k] = scratch[k].real();
+      wspec_im_[blk * bs + k] = scratch[k].imag();
+    }
+  }
+}
+
+nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
+  RPBCM_CHECK_MSG(x.rank() == 2 && x.dim(1) == layout_.in_channels,
+                  "BcmLinear input must be [N," << layout_.in_channels
+                                                << "]");
+  const std::size_t n = x.dim(0);
+  const std::size_t bs = layout_.block_size;
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+  cached_input_ = x;
+  refresh_weight_spectra();
+
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+
+  xspec_re_.assign(n * nbi * bs, 0.0F);
+  xspec_im_.assign(n * nbi * bs, 0.0F);
+  const float* xd = x.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t bi = 0; bi < nbi; ++bi) {
+      float* re = xspec_re_.data() + (ni * nbi + bi) * bs;
+      float* im = xspec_im_.data() + (ni * nbi + bi) * bs;
+      for (std::size_t c = 0; c < bs; ++c)
+        re[c] = xd[ni * layout_.in_channels + bi * bs + c];
+      fft_soa(scratch, re, im, rom, false);
+    }
+
+  nn::Tensor y({n, layout_.out_channels});
+  float* yd = y.data();
+  std::vector<float> acc_re(bs), acc_im(bs);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t bo = 0; bo < nbo; ++bo) {
+      std::fill(acc_re.begin(), acc_re.end(), 0.0F);
+      std::fill(acc_im.begin(), acc_im.end(), 0.0F);
+      for (std::size_t bi = 0; bi < nbi; ++bi) {
+        const std::size_t blk = layout_.block_id(0, 0, bi, bo);
+        if (skip_[blk] == 0) continue;
+        const float* wr = wspec_re_.data() + blk * bs;
+        const float* wi = wspec_im_.data() + blk * bs;
+        const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
+        const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
+        for (std::size_t k = 0; k < bs; ++k) {
+          acc_re[k] += wr[k] * xr[k] - wi[k] * xi[k];
+          acc_im[k] += wr[k] * xi[k] + wi[k] * xr[k];
+        }
+      }
+      fft_soa(scratch, acc_re.data(), acc_im.data(), rom, true);
+      for (std::size_t c = 0; c < bs; ++c)
+        yd[ni * layout_.out_channels + bo * bs + c] = acc_re[c];
+    }
+  }
+  return y;
+}
+
+nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
+  RPBCM_CHECK_MSG(!cached_input_.empty(), "backward before forward");
+  const std::size_t n = cached_input_.dim(0);
+  RPBCM_CHECK(gy.rank() == 2 && gy.dim(0) == n &&
+              gy.dim(1) == layout_.out_channels);
+  const std::size_t bs = layout_.block_size;
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> scratch(bs);
+
+  std::vector<float> gspec_re(n * nbo * bs), gspec_im(n * nbo * bs, 0.0F);
+  const float* gyd = gy.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t bo = 0; bo < nbo; ++bo) {
+      float* re = gspec_re.data() + (ni * nbo + bo) * bs;
+      float* im = gspec_im.data() + (ni * nbo + bo) * bs;
+      for (std::size_t c = 0; c < bs; ++c)
+        re[c] = gyd[ni * layout_.out_channels + bo * bs + c];
+      fft_soa(scratch, re, im, rom, false);
+    }
+
+  std::vector<float> gx_re(n * nbi * bs, 0.0F), gx_im(n * nbi * bs, 0.0F);
+  const std::size_t blocks = layout_.total_blocks();
+  std::vector<float> gw_re(blocks * bs, 0.0F), gw_im(blocks * bs, 0.0F);
+
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t bi = 0; bi < nbi; ++bi)
+      for (std::size_t bo = 0; bo < nbo; ++bo) {
+        const std::size_t blk = layout_.block_id(0, 0, bi, bo);
+        if (skip_[blk] == 0) continue;
+        const float* wr = wspec_re_.data() + blk * bs;
+        const float* wi = wspec_im_.data() + blk * bs;
+        const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
+        const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
+        const float* gr = gspec_re.data() + (ni * nbo + bo) * bs;
+        const float* gi = gspec_im.data() + (ni * nbo + bo) * bs;
+        float* gxr = gx_re.data() + (ni * nbi + bi) * bs;
+        float* gxi = gx_im.data() + (ni * nbi + bi) * bs;
+        float* gwr = gw_re.data() + blk * bs;
+        float* gwi = gw_im.data() + blk * bs;
+        for (std::size_t k = 0; k < bs; ++k) {
+          gxr[k] += wr[k] * gr[k] + wi[k] * gi[k];
+          gxi[k] += wr[k] * gi[k] - wi[k] * gr[k];
+          gwr[k] += xr[k] * gr[k] + xi[k] * gi[k];
+          gwi[k] += xr[k] * gi[k] - xi[k] * gr[k];
+        }
+      }
+
+  nn::Tensor gx({n, layout_.in_channels});
+  float* gxd = gx.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t bi = 0; bi < nbi; ++bi) {
+      float* re = gx_re.data() + (ni * nbi + bi) * bs;
+      float* im = gx_im.data() + (ni * nbi + bi) * bs;
+      fft_soa(scratch, re, im, rom, true);
+      for (std::size_t c = 0; c < bs; ++c)
+        gxd[ni * layout_.in_channels + bi * bs + c] = re[c];
+    }
+
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    if (skip_[blk] == 0) continue;
+    float* re = gw_re.data() + blk * bs;
+    float* im = gw_im.data() + blk * bs;
+    fft_soa(scratch, re, im, rom, true);
+    if (hadamard_) {
+      for (std::size_t k = 0; k < bs; ++k) {
+        a_.grad.at(blk, k) += re[k] * b_.value.at(blk, k);
+        b_.grad.at(blk, k) += re[k] * a_.value.at(blk, k);
+      }
+    } else {
+      for (std::size_t k = 0; k < bs; ++k) w_.grad.at(blk, k) += re[k];
+    }
+  }
+  return gx;
+}
+
+}  // namespace rpbcm::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bcm_layout.hpp"
+#include "nn/layer.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::core {
+
+/// BCM-compressed fully connected layer: the weight matrix [out, in] is a
+/// grid of (out/BS) x (in/BS) circulant blocks. Equivalent to a BcmConv2d
+/// with K=1 on a 1x1 feature map, but specialized for [N, features]
+/// activations (classifier heads).
+class BcmLinear : public nn::Layer {
+ public:
+  BcmLinear(std::size_t in_features, std::size_t out_features,
+            std::size_t block_size, bool hadamard, numeric::Rng& rng);
+
+  nn::Tensor forward(const nn::Tensor& x, bool train) override;
+  nn::Tensor backward(const nn::Tensor& gy) override;
+  std::vector<nn::Param*> params() override;
+  std::size_t deployed_param_count() override;
+  std::string name() const override { return "BcmLinear"; }
+
+  const BcmLayout& layout() const { return layout_; }
+  bool hadamard() const { return hadamard_; }
+
+  std::vector<float> effective_defining(std::size_t block) const;
+  std::vector<double> block_norms() const;
+  tensor::Tensor dense_weights() const;  // [out, in]
+
+  void prune_block(std::size_t block);
+  bool is_pruned(std::size_t block) const {
+    RPBCM_CHECK(block < skip_.size());
+    return skip_[block] == 0;
+  }
+  std::size_t pruned_count() const;
+  const std::vector<std::uint8_t>& skip_index() const { return skip_; }
+  /// Replaces the skip index wholesale (checkpoint restore).
+  void set_skip_index(std::vector<std::uint8_t> skip) {
+    RPBCM_CHECK_MSG(skip.size() == skip_.size(), "skip index size mismatch");
+    skip_ = std::move(skip);
+  }
+
+  /// Full parameter+mask snapshot for Algorithm-1 rollback.
+  struct Snapshot {
+    tensor::Tensor a, b, w;
+    std::vector<std::uint8_t> skip;
+  };
+  Snapshot snapshot() const { return {a_.value, b_.value, w_.value, skip_}; }
+  void restore(const Snapshot& s) {
+    a_.value = s.a;
+    b_.value = s.b;
+    w_.value = s.w;
+    skip_ = s.skip;
+  }
+
+ private:
+  void refresh_weight_spectra();
+
+  BcmLayout layout_;  // kernel=1
+  bool hadamard_ = true;
+  nn::Param a_, b_, w_;
+  std::vector<std::uint8_t> skip_;
+
+  tensor::Tensor cached_input_;
+  std::vector<float> wspec_re_, wspec_im_;
+  std::vector<float> xspec_re_, xspec_im_;
+};
+
+}  // namespace rpbcm::core

@@ -1,0 +1,96 @@
+#include "core/circulant.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace rpbcm::core {
+
+Circulant Circulant::from_first_column(std::vector<float> w) {
+  RPBCM_CHECK_MSG(numeric::is_pow2(w.size()),
+                  "circulant size must be a power of two for the FFT path");
+  return Circulant(std::move(w));
+}
+
+Circulant Circulant::from_first_row(std::span<const float> r) {
+  const std::size_t n = r.size();
+  std::vector<float> w(n);
+  for (std::size_t j = 0; j < n; ++j) w[(n - j) % n] = r[j];
+  return from_first_column(std::move(w));
+}
+
+tensor::Tensor Circulant::dense() const {
+  const std::size_t n = w_.size();
+  tensor::Tensor m({n, n});
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m.at(i, j) = w_[(i + n - j) % n];
+  return m;
+}
+
+std::vector<float> Circulant::matvec_direct(std::span<const float> x) const {
+  const std::size_t n = w_.size();
+  RPBCM_CHECK(x.size() == n);
+  std::vector<float> y(n, 0.0F);
+  for (std::size_t i = 0; i < n; ++i) {
+    float acc = 0.0F;
+    for (std::size_t j = 0; j < n; ++j) acc += w_[(i + n - j) % n] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+std::vector<float> Circulant::matvec_fft(std::span<const float> x) const {
+  const std::size_t n = w_.size();
+  RPBCM_CHECK(x.size() == n);
+  auto ws = numeric::fft_real(w_);
+  auto xs = numeric::fft_real(x);
+  for (std::size_t k = 0; k < n; ++k) xs[k] *= ws[k];
+  numeric::fft_inplace(std::span<cfloat>(xs), /*inverse=*/true);
+  std::vector<float> y(n);
+  for (std::size_t k = 0; k < n; ++k) y[k] = xs[k].real();
+  return y;
+}
+
+std::vector<float> Circulant::matvec_transpose_fft(
+    std::span<const float> x) const {
+  const std::size_t n = w_.size();
+  RPBCM_CHECK(x.size() == n);
+  auto ws = numeric::fft_real(w_);
+  auto xs = numeric::fft_real(x);
+  for (std::size_t k = 0; k < n; ++k) xs[k] *= std::conj(ws[k]);
+  numeric::fft_inplace(std::span<cfloat>(xs), /*inverse=*/true);
+  std::vector<float> y(n);
+  for (std::size_t k = 0; k < n; ++k) y[k] = xs[k].real();
+  return y;
+}
+
+Circulant Circulant::hadamard(const Circulant& other) const {
+  RPBCM_CHECK_MSG(size() == other.size(), "hadamard size mismatch");
+  std::vector<float> w(w_.size());
+  for (std::size_t i = 0; i < w_.size(); ++i) w[i] = w_[i] * other.w_[i];
+  return Circulant(std::move(w));
+}
+
+std::vector<cfloat> Circulant::spectrum() const {
+  return numeric::fft_real(w_);
+}
+
+std::vector<cfloat> Circulant::half_spectrum() const {
+  return numeric::rfft(w_);
+}
+
+std::vector<float> Circulant::singular_values() const {
+  auto s = spectrum();
+  std::vector<float> sv(s.size());
+  for (std::size_t k = 0; k < s.size(); ++k) sv[k] = std::abs(s[k]);
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+void emac_accumulate(std::span<const cfloat> w_spec,
+                     std::span<const cfloat> x_spec, std::span<cfloat> acc) {
+  RPBCM_CHECK(w_spec.size() == x_spec.size() && acc.size() == w_spec.size());
+  for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += w_spec[k] * x_spec[k];
+}
+
+}  // namespace rpbcm::core

@@ -1,0 +1,78 @@
+#include "core/frequency_quant.hpp"
+
+#include <cmath>
+
+#include "core/pruning.hpp"
+#include "numeric/fft.hpp"
+
+namespace rpbcm::core {
+
+namespace {
+
+float quantize_component(float v, double scale, double inv_scale,
+                         double qmax) {
+  double q = std::nearbyint(static_cast<double>(v) * inv_scale);
+  if (q > qmax) q = qmax;
+  if (q < -qmax) q = -qmax;
+  return static_cast<float>(q * scale);
+}
+
+}  // namespace
+
+FrequencyQuantStats quantize_frequency_weights(FrequencyLayerWeights& fw,
+                                               std::size_t bits) {
+  RPBCM_CHECK_MSG(bits >= 2 && bits <= 24, "unsupported bit width");
+  FrequencyQuantStats st;
+  st.bits = bits;
+
+  // Layer-wide symmetric range from the largest component magnitude.
+  double max_abs = 0.0;
+  for (const auto& spec : fw.half_spectra)
+    for (const auto& c : spec) {
+      max_abs = std::max(max_abs, std::abs(static_cast<double>(c.real())));
+      max_abs = std::max(max_abs, std::abs(static_cast<double>(c.imag())));
+    }
+  if (max_abs == 0.0) return st;  // fully pruned layer: nothing to quantize
+
+  const double qmax = static_cast<double>((1LL << (bits - 1)) - 1);
+  st.scale = max_abs / qmax;
+  const double inv_scale = 1.0 / st.scale;
+
+  double sig = 0.0, noise = 0.0;
+  for (auto& spec : fw.half_spectra) {
+    for (auto& c : spec) {
+      const float re = quantize_component(c.real(), st.scale, inv_scale, qmax);
+      const float im = quantize_component(c.imag(), st.scale, inv_scale, qmax);
+      const double er = static_cast<double>(c.real()) - re;
+      const double ei = static_cast<double>(c.imag()) - im;
+      st.max_abs_err = std::max({st.max_abs_err, std::abs(er), std::abs(ei)});
+      sig += static_cast<double>(c.real()) * c.real() +
+             static_cast<double>(c.imag()) * c.imag();
+      noise += er * er + ei * ei;
+      c = cfloat(re, im);
+    }
+  }
+  st.snr_db = 10.0 * std::log10(sig / std::max(noise, 1e-30));
+  return st;
+}
+
+std::vector<FrequencyQuantStats> quantize_model_frequency_weights(
+    nn::Sequential& model, std::size_t bits) {
+  std::vector<FrequencyQuantStats> stats;
+  auto set = BcmLayerSet::collect(model);
+  for (auto* conv : set.convs()) {
+    auto fw = export_frequency_weights(*conv);
+    stats.push_back(quantize_frequency_weights(fw, bits));
+    // Write the dequantized weights back: inverse-FFT each quantized half
+    // spectrum to a defining vector.
+    const std::size_t bs = conv->layout().block_size;
+    for (std::size_t b = 0; b < fw.layout.total_blocks(); ++b) {
+      if (!fw.skip_index[b]) continue;
+      const auto w = numeric::irfft(fw.half_spectra[b], bs);
+      conv->load_defining(b, w);
+    }
+  }
+  return stats;
+}
+
+}  // namespace rpbcm::core

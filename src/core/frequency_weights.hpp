@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bcm_conv.hpp"
+#include "core/circulant.hpp"
+
+namespace rpbcm::core {
+
+/// Deployment image of one BCM-compressed layer: per surviving block the
+/// pre-computed frequency-domain weights (Hadamard product already folded
+/// in, FFT already applied — Fig. 4b), in the conjugate-symmetric BS/2+1
+/// packing, plus the 1-bit-per-BCM skip index. This is exactly what the
+/// accelerator's weight buffer is loaded with ("the complex weights are
+/// loaded directly after pre-processing the weight data with the Hadamard
+/// product and FFT", Section IV-A).
+struct FrequencyLayerWeights {
+  BcmLayout layout;
+  std::vector<std::uint8_t> skip_index;             // 1 = compute
+  std::vector<std::vector<cfloat>> half_spectra;    // empty for pruned blocks
+
+  std::size_t surviving_blocks() const;
+
+  /// Complex words stored (surviving blocks x (BS/2+1)).
+  std::size_t weight_words() const;
+
+  /// Bytes of weight storage at `bits` per real component (default 16-bit
+  /// fixed point, two components per complex word).
+  std::size_t weight_bytes(std::size_t bits = 16) const;
+
+  /// Bytes of the skip-index buffer (1 bit per BCM, rounded up).
+  std::size_t skip_index_bytes() const;
+};
+
+/// Pre-processes a trained BcmConv2d for deployment.
+FrequencyLayerWeights export_frequency_weights(const BcmConv2d& layer);
+
+}  // namespace rpbcm::core

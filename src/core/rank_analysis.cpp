@@ -1,0 +1,185 @@
+#include "core/rank_analysis.hpp"
+
+#include "numeric/stats.hpp"
+#include <cmath>
+#include <algorithm>
+#include "core/circulant.hpp"
+#include "numeric/svd.hpp"
+#include "tensor/init.hpp"
+
+namespace rpbcm::core {
+
+std::vector<float> bcm_block_sv(const BcmConv2d& layer, std::size_t block) {
+  const auto dense = layer.dense_block(block);
+  auto sv = numeric::singular_values_square(dense.span(),
+                                            layer.layout().block_size);
+  return numeric::normalize_by_max(sv);
+}
+
+namespace {
+
+void accumulate(RankReport& r, std::span<const float> sv) {
+  ++r.total_units;
+  if (numeric::poor_rank_condition(sv)) ++r.poor_units;
+  r.mean_effective_rank += numeric::effective_rank(sv);
+  r.mean_decay_slope += numeric::log_decay_slope(sv);
+}
+
+void finalize(RankReport& r) {
+  if (r.total_units == 0) return;
+  const auto n = static_cast<double>(r.total_units);
+  r.poor_fraction = static_cast<double>(r.poor_units) / n;
+  r.mean_effective_rank /= n;
+  r.mean_decay_slope /= n;
+}
+
+}  // namespace
+
+RankReport analyze_bcm_layer(const BcmConv2d& layer) {
+  RankReport r;
+  for (std::size_t b = 0; b < layer.layout().total_blocks(); ++b) {
+    if (layer.is_pruned(b)) continue;
+    const auto dense = layer.dense_block(b);
+    const auto sv = numeric::singular_values_square(
+        dense.span(), layer.layout().block_size);
+    accumulate(r, sv);
+  }
+  finalize(r);
+  return r;
+}
+
+std::vector<float> dense_unit_sv(const nn::Conv2d& layer, std::size_t unit,
+                                 std::size_t kh, std::size_t kw,
+                                 std::size_t bi, std::size_t bo) {
+  const auto& spec = layer.spec();
+  RPBCM_CHECK(spec.in_channels % unit == 0 && spec.out_channels % unit == 0);
+  RPBCM_CHECK(kh < spec.kernel && kw < spec.kernel);
+  RPBCM_CHECK(bi < spec.in_channels / unit && bo < spec.out_channels / unit);
+  std::vector<float> m(unit * unit);
+  const auto& w = layer.weight().value;
+  for (std::size_t i = 0; i < unit; ++i)
+    for (std::size_t j = 0; j < unit; ++j)
+      m[i * unit + j] = w.at(bo * unit + i, bi * unit + j, kh, kw);
+  return numeric::singular_values(m, unit, unit);
+}
+
+RankReport analyze_dense_conv(const nn::Conv2d& layer, std::size_t unit) {
+  const auto& spec = layer.spec();
+  RankReport r;
+  if (spec.in_channels % unit != 0 || spec.out_channels % unit != 0) {
+    return r;  // layer not partitionable into unit x unit blocks
+  }
+  for (std::size_t kh = 0; kh < spec.kernel; ++kh)
+    for (std::size_t kw = 0; kw < spec.kernel; ++kw)
+      for (std::size_t bi = 0; bi < spec.in_channels / unit; ++bi)
+        for (std::size_t bo = 0; bo < spec.out_channels / unit; ++bo)
+          accumulate(r, dense_unit_sv(layer, unit, kh, kw, bi, bo));
+  finalize(r);
+  return r;
+}
+
+std::vector<float> gaussian_reference_sv(std::size_t n, numeric::Rng& rng) {
+  tensor::Tensor m({n, n});
+  tensor::fill_gaussian(m, rng, 1.0F);
+  auto sv = numeric::singular_values_square(m.span(), n);
+  return numeric::normalize_by_max(sv);
+}
+
+std::vector<float> mean_bcm_decay_curve(const BcmConv2d& layer) {
+  const std::size_t bs = layer.layout().block_size;
+  std::vector<double> acc(bs, 0.0);
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < layer.layout().total_blocks(); ++b) {
+    if (layer.is_pruned(b)) continue;
+    const auto sv = bcm_block_sv(layer, b);
+    for (std::size_t k = 0; k < bs; ++k) acc[k] += sv[k];
+    ++count;
+  }
+  std::vector<float> out(bs, 0.0F);
+  if (count == 0) return out;
+  for (std::size_t k = 0; k < bs; ++k)
+    out[k] = static_cast<float>(acc[k] / static_cast<double>(count));
+  return out;
+}
+
+std::vector<float> synth_converged_defining(std::size_t bs, double tau,
+                                            numeric::Rng& rng) {
+  RPBCM_CHECK(numeric::is_pow2(bs) && tau > 0.0);
+  // Build a conjugate-symmetric spectrum with exponential magnitude decay
+  // and random phases, then transform back to a real defining vector.
+  std::vector<numeric::cfloat> spec(bs);
+  for (std::size_t k = 0; k <= bs / 2; ++k) {
+    const double jitter = std::exp(0.25 * rng.gaussian());
+    const double mag =
+        jitter * std::exp(-static_cast<double>(std::min(k, bs - k)) / tau);
+    const double phase = rng.uniform(0.0F, 6.2831853F);
+    numeric::cfloat v(static_cast<float>(mag * std::cos(phase)),
+                      static_cast<float>(mag * std::sin(phase)));
+    if (k == 0 || k == bs / 2) v = numeric::cfloat(static_cast<float>(mag), 0.0F);
+    spec[k] = v;
+    if (k != 0 && k != bs / 2) spec[bs - k] = std::conj(v);
+  }
+  numeric::fft_inplace(std::span<numeric::cfloat>(spec), /*inverse=*/true);
+  std::vector<float> w(bs);
+  for (std::size_t i = 0; i < bs; ++i) w[i] = spec[i].real();
+  return w;
+}
+
+namespace {
+
+double sample_tau(double tau, double tau_sigma, rpbcm::numeric::Rng& rng) {
+  return tau * std::exp(tau_sigma * rng.gaussian());
+}
+
+std::vector<float> synth_block_sv(std::size_t bs, double tau,
+                                  double tau_sigma, bool hadamard,
+                                  numeric::Rng& rng) {
+  auto w = synth_converged_defining(bs, sample_tau(tau, tau_sigma, rng), rng);
+  if (hadamard) {
+    const auto b =
+        synth_converged_defining(bs, sample_tau(tau, tau_sigma, rng), rng);
+    for (std::size_t i = 0; i < bs; ++i) w[i] *= b[i];
+  }
+  return Circulant::from_first_column(std::move(w)).singular_values();
+}
+
+}  // namespace
+
+double synth_bcm_poor_fraction(std::size_t bs, double tau,
+                               std::size_t samples, numeric::Rng& rng,
+                               double tau_sigma) {
+  std::size_t poor = 0;
+  for (std::size_t s = 0; s < samples; ++s)
+    if (numeric::poor_rank_condition(
+            synth_block_sv(bs, tau, tau_sigma, false, rng)))
+      ++poor;
+  return static_cast<double>(poor) / static_cast<double>(samples);
+}
+
+double synth_hadabcm_poor_fraction(std::size_t bs, double tau,
+                                   std::size_t samples, numeric::Rng& rng,
+                                   double tau_sigma) {
+  std::size_t poor = 0;
+  for (std::size_t s = 0; s < samples; ++s)
+    if (numeric::poor_rank_condition(
+            synth_block_sv(bs, tau, tau_sigma, true, rng)))
+      ++poor;
+  return static_cast<double>(poor) / static_cast<double>(samples);
+}
+
+std::vector<float> synth_decay_curve(std::size_t bs, double tau,
+                                     std::size_t samples, bool hadamard,
+                                     numeric::Rng& rng, double tau_sigma) {
+  std::vector<double> acc(bs, 0.0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto sv = numeric::normalize_by_max(
+        synth_block_sv(bs, tau, tau_sigma, hadamard, rng));
+    for (std::size_t k = 0; k < bs; ++k) acc[k] += sv[k];
+  }
+  std::vector<float> out(bs);
+  for (std::size_t k = 0; k < bs; ++k)
+    out[k] = static_cast<float>(acc[k] / static_cast<double>(samples));
+  return out;
+}
+
+}  // namespace rpbcm::core

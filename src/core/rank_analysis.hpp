@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "core/bcm_conv.hpp"
+#include "nn/conv2d.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::core {
+
+/// Aggregate rank statistics over the BS x BS units of a layer — the
+/// quantities behind Fig. 2, Fig. 9a and the "72.2% vs 2.1% poor
+/// rank-condition" claims of Sections II-B1 and V-B1.
+struct RankReport {
+  std::size_t total_units = 0;
+  std::size_t poor_units = 0;          // paper's 50%-below-5% criterion
+  double poor_fraction = 0.0;
+  double mean_effective_rank = 0.0;    // Roy-Vetterli effective rank
+  double mean_decay_slope = 0.0;       // log-linear decay slope (more
+                                       // negative = more exponential)
+};
+
+/// Singular values (descending, normalized by the max) of one BCM block.
+std::vector<float> bcm_block_sv(const BcmConv2d& layer, std::size_t block);
+
+/// Rank report over all (non-pruned) blocks of a BCM layer.
+RankReport analyze_bcm_layer(const BcmConv2d& layer);
+
+/// Rank report over a dense convolution partitioned into BS x BS channel
+/// units at every kernel position — the "original convolution" comparison
+/// units of Fig. 2.
+RankReport analyze_dense_conv(const nn::Conv2d& layer, std::size_t unit);
+
+/// Singular values of one BS x BS channel unit of a dense convolution.
+std::vector<float> dense_unit_sv(const nn::Conv2d& layer, std::size_t unit,
+                                 std::size_t kh, std::size_t kw,
+                                 std::size_t bi, std::size_t bo);
+
+/// Normalized singular values of an n x n Gaussian random matrix — the
+/// near-full-rank reference curve of Fig. 2.
+std::vector<float> gaussian_reference_sv(std::size_t n, numeric::Rng& rng);
+
+/// Mean normalized singular-value decay curve across all live blocks of a
+/// BCM layer (the series plotted in Figs. 2 and 9a).
+std::vector<float> mean_bcm_decay_curve(const BcmConv2d& layer);
+
+// ---------------------------------------------------------------------------
+// Converged-regime statistical weight model.
+//
+// The paper's Fig. 2 statistics (>70% of BCMs in poor rank-condition) come
+// from networks trained to convergence on CIFAR/ImageNet — hundreds of
+// epochs. That regime is characterized by smooth cross-channel correlation:
+// the spectrum of a trained defining vector decays ~exponentially across
+// the cyclic channel-shift frequency. These helpers synthesize weights with
+// exactly that spectral statistic (decay time constant `tau`, random
+// phases) so the rank analysis, and the hadaBCM repair mechanism, can be
+// evaluated at converged-regime statistics without weeks of training.
+// See DESIGN.md (substitutions) and bench_fig2_sv_decay.
+// ---------------------------------------------------------------------------
+
+/// Defining vector whose spectrum magnitude is exp(-min(k, n-k)/tau) with
+/// random phases and mild per-bin magnitude jitter (conjugate-symmetric, so
+/// the vector is real). Small tau = fast spectral decay = the trained-BCM
+/// pathology. The aggregate helpers below additionally spread tau across
+/// blocks log-normally (tau_sigma), matching the block-to-block variability
+/// of real trained layers.
+std::vector<float> synth_converged_defining(std::size_t bs, double tau,
+                                            numeric::Rng& rng);
+
+/// Poor-rank fraction over `samples` synthesized circulant blocks.
+double synth_bcm_poor_fraction(std::size_t bs, double tau,
+                               std::size_t samples, numeric::Rng& rng,
+                               double tau_sigma = 0.45);
+
+/// Poor-rank fraction over `samples` synthesized hadaBCM blocks, i.e. the
+/// Hadamard product of two independent converged-statistics factors. The
+/// product's spectrum is the circular convolution of the factor spectra,
+/// which spreads energy across bins — the rank-enhancement of Section
+/// III-A evaluated at converged statistics.
+double synth_hadabcm_poor_fraction(std::size_t bs, double tau,
+                                   std::size_t samples, numeric::Rng& rng,
+                                   double tau_sigma = 0.45);
+
+/// Mean normalized SV decay curve of synthesized plain-BCM (hadamard=false)
+/// or hadaBCM (hadamard=true) blocks.
+std::vector<float> synth_decay_curve(std::size_t bs, double tau,
+                                     std::size_t samples, bool hadamard,
+                                     numeric::Rng& rng,
+                                     double tau_sigma = 0.45);
+
+}  // namespace rpbcm::core

@@ -1,0 +1,291 @@
+#include "core/serialization.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/bcm_linear.hpp"
+#include "core/pruning.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace rpbcm::core {
+
+namespace {
+
+constexpr char kCheckpointMagic[8] = {'R', 'P', 'B', 'C', 'M', 'C', 'K', '1'};
+constexpr char kWeightsMagic[8] = {'R', 'P', 'B', 'C', 'M', 'F', 'W', '1'};
+
+// Streaming FNV-1a over everything written/read, so truncation and bit rot
+// are caught on load.
+class Fnv1a {
+ public:
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  void raw(const void* data, std::size_t n) {
+    os_.write(static_cast<const char*>(data), static_cast<long>(n));
+    fnv_.update(data, n);
+  }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f32(float v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void finish() {
+    const std::uint64_t sum = fnv_.value();
+    os_.write(reinterpret_cast<const char*>(&sum), sizeof sum);
+    RPBCM_CHECK_MSG(os_.good(), "write failed");
+  }
+
+ private:
+  std::ostream& os_;
+  Fnv1a fnv_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  void raw(void* data, std::size_t n) {
+    is_.read(static_cast<char*>(data), static_cast<long>(n));
+    RPBCM_CHECK_MSG(is_.gcount() == static_cast<long>(n),
+                    "unexpected end of stream");
+    fnv_.update(data, n);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  float f32() {
+    float v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const auto n = u32();
+    RPBCM_CHECK_MSG(n < (1u << 20), "implausible string length");
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+  void verify_checksum() {
+    const std::uint64_t expect = fnv_.value();
+    std::uint64_t stored = 0;
+    is_.read(reinterpret_cast<char*>(&stored), sizeof stored);
+    RPBCM_CHECK_MSG(is_.gcount() == sizeof stored, "missing checksum");
+    RPBCM_CHECK_MSG(stored == expect, "checksum mismatch — corrupt file");
+  }
+
+ private:
+  std::istream& is_;
+  Fnv1a fnv_;
+};
+
+// Persistent non-parameter state (BatchNorm running statistics), in
+// visitation order.
+std::vector<tensor::Tensor*> collect_buffers(nn::Sequential& model) {
+  std::vector<tensor::Tensor*> bufs;
+  model.visit([&bufs](nn::Layer& l) {
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&l)) {
+      bufs.push_back(&bn->running_mean());
+      bufs.push_back(&bn->running_var());
+    }
+  });
+  return bufs;
+}
+
+// All skip masks of a model, in visitation order.
+std::vector<std::vector<std::uint8_t>> collect_masks(nn::Sequential& model) {
+  std::vector<std::vector<std::uint8_t>> masks;
+  model.visit([&masks](nn::Layer& l) {
+    if (auto* c = dynamic_cast<BcmConv2d*>(&l))
+      masks.push_back(c->skip_index());
+    if (auto* f = dynamic_cast<BcmLinear*>(&l))
+      masks.push_back(f->skip_index());
+  });
+  return masks;
+}
+
+void restore_masks(nn::Sequential& model,
+                   std::vector<std::vector<std::uint8_t>> masks) {
+  std::size_t i = 0;
+  model.visit([&](nn::Layer& l) {
+    if (auto* c = dynamic_cast<BcmConv2d*>(&l)) {
+      RPBCM_CHECK_MSG(i < masks.size(), "checkpoint has too few skip masks");
+      c->set_skip_index(std::move(masks[i++]));
+    }
+    if (auto* f = dynamic_cast<BcmLinear*>(&l)) {
+      RPBCM_CHECK_MSG(i < masks.size(), "checkpoint has too few skip masks");
+      f->set_skip_index(std::move(masks[i++]));
+    }
+  });
+  RPBCM_CHECK_MSG(i == masks.size(), "checkpoint has too many skip masks");
+}
+
+}  // namespace
+
+void save_checkpoint(nn::Sequential& model, std::ostream& os) {
+  Writer w(os);
+  w.raw(kCheckpointMagic, sizeof kCheckpointMagic);
+  const auto params = model.params();
+  w.u64(params.size());
+  for (auto* p : params) {
+    w.str(p->name);
+    const auto& shape = p->value.shape();
+    w.u32(static_cast<std::uint32_t>(shape.size()));
+    for (auto d : shape) w.u64(d);
+    w.raw(p->value.data(), p->value.size() * sizeof(float));
+  }
+  const auto buffers = collect_buffers(model);
+  w.u64(buffers.size());
+  for (auto* b : buffers) {
+    w.u64(b->size());
+    w.raw(b->data(), b->size() * sizeof(float));
+  }
+  const auto masks = collect_masks(model);
+  w.u64(masks.size());
+  for (const auto& m : masks) {
+    w.u64(m.size());
+    w.raw(m.data(), m.size());
+  }
+  w.finish();
+}
+
+void load_checkpoint(nn::Sequential& model, std::istream& is) {
+  Reader r(is);
+  char magic[8];
+  r.raw(magic, sizeof magic);
+  RPBCM_CHECK_MSG(std::memcmp(magic, kCheckpointMagic, 8) == 0,
+                  "not an RP-BCM checkpoint");
+  const auto params = model.params();
+  RPBCM_CHECK_MSG(r.u64() == params.size(),
+                  "parameter count mismatch — different architecture");
+  for (auto* p : params) {
+    const auto name = r.str();
+    RPBCM_CHECK_MSG(name == p->name, "parameter name mismatch: expected '"
+                                         << p->name << "', file has '"
+                                         << name << "'");
+    const auto rank = r.u32();
+    RPBCM_CHECK_MSG(rank == p->value.rank(), "parameter rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d)
+      RPBCM_CHECK_MSG(r.u64() == p->value.dim(d),
+                      "parameter shape mismatch for " << p->name);
+    r.raw(p->value.data(), p->value.size() * sizeof(float));
+  }
+  const auto buffers = collect_buffers(model);
+  RPBCM_CHECK_MSG(r.u64() == buffers.size(),
+                  "buffer count mismatch — different architecture");
+  for (auto* b : buffers) {
+    RPBCM_CHECK_MSG(r.u64() == b->size(), "buffer size mismatch");
+    r.raw(b->data(), b->size() * sizeof(float));
+  }
+  const auto mask_count = r.u64();
+  std::vector<std::vector<std::uint8_t>> masks(mask_count);
+  for (auto& m : masks) {
+    m.resize(r.u64());
+    r.raw(m.data(), m.size());
+  }
+  r.verify_checksum();
+  restore_masks(model, std::move(masks));
+}
+
+void save_checkpoint(nn::Sequential& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save_checkpoint(model, os);
+}
+
+void load_checkpoint(nn::Sequential& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  RPBCM_CHECK_MSG(is.is_open(), "cannot open " << path);
+  load_checkpoint(model, is);
+}
+
+void save_frequency_weights(const FrequencyLayerWeights& fw,
+                            std::ostream& os) {
+  Writer w(os);
+  w.raw(kWeightsMagic, sizeof kWeightsMagic);
+  w.u64(fw.layout.kernel);
+  w.u64(fw.layout.in_channels);
+  w.u64(fw.layout.out_channels);
+  w.u64(fw.layout.block_size);
+  RPBCM_CHECK(fw.skip_index.size() == fw.layout.total_blocks());
+  w.raw(fw.skip_index.data(), fw.skip_index.size());
+  const std::size_t half = fw.layout.block_size / 2 + 1;
+  for (std::size_t b = 0; b < fw.skip_index.size(); ++b) {
+    if (!fw.skip_index[b]) continue;
+    RPBCM_CHECK_MSG(fw.half_spectra[b].size() == half,
+                    "surviving block missing its spectrum");
+    for (const auto& c : fw.half_spectra[b]) {
+      w.f32(c.real());
+      w.f32(c.imag());
+    }
+  }
+  w.finish();
+}
+
+FrequencyLayerWeights load_frequency_weights(std::istream& is) {
+  Reader r(is);
+  char magic[8];
+  r.raw(magic, sizeof magic);
+  RPBCM_CHECK_MSG(std::memcmp(magic, kWeightsMagic, 8) == 0,
+                  "not an RP-BCM frequency-weight blob");
+  const auto kernel = r.u64();
+  const auto cin = r.u64();
+  const auto cout = r.u64();
+  const auto bs = r.u64();
+  FrequencyLayerWeights fw;
+  fw.layout = BcmLayout(kernel, cin, cout, bs);
+  fw.skip_index.resize(fw.layout.total_blocks());
+  r.raw(fw.skip_index.data(), fw.skip_index.size());
+  const std::size_t half = bs / 2 + 1;
+  fw.half_spectra.resize(fw.layout.total_blocks());
+  for (std::size_t b = 0; b < fw.skip_index.size(); ++b) {
+    if (!fw.skip_index[b]) continue;
+    fw.half_spectra[b].resize(half);
+    for (auto& c : fw.half_spectra[b]) {
+      const float re = r.f32();
+      const float im = r.f32();
+      c = cfloat(re, im);
+    }
+  }
+  r.verify_checksum();
+  return fw;
+}
+
+void save_frequency_weights(const FrequencyLayerWeights& fw,
+                            const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
+  save_frequency_weights(fw, os);
+}
+
+FrequencyLayerWeights load_frequency_weights(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  RPBCM_CHECK_MSG(is.is_open(), "cannot open " << path);
+  return load_frequency_weights(is);
+}
+
+}  // namespace rpbcm::core

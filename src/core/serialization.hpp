@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/frequency_weights.hpp"
+#include "nn/sequential.hpp"
+
+namespace rpbcm::core {
+
+/// Binary model checkpoint: every trainable parameter of the model plus
+/// the skip-index masks of all BCM-compressed layers, with an FNV-1a
+/// checksum. Format (little-endian):
+///   magic "RPBCMCK1" | u64 param_count | params... | u64 mask_count |
+///   masks... | u64 checksum
+/// Each param record: u32 name_len | name | u32 rank | u64 dims[rank] |
+/// f32 data[numel]. Each mask record: u64 size | u8 bits[size].
+///
+/// Loading requires the exact same architecture (names, shapes, mask sizes
+/// must match); mismatches throw CheckError rather than partially loading.
+void save_checkpoint(nn::Sequential& model, const std::string& path);
+void load_checkpoint(nn::Sequential& model, const std::string& path);
+
+void save_checkpoint(nn::Sequential& model, std::ostream& os);
+void load_checkpoint(nn::Sequential& model, std::istream& is);
+
+/// Deployment blob of one BCM-compressed layer: the layout, the skip index
+/// and the surviving half-spectra — exactly what the accelerator's weight
+/// loader consumes. Format:
+///   magic "RPBCMFW1" | u64 kernel,cin,cout,bs | skip bytes | per
+///   surviving block: f32 re,im x (BS/2+1) | u64 checksum
+void save_frequency_weights(const FrequencyLayerWeights& fw,
+                            const std::string& path);
+FrequencyLayerWeights load_frequency_weights(const std::string& path);
+
+void save_frequency_weights(const FrequencyLayerWeights& fw,
+                            std::ostream& os);
+FrequencyLayerWeights load_frequency_weights(std::istream& is);
+
+}  // namespace rpbcm::core

@@ -1,0 +1,77 @@
+#include "core/unstructured_prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/conv2d.hpp"
+
+namespace rpbcm::core {
+
+UnstructuredPruneResult prune_unstructured(nn::Sequential& model,
+                                           double ratio) {
+  RPBCM_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<nn::Conv2d*> convs;
+  model.visit([&convs](nn::Layer& l) {
+    if (auto* c = dynamic_cast<nn::Conv2d*>(&l)) convs.push_back(c);
+  });
+  UnstructuredPruneResult r;
+  std::vector<float> mags;
+  for (auto* c : convs) {
+    const auto& w = c->weight().value;
+    r.total_weights += w.size();
+    for (std::size_t i = 0; i < w.size(); ++i)
+      mags.push_back(std::abs(w[i]));
+  }
+  if (mags.empty() || ratio == 0.0) return r;
+
+  auto count =
+      static_cast<std::size_t>(static_cast<double>(mags.size()) * ratio);
+  count = std::min(count, mags.size());
+  if (count == 0) return r;
+  std::nth_element(mags.begin(), mags.begin() + static_cast<long>(count - 1),
+                   mags.end());
+  const float threshold = mags[count - 1];
+
+  for (auto* c : convs) {
+    auto& w = c->weight().value;
+    for (std::size_t i = 0; i < w.size(); ++i)
+      if (std::abs(w[i]) <= threshold && w[i] != 0.0F) {
+        w[i] = 0.0F;
+        ++r.pruned_weights;
+      }
+  }
+  r.achieved_ratio = static_cast<double>(r.pruned_weights) /
+                     static_cast<double>(r.total_weights);
+  return r;
+}
+
+double fully_zero_block_fraction(nn::Sequential& model,
+                                 std::size_t block_size) {
+  std::size_t zero_blocks = 0, total_blocks = 0;
+  model.visit([&](nn::Layer& l) {
+    auto* c = dynamic_cast<nn::Conv2d*>(&l);
+    if (!c) return;
+    const auto& s = c->spec();
+    if (s.in_channels % block_size != 0 || s.out_channels % block_size != 0)
+      return;
+    const auto& w = c->weight().value;
+    for (std::size_t kh = 0; kh < s.kernel; ++kh)
+      for (std::size_t kw = 0; kw < s.kernel; ++kw)
+        for (std::size_t bo = 0; bo < s.out_channels / block_size; ++bo)
+          for (std::size_t bi = 0; bi < s.in_channels / block_size; ++bi) {
+            ++total_blocks;
+            bool all_zero = true;
+            for (std::size_t i = 0; all_zero && i < block_size; ++i)
+              for (std::size_t j = 0; all_zero && j < block_size; ++j)
+                if (w.at(bo * block_size + i, bi * block_size + j, kh, kw) !=
+                    0.0F)
+                  all_zero = false;
+            if (all_zero) ++zero_blocks;
+          }
+  });
+  if (total_blocks == 0) return 0.0;
+  return static_cast<double>(zero_blocks) /
+         static_cast<double>(total_blocks);
+}
+
+}  // namespace rpbcm::core

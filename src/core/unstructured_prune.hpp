@@ -1,0 +1,33 @@
+#pragma once
+
+#include "nn/sequential.hpp"
+
+namespace rpbcm::core {
+
+/// Unstructured magnitude pruning — the Section I motivation baseline
+/// ("despite the advantage of high compression, it is difficult to
+/// accelerate on hardware, primarily because the network has an irregular
+/// sparsity"). Zeroes the globally smallest-magnitude weights of every
+/// dense convolution. The sparsity is element-granular: the accelerator's
+/// BCM-wise skip scheme cannot exploit it (a block with one surviving
+/// element still computes), which is exactly the comparison the
+/// motivation bench makes.
+struct UnstructuredPruneResult {
+  std::size_t total_weights = 0;
+  std::size_t pruned_weights = 0;
+  double achieved_ratio = 0.0;
+};
+
+/// Prunes `ratio` of all dense-conv weights (global magnitude threshold).
+UnstructuredPruneResult prune_unstructured(nn::Sequential& model,
+                                           double ratio);
+
+/// Fraction of BCM-equivalent blocks (BS x BS channel units at each kernel
+/// position) that are *entirely* zero after pruning — the only sparsity a
+/// block-skip PE could exploit. For random element pruning this is ~0
+/// until the ratio is extreme: the quantitative form of "irregular
+/// sparsity does not map to hardware skipping".
+double fully_zero_block_fraction(nn::Sequential& model,
+                                 std::size_t block_size);
+
+}  // namespace rpbcm::core

@@ -1,0 +1,19 @@
+#include "hw/accelerator.hpp"
+
+namespace rpbcm::hw {
+
+AcceleratorReport simulate_accelerator(const core::NetworkShape& net,
+                                       const core::BcmCompressionConfig& ccfg,
+                                       const HwConfig& hcfg) {
+  AcceleratorReport r;
+  r.network = net.name;
+  r.total_cycles = simulate_network_cycles(net, ccfg, hcfg, &r.layers);
+  const double hz = hcfg.frequency_mhz * 1e6;
+  r.latency_ms = static_cast<double>(r.total_cycles) / hz * 1e3;
+  r.fps = hz / static_cast<double>(r.total_cycles);
+  r.resources = estimate_resources(hcfg);
+  r.power = estimate_power(r.resources, hcfg);
+  return r;
+}
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/dataflow.hpp"
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace rpbcm::hw {
+
+/// End-to-end simulation result for one network on one configuration —
+/// everything a Table III row needs.
+struct AcceleratorReport {
+  std::string network;
+  std::vector<CycleBreakdown> layers;
+  std::uint64_t total_cycles = 0;
+  double latency_ms = 0.0;
+  double fps = 0.0;
+  ResourceReport resources;
+  PowerReport power;
+
+  double fps_per_klut() const {
+    return resources.kilo_luts > 0 ? fps / resources.kilo_luts : 0.0;
+  }
+  double fps_per_dsp() const {
+    return resources.dsps > 0 ? fps / static_cast<double>(resources.dsps)
+                              : 0.0;
+  }
+  double fps_per_watt() const {
+    const double w = power.total_w();
+    return w > 0 ? fps / w : 0.0;
+  }
+};
+
+/// Simulates a full network (cycles, FPS, resources, power) on the
+/// configured accelerator.
+AcceleratorReport simulate_accelerator(const core::NetworkShape& net,
+                                       const core::BcmCompressionConfig& ccfg,
+                                       const HwConfig& hcfg);
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,87 @@
+#include "hw/buffer_check.hpp"
+
+#include <algorithm>
+
+namespace rpbcm::hw {
+
+namespace {
+
+TileFeasibility check_with_tile(const LayerWorkload& wl, const HwConfig& cfg,
+                                std::size_t tile_h, std::size_t tile_w) {
+  const auto& s = wl.shape;
+  TileFeasibility f;
+  const double bytes = static_cast<double>(cfg.data_bits) / 8.0;
+
+  const std::size_t eff_h = std::min(tile_h, s.out_h());
+  const std::size_t eff_w = std::min(tile_w, s.out_w());
+  const std::size_t in_h = (eff_h - 1) * s.stride + s.kernel;
+  const std::size_t in_w = (eff_w - 1) * s.stride + s.kernel;
+
+  // Channel tiling bounds the resident footprint (Tn/Tm of Ma et al.).
+  const std::size_t res_in = std::min(s.in_channels, cfg.tile_in_channels);
+  const std::size_t res_out = std::min(s.out_channels, cfg.tile_out_channels);
+  f.input_tile_kb =
+      static_cast<double>(in_h * in_w * res_in) * bytes / 1024.0;
+  f.output_tile_kb =
+      static_cast<double>(eff_h * eff_w * res_out) * bytes / 1024.0;
+
+  if (wl.compressible) {
+    const std::size_t bs = wl.block_size;
+    const std::size_t blocks =
+        s.kernel * s.kernel * (s.in_channels / bs) * (s.out_channels / bs);
+    const auto pruned = static_cast<std::size_t>(
+        static_cast<double>(blocks) * std::clamp(wl.alpha, 0.0, 1.0));
+    // Complex half-spectrum words (re+im) plus the skip index.
+    f.weight_total_kb =
+        (static_cast<double>((blocks - pruned) * (bs / 2 + 1)) * 2.0 * bytes +
+         static_cast<double>(blocks) / 8.0) /
+        1024.0;
+  } else {
+    f.weight_total_kb =
+        static_cast<double>(s.dense_params()) * bytes / 1024.0;
+  }
+
+  f.input_fits = f.input_tile_kb <= cfg.input_buffer_kb;
+  f.output_fits = f.output_tile_kb <= cfg.output_buffer_kb;
+  f.weights_single_pass = f.weight_total_kb <= cfg.weight_buffer_kb;
+  return f;
+}
+
+}  // namespace
+
+TileFeasibility check_tiles(const LayerWorkload& wl, const HwConfig& cfg) {
+  cfg.validate();
+  return check_with_tile(wl, cfg, cfg.tile_h, cfg.tile_w);
+}
+
+std::size_t max_feasible_tile(const LayerWorkload& wl, const HwConfig& cfg) {
+  cfg.validate();
+  const std::size_t limit =
+      std::max(wl.shape.out_h(), wl.shape.out_w());
+  std::size_t best = 0;
+  for (std::size_t t = 1; t <= limit; ++t) {
+    if (check_with_tile(wl, cfg, t, t).feasible())
+      best = t;
+    else
+      break;  // footprints grow monotonically with the tile side
+  }
+  return best;
+}
+
+std::vector<TileFeasibility> check_network_tiles(
+    const core::NetworkShape& net, const core::BcmCompressionConfig& ccfg,
+    const HwConfig& cfg) {
+  std::vector<TileFeasibility> out;
+  out.reserve(net.convs.size());
+  for (const auto& c : net.convs) {
+    LayerWorkload wl;
+    wl.shape = c;
+    wl.block_size = ccfg.block_size;
+    wl.compressible = c.bcm_compressible(ccfg.block_size);
+    wl.alpha = ccfg.alpha;
+    out.push_back(check_tiles(wl, cfg));
+  }
+  return out;
+}
+
+}  // namespace rpbcm::hw

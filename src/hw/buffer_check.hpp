@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "hw/dataflow.hpp"
+
+namespace rpbcm::hw {
+
+/// On-chip feasibility of one layer's tiling under a configuration.
+/// Input and output tiles must fit their (single-copy) buffers — the
+/// config's budgets are per copy, double buffering is accounted by the
+/// resource model. Weights may either fit entirely (single-pass: loaded
+/// once, reused across tiles, Fig. 8b) or be streamed in chunks through
+/// the weight buffer (extra re-reads are already charged by the timing
+/// model's per-tile weight stream).
+struct TileFeasibility {
+  double input_tile_kb = 0.0;
+  double output_tile_kb = 0.0;
+  double weight_total_kb = 0.0;
+  bool input_fits = false;
+  bool output_fits = false;
+  bool weights_single_pass = false;
+
+  bool feasible() const { return input_fits && output_fits; }
+};
+
+/// Checks one layer.
+TileFeasibility check_tiles(const LayerWorkload& wl, const HwConfig& cfg);
+
+/// Largest square output tile (in pixels per side) whose input and output
+/// footprints both fit the configured buffers; 0 if even a 1x1 tile does
+/// not fit.
+std::size_t max_feasible_tile(const LayerWorkload& wl, const HwConfig& cfg);
+
+/// Network-level summary: every layer's feasibility in order.
+std::vector<TileFeasibility> check_network_tiles(
+    const core::NetworkShape& net, const core::BcmCompressionConfig& ccfg,
+    const HwConfig& cfg);
+
+}  // namespace rpbcm::hw

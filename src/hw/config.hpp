@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/check.hpp"
+
+namespace rpbcm::hw {
+
+/// Capacities of the target FPGA. Defaults are the Xilinx XC7Z020 on the
+/// PYNQ-Z2 board the paper targets: 53.2k LUTs, 220 DSP48E1 slices, 140
+/// BRAM36 blocks (140 x 36 Kb = 630 KB).
+struct FpgaResources {
+  double kilo_luts = 53.2;
+  std::size_t dsps = 220;
+  double bram36 = 140.0;  // 36 Kb blocks
+};
+
+/// Which dataflow the timing model applies (Section IV-C / ablations).
+enum class DataflowKind {
+  /// Proposed: C_fft, C_emac, C_ifft each have their own double buffering
+  /// against their own off-chip stream (real input / complex weight / real
+  /// output), and the three computations pipeline against each other.
+  kFineGrained,
+  /// REQ-YOLO-style: FFT–eMAC–IFFT treated as one computational delay,
+  /// double-buffered against the combined off-chip traffic.
+  kMonolithic,
+  /// No double buffering at all: transfers and compute fully serialize.
+  kSerial,
+};
+
+/// Accelerator configuration (Fig. 6 architecture).
+struct HwConfig {
+  double frequency_mhz = 100.0;  // Table III clock
+  std::size_t block_size = 8;    // BS
+
+  /// p — eMAC PEs per Pruned-BCM PE bank; they share one weight spectrum
+  /// and process p different partial inputs in parallel (Fig. 7).
+  std::size_t parallelism = 16;
+
+  /// FFT PEs; the IFFT reuses the same modules with conjugate inputs and a
+  /// shift-based 1/BS divider (Section IV-B).
+  std::size_t fft_units = 4;
+
+  /// Cycles a PE-bank controller spends checking one skip-index bit.
+  std::size_t skip_check_cycles = 1;
+
+  /// Whether the skip scheme is instantiated (proposed PE) or not
+  /// (conventional PE baseline of Fig. 10 / Table II).
+  bool skip_scheme = true;
+
+  DataflowKind dataflow = DataflowKind::kFineGrained;
+
+  /// Output-tile spatial dimensions for the tile-by-tile processing.
+  std::size_t tile_h = 14;
+  std::size_t tile_w = 14;
+
+  /// Channel tiling (the Tn/Tm of Ma et al. [15]): at most this many input
+  /// (resp. output) channels are resident on chip at once. Layers wider
+  /// than tile_out_channels process output-channel groups sequentially and
+  /// re-read (and re-FFT) the input tile once per group — the timing model
+  /// charges that traffic.
+  std::size_t tile_in_channels = 128;
+  std::size_t tile_out_channels = 128;
+
+  /// Shrink the spatial tile per layer until its input/output footprints
+  /// fit the buffers (stride-2 layers have larger input halos). Mirrors
+  /// the per-layer tile selection of real tile-based accelerators.
+  bool auto_tile = true;
+
+  /// Effective DRAM bandwidth (PYNQ-Z2 DDR3 through one HP AXI port) and
+  /// per-burst latency.
+  double dram_gbps = 1.25;
+  std::size_t dram_burst_latency = 80;  // cycles
+
+  /// Datapath width: 16-bit fixed point (Q7.8) throughout.
+  std::size_t data_bits = 16;
+
+  /// On-chip buffer budgets in KB (each stream is double-buffered, so the
+  /// BRAM model charges twice these). Sized for the Table III design point.
+  double input_buffer_kb = 90.0;
+  double weight_buffer_kb = 78.0;
+  double output_buffer_kb = 82.5;
+
+  /// MACs/cycle available to non-compressible (dense) layers, which run on
+  /// the same multiplier pool in direct-convolution mode.
+  std::size_t dense_macs_per_cycle = 64;
+
+  FpgaResources board;
+
+  double bytes_per_cycle() const {
+    return dram_gbps * 1e9 / (frequency_mhz * 1e6);
+  }
+
+  void validate() const {
+    RPBCM_CHECK(frequency_mhz > 0 && parallelism > 0 && fft_units > 0);
+    RPBCM_CHECK(tile_h > 0 && tile_w > 0 && dram_gbps > 0);
+    RPBCM_CHECK(block_size >= 2);
+  }
+};
+
+}  // namespace rpbcm::hw

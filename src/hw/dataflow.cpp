@@ -1,0 +1,236 @@
+#include "hw/dataflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hw/buffer_check.hpp"
+#include "hw/dram.hpp"
+#include "hw/emac_pe.hpp"
+#include "hw/fft_pe.hpp"
+#include "hw/pipeline_sim.hpp"
+#include "hw/pruned_bcm_pe.hpp"
+
+namespace rpbcm::hw {
+
+CycleBreakdown& CycleBreakdown::operator+=(const CycleBreakdown& o) {
+  fft += o.fft;
+  emac += o.emac;
+  skip_check += o.skip_check;
+  ifft += o.ifft;
+  input_read += o.input_read;
+  weight_read += o.weight_read;
+  output_write += o.output_write;
+  total += o.total;
+  return *this;
+}
+
+namespace {
+
+// Per-tile cycle figures before overlap composition.
+struct TileCost {
+  std::uint64_t fft = 0, emac = 0, skip = 0, ifft = 0;
+  std::uint64_t in_rd = 0, w_rd = 0, out_wr = 0;
+
+  std::uint64_t max_stream() const {
+    return std::max({fft, emac + skip, ifft, in_rd, w_rd, out_wr});
+  }
+  std::uint64_t compute() const { return fft + emac + skip + ifft; }
+  std::uint64_t transfer() const { return in_rd + w_rd + out_wr; }
+  std::uint64_t sum() const { return compute() + transfer(); }
+};
+
+// Composes per-tile costs into a layer total under the given dataflow.
+// Fine-grained: every stream is double-buffered against its producer and
+// consumer; the exact pipelined schedule comes from the event-level
+// simulator (hw/pipeline_sim.hpp). Monolithic: compute is one delay
+// double-buffered against the combined transfer. Serial: everything adds
+// up.
+std::uint64_t compose(const std::vector<TileCost>& tiles, DataflowKind kind) {
+  if (kind == DataflowKind::kFineGrained) {
+    std::vector<TileStreamCosts> streams;
+    streams.reserve(tiles.size());
+    for (const TileCost& t : tiles)
+      streams.push_back(TileStreamCosts{t.in_rd, t.fft, t.w_rd,
+                                        t.emac + t.skip, t.ifft, t.out_wr});
+    return simulate_tile_pipeline(streams);
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const TileCost& t = tiles[i];
+    switch (kind) {
+      case DataflowKind::kMonolithic:
+        total += std::max(t.compute(), t.transfer());
+        if (i == 0) total += std::min(t.compute(), t.transfer());
+        break;
+      case DataflowKind::kSerial:
+        total += t.sum();
+        break;
+      case DataflowKind::kFineGrained:
+        break;  // handled above
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
+                                   const HwConfig& cfg) {
+  cfg.validate();
+  const auto& s = wl.shape;
+  const DramModel dram(cfg);
+  const std::size_t bytes = cfg.data_bits / 8;
+  CycleBreakdown out;
+
+  if (!wl.compressible) {
+    // Dense fallback: direct convolution on the multiplier pool.
+    TileCost t;
+    t.emac = s.dense_macs() / cfg.dense_macs_per_cycle + 1;
+    t.in_rd = dram.transfer_cycles(
+        static_cast<std::uint64_t>(s.in_channels) * s.in_h * s.in_w * bytes);
+    t.w_rd = dram.transfer_cycles(
+        static_cast<std::uint64_t>(s.dense_params()) * bytes);
+    t.out_wr = dram.transfer_cycles(static_cast<std::uint64_t>(s.out_channels) *
+                                    s.out_h() * s.out_w() * bytes);
+    out.emac = t.emac;
+    out.input_read = t.in_rd;
+    out.weight_read = t.w_rd;
+    out.output_write = t.out_wr;
+    out.total = compose({t}, cfg.dataflow);
+    return out;
+  }
+
+  const std::size_t bs = wl.block_size;
+  RPBCM_CHECK_MSG(s.in_channels % bs == 0 && s.out_channels % bs == 0,
+                  "workload marked compressible but channels do not divide BS");
+  const std::size_t nbi = s.in_channels / bs;
+  const std::size_t nbo = s.out_channels / bs;
+  const std::size_t total_blocks = s.kernel * s.kernel * nbi * nbo;
+  const auto pruned = static_cast<std::size_t>(
+      static_cast<double>(total_blocks) * std::clamp(wl.alpha, 0.0, 1.0));
+  const std::size_t live_blocks = total_blocks - pruned;
+
+  const std::size_t ho = s.out_h(), wo = s.out_w();
+  // Complex weight stream: surviving blocks, half spectrum, re+im.
+  const std::uint64_t weight_bytes =
+      static_cast<std::uint64_t>(live_blocks) * (bs / 2 + 1) * 2 * bytes +
+      (total_blocks + 7) / 8;  // skip index, 1 bit per BCM
+
+  // Per-layer tile selection: shrink the configured tile until the
+  // input/output footprints fit on chip (stride-2 layers have big halos).
+  std::size_t tile_h = cfg.tile_h, tile_w = cfg.tile_w;
+  if (cfg.auto_tile) {
+    const std::size_t feasible = max_feasible_tile(wl, cfg);
+    RPBCM_CHECK_MSG(feasible > 0,
+                    "layer " << s.name << " does not fit the buffers even "
+                             "with a 1x1 tile");
+    tile_h = std::min(tile_h, feasible);
+    tile_w = std::min(tile_w, feasible);
+  }
+
+  std::vector<TileCost> tiles;
+  for (std::size_t th = 0; th < ho; th += tile_h) {
+    const std::size_t eff_h = std::min(tile_h, ho - th);
+    for (std::size_t tw = 0; tw < wo; tw += tile_w) {
+      const std::size_t eff_w = std::min(tile_w, wo - tw);
+      TileCost t;
+      const std::size_t tile_pixels = eff_h * eff_w;
+      // Input patch feeding this output tile (stride/kernel halo included).
+      const std::size_t in_h = (eff_h - 1) * s.stride + s.kernel;
+      const std::size_t in_w = (eff_w - 1) * s.stride + s.kernel;
+      const std::size_t in_pixels = in_h * in_w;
+
+      // Channel tiling (Tm of Ma et al.): layers wider than the output
+      // buffer process out-channel groups sequentially; the input tile is
+      // re-read and re-FFT'd once per group.
+      const std::size_t out_groups =
+          (s.out_channels + cfg.tile_out_channels - 1) /
+          cfg.tile_out_channels;
+
+      // C_fft: one BS-point FFT per input pixel per input block per
+      // out-channel pass, spread over the FFT PE bank.
+      const std::uint64_t fft_count =
+          static_cast<std::uint64_t>(in_pixels) * nbi * out_groups;
+      t.fft = (fft_count + cfg.fft_units - 1) / cfg.fft_units *
+              FftPe::cycles_per_transform(bs);
+
+      // C_emac (+ skip checks) on the Pruned-BCM PE bank.
+      PeBankWork work;
+      work.total_blocks = total_blocks;
+      work.live_blocks = live_blocks;
+      work.tile_pixels = tile_pixels;
+      work.block_size = bs;
+      const PeBankCycles pc = pe_bank_cycles(work, cfg);
+      t.emac = pc.emac;
+      t.skip = pc.skip_check;
+
+      // C_ifft: one per output pixel per output block (FFT modules reused).
+      const std::uint64_t ifft_count =
+          static_cast<std::uint64_t>(tile_pixels) * nbo;
+      t.ifft = (ifft_count + cfg.fft_units - 1) / cfg.fft_units *
+               FftPe::cycles_per_transform(bs);
+
+      t.in_rd = dram.transfer_cycles(
+          static_cast<std::uint64_t>(in_pixels) * s.in_channels * bytes *
+          out_groups, out_groups);
+      t.w_rd = dram.transfer_cycles(weight_bytes);
+      t.out_wr = dram.transfer_cycles(
+          static_cast<std::uint64_t>(tile_pixels) * s.out_channels * bytes);
+
+      out.fft += t.fft;
+      out.emac += t.emac;
+      out.skip_check += t.skip;
+      out.ifft += t.ifft;
+      out.input_read += t.in_rd;
+      out.weight_read += t.w_rd;
+      out.output_write += t.out_wr;
+      tiles.push_back(t);
+    }
+  }
+  out.total = compose(tiles, cfg.dataflow);
+  return out;
+}
+
+CycleBreakdown simulate_fc_layer(const core::LinearShape& fc,
+                                 std::size_t block_size, bool compressible,
+                                 double alpha, const HwConfig& cfg) {
+  LayerWorkload wl;
+  wl.shape.name = fc.name;
+  wl.shape.kernel = 1;
+  wl.shape.in_channels = fc.in_features;
+  wl.shape.out_channels = fc.out_features;
+  wl.shape.in_h = 1;
+  wl.shape.in_w = 1;
+  wl.shape.stride = 1;
+  wl.shape.pad = 0;
+  wl.block_size = block_size;
+  wl.compressible = compressible && fc.bcm_compressible(block_size);
+  wl.alpha = alpha;
+  return simulate_conv_layer(wl, cfg);
+}
+
+std::uint64_t simulate_network_cycles(const core::NetworkShape& net,
+                                      const core::BcmCompressionConfig& ccfg,
+                                      const HwConfig& hcfg,
+                                      std::vector<CycleBreakdown>* per_layer) {
+  std::uint64_t total = 0;
+  for (const auto& c : net.convs) {
+    LayerWorkload wl;
+    wl.shape = c;
+    wl.block_size = ccfg.block_size;
+    wl.compressible = c.bcm_compressible(ccfg.block_size);
+    wl.alpha = ccfg.alpha;
+    const auto br = simulate_conv_layer(wl, hcfg);
+    total += br.total;
+    if (per_layer) per_layer->push_back(br);
+  }
+  for (const auto& f : net.fcs) {
+    const auto br = simulate_fc_layer(f, ccfg.block_size, ccfg.compress_fc,
+                                      ccfg.alpha, hcfg);
+    total += br.total;
+    if (per_layer) per_layer->push_back(br);
+  }
+  return total;
+}
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/compression_stats.hpp"
+#include "hw/config.hpp"
+
+namespace rpbcm::hw {
+
+/// One convolution layer as presented to the timing model.
+struct LayerWorkload {
+  core::ConvShape shape;
+  std::size_t block_size = 8;
+  bool compressible = true;  // false: runs on the dense fallback datapath
+  double alpha = 0.0;        // fraction of BCMs pruned (skip-index zeros)
+};
+
+/// Cycle accounting of one layer. The compute terms are the paper's three
+/// computations C_fft / C_emac / C_ifft (Section IV-C); the transfer terms
+/// are the three tile-by-tile off-chip streams they are double-buffered
+/// against (real input / complex weight / real output).
+struct CycleBreakdown {
+  std::uint64_t fft = 0;
+  std::uint64_t emac = 0;
+  std::uint64_t skip_check = 0;
+  std::uint64_t ifft = 0;
+  std::uint64_t input_read = 0;
+  std::uint64_t weight_read = 0;
+  std::uint64_t output_write = 0;
+  std::uint64_t total = 0;  // with the configured dataflow's overlap
+
+  std::uint64_t compute_total() const {
+    return fft + emac + skip_check + ifft;
+  }
+  std::uint64_t transfer_total() const {
+    return input_read + weight_read + output_write;
+  }
+
+  CycleBreakdown& operator+=(const CycleBreakdown& o);
+};
+
+/// Simulates one convolution layer tile-by-tile under the configured
+/// dataflow. Tiles walk the output spatial grid; edge tiles are modeled
+/// exactly (smaller pixel counts), not rounded up.
+CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
+                                   const HwConfig& cfg);
+
+/// Simulates a fully connected layer (treated as a K=1 conv on a single
+/// pixel, the standard mapping).
+CycleBreakdown simulate_fc_layer(const core::LinearShape& fc,
+                                 std::size_t block_size, bool compressible,
+                                 double alpha, const HwConfig& cfg);
+
+/// Whole-network simulation under an RP-BCM compression config. Layers
+/// whose channels do not divide BS run on the dense fallback path. Returns
+/// total cycles; optionally fills per-layer breakdowns.
+std::uint64_t simulate_network_cycles(
+    const core::NetworkShape& net, const core::BcmCompressionConfig& ccfg,
+    const HwConfig& hcfg, std::vector<CycleBreakdown>* per_layer = nullptr);
+
+}  // namespace rpbcm::hw

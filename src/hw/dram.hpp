@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/config.hpp"
+
+namespace rpbcm::hw {
+
+/// Latency/bandwidth model of the off-chip DRAM channel. Transfers are
+/// burst-granular: each request pays the burst latency once, then streams
+/// at the configured bandwidth.
+class DramModel {
+ public:
+  explicit DramModel(const HwConfig& cfg)
+      : bytes_per_cycle_(cfg.bytes_per_cycle()),
+        burst_latency_(cfg.dram_burst_latency) {}
+
+  /// Cycles to move `bytes` in `bursts` burst requests.
+  std::uint64_t transfer_cycles(std::uint64_t bytes,
+                                std::uint64_t bursts = 1) const {
+    if (bytes == 0) return 0;
+    if (bursts == 0) bursts = 1;
+    const auto stream = static_cast<std::uint64_t>(
+        static_cast<double>(bytes) / bytes_per_cycle_ + 0.999999);
+    return burst_latency_ * bursts + stream;
+  }
+
+  double bytes_per_cycle() const { return bytes_per_cycle_; }
+
+ private:
+  double bytes_per_cycle_;
+  std::uint64_t burst_latency_;
+};
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,31 @@
+#include "hw/emac_pe.hpp"
+
+#include "base/check.hpp"
+
+namespace rpbcm::hw {
+
+void EmacPe::emac_half(std::span<const CFix16> w_half,
+                       std::span<const CFix16> x_half,
+                       std::span<CFix16> acc_half) {
+  RPBCM_CHECK(w_half.size() == x_half.size() &&
+              acc_half.size() == w_half.size());
+  for (std::size_t k = 0; k < acc_half.size(); ++k)
+    acc_half[k] = acc_half[k] + w_half[k] * x_half[k];
+}
+
+std::vector<CFix16> EmacPe::expand_half(std::span<const CFix16> half,
+                                        std::size_t bs) {
+  RPBCM_CHECK_MSG(half.size() == bs / 2 + 1,
+                  "half spectrum must hold BS/2+1 bins");
+  std::vector<CFix16> full(bs);
+  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
+  for (std::size_t k = half.size(); k < bs; ++k) full[k] = half[bs - k].conj();
+  return full;
+}
+
+std::vector<CFix16> EmacPe::take_half(std::span<const CFix16> full) {
+  const std::size_t bs = full.size();
+  return {full.begin(), full.begin() + static_cast<long>(bs / 2 + 1)};
+}
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numeric/fixed_point.hpp"
+
+namespace rpbcm::hw {
+
+using numeric::CFix16;
+
+/// Element-MAC processing element (Fig. 7): complex multiply-accumulate on
+/// the conjugate-symmetric half spectrum. A BS-size block costs only
+/// BS/2+1 MAC operations because the FFT of real data is conjugate
+/// symmetric [6]; the mirrored bins are reconstructed for free at the IFFT
+/// input.
+class EmacPe {
+ public:
+  /// acc[k] += w[k] * x[k] over the half spectrum (k = 0 .. BS/2).
+  static void emac_half(std::span<const CFix16> w_half,
+                        std::span<const CFix16> x_half,
+                        std::span<CFix16> acc_half);
+
+  /// Expands a half spectrum back to the full BS bins by conjugate
+  /// symmetry — the wiring between the eMAC accumulators and the IFFT.
+  static std::vector<CFix16> expand_half(std::span<const CFix16> half,
+                                         std::size_t bs);
+
+  /// Extracts the non-redundant half (BS/2+1 bins) of a full spectrum.
+  static std::vector<CFix16> take_half(std::span<const CFix16> full);
+
+  /// One complex MAC per cycle: a surviving block costs BS/2+1 cycles per
+  /// partial input.
+  static std::uint64_t cycles_per_block(std::size_t bs) { return bs / 2 + 1; }
+};
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,95 @@
+#include "hw/functional.hpp"
+
+#include "hw/emac_pe.hpp"
+#include "hw/fft_pe.hpp"
+
+namespace rpbcm::hw {
+
+tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
+                                    const core::FrequencyLayerWeights& fw,
+                                    const nn::ConvSpec& spec) {
+  const auto& lay = fw.layout;
+  RPBCM_CHECK(x.rank() == 4 && x.dim(1) == spec.in_channels);
+  RPBCM_CHECK(lay.in_channels == spec.in_channels &&
+              lay.out_channels == spec.out_channels &&
+              lay.kernel == spec.kernel);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec.out_dim(h), wo = spec.out_dim(w);
+  const std::size_t bs = lay.block_size;
+  const std::size_t nbi = lay.in_blocks(), nbo = lay.out_blocks();
+  const std::size_t half = bs / 2 + 1;
+
+  const FftPe fft(bs);
+
+  // Quantize the deployed half-spectrum weights once (they live in the
+  // weight buffer in Q7.8).
+  std::vector<std::vector<CFix16>> wq(lay.total_blocks());
+  for (std::size_t b = 0; b < wq.size(); ++b) {
+    if (!fw.skip_index[b]) continue;
+    RPBCM_CHECK(fw.half_spectra[b].size() == half);
+    wq[b].resize(half);
+    for (std::size_t k = 0; k < half; ++k)
+      wq[b][k] = CFix16::from_floats(fw.half_spectra[b][k].real(),
+                                     fw.half_spectra[b][k].imag());
+  }
+
+  // FFT stage: spectra of every input pixel / channel block (half packing).
+  std::vector<std::vector<CFix16>> xs(n * h * w * nbi);
+  const float* xd = x.data();
+  for (std::size_t ni = 0; ni < n; ++ni)
+    for (std::size_t ih = 0; ih < h; ++ih)
+      for (std::size_t iw = 0; iw < w; ++iw)
+        for (std::size_t bi = 0; bi < nbi; ++bi) {
+          std::vector<Fix16> block(bs);
+          for (std::size_t c = 0; c < bs; ++c)
+            block[c] = Fix16::from_float(
+                xd[((ni * spec.in_channels + bi * bs + c) * h + ih) * w + iw]);
+          const auto full = fft.forward_real(block);
+          xs[((ni * h + ih) * w + iw) * nbi + bi] = EmacPe::take_half(full);
+        }
+
+  tensor::Tensor y({n, spec.out_channels, ho, wo});
+  float* yd = y.data();
+  std::vector<std::vector<CFix16>> acc(nbo);
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oh = 0; oh < ho; ++oh) {
+      for (std::size_t ow = 0; ow < wo; ++ow) {
+        for (auto& a : acc) a.assign(half, CFix16{});
+        for (std::size_t kh = 0; kh < spec.kernel; ++kh) {
+          const long ih = static_cast<long>(oh * spec.stride + kh) -
+                          static_cast<long>(spec.pad);
+          if (ih < 0 || ih >= static_cast<long>(h)) continue;
+          for (std::size_t kw = 0; kw < spec.kernel; ++kw) {
+            const long iw = static_cast<long>(ow * spec.stride + kw) -
+                            static_cast<long>(spec.pad);
+            if (iw < 0 || iw >= static_cast<long>(w)) continue;
+            for (std::size_t bi = 0; bi < nbi; ++bi) {
+              const auto& xh =
+                  xs[((ni * h + static_cast<std::size_t>(ih)) * w +
+                      static_cast<std::size_t>(iw)) *
+                         nbi +
+                     bi];
+              for (std::size_t bo = 0; bo < nbo; ++bo) {
+                const std::size_t blk = lay.block_id(kh, kw, bi, bo);
+                if (!fw.skip_index[blk]) continue;  // skip-index check
+                EmacPe::emac_half(wq[blk], xh, acc[bo]);
+              }
+            }
+          }
+        }
+        // IFFT stage: expand conjugate-symmetric accumulators, transform,
+        // write back the real output channels.
+        for (std::size_t bo = 0; bo < nbo; ++bo) {
+          const auto full = EmacPe::expand_half(acc[bo], bs);
+          const auto out = fft.inverse_real(full);
+          for (std::size_t c = 0; c < bs; ++c)
+            yd[((ni * spec.out_channels + bo * bs + c) * ho + oh) * wo + ow] =
+                out[c].to_float();
+        }
+      }
+    }
+  }
+  return y;
+}
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/frequency_weights.hpp"
+#include "hw/config.hpp"
+#include "nn/conv2d.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::hw {
+
+/// Bit-faithful functional model of the accelerator datapath for one
+/// BCM-compressed convolution layer: quantizes activations to Q7.8,
+/// runs the fixed-point FFT PE per input pixel/block, the eMAC PEs over
+/// the conjugate-symmetric half spectrum of the deployed weights (skipping
+/// pruned blocks via the skip index), and the IFFT (FFT reuse + shift
+/// divider). Returns float activations dequantized from the 16-bit result.
+///
+/// This is the golden model the timing simulator's datapath corresponds
+/// to; tests compare it against the float BcmConv2d reference.
+tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
+                                    const core::FrequencyLayerWeights& fw,
+                                    const nn::ConvSpec& spec);
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,84 @@
+#include "hw/pipeline_sim.hpp"
+
+#include <algorithm>
+
+#include "base/check.hpp"
+
+namespace rpbcm::hw {
+
+namespace {
+
+// Stream indices: topological order of the pipeline.
+enum Stream : std::size_t {
+  kInRd = 0,
+  kFft = 1,
+  kWRd = 2,
+  kEmac = 3,
+  kIfft = 4,
+  kOutWr = 5,
+  kStreams = 6,
+};
+
+}  // namespace
+
+std::uint64_t simulate_tile_pipeline(
+    const std::vector<TileStreamCosts>& tiles) {
+  if (tiles.empty()) return 0;
+  const std::size_t n = tiles.size();
+  // finish[s][i]: completion cycle of stream s on tile i.
+  std::array<std::vector<std::uint64_t>, kStreams> finish;
+  for (auto& f : finish) f.assign(n, 0);
+
+  auto cost = [&](std::size_t s, std::size_t i) -> std::uint64_t {
+    const TileStreamCosts& t = tiles[i];
+    switch (s) {
+      case kInRd:
+        return t.input_read;
+      case kFft:
+        return t.fft;
+      case kWRd:
+        return t.weight_read;
+      case kEmac:
+        return t.emac;
+      case kIfft:
+        return t.ifft;
+      case kOutWr:
+        return t.output_write;
+      default:
+        RPBCM_CHECK(false);
+        return 0;
+    }
+  };
+
+  // Producers of each stream (data dependencies within a tile).
+  static constexpr std::array<std::array<int, 2>, kStreams> producers = {{
+      {{-1, -1}},        // input read: none
+      {{kInRd, -1}},     // fft consumes the input tile
+      {{-1, -1}},        // weight read: none
+      {{kFft, kWRd}},    // emac consumes spectra + weights
+      {{kEmac, -1}},     // ifft consumes accumulated spectra
+      {{kIfft, -1}},     // output write drains the real outputs
+  }};
+  // Consumer of each stream (whose double buffer must free up).
+  static constexpr std::array<int, kStreams> consumer = {
+      kFft, kEmac, kEmac, kIfft, kOutWr, -1};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      std::uint64_t start = 0;
+      if (i > 0) start = std::max(start, finish[s][i - 1]);  // engine busy
+      for (int p : producers[s])
+        if (p >= 0)
+          start = std::max(start, finish[static_cast<std::size_t>(p)][i]);
+      // Ping-pong buffer: the consumer must have drained tile i-2 before
+      // this stream may overwrite that buffer with tile i.
+      if (consumer[s] >= 0 && i >= 2)
+        start = std::max(
+            start, finish[static_cast<std::size_t>(consumer[s])][i - 2]);
+      finish[s][i] = start + cost(s, i);
+    }
+  }
+  return finish[kOutWr][n - 1];
+}
+
+}  // namespace rpbcm::hw

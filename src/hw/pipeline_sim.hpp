@@ -1,0 +1,36 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace rpbcm::hw {
+
+/// Per-tile cycle costs of the six pipeline streams of the fine-grained
+/// dataflow (Fig. 8a): three off-chip accesses and three computations.
+struct TileStreamCosts {
+  std::uint64_t input_read = 0;
+  std::uint64_t fft = 0;
+  std::uint64_t weight_read = 0;
+  std::uint64_t emac = 0;  // includes skip-index checks
+  std::uint64_t ifft = 0;
+  std::uint64_t output_write = 0;
+};
+
+/// Event-level simulation of the tile pipeline with separated double
+/// buffering. Each stream owns two buffers, so stream S can work on tile i
+/// while its consumer drains tile i-1; the dependency recurrence is
+///
+///   start[S][i]  = max(finish[S][i-1],            (own engine busy)
+///                      finish[producer(S)][i],    (data ready)
+///                      finish[consumer(S)][i-2])  (ping-pong buffer free)
+///
+/// with the chain  input_read -> fft -> emac -> ifft -> output_write and
+/// weight_read -> emac joining at the eMAC stage. This is the exact
+/// semantics the analytic steady-state approximation (max of streams)
+/// upper-bounds; tests cross-check the two.
+///
+/// Returns the cycle at which the last output write finishes.
+std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles);
+
+}  // namespace rpbcm::hw

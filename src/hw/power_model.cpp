@@ -1,0 +1,17 @@
+#include "hw/power_model.hpp"
+
+namespace rpbcm::hw {
+
+PowerReport estimate_power(const ResourceReport& res, const HwConfig& cfg,
+                           const PowerCosts& costs) {
+  PowerReport p;
+  p.static_w = costs.ps_static_w + costs.pl_leakage_w;
+  const double f = cfg.frequency_mhz / 100.0;
+  p.dynamic_w = f * (costs.w_per_klut_100mhz * res.kilo_luts +
+                     costs.w_per_dsp_100mhz * static_cast<double>(res.dsps) +
+                     costs.w_per_bram36_100mhz * res.bram36) +
+                costs.io_w;
+  return p;
+}
+
+}  // namespace rpbcm::hw

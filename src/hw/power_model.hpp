@@ -1,0 +1,30 @@
+#pragma once
+
+#include "hw/resource_model.hpp"
+
+namespace rpbcm::hw {
+
+/// Board-level power estimate in watts. Matches what Table III reports:
+/// whole-board power of the PYNQ-Z2 (Zynq PS + PL) while inferencing.
+struct PowerReport {
+  double static_w = 0.0;   // PS subsystem + PL leakage
+  double dynamic_w = 0.0;  // toggling logic, DSPs, BRAM, I/O
+  double total_w() const { return static_w + dynamic_w; }
+};
+
+/// Activity-proportional power model: dynamic power scales with clock
+/// frequency and with the instantiated resources. Constants are calibrated
+/// to the Table III design point (1.83 W total at 100 MHz).
+struct PowerCosts {
+  double ps_static_w = 1.25;       // ARM subsystem + DDR PHY
+  double pl_leakage_w = 0.10;
+  double w_per_klut_100mhz = 0.012;
+  double w_per_dsp_100mhz = 0.0010;
+  double w_per_bram36_100mhz = 0.0011;
+  double io_w = 0.035;             // AXI/DDR interface toggling
+};
+
+PowerReport estimate_power(const ResourceReport& res, const HwConfig& cfg,
+                           const PowerCosts& costs = {});
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,25 @@
+#include "hw/pruned_bcm_pe.hpp"
+
+#include "hw/emac_pe.hpp"
+
+namespace rpbcm::hw {
+
+PeBankCycles pe_bank_cycles(const PeBankWork& work, const HwConfig& cfg) {
+  RPBCM_CHECK(work.live_blocks <= work.total_blocks);
+  PeBankCycles c;
+  const std::uint64_t groups =
+      (work.tile_pixels + cfg.parallelism - 1) / cfg.parallelism;
+  const std::uint64_t per_block =
+      groups * EmacPe::cycles_per_block(work.block_size);
+  if (cfg.skip_scheme) {
+    c.skip_check = static_cast<std::uint64_t>(work.total_blocks) *
+                   cfg.skip_check_cycles;
+    c.emac = static_cast<std::uint64_t>(work.live_blocks) * per_block;
+  } else {
+    c.skip_check = 0;
+    c.emac = static_cast<std::uint64_t>(work.total_blocks) * per_block;
+  }
+  return c;
+}
+
+}  // namespace rpbcm::hw

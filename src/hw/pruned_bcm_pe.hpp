@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "hw/config.hpp"
+
+namespace rpbcm::hw {
+
+/// Work presented to one Pruned-BCM PE bank for one tile of one layer.
+struct PeBankWork {
+  std::size_t total_blocks = 0;  // K*K*(Cin/BS)*(Cout/BS)
+  std::size_t live_blocks = 0;   // blocks whose skip-index bit is 1
+  std::size_t tile_pixels = 0;   // output positions in the tile
+  std::size_t block_size = 8;
+};
+
+/// Cycle cost of the eMAC stage for a tile.
+///
+/// Proposed PE (skip scheme, Fig. 7): the controller reads one skip-index
+/// bit per block (skip_check_cycles); pruned blocks cost nothing further;
+/// each surviving block is broadcast to p eMAC PEs which chew through the
+/// tile's pixels in ceil(pixels/p) groups of (BS/2+1)-cycle MAC runs.
+/// High parallelism is preserved under sparsity because all p PEs share
+/// the same weight spectrum and skip together.
+///
+/// Conventional PE (no skip scheme): every block — pruned or not — is
+/// computed; no check cost. This is the flat baseline of Fig. 10.
+struct PeBankCycles {
+  std::uint64_t emac = 0;
+  std::uint64_t skip_check = 0;
+  std::uint64_t total() const { return emac + skip_check; }
+};
+
+PeBankCycles pe_bank_cycles(const PeBankWork& work, const HwConfig& cfg);
+
+}  // namespace rpbcm::hw

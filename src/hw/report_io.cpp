@@ -1,0 +1,60 @@
+#include "hw/report_io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "base/check.hpp"
+
+namespace rpbcm::hw {
+
+void write_layer_csv(const AcceleratorReport& report, std::ostream& os) {
+  os << "layer,fft,emac,skip_check,ifft,input_read,weight_read,"
+        "output_write,total\n";
+  CycleBreakdown sum;
+  for (std::size_t i = 0; i < report.layers.size(); ++i) {
+    const auto& l = report.layers[i];
+    os << i << ',' << l.fft << ',' << l.emac << ',' << l.skip_check << ','
+       << l.ifft << ',' << l.input_read << ',' << l.weight_read << ','
+       << l.output_write << ',' << l.total << '\n';
+    sum += l;
+  }
+  os << "total," << sum.fft << ',' << sum.emac << ',' << sum.skip_check
+     << ',' << sum.ifft << ',' << sum.input_read << ',' << sum.weight_read
+     << ',' << sum.output_write << ',' << sum.total << '\n';
+  RPBCM_CHECK_MSG(os.good(), "CSV write failed");
+}
+
+void write_summary_markdown(const AcceleratorReport& report,
+                            std::ostream& os) {
+  os << "| network | cycles | latency (ms) | FPS | kLUT | DSP | BRAM36 | "
+        "power (W) | FPS/kLUT | FPS/DSP | FPS/W |\n";
+  os << "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  char buf[512];
+  std::snprintf(buf, sizeof buf,
+                "| %s | %llu | %.2f | %.2f | %.1f | %zu | %.1f | %.2f | "
+                "%.2f | %.3f | %.2f |\n",
+                report.network.c_str(),
+                static_cast<unsigned long long>(report.total_cycles),
+                report.latency_ms, report.fps, report.resources.kilo_luts,
+                report.resources.dsps, report.resources.bram36,
+                report.power.total_w(), report.fps_per_klut(),
+                report.fps_per_dsp(), report.fps_per_watt());
+  os << buf;
+  RPBCM_CHECK_MSG(os.good(), "markdown write failed");
+}
+
+void write_layer_csv(const AcceleratorReport& report,
+                     const std::string& path) {
+  std::ofstream os(path);
+  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
+  write_layer_csv(report, os);
+}
+
+void write_summary_markdown(const AcceleratorReport& report,
+                            const std::string& path) {
+  std::ofstream os(path);
+  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
+  write_summary_markdown(report, os);
+}
+
+}  // namespace rpbcm::hw

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hw/accelerator.hpp"
+
+namespace rpbcm::hw {
+
+/// Writes the per-layer cycle breakdown of a simulation as CSV:
+///   layer,fft,emac,skip_check,ifft,input_read,weight_read,output_write,total
+/// One row per layer plus a trailing "total" row.
+void write_layer_csv(const AcceleratorReport& report, std::ostream& os);
+
+/// Writes the headline metrics (cycles, FPS, resources, power,
+/// efficiency) as a GitHub-flavored markdown table — the format used by
+/// EXPERIMENTS.md.
+void write_summary_markdown(const AcceleratorReport& report,
+                            std::ostream& os);
+
+/// Convenience file-path overloads.
+void write_layer_csv(const AcceleratorReport& report,
+                     const std::string& path);
+void write_summary_markdown(const AcceleratorReport& report,
+                            const std::string& path);
+
+}  // namespace rpbcm::hw

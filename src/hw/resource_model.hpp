@@ -1,0 +1,52 @@
+#pragma once
+
+#include "hw/config.hpp"
+
+namespace rpbcm::hw {
+
+/// Post-synthesis-style resource estimate, in the units Table III uses:
+/// kLUT, DSP48 slices and BRAM36 blocks.
+struct ResourceReport {
+  double kilo_luts = 0.0;
+  std::size_t dsps = 0;
+  double bram36 = 0.0;
+
+  double lut_util(const FpgaResources& b) const {
+    return kilo_luts / b.kilo_luts;
+  }
+  double dsp_util(const FpgaResources& b) const {
+    return static_cast<double>(dsps) / static_cast<double>(b.dsps);
+  }
+  double bram_util(const FpgaResources& b) const { return bram36 / b.bram36; }
+};
+
+/// Per-module cost constants, calibrated so the default HwConfig lands on
+/// the paper's Table III utilization for the same design point (18.2 kLUT,
+/// 117 DSP, 112.5 BRAM36 on the XC7Z020). The structure — what scales with
+/// p, with the FFT bank, with the skip scheme — is the modeled quantity;
+/// the absolute constants are fitted.
+struct ResourceCosts {
+  // One complex MAC datapath (4 multipliers folded onto DSP48s + align/acc).
+  std::size_t emac_dsp = 4;
+  double emac_kluts = 0.35;
+  // One FFT PE: log2(BS) pipelined butterfly stages, one complex mul each.
+  std::size_t fft_stage_dsp = 4;
+  double fft_stage_kluts = 0.5;
+  // Shared control, AXI DMA engines, and the non-linear modules
+  // (BN/ReLU/pool) of Fig. 6.
+  double base_kluts = 6.0;
+  std::size_t base_dsp = 5;
+  // Skip-scheme additions: PE-bank controller + index fetch logic.
+  double skip_kluts = 0.6;
+  std::size_t skip_dsp = 0;
+  double skip_index_kb = 4.0;  // skip-index buffer budget
+};
+
+/// Estimates the accelerator's resource usage for a configuration.
+ResourceReport estimate_resources(const HwConfig& cfg,
+                                  const ResourceCosts& costs = {});
+
+/// BRAM36 blocks needed for `kb` kilobytes (a BRAM36 holds 4.5 KB).
+double bram36_for_kb(double kb);
+
+}  // namespace rpbcm::hw

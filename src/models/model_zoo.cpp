@@ -1,0 +1,255 @@
+#include "models/model_zoo.hpp"
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+
+namespace rpbcm::models {
+
+using core::ConvShape;
+using core::LinearShape;
+using core::NetworkShape;
+
+namespace {
+
+ConvShape conv(std::string name, std::size_t k, std::size_t cin,
+               std::size_t cout, std::size_t spatial, std::size_t stride,
+               std::size_t pad) {
+  ConvShape c;
+  c.name = std::move(name);
+  c.kernel = k;
+  c.in_channels = cin;
+  c.out_channels = cout;
+  c.in_h = spatial;
+  c.in_w = spatial;
+  c.stride = stride;
+  c.pad = pad;
+  return c;
+}
+
+// Accumulates BN affine parameters (2 per channel) for every conv.
+std::size_t bn_params(const std::vector<ConvShape>& convs) {
+  std::size_t n = 0;
+  for (const auto& c : convs) n += 2 * c.out_channels;
+  return n;
+}
+
+}  // namespace
+
+NetworkShape resnet50_imagenet_shape() {
+  NetworkShape net;
+  net.name = "ResNet-50/ImageNet";
+  auto& cs = net.convs;
+  cs.push_back(conv("stem", 7, 3, 64, 224, 2, 3));  // -> 112, then maxpool -> 56
+
+  struct Stage {
+    std::size_t blocks, width, out, spatial, first_stride;
+  };
+  // Bottleneck stages: conv1 1x1 (in->w), conv2 3x3 (w->w, stride on first
+  // block), conv3 1x1 (w->4w), plus a 1x1 downsample on the first block.
+  const Stage stages[] = {
+      {3, 64, 256, 56, 1},
+      {4, 128, 512, 56, 2},
+      {6, 256, 1024, 28, 2},
+      {3, 512, 2048, 14, 2},
+  };
+  std::size_t in_ch = 64;
+  for (const auto& st : stages) {
+    std::size_t spatial = st.spatial;
+    for (std::size_t b = 0; b < st.blocks; ++b) {
+      const std::size_t stride = (b == 0) ? st.first_stride : 1;
+      const std::string tag =
+          "res" + std::to_string(&st - stages + 2) + "." + std::to_string(b);
+      cs.push_back(conv(tag + ".conv1", 1, in_ch, st.width, spatial, 1, 0));
+      cs.push_back(
+          conv(tag + ".conv2", 3, st.width, st.width, spatial, stride, 1));
+      const std::size_t out_spatial = (stride == 2) ? spatial / 2 : spatial;
+      cs.push_back(
+          conv(tag + ".conv3", 1, st.width, st.out, out_spatial, 1, 0));
+      if (b == 0)
+        cs.push_back(
+            conv(tag + ".down", 1, in_ch, st.out, spatial, stride, 0));
+      in_ch = st.out;
+      if (stride == 2) spatial /= 2;
+    }
+  }
+  net.fcs.push_back({"fc", 2048, 1000});
+  net.other_params = bn_params(cs) + 1000;  // BN affine + fc bias
+  return net;
+}
+
+NetworkShape resnet18_imagenet_shape() {
+  NetworkShape net;
+  net.name = "ResNet-18/ImageNet";
+  auto& cs = net.convs;
+  cs.push_back(conv("stem", 7, 3, 64, 224, 2, 3));  // -> 112, maxpool -> 56
+
+  struct Stage {
+    std::size_t width, spatial, first_stride;
+  };
+  const Stage stages[] = {
+      {64, 56, 1}, {128, 56, 2}, {256, 28, 2}, {512, 14, 2}};
+  std::size_t in_ch = 64;
+  for (const auto& st : stages) {
+    std::size_t spatial = st.spatial;
+    for (std::size_t b = 0; b < 2; ++b) {
+      const std::size_t stride = (b == 0) ? st.first_stride : 1;
+      const std::string tag = "res" + std::to_string(st.width) + "." +
+                              std::to_string(b);
+      cs.push_back(
+          conv(tag + ".conv1", 3, in_ch, st.width, spatial, stride, 1));
+      const std::size_t out_spatial = (stride == 2) ? spatial / 2 : spatial;
+      cs.push_back(
+          conv(tag + ".conv2", 3, st.width, st.width, out_spatial, 1, 1));
+      if (b == 0 && stride == 2)
+        cs.push_back(
+            conv(tag + ".down", 1, in_ch, st.width, spatial, stride, 0));
+      in_ch = st.width;
+      if (stride == 2) spatial /= 2;
+    }
+  }
+  net.fcs.push_back({"fc", 512, 1000});
+  net.other_params = bn_params(cs) + 1000;
+  return net;
+}
+
+namespace {
+
+NetworkShape vgg_cifar_shape(const std::vector<int>& cfg, std::string name,
+                             std::size_t classes) {
+  NetworkShape net;
+  net.name = std::move(name);
+  std::size_t in_ch = 3;
+  std::size_t spatial = 32;
+  std::size_t idx = 0;
+  for (int v : cfg) {
+    if (v < 0) {  // maxpool
+      spatial /= 2;
+      continue;
+    }
+    const auto out = static_cast<std::size_t>(v);
+    net.convs.push_back(conv("conv" + std::to_string(idx++), 3, in_ch, out,
+                             spatial, 1, 1));
+    in_ch = out;
+  }
+  net.fcs.push_back({"fc", 512, classes});
+  net.other_params = bn_params(net.convs) + classes;
+  return net;
+}
+
+}  // namespace
+
+NetworkShape vgg16_cifar_shape(std::size_t classes) {
+  return vgg_cifar_shape({64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512,
+                          512, 512, -1, 512, 512, 512, -1},
+                         "VGG-16/Cifar", classes);
+}
+
+NetworkShape vgg19_cifar_shape(std::size_t classes) {
+  return vgg_cifar_shape({64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1,
+                          512, 512, 512, 512, -1, 512, 512, 512, 512, -1},
+                         "VGG-19/Cifar", classes);
+}
+
+void add_conv_bn_relu(nn::Sequential& seq, std::size_t cin, std::size_t cout,
+                      const ScaledNetConfig& cfg, numeric::Rng& rng,
+                      std::size_t stride) {
+  nn::ConvSpec spec;
+  spec.in_channels = cin;
+  spec.out_channels = cout;
+  spec.kernel = 3;
+  spec.stride = stride;
+  spec.pad = 1;
+  const bool divisible =
+      cin % cfg.block_size == 0 && cout % cfg.block_size == 0;
+  if (cfg.kind == ConvKind::kDense || !divisible) {
+    seq.emplace<nn::Conv2d>(spec, rng);
+  } else {
+    const auto mode = (cfg.kind == ConvKind::kHadaBcm)
+                          ? core::BcmParameterization::kHadamard
+                          : core::BcmParameterization::kPlain;
+    seq.emplace<core::BcmConv2d>(spec, cfg.block_size, mode, rng);
+  }
+  seq.emplace<nn::BatchNorm2d>(cout);
+  seq.emplace<nn::ReLU>();
+}
+
+std::unique_ptr<nn::Sequential> make_scaled_vgg(const ScaledNetConfig& cfg,
+                                                bool deep) {
+  numeric::Rng rng(cfg.seed);
+  auto seq = std::make_unique<nn::Sequential>();
+  const std::size_t w = cfg.base_width;
+  // Stage 1 (16x16): 2 convs. Stage 2 (8x8): 2 convs. Stage 3 (4x4): 3 or 4.
+  add_conv_bn_relu(*seq, cfg.in_channels, w, cfg, rng);
+  add_conv_bn_relu(*seq, w, w, cfg, rng);
+  seq->emplace<nn::MaxPool2d>(2);
+  add_conv_bn_relu(*seq, w, 2 * w, cfg, rng);
+  add_conv_bn_relu(*seq, 2 * w, 2 * w, cfg, rng);
+  seq->emplace<nn::MaxPool2d>(2);
+  add_conv_bn_relu(*seq, 2 * w, 4 * w, cfg, rng);
+  add_conv_bn_relu(*seq, 4 * w, 4 * w, cfg, rng);
+  add_conv_bn_relu(*seq, 4 * w, 4 * w, cfg, rng);
+  if (deep) add_conv_bn_relu(*seq, 4 * w, 4 * w, cfg, rng);
+  seq->emplace<nn::GlobalAvgPool>();
+  seq->emplace<nn::Linear>(4 * w, cfg.classes, rng);
+  return seq;
+}
+
+std::unique_ptr<nn::Sequential> make_scaled_resnet(
+    const ScaledNetConfig& cfg) {
+  numeric::Rng rng(cfg.seed);
+  auto seq = std::make_unique<nn::Sequential>();
+  const std::size_t w = cfg.base_width;
+
+  // Dense stem (3 input channels never divide by BS).
+  add_conv_bn_relu(*seq, cfg.in_channels, w, cfg, rng);
+
+  auto basic_block = [&](std::size_t cin, std::size_t cout,
+                         std::size_t stride) {
+    auto main = std::make_unique<nn::Sequential>();
+    add_conv_bn_relu(*main, cin, cout, cfg, rng, stride);
+    // Second conv without ReLU (the block applies it after the add).
+    nn::ConvSpec spec;
+    spec.in_channels = cout;
+    spec.out_channels = cout;
+    spec.kernel = 3;
+    spec.stride = 1;
+    spec.pad = 1;
+    const bool divisible = cout % cfg.block_size == 0;
+    if (cfg.kind == ConvKind::kDense || !divisible) {
+      main->emplace<nn::Conv2d>(spec, rng);
+    } else {
+      const auto mode = (cfg.kind == ConvKind::kHadaBcm)
+                            ? core::BcmParameterization::kHadamard
+                            : core::BcmParameterization::kPlain;
+      main->emplace<core::BcmConv2d>(spec, cfg.block_size, mode, rng);
+    }
+    main->emplace<nn::BatchNorm2d>(cout);
+
+    std::unique_ptr<nn::Sequential> shortcut;
+    if (cin != cout || stride != 1) {
+      shortcut = std::make_unique<nn::Sequential>();
+      nn::ConvSpec ds;
+      ds.in_channels = cin;
+      ds.out_channels = cout;
+      ds.kernel = 1;
+      ds.stride = stride;
+      ds.pad = 0;
+      shortcut->emplace<nn::Conv2d>(ds, rng);
+      shortcut->emplace<nn::BatchNorm2d>(cout);
+    }
+    seq->emplace<nn::ResidualBlock>(std::move(main), std::move(shortcut));
+  };
+
+  basic_block(w, w, 1);
+  basic_block(w, w, 1);
+  basic_block(w, 2 * w, 2);
+  basic_block(2 * w, 2 * w, 1);
+
+  seq->emplace<nn::GlobalAvgPool>();
+  seq->emplace<nn::Linear>(2 * w, cfg.classes, rng);
+  return seq;
+}
+
+}  // namespace rpbcm::models

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/bcm_conv.hpp"
+#include "core/compression_stats.hpp"
+#include "nn/sequential.hpp"
+
+namespace rpbcm::models {
+
+// ---------------------------------------------------------------------------
+// Full-size analytic descriptors (exact layer shapes of the published
+// architectures). These drive the Table I compression accounting and the
+// Table III / Fig. 10 hardware experiments, where only shapes matter.
+// ---------------------------------------------------------------------------
+
+/// ResNet-50 for 224x224 ImageNet (bottleneck blocks, ~25.6M params).
+core::NetworkShape resnet50_imagenet_shape();
+
+/// ResNet-18 for 224x224 ImageNet (basic blocks, ~11.7M params).
+core::NetworkShape resnet18_imagenet_shape();
+
+/// VGG-16 for 32x32 CIFAR-10 (conv backbone + 512-d classifier, ~14.7M).
+core::NetworkShape vgg16_cifar_shape(std::size_t classes = 10);
+
+/// VGG-19 for 32x32 CIFAR-100.
+core::NetworkShape vgg19_cifar_shape(std::size_t classes = 100);
+
+// ---------------------------------------------------------------------------
+// Scaled trainable models for the synthetic-data experiments. Architecture
+// families match the paper's (VGG-style plain stacks, ResNet-style residual
+// stacks); widths and depths are scaled to train in seconds on a CPU.
+// ---------------------------------------------------------------------------
+
+/// How convolution layers are realized in a scaled model.
+enum class ConvKind {
+  kDense,    // baseline convolution
+  kBcm,      // traditional BCM compression [4]
+  kHadaBcm,  // hadaBCM (Section III-A)
+};
+
+struct ScaledNetConfig {
+  std::size_t in_channels = 3;
+  std::size_t classes = 10;
+  std::size_t base_width = 16;   // channels of the first stage
+  ConvKind kind = ConvKind::kDense;
+  std::size_t block_size = 8;    // BS for the BCM variants
+  std::uint64_t seed = 42;
+};
+
+/// VGG-style plain convolutional stack. `deep` false gives the VGG-16 proxy
+/// (7 convs), true the VGG-19 proxy (8 convs). Input is expected to be a
+/// 16x16 image (three 2x2 pools to 2x2, then GAP + linear head).
+std::unique_ptr<nn::Sequential> make_scaled_vgg(const ScaledNetConfig& cfg,
+                                                bool deep = false);
+
+/// ResNet-style residual stack (proxy for ResNet-18/50): a dense stem, two
+/// stages of two basic blocks, GAP + linear head.
+std::unique_ptr<nn::Sequential> make_scaled_resnet(const ScaledNetConfig& cfg);
+
+/// Adds conv (+BN+ReLU) of the requested kind; channel counts that do not
+/// divide by the block size fall back to a dense conv, the same policy the
+/// paper's accelerators use for the stem layer.
+void add_conv_bn_relu(nn::Sequential& seq, std::size_t cin, std::size_t cout,
+                      const ScaledNetConfig& cfg, numeric::Rng& rng,
+                      std::size_t stride = 1);
+
+}  // namespace rpbcm::models

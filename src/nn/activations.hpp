@@ -1,0 +1,19 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// Rectified linear unit; caches the activation mask for backward.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  std::vector<bool> mask_;
+  std::vector<std::size_t> cached_shape_;
+};
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// Batch normalization over the channel dimension of NCHW activations, with
+/// learned scale/shift and running statistics for evaluation mode.
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float momentum = 0.1F,
+                       float eps = 1e-5F);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  std::size_t channels() const { return channels_; }
+
+  /// Running statistics — persistent inference state that checkpoints must
+  /// carry (they are not trainable parameters).
+  Tensor& running_mean() { return running_mean_; }
+  Tensor& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_ = 0;
+  float momentum_ = 0.1F;
+  float eps_ = 1e-5F;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+  // Caches for backward (training mode).
+  Tensor cached_xhat_;
+  std::vector<float> cached_inv_std_;
+  std::size_t cached_count_ = 0;
+};
+
+}  // namespace rpbcm::nn

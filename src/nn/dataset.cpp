@@ -1,0 +1,108 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "base/check.hpp"
+
+namespace rpbcm::nn {
+
+SyntheticImageDataset::SyntheticImageDataset(SyntheticSpec spec)
+    : spec_(spec) {
+  RPBCM_CHECK(spec_.classes >= 2 && spec_.channels >= 1 && spec_.image >= 4);
+  RPBCM_CHECK(spec_.train > 0 && spec_.test > 0);
+  numeric::Rng rng(spec_.seed);
+
+  // Class-conditional pattern parameters: distinct frequency pairs so
+  // classes are separable by spatial-frequency-selective filters.
+  patterns_.resize(spec_.classes);
+  for (std::size_t c = 0; c < spec_.classes; ++c) {
+    auto& p = patterns_[c];
+    p.fx.resize(spec_.channels);
+    p.fy.resize(spec_.channels);
+    p.phase.resize(spec_.channels);
+    p.amp.resize(spec_.channels);
+    for (std::size_t ch = 0; ch < spec_.channels; ++ch) {
+      p.fx[ch] = static_cast<float>(1 + (c * 3 + ch * 5) % 5);
+      p.fy[ch] = static_cast<float>(1 + (c * 7 + ch * 2) % 5);
+      p.phase[ch] = rng.uniform(0.0F, 2.0F * std::numbers::pi_v<float>);
+      p.amp[ch] = rng.uniform(0.7F, 1.3F);
+    }
+  }
+
+  const std::size_t c = spec_.channels, s = spec_.image;
+  train_x_ = Tensor({spec_.train, c, s, s});
+  train_y_.resize(spec_.train);
+  test_x_ = Tensor({spec_.test, c, s, s});
+  test_y_.resize(spec_.test);
+
+  for (std::size_t i = 0; i < spec_.train; ++i) {
+    const auto label = static_cast<std::uint16_t>(i % spec_.classes);
+    train_y_[i] = label;
+    render(train_x_, i, label, rng, train_x_.data() + i * c * s * s);
+  }
+  for (std::size_t i = 0; i < spec_.test; ++i) {
+    const auto label = static_cast<std::uint16_t>(i % spec_.classes);
+    test_y_[i] = label;
+    render(test_x_, i, label, rng, test_x_.data() + i * c * s * s);
+  }
+}
+
+void SyntheticImageDataset::render(Tensor& /*out*/, std::size_t /*idx*/,
+                                   std::uint16_t label, numeric::Rng& rng,
+                                   float* dst) const {
+  const auto& p = patterns_[label];
+  const std::size_t s = spec_.image;
+  const float two_pi = 2.0F * std::numbers::pi_v<float>;
+  for (std::size_t ch = 0; ch < spec_.channels; ++ch) {
+    const float jitter = rng.uniform(-spec_.phase_jitter, spec_.phase_jitter);
+    const float amp = p.amp[ch] * rng.uniform(0.85F, 1.15F);
+    float* plane = dst + ch * s * s;
+    for (std::size_t y = 0; y < s; ++y) {
+      for (std::size_t x = 0; x < s; ++x) {
+        const float arg =
+            two_pi *
+                (p.fx[ch] * static_cast<float>(x) +
+                 p.fy[ch] * static_cast<float>(y)) /
+                static_cast<float>(s) +
+            p.phase[ch] + jitter;
+        plane[y * s + x] =
+            amp * std::sin(arg) + rng.gaussian(0.0F, spec_.noise);
+      }
+    }
+  }
+}
+
+Batch SyntheticImageDataset::train_batch(numeric::Rng& rng,
+                                         std::size_t batch) const {
+  RPBCM_CHECK(batch > 0);
+  const std::size_t c = spec_.channels, s = spec_.image;
+  Batch b;
+  b.x = Tensor({batch, c, s, s});
+  b.y.resize(batch);
+  const std::size_t plane = c * s * s;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto src = static_cast<std::size_t>(
+        rng.randint(0, static_cast<int>(spec_.train) - 1));
+    std::copy_n(train_x_.data() + src * plane, plane, b.x.data() + i * plane);
+    b.y[i] = train_y_[src];
+  }
+  return b;
+}
+
+Batch SyntheticImageDataset::test_batch(std::size_t offset,
+                                        std::size_t batch) const {
+  RPBCM_CHECK(offset < spec_.test);
+  const std::size_t n = std::min(batch, spec_.test - offset);
+  const std::size_t c = spec_.channels, s = spec_.image;
+  const std::size_t plane = c * s * s;
+  Batch b;
+  b.x = Tensor({n, c, s, s});
+  b.y.resize(n);
+  std::copy_n(test_x_.data() + offset * plane, n * plane, b.x.data());
+  std::copy_n(test_y_.begin() + static_cast<long>(offset), n, b.y.begin());
+  return b;
+}
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::nn {
+
+using tensor::Tensor;
+
+/// A batch of images and labels.
+struct Batch {
+  Tensor x;  // [N, C, H, W]
+  std::vector<std::uint16_t> y;
+};
+
+/// Configuration of the procedural dataset that stands in for CIFAR-10/100
+/// and ImageNet (see DESIGN.md, substitution table). Each class is a
+/// distinct mixture of oriented 2-D sinusoids; samples add phase jitter,
+/// amplitude jitter and Gaussian pixel noise, so the task is non-trivial but
+/// learnable by small CNNs in a few epochs.
+struct SyntheticSpec {
+  std::size_t classes = 10;
+  std::size_t channels = 3;
+  std::size_t image = 16;  // square images
+  std::size_t train = 2048;
+  std::size_t test = 512;
+  float noise = 0.35F;
+  float phase_jitter = 0.5F;  // radians of per-sample phase wobble
+  std::uint64_t seed = 1;
+};
+
+/// In-memory synthetic image classification dataset.
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(SyntheticSpec spec);
+
+  const SyntheticSpec& spec() const { return spec_; }
+  std::size_t train_size() const { return spec_.train; }
+  std::size_t test_size() const { return spec_.test; }
+
+  /// Random training batch sampled with the caller's RNG (shuffling).
+  Batch train_batch(numeric::Rng& rng, std::size_t batch) const;
+
+  /// Deterministic test slice [offset, offset+batch), clamped to the end.
+  Batch test_batch(std::size_t offset, std::size_t batch) const;
+
+ private:
+  struct ClassPattern {
+    // Per-channel sinusoid parameters.
+    std::vector<float> fx, fy, phase, amp;
+  };
+
+  void render(Tensor& out, std::size_t image_index, std::uint16_t label,
+              numeric::Rng& rng, float* dst) const;
+
+  SyntheticSpec spec_;
+  std::vector<ClassPattern> patterns_;
+  Tensor train_x_;
+  std::vector<std::uint16_t> train_y_;
+  Tensor test_x_;
+  std::vector<std::uint16_t> test_y_;
+};
+
+}  // namespace rpbcm::nn

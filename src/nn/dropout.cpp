@@ -1,0 +1,30 @@
+#include "nn/dropout.hpp"
+
+namespace rpbcm::nn {
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0F) {
+    mask_.clear();
+    return x;
+  }
+  const float scale = 1.0F / (1.0F - p_);
+  mask_.assign(x.size(), 0.0F);
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!rng_.bernoulli(p_)) {
+      mask_[i] = scale;
+      y[i] = x[i] * scale;
+    }
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& gy) {
+  if (mask_.empty()) return gy;  // eval-mode forward: identity
+  RPBCM_CHECK_MSG(gy.size() == mask_.size(), "dropout backward shape mismatch");
+  Tensor gx(gy.shape());
+  for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * mask_[i];
+  return gx;
+}
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "nn/layer.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::nn {
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability p and survivors are scaled by 1/(1-p); evaluation is the
+/// identity. Deterministic given the layer's seed.
+class Dropout : public Layer {
+ public:
+  explicit Dropout(float p = 0.5F, std::uint64_t seed = 1234)
+      : p_(p), rng_(seed) {
+    RPBCM_CHECK_MSG(p >= 0.0F && p < 1.0F, "dropout p must be in [0, 1)");
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return "Dropout"; }
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  numeric::Rng rng_;
+  std::vector<float> mask_;  // 0 or 1/(1-p), empty after eval forward
+};
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,74 @@
+#include "nn/im2col.hpp"
+
+namespace rpbcm::nn {
+
+tensor::Tensor im2col(const tensor::Tensor& x, const ConvSpec& spec) {
+  RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec.in_channels,
+                  "im2col input must be NCHW with Cin=" << spec.in_channels);
+  const std::size_t n = x.dim(0), cin = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec.out_dim(h), wo = spec.out_dim(w);
+  const std::size_t k = spec.kernel;
+  const std::size_t patch = cin * k * k;
+  tensor::Tensor cols({n * ho * wo, patch});
+  const float* xd = x.data();
+  float* cd = cols.data();
+  for (std::size_t ni = 0; ni < n; ++ni) {
+    for (std::size_t oh = 0; oh < ho; ++oh) {
+      for (std::size_t ow = 0; ow < wo; ++ow) {
+        float* row = cd + ((ni * ho + oh) * wo + ow) * patch;
+        std::size_t idx = 0;
+        for (std::size_t ci = 0; ci < cin; ++ci) {
+          for (std::size_t kh = 0; kh < k; ++kh) {
+            const long ih = static_cast<long>(oh * spec.stride + kh) -
+                            static_cast<long>(spec.pad);
+            for (std::size_t kw = 0; kw < k; ++kw, ++idx) {
+              const long iw = static_cast<long>(ow * spec.stride + kw) -
+                              static_cast<long>(spec.pad);
+              row[idx] =
+                  (ih < 0 || ih >= static_cast<long>(h) || iw < 0 ||
+                   iw >= static_cast<long>(w))
+                      ? 0.0F
+                      : xd[((ni * cin + ci) * h +
+                            static_cast<std::size_t>(ih)) *
+                               w +
+                           static_cast<std::size_t>(iw)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+tensor::Tensor conv2d_gemm(const tensor::Tensor& x, const tensor::Tensor& w,
+                           const ConvSpec& spec) {
+  RPBCM_CHECK(w.rank() == 4 && w.dim(0) == spec.out_channels &&
+              w.dim(1) == spec.in_channels && w.dim(2) == spec.kernel &&
+              w.dim(3) == spec.kernel);
+  const std::size_t n = x.dim(0);
+  const std::size_t ho = spec.out_dim(x.dim(2)), wo = spec.out_dim(x.dim(3));
+  const std::size_t patch = spec.in_channels * spec.kernel * spec.kernel;
+  const auto cols = im2col(x, spec);
+
+  // GEMM: [rows, patch] x [patch, Cout]^T, written back in NCHW order.
+  tensor::Tensor y({n, spec.out_channels, ho, wo});
+  const float* cd = cols.data();
+  const float* wd = w.data();  // already [Cout, patch] row-major
+  float* yd = y.data();
+  const std::size_t rows = n * ho * wo;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* crow = cd + r * patch;
+    const std::size_t ni = r / (ho * wo);
+    const std::size_t pix = r % (ho * wo);
+    for (std::size_t co = 0; co < spec.out_channels; ++co) {
+      const float* wrow = wd + co * patch;
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < patch; ++i) acc += crow[i] * wrow[i];
+      yd[(ni * spec.out_channels + co) * ho * wo + pix] = acc;
+    }
+  }
+  return y;
+}
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "nn/conv2d.hpp"
+
+namespace rpbcm::nn {
+
+/// im2col: unrolls an NCHW input into a [N*Ho*Wo, Cin*K*K] patch matrix,
+/// so convolution becomes one GEMM against the [Cout, Cin*K*K] filter
+/// matrix — the classic CPU/GPU convolution backend, provided both as a
+/// faster alternative to the direct loops and as an independent oracle for
+/// testing them against each other.
+tensor::Tensor im2col(const tensor::Tensor& x, const ConvSpec& spec);
+
+/// GEMM-backed convolution forward: functionally identical to
+/// conv2d_reference (tests assert this), typically 2-4x faster on wide
+/// layers because the inner loop is a dense dot product.
+tensor::Tensor conv2d_gemm(const tensor::Tensor& x, const tensor::Tensor& w,
+                           const ConvSpec& spec);
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::nn {
+
+using tensor::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient. Gradients are
+/// accumulated with += by layer backward passes; the optimizer consumes and
+/// the trainer zeroes them per step.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t size() const { return value.size(); }
+};
+
+/// Base class of all layers in the training substrate. The contract is the
+/// classic define-by-run backprop pair:
+///   y  = forward(x, train)   — must cache whatever backward needs
+///   gx = backward(gy)        — also accumulates parameter gradients
+/// A layer instance processes one batch at a time (no re-entrancy).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  virtual Tensor backward(const Tensor& gy) = 0;
+
+  /// Trainable parameters (empty for stateless layers). Pointers remain
+  /// valid for the lifetime of the layer.
+  virtual std::vector<Param*> params() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Parameters that an inference deployment must store. Differs from the
+  /// training parameterization for compressed layers (e.g. hadaBCM merges
+  /// A and B into one defining vector at deployment).
+  virtual std::size_t deployed_param_count() {
+    std::size_t n = 0;
+    for (auto* p : params()) n += p->size();
+    return n;
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Zeroes the gradients of every parameter in the list.
+inline void zero_grads(const std::vector<Param*>& ps) {
+  for (auto* p : ps) p->zero_grad();
+}
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,75 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpbcm::nn {
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   std::span<const std::uint16_t> labels) {
+  RPBCM_CHECK_MSG(logits.rank() == 2, "logits must be [N, classes]");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  RPBCM_CHECK(labels.size() == n);
+  probs_ = Tensor({n, c});
+  labels_.assign(labels.begin(), labels.end());
+  const float* ld = logits.data();
+  float* pd = probs_.data();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = ld + i * c;
+    const float mx = *std::max_element(row, row + c);
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+    const auto log_denom = static_cast<float>(std::log(denom));
+    float* prow = pd + i * c;
+    for (std::size_t j = 0; j < c; ++j)
+      prow[j] = std::exp(row[j] - mx - log_denom);
+    RPBCM_CHECK_MSG(labels[i] < c, "label out of range");
+    loss -= static_cast<double>(row[labels[i]] - mx - log_denom);
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  RPBCM_CHECK_MSG(!probs_.empty(), "backward before forward");
+  const std::size_t n = probs_.dim(0), c = probs_.dim(1);
+  Tensor g = probs_;
+  float* gd = g.data();
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gd[i * c + labels_[i]] -= 1.0F;
+    for (std::size_t j = 0; j < c; ++j) gd[i * c + j] *= inv_n;
+  }
+  return g;
+}
+
+double SoftmaxCrossEntropy::accuracy(const Tensor& logits,
+                                     std::span<const std::uint16_t> labels) {
+  return topk_accuracy(logits, labels, 1);
+}
+
+double SoftmaxCrossEntropy::topk_accuracy(
+    const Tensor& logits, std::span<const std::uint16_t> labels,
+    std::size_t k) {
+  RPBCM_CHECK(logits.rank() == 2 && labels.size() == logits.dim(0));
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  RPBCM_CHECK(k >= 1 && k <= c);
+  const float* ld = logits.data();
+  std::size_t hits = 0;
+  std::vector<std::size_t> idx(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = ld + i * c;
+    for (std::size_t j = 0; j < c; ++j) idx[j] = j;
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
+                      idx.end(),
+                      [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+    for (std::size_t j = 0; j < k; ++j)
+      if (idx[j] == labels[i]) {
+        ++hits;
+        break;
+      }
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace rpbcm::nn

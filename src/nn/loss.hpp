@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// Softmax cross-entropy over logits of shape [N, classes].
+/// forward() returns the mean loss; backward() returns dLoss/dLogits for the
+/// same batch (already divided by N).
+class SoftmaxCrossEntropy {
+ public:
+  float forward(const Tensor& logits, std::span<const std::uint16_t> labels);
+  Tensor backward() const;
+
+  /// Top-1 accuracy of a logits batch against labels (stateless helper).
+  static double accuracy(const Tensor& logits,
+                         std::span<const std::uint16_t> labels);
+
+  /// Top-k accuracy (k <= classes).
+  static double topk_accuracy(const Tensor& logits,
+                              std::span<const std::uint16_t> labels,
+                              std::size_t k);
+
+ private:
+  Tensor probs_;  // cached softmax probabilities
+  std::vector<std::uint16_t> labels_;
+};
+
+}  // namespace rpbcm::nn

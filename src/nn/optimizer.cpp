@@ -1,0 +1,33 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace rpbcm::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  for (auto* p : params) {
+    auto [it, inserted] = velocity_.try_emplace(p, p->value.shape());
+    Tensor& v = it->second;
+    RPBCM_CHECK_MSG(v.same_shape(p->value),
+                    "parameter shape changed between optimizer steps");
+    float* vd = v.data();
+    const float* gd = p->grad.data();
+    float* wd = p->value.data();
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      const float g = gd[i] + weight_decay_ * wd[i];
+      vd[i] = momentum_ * vd[i] + g;
+      wd[i] -= lr_ * vd[i];
+    }
+  }
+}
+
+float CosineAnnealing::lr(std::size_t epoch) const {
+  const double t = std::min<double>(static_cast<double>(epoch),
+                                    static_cast<double>(total_));
+  const double cosine =
+      0.5 * (1.0 + std::cos(std::numbers::pi * t / static_cast<double>(total_)));
+  return min_ + static_cast<float>((base_ - min_) * cosine);
+}
+
+}  // namespace rpbcm::nn

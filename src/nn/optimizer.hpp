@@ -1,0 +1,47 @@
+#pragma once
+
+#include <unordered_map>
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// SGD with momentum and decoupled L2 weight decay — the optimizer the
+/// paper uses for all trained experiments (Section V-A).
+class Sgd {
+ public:
+  explicit Sgd(float lr, float momentum = 0.9F, float weight_decay = 0.0F)
+      : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {}
+
+  /// Applies one update to every parameter using its accumulated gradient.
+  void step(const std::vector<Param*>& params);
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+/// Cosine annealing LR schedule (Section V-A): lr(t) = lr_min +
+/// (lr_base - lr_min) * (1 + cos(pi * t / T)) / 2.
+class CosineAnnealing {
+ public:
+  CosineAnnealing(float base_lr, std::size_t total_epochs,
+                  float min_lr = 0.0F)
+      : base_(base_lr), min_(min_lr), total_(total_epochs) {
+    RPBCM_CHECK(total_epochs > 0);
+  }
+
+  float lr(std::size_t epoch) const;
+
+ private:
+  float base_;
+  float min_;
+  std::size_t total_;
+};
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// Non-overlapping 2x2 (or kxk) max pooling on NCHW activations.
+class MaxPool2d : public Layer {
+ public:
+  explicit MaxPool2d(std::size_t k = 2) : k_(k) { RPBCM_CHECK(k >= 1); }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t k_ = 2;
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Global average pooling: NCHW -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Flattens NCHW to [N, C*H*W].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace rpbcm::nn

@@ -1,0 +1,109 @@
+#include "nn/sequential.hpp"
+
+#include <functional>
+
+namespace rpbcm::nn {
+
+Layer* Sequential::add(LayerPtr layer) {
+  RPBCM_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return layers_.back().get();
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& gy) {
+  Tensor cur = gy;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    cur = (*it)->backward(cur);
+  return cur;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> ps;
+  for (auto& l : layers_) {
+    auto sub = l->params();
+    ps.insert(ps.end(), sub.begin(), sub.end());
+  }
+  return ps;
+}
+
+std::size_t Sequential::deployed_param_count() {
+  std::size_t n = 0;
+  for (auto& l : layers_) n += l->deployed_param_count();
+  return n;
+}
+
+LayerPtr Sequential::replace(std::size_t i, LayerPtr layer) {
+  RPBCM_CHECK(i < layers_.size() && layer != nullptr);
+  LayerPtr old = std::move(layers_[i]);
+  layers_[i] = std::move(layer);
+  return old;
+}
+
+void Sequential::visit(const std::function<void(Layer&)>& fn) {
+  for (auto& l : layers_) {
+    fn(*l);
+    if (auto* seq = dynamic_cast<Sequential*>(l.get())) {
+      seq->visit(fn);
+    } else if (auto* res = dynamic_cast<ResidualBlock*>(l.get())) {
+      res->main().visit(fn);
+      if (res->shortcut()) res->shortcut()->visit(fn);
+    }
+  }
+}
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> main,
+                             std::unique_ptr<Sequential> shortcut)
+    : main_(std::move(main)), shortcut_(std::move(shortcut)) {
+  RPBCM_CHECK(main_ != nullptr);
+}
+
+Tensor ResidualBlock::forward(const Tensor& x, bool train) {
+  Tensor a = main_->forward(x, train);
+  Tensor b = shortcut_ ? shortcut_->forward(x, train) : x;
+  RPBCM_CHECK_MSG(a.same_shape(b),
+                  "residual shapes differ: " << a.shape_string() << " vs "
+                                             << b.shape_string());
+  a += b;
+  relu_mask_.assign(a.size(), false);
+  float* d = a.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    relu_mask_[i] = d[i] > 0.0F;
+    if (!relu_mask_[i]) d[i] = 0.0F;
+  }
+  return a;
+}
+
+Tensor ResidualBlock::backward(const Tensor& gy) {
+  RPBCM_CHECK_MSG(gy.size() == relu_mask_.size(), "backward before forward");
+  Tensor g = gy;
+  float* gd = g.data();
+  for (std::size_t i = 0; i < g.size(); ++i)
+    if (!relu_mask_[i]) gd[i] = 0.0F;
+  Tensor gx_main = main_->backward(g);
+  Tensor gx_short = shortcut_ ? shortcut_->backward(g) : g;
+  gx_main += gx_short;
+  return gx_main;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+  std::vector<Param*> ps = main_->params();
+  if (shortcut_) {
+    auto sub = shortcut_->params();
+    ps.insert(ps.end(), sub.begin(), sub.end());
+  }
+  return ps;
+}
+
+std::size_t ResidualBlock::deployed_param_count() {
+  std::size_t n = main_->deployed_param_count();
+  if (shortcut_) n += shortcut_->deployed_param_count();
+  return n;
+}
+
+}  // namespace rpbcm::nn

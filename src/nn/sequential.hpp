@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace rpbcm::nn {
+
+/// Ordered container of layers; forward chains left-to-right, backward
+/// right-to-left. Owns its layers.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer and returns a non-owning pointer for later inspection
+  /// (e.g. to find the convs a compressor should replace).
+  Layer* add(LayerPtr layer);
+
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    add(std::move(layer));
+    return raw;
+  }
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override;
+  std::size_t deployed_param_count() override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) {
+    RPBCM_CHECK(i < layers_.size());
+    return *layers_[i];
+  }
+
+  /// Replaces the layer at index i (used by the compressor to swap dense
+  /// convolutions for BCM-compressed ones). Returns the old layer.
+  LayerPtr replace(std::size_t i, LayerPtr layer);
+
+  /// Depth-first visit over all layers, descending into nested containers.
+  void visit(const std::function<void(Layer&)>& fn);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+/// Residual block: y = ReLU(main(x) + shortcut(x)). `shortcut` may be null
+/// for the identity connection. Used by the ResNet builders.
+class ResidualBlock : public Layer {
+ public:
+  ResidualBlock(std::unique_ptr<Sequential> main,
+                std::unique_ptr<Sequential> shortcut);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& gy) override;
+  std::vector<Param*> params() override;
+  std::size_t deployed_param_count() override;
+  std::string name() const override { return "ResidualBlock"; }
+
+  Sequential& main() { return *main_; }
+  Sequential* shortcut() { return shortcut_.get(); }
+
+ private:
+  std::unique_ptr<Sequential> main_;
+  std::unique_ptr<Sequential> shortcut_;  // may be null (identity)
+  std::vector<bool> relu_mask_;
+};
+
+}  // namespace rpbcm::nn

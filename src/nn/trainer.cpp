@@ -1,0 +1,70 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+namespace rpbcm::nn {
+
+Trainer::Trainer(Layer& model, const SyntheticImageDataset& data,
+                 TrainConfig cfg)
+    : model_(model),
+      data_(data),
+      cfg_(cfg),
+      opt_(cfg.lr, cfg.momentum, cfg.weight_decay),
+      rng_(cfg.seed) {}
+
+float Trainer::run_epoch(float lr) {
+  opt_.set_lr(lr);
+  SoftmaxCrossEntropy loss;
+  const auto params = model_.params();
+  double total = 0.0;
+  for (std::size_t step = 0; step < cfg_.steps_per_epoch; ++step) {
+    Batch b = data_.train_batch(rng_, cfg_.batch);
+    zero_grads(params);
+    Tensor logits = model_.forward(b.x, /*train=*/true);
+    total += loss.forward(logits, b.y);
+    model_.backward(loss.backward());
+    opt_.step(params);
+  }
+  return static_cast<float>(total / static_cast<double>(cfg_.steps_per_epoch));
+}
+
+std::vector<EpochStats> Trainer::train() {
+  CosineAnnealing schedule(cfg_.lr, cfg_.epochs, cfg_.min_lr);
+  std::vector<EpochStats> stats;
+  stats.reserve(cfg_.epochs);
+  for (std::size_t e = 0; e < cfg_.epochs; ++e) {
+    EpochStats s;
+    s.epoch = e;
+    s.lr = schedule.lr(e);
+    s.mean_loss = run_epoch(s.lr);
+    s.test_top1 = evaluate();
+    if (cfg_.verbose)
+      std::printf("  epoch %2zu  lr %.4f  loss %.4f  top1 %.3f\n", e, s.lr,
+                  s.mean_loss, s.test_top1);
+    stats.push_back(s);
+  }
+  return stats;
+}
+
+double Trainer::fine_tune(std::size_t epochs, float lr) {
+  for (std::size_t e = 0; e < epochs; ++e) run_epoch(lr);
+  return evaluate();
+}
+
+double Trainer::evaluate() { return evaluate_topk(1); }
+
+double Trainer::evaluate_topk(std::size_t k) {
+  const std::size_t chunk = 128;
+  std::size_t seen = 0;
+  double hits = 0.0;
+  for (std::size_t off = 0; off < data_.test_size(); off += chunk) {
+    Batch b = data_.test_batch(off, chunk);
+    Tensor logits = model_.forward(b.x, /*train=*/false);
+    hits += SoftmaxCrossEntropy::topk_accuracy(logits, b.y, k) *
+            static_cast<double>(b.y.size());
+    seen += b.y.size();
+  }
+  return hits / static_cast<double>(seen);
+}
+
+}  // namespace rpbcm::nn

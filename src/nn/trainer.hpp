@@ -1,0 +1,61 @@
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/layer.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace rpbcm::nn {
+
+/// Training hyper-parameters (SGD + cosine annealing as in Section V-A).
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t steps_per_epoch = 32;
+  std::size_t batch = 32;
+  float lr = 0.05F;
+  float min_lr = 1e-4F;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  std::size_t epoch = 0;
+  float lr = 0.0F;
+  float mean_loss = 0.0F;
+  double test_top1 = 0.0;
+};
+
+/// Minimal training loop binding a model, a synthetic dataset, SGD and the
+/// cosine schedule. Used by the trained experiments (Figs. 2, 5, 9) and by
+/// the fine-tuning step of Algorithm 1.
+class Trainer {
+ public:
+  Trainer(Layer& model, const SyntheticImageDataset& data, TrainConfig cfg);
+
+  /// Runs the configured number of epochs; returns per-epoch stats.
+  std::vector<EpochStats> train();
+
+  /// Continues training for `epochs` additional epochs at fixed `lr`
+  /// (the fine-tuning step of Algorithm 1). Returns final test accuracy.
+  double fine_tune(std::size_t epochs, float lr);
+
+  /// Top-1 accuracy on the full test split (eval mode).
+  double evaluate();
+
+  /// Top-k accuracy on the full test split.
+  double evaluate_topk(std::size_t k);
+
+ private:
+  float run_epoch(float lr);
+
+  Layer& model_;
+  const SyntheticImageDataset& data_;
+  TrainConfig cfg_;
+  Sgd opt_;
+  numeric::Rng rng_;
+};
+
+}  // namespace rpbcm::nn

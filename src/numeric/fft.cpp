@@ -1,0 +1,121 @@
+#include "numeric/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "base/check.hpp"
+
+namespace rpbcm::numeric {
+
+std::size_t log2_exact(std::size_t n) {
+  RPBCM_CHECK_MSG(is_pow2(n), "log2_exact requires a power of two, got " << n);
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return l;
+}
+
+TwiddleRom::TwiddleRom(std::size_t n) : n_(n) {
+  RPBCM_CHECK_MSG(is_pow2(n), "FFT size must be a power of two, got " << n);
+  w_.resize(n / 2);
+  for (std::size_t k = 0; k < w_.size(); ++k) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    w_[k] = cfloat(static_cast<float>(std::cos(ang)),
+                   static_cast<float>(std::sin(ang)));
+  }
+  if (n == 1) w_.assign(1, cfloat(1.0F, 0.0F));
+}
+
+cfloat TwiddleRom::forward(std::size_t k) const {
+  RPBCM_CHECK(k < n_ / 2 || (n_ == 1 && k == 0));
+  return w_[k];
+}
+
+cfloat TwiddleRom::inverse(std::size_t k) const {
+  return std::conj(forward(k));
+}
+
+namespace {
+
+void bit_reverse_permute(std::span<cfloat> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom, bool inverse) {
+  const std::size_t n = data.size();
+  RPBCM_CHECK_MSG(rom.size() == n, "twiddle ROM size " << rom.size()
+                                   << " != FFT size " << n);
+  if (n <= 1) return;
+  bit_reverse_permute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;  // twiddle index step at this stage
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cfloat w = inverse ? rom.inverse(k * stride)
+                                 : rom.forward(k * stride);
+        const cfloat u = data[i + k];
+        const cfloat v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    // Hardware divides by BS with a log2(BS) shift; here the float analogue.
+    const float inv_n = 1.0F / static_cast<float>(n);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void fft_inplace(std::span<cfloat> data, bool inverse) {
+  const TwiddleRom rom(data.size());
+  fft_inplace(data, rom, inverse);
+}
+
+std::vector<cfloat> fft_real(std::span<const float> x) {
+  std::vector<cfloat> d(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) d[i] = cfloat(x[i], 0.0F);
+  fft_inplace(d);
+  return d;
+}
+
+std::vector<cfloat> rfft(std::span<const float> x) {
+  auto full = fft_real(x);
+  full.resize(x.size() / 2 + 1);
+  return full;
+}
+
+std::vector<cfloat> expand_half_spectrum(std::span<const cfloat> half,
+                                         std::size_t n) {
+  RPBCM_CHECK_MSG(half.size() == n / 2 + 1,
+                  "half spectrum must have n/2+1 bins");
+  std::vector<cfloat> full(n);
+  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
+  for (std::size_t k = half.size(); k < n; ++k) full[k] = std::conj(half[n - k]);
+  return full;
+}
+
+std::vector<float> irfft(std::span<const cfloat> half, std::size_t n) {
+  RPBCM_CHECK_MSG(is_pow2(n), "irfft size must be a power of two");
+  auto full = expand_half_spectrum(half, n);
+  fft_inplace(std::span<cfloat>(full), /*inverse=*/true);
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
+  return out;
+}
+
+std::size_t fft_butterfly_count(std::size_t n) {
+  if (n <= 1) return 0;
+  return (n / 2) * log2_exact(n);
+}
+
+}  // namespace rpbcm::numeric

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rpbcm::numeric {
+
+using cfloat = std::complex<float>;
+
+/// True iff n is a nonzero power of two. BCM block sizes and FFT sizes must
+/// satisfy this (Section II-B2 of the paper: "BS should be 2^n").
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// log2 of a power of two; throws CheckError otherwise.
+std::size_t log2_exact(std::size_t n);
+
+/// Pre-computed twiddle factors. Mirrors the twiddle ROM the accelerator
+/// stores on chip ("essential data for the FFT, such as the twiddle factor,
+/// are pre-stored in the ROM", Section IV-A).
+class TwiddleRom {
+ public:
+  /// Builds the ROM for FFT size `n` (power of two).
+  explicit TwiddleRom(std::size_t n);
+
+  /// Forward twiddle W_n^k = exp(-2*pi*i*k/n), k in [0, n/2).
+  cfloat forward(std::size_t k) const;
+
+  /// Inverse twiddle conj(W_n^k).
+  cfloat inverse(std::size_t k) const;
+
+  std::size_t size() const { return n_; }
+
+  /// Number of complex words stored (n/2) — used by the BRAM model.
+  std::size_t rom_words() const { return w_.size(); }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<cfloat> w_;
+};
+
+/// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
+/// power of two. The inverse transform applies the 1/n scaling (the hardware
+/// implements this as a log2(BS)-bit shift, Section IV-B).
+void fft_inplace(std::span<cfloat> data, bool inverse = false);
+
+/// Same, reusing a caller-owned twiddle ROM (avoids per-call sin/cos).
+void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom,
+                 bool inverse = false);
+
+/// Out-of-place complex FFT of a real signal (full n-bin spectrum).
+std::vector<cfloat> fft_real(std::span<const float> x);
+
+/// Real FFT returning only the n/2+1 non-redundant bins; the remaining bins
+/// are the conjugate mirror. This is the packing the eMAC PE exploits
+/// ("BS-size computation consists of only BS/2+1 MAC operations").
+std::vector<cfloat> rfft(std::span<const float> x);
+
+/// Inverse of rfft: reconstructs the length-n real signal from the n/2+1
+/// half-spectrum (conjugate symmetry is assumed, the imaginary residue of
+/// the inverse transform is discarded).
+std::vector<float> irfft(std::span<const cfloat> half, std::size_t n);
+
+/// Expands an n/2+1 half-spectrum into the full n-bin spectrum.
+std::vector<cfloat> expand_half_spectrum(std::span<const cfloat> half,
+                                         std::size_t n);
+
+/// Number of real-MAC-equivalent butterfly operations of a radix-2 FFT of
+/// size n: (n/2)*log2(n) butterflies. Used by the FLOPs model and by the
+/// FFT PE timing model.
+std::size_t fft_butterfly_count(std::size_t n);
+
+}  // namespace rpbcm::numeric

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rpbcm::numeric {
+
+/// Saturating Q-format fixed-point number, the datapath type of the
+/// accelerator ("16-bit fixed-point computation", Table III discussion).
+/// `FracBits` fractional bits in a 16-bit word; intermediates use 32/64-bit
+/// accumulation and round-to-nearest on requantization.
+template <int FracBits>
+class Fixed {
+  static_assert(FracBits > 0 && FracBits < 16);
+
+ public:
+  using storage_t = std::int16_t;
+  using wide_t = std::int32_t;
+  static constexpr int frac_bits = FracBits;
+  static constexpr float scale = static_cast<float>(1 << FracBits);
+
+  constexpr Fixed() = default;
+
+  /// Converts from float with round-to-nearest and saturation.
+  static Fixed from_float(float v) {
+    const float scaled = v * scale;
+    const float rounded = std::nearbyint(scaled);
+    return Fixed(saturate(static_cast<wide_t>(
+        std::clamp(rounded, -2.1e9F, 2.1e9F))));
+  }
+
+  static constexpr Fixed from_raw(storage_t raw) { return Fixed(raw); }
+
+  float to_float() const { return static_cast<float>(raw_) / scale; }
+  storage_t raw() const { return raw_; }
+
+  Fixed operator+(Fixed o) const {
+    return Fixed(saturate(static_cast<wide_t>(raw_) + o.raw_));
+  }
+  Fixed operator-(Fixed o) const {
+    return Fixed(saturate(static_cast<wide_t>(raw_) - o.raw_));
+  }
+  Fixed operator-() const { return Fixed(saturate(-static_cast<wide_t>(raw_))); }
+
+  /// Fixed-point multiply: wide product, round, requantize, saturate.
+  Fixed operator*(Fixed o) const {
+    const auto wide = static_cast<std::int64_t>(raw_) * o.raw_;
+    const std::int64_t rounded = (wide + (1LL << (FracBits - 1))) >> FracBits;
+    return Fixed(saturate_wide(rounded));
+  }
+
+  /// Arithmetic shift right — models the hardware's shift-based 1/BS divider
+  /// used for the IFFT scaling (Section IV-B).
+  Fixed shift_right(int bits) const {
+    return Fixed(static_cast<storage_t>(raw_ >> bits));
+  }
+
+  bool operator==(const Fixed&) const = default;
+  auto operator<=>(const Fixed&) const = default;
+
+  static constexpr float max_value() {
+    return static_cast<float>(std::numeric_limits<storage_t>::max()) / scale;
+  }
+  static constexpr float min_value() {
+    return static_cast<float>(std::numeric_limits<storage_t>::min()) / scale;
+  }
+
+ private:
+  constexpr explicit Fixed(storage_t raw) : raw_(raw) {}
+
+  static storage_t saturate(wide_t v) {
+    return static_cast<storage_t>(
+        std::clamp<wide_t>(v, std::numeric_limits<storage_t>::min(),
+                           std::numeric_limits<storage_t>::max()));
+  }
+  static storage_t saturate_wide(std::int64_t v) {
+    return static_cast<storage_t>(
+        std::clamp<std::int64_t>(v, std::numeric_limits<storage_t>::min(),
+                                 std::numeric_limits<storage_t>::max()));
+  }
+
+  storage_t raw_ = 0;
+};
+
+/// Default accelerator datapath format: Q7.8 (1 sign, 7 integer, 8 fraction).
+using Fix16 = Fixed<8>;
+
+/// Complex fixed-point value used by the eMAC PE; multiplies keep the four
+/// partial products in wide precision and requantize once per component.
+template <int FracBits>
+struct ComplexFixed {
+  using value_t = Fixed<FracBits>;
+  value_t re{};
+  value_t im{};
+
+  static ComplexFixed from_floats(float r, float i) {
+    return {value_t::from_float(r), value_t::from_float(i)};
+  }
+
+  ComplexFixed operator+(const ComplexFixed& o) const {
+    return {re + o.re, im + o.im};
+  }
+  ComplexFixed operator-(const ComplexFixed& o) const {
+    return {re - o.re, im - o.im};
+  }
+  ComplexFixed operator*(const ComplexFixed& o) const {
+    // (a+bi)(c+di) = (ac - bd) + (ad + bc)i, each term its own rounding —
+    // matches a DSP48 implementation with per-multiplier requantization.
+    return {re * o.re - im * o.im, re * o.im + im * o.re};
+  }
+
+  /// Complex conjugate — folded into the MAC of the Pruned-BCM PE so the
+  /// IFFT can reuse the forward FFT module (Section IV-B).
+  ComplexFixed conj() const { return {re, -im}; }
+
+  ComplexFixed shift_right(int bits) const {
+    return {re.shift_right(bits), im.shift_right(bits)};
+  }
+
+  bool operator==(const ComplexFixed&) const = default;
+};
+
+using CFix16 = ComplexFixed<8>;
+
+}  // namespace rpbcm::numeric

@@ -1,0 +1,49 @@
+#include "numeric/kde.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "base/check.hpp"
+#include "numeric/stats.hpp"
+
+namespace rpbcm::numeric {
+
+GaussianKde::GaussianKde(std::span<const float> samples, double bandwidth)
+    : samples_(samples.begin(), samples.end()) {
+  RPBCM_CHECK_MSG(!samples_.empty(), "KDE needs at least one sample");
+  if (bandwidth > 0.0) {
+    bandwidth_ = bandwidth;
+  } else {
+    const double sigma = stddev(samples);
+    const double n = static_cast<double>(samples_.size());
+    bandwidth_ = 1.06 * sigma * std::pow(n, -0.2);
+    if (bandwidth_ <= 0.0) bandwidth_ = 1e-6;
+  }
+}
+
+double GaussianKde::evaluate(double x) const {
+  const double h = bandwidth_;
+  const double norm =
+      1.0 / (static_cast<double>(samples_.size()) * h *
+             std::sqrt(2.0 * std::numbers::pi));
+  double s = 0.0;
+  for (float xi : samples_) {
+    const double u = (x - xi) / h;
+    s += std::exp(-0.5 * u * u);
+  }
+  return norm * s;
+}
+
+std::vector<std::pair<double, double>> GaussianKde::evaluate_grid(
+    double lo, double hi, std::size_t points) const {
+  RPBCM_CHECK(points >= 2 && hi > lo);
+  std::vector<std::pair<double, double>> grid(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    grid[i] = {x, evaluate(x)};
+  }
+  return grid;
+}
+
+}  // namespace rpbcm::numeric

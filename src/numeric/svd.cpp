@@ -1,0 +1,91 @@
+#include "numeric/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/check.hpp"
+
+namespace rpbcm::numeric {
+
+namespace {
+
+// One-sided Jacobi: orthogonalize the columns of A (rows >= cols); singular
+// values are the resulting column norms.
+std::vector<float> jacobi_sv(std::vector<double>& a, std::size_t rows,
+                             std::size_t cols) {
+  auto col = [&](std::size_t j) { return a.data() + j * rows; };
+  const int max_sweeps = 60;
+  const double eps = 1e-12;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < cols; ++p) {
+      for (std::size_t q = p + 1; q < cols; ++q) {
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        const double* cp = col(p);
+        const double* cq = col(q);
+        for (std::size_t i = 0; i < rows; ++i) {
+          app += cp[i] * cp[i];
+          aqq += cq[i] * cq[i];
+          apq += cp[i] * cq[i];
+        }
+        if (std::abs(apq) <= eps * std::sqrt(app * aqq) || apq == 0.0)
+          continue;
+        off += std::abs(apq);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        double* mp = col(p);
+        double* mq = col(q);
+        for (std::size_t i = 0; i < rows; ++i) {
+          const double vp = mp[i];
+          const double vq = mq[i];
+          mp[i] = c * vp - s * vq;
+          mq[i] = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < 1e-14) break;
+  }
+  std::vector<float> sv(cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double nrm = 0.0;
+    const double* cj = col(j);
+    for (std::size_t i = 0; i < rows; ++i) nrm += cj[i] * cj[i];
+    sv[j] = static_cast<float>(std::sqrt(nrm));
+  }
+  std::sort(sv.begin(), sv.end(), std::greater<>());
+  return sv;
+}
+
+}  // namespace
+
+std::vector<float> singular_values(std::span<const float> a, std::size_t rows,
+                                   std::size_t cols) {
+  RPBCM_CHECK_MSG(a.size() == rows * cols,
+                  "matrix data size " << a.size() << " != " << rows << "x"
+                                      << cols);
+  RPBCM_CHECK(rows > 0 && cols > 0);
+  // Work on the taller orientation so columns are the short dimension.
+  const bool transpose = rows < cols;
+  const std::size_t r = transpose ? cols : rows;
+  const std::size_t c = transpose ? rows : cols;
+  // Column-major working copy in double.
+  std::vector<double> work(r * c);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const float v = transpose ? a[j * cols + i] : a[i * cols + j];
+      work[j * r + i] = static_cast<double>(v);
+    }
+  }
+  return jacobi_sv(work, r, c);
+}
+
+std::vector<float> singular_values_square(std::span<const float> a,
+                                          std::size_t n) {
+  return singular_values(a, n, n);
+}
+
+}  // namespace rpbcm::numeric

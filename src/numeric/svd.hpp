@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rpbcm::numeric {
+
+/// Singular values (descending) of a dense row-major `rows x cols` matrix,
+/// computed with one-sided Jacobi rotations. Intended for the small matrices
+/// of the rank analysis (BS up to 64 and conv-kernel unit matrices); accuracy
+/// is ~1e-5 relative for well-conditioned inputs.
+std::vector<float> singular_values(std::span<const float> a, std::size_t rows,
+                                   std::size_t cols);
+
+/// Convenience overload for square matrices.
+std::vector<float> singular_values_square(std::span<const float> a,
+                                          std::size_t n);
+
+}  // namespace rpbcm::numeric

@@ -1,0 +1,24 @@
+#include "tensor/init.hpp"
+
+#include <cmath>
+
+namespace rpbcm::tensor {
+
+void fill_gaussian(Tensor& t, numeric::Rng& rng, float stddev) {
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.gaussian(0.0F, stddev);
+}
+
+void fill_kaiming(Tensor& t, numeric::Rng& rng, std::size_t fan_in) {
+  RPBCM_CHECK(fan_in > 0);
+  const float s = std::sqrt(2.0F / static_cast<float>(fan_in));
+  fill_gaussian(t, rng, s);
+}
+
+void fill_xavier(Tensor& t, numeric::Rng& rng, std::size_t fan_in,
+                 std::size_t fan_out) {
+  RPBCM_CHECK(fan_in + fan_out > 0);
+  const float a = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-a, a);
+}
+
+}  // namespace rpbcm::tensor

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstddef>
+
+#include "numeric/random.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::tensor {
+
+/// Fills with iid N(0, stddev^2).
+void fill_gaussian(Tensor& t, numeric::Rng& rng, float stddev = 1.0F);
+
+/// Kaiming-normal initialization for layers followed by ReLU:
+/// stddev = sqrt(2 / fan_in).
+void fill_kaiming(Tensor& t, numeric::Rng& rng, std::size_t fan_in);
+
+/// Xavier-uniform initialization: U(-a, a), a = sqrt(6 / (fan_in+fan_out)).
+void fill_xavier(Tensor& t, numeric::Rng& rng, std::size_t fan_in,
+                 std::size_t fan_out);
+
+}  // namespace rpbcm::tensor

@@ -1,0 +1,70 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpbcm::tensor {
+
+std::size_t numel(std::span<const std::size_t> shape) {
+  std::size_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  RPBCM_CHECK_MSG(!shape_.empty(), "tensor rank must be >= 1");
+  for (auto d : shape_) RPBCM_CHECK_MSG(d > 0, "zero-sized dimension");
+  data_.assign(numel(shape_), 0.0F);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  RPBCM_CHECK_MSG(numel(new_shape) == data_.size(),
+                  "reshape element count mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+Tensor& Tensor::operator+=(const Tensor& o) {
+  RPBCM_CHECK_MSG(same_shape(o), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& o) {
+  RPBCM_CHECK_MSG(same_shape(o), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+void Tensor::axpy(float a, const Tensor& x) {
+  RPBCM_CHECK_MSG(same_shape(x), "shape mismatch in axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x.data_[i];
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << 'x';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace rpbcm::tensor

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace rpbcm::tensor {
+
+/// Dense row-major float tensor. This is the lingua franca between the
+/// training substrate (src/nn), the RP-BCM compression core (src/core) and
+/// the accelerator's functional reference model (src/hw).
+///
+/// Layout conventions used throughout the library:
+///   activations: NCHW  (batch, channel, height, width)
+///   conv weights: [Cout][Cin][Kh][Kw]
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<std::size_t> shape);
+  Tensor(std::initializer_list<std::size_t> shape)
+      : Tensor(std::vector<std::size_t>(shape)) {}
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  static Tensor full(std::vector<std::size_t> shape, float value);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const {
+    RPBCM_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return {data_.data(), data_.size()}; }
+  std::span<const float> span() const { return {data_.data(), data_.size()}; }
+
+  float& operator[](std::size_t i) {
+    RPBCM_CHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    RPBCM_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessor (rank must be 2).
+  float& at(std::size_t i, std::size_t j) {
+    return data_[index2(i, j)];
+  }
+  float at(std::size_t i, std::size_t j) const { return data_[index2(i, j)]; }
+
+  /// 4-D accessor (rank must be 4): NCHW or OIHW depending on the tensor.
+  float& at(std::size_t a, std::size_t b, std::size_t c, std::size_t d) {
+    return data_[index4(a, b, c, d)];
+  }
+  float at(std::size_t a, std::size_t b, std::size_t c, std::size_t d) const {
+    return data_[index4(a, b, c, d)];
+  }
+
+  void fill(float v);
+  void zero() { fill(0.0F); }
+
+  /// Reinterprets the buffer under a new shape with the same element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  /// Elementwise in-place operations.
+  Tensor& operator+=(const Tensor& o);
+  Tensor& operator-=(const Tensor& o);
+  Tensor& operator*=(float s);
+
+  /// a*x + this, in place (used by optimizers).
+  void axpy(float a, const Tensor& x);
+
+  std::string shape_string() const;
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  std::size_t index2(std::size_t i, std::size_t j) const {
+    RPBCM_CHECK(shape_.size() == 2 && i < shape_[0] && j < shape_[1]);
+    return i * shape_[1] + j;
+  }
+  std::size_t index4(std::size_t a, std::size_t b, std::size_t c,
+                     std::size_t d) const {
+    RPBCM_CHECK(shape_.size() == 4 && a < shape_[0] && b < shape_[1] &&
+                c < shape_[2] && d < shape_[3]);
+    return ((a * shape_[1] + b) * shape_[2] + c) * shape_[3] + d;
+  }
+
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+/// Product of the dims.
+std::size_t numel(std::span<const std::size_t> shape);
+
+}  // namespace rpbcm::tensor

@@ -1,0 +1,184 @@
+#include "core/bcm_conv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/conv2d.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+using testutil::input_grad_error;
+using testutil::max_abs_diff;
+using testutil::param_grad_error;
+using testutil::random_tensor;
+
+nn::ConvSpec spec(std::size_t cin, std::size_t cout, std::size_t k = 3,
+                  std::size_t stride = 1, std::size_t pad = 1) {
+  nn::ConvSpec s;
+  s.in_channels = cin;
+  s.out_channels = cout;
+  s.kernel = k;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+struct Case {
+  std::size_t cin, cout, k, stride, pad, bs;
+  BcmParameterization mode;
+};
+
+class BcmConvEquivalence : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BcmConvEquivalence, ForwardMatchesDenseRealization) {
+  const Case c = GetParam();
+  numeric::Rng rng(1);
+  BcmConv2d layer(spec(c.cin, c.cout, c.k, c.stride, c.pad), c.bs, c.mode,
+                  rng);
+  const auto x = random_tensor({2, c.cin, 6, 6}, 2, 0.7F);
+  const auto y = layer.forward(x, false);
+  // The dense realization of the block-circulant weights convolved directly
+  // must agree with the FFT-eMAC-IFFT path.
+  const auto dense_w = layer.dense_weights();
+  const auto y_ref = nn::conv2d_reference(x, dense_w, layer.spec());
+  EXPECT_LT(max_abs_diff(y, y_ref), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BcmConvEquivalence,
+    ::testing::Values(
+        Case{8, 8, 3, 1, 1, 4, BcmParameterization::kHadamard},
+        Case{8, 8, 3, 1, 1, 8, BcmParameterization::kHadamard},
+        Case{16, 8, 3, 1, 1, 8, BcmParameterization::kPlain},
+        Case{8, 16, 1, 1, 0, 8, BcmParameterization::kHadamard},
+        Case{16, 16, 3, 2, 1, 16, BcmParameterization::kPlain},
+        Case{32, 16, 3, 1, 1, 16, BcmParameterization::kHadamard}));
+
+TEST(BcmConvTest, GradientCheckHadamard) {
+  numeric::Rng rng(3);
+  BcmConv2d layer(spec(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 4, 0.5F);
+  EXPECT_LT(param_grad_error(layer, x, 32), 5e-2);
+  EXPECT_LT(input_grad_error(layer, x, 32), 5e-2);
+}
+
+TEST(BcmConvTest, GradientCheckPlain) {
+  numeric::Rng rng(5);
+  BcmConv2d layer(spec(8, 16), 8, BcmParameterization::kPlain, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 6, 0.5F);
+  EXPECT_LT(param_grad_error(layer, x, 32), 5e-2);
+  EXPECT_LT(input_grad_error(layer, x, 32), 5e-2);
+}
+
+TEST(BcmConvTest, HadamardGradientRuleEq1) {
+  // dL/dA must equal (dL/dW) ⊙ B elementwise (Eq. (1)), which manifests as
+  // grad_A ⊙ A == grad_B ⊙ B blockwise when both come from the same dL/dW.
+  numeric::Rng rng(7);
+  BcmConv2d layer(spec(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 8, 0.5F);
+  auto y = layer.forward(x, true);
+  nn::zero_grads(layer.params());
+  layer.forward(x, true);
+  auto g = random_tensor(y.shape(), 9, 1.0F);
+  layer.backward(g);
+  auto params = layer.params();
+  ASSERT_EQ(params.size(), 2u);
+  const auto& a = params[0]->value;
+  const auto& ga = params[0]->grad;
+  const auto& b = params[1]->value;
+  const auto& gb = params[1]->grad;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // ga = gw*b and gb = gw*a  =>  ga*a == gb*b.
+    EXPECT_NEAR(ga[i] * a[i], gb[i] * b[i], 1e-3 + 1e-3 * std::abs(ga[i] * a[i]));
+  }
+}
+
+TEST(BcmConvTest, PrunedBlocksProduceNoOutputOrGradient) {
+  numeric::Rng rng(10);
+  BcmConv2d layer(spec(8, 8, 1, 1, 0), 8, BcmParameterization::kHadamard,
+                  rng);
+  // One block total (K=1, one in/out block pair): prune it -> zero output.
+  ASSERT_EQ(layer.layout().total_blocks(), 1u);
+  layer.prune_block(0);
+  const auto x = random_tensor({1, 8, 3, 3}, 11);
+  const auto y = layer.forward(x, true);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0F);
+  nn::zero_grads(layer.params());
+  layer.backward(random_tensor(y.shape(), 12));
+  for (auto* p : layer.params())
+    for (std::size_t i = 0; i < p->grad.size(); ++i)
+      EXPECT_EQ(p->grad[i], 0.0F);
+}
+
+TEST(BcmConvTest, PruningReducesDeployedParams) {
+  numeric::Rng rng(13);
+  BcmConv2d layer(spec(16, 16), 8, BcmParameterization::kHadamard, rng);
+  const auto total = layer.layout().total_blocks();
+  EXPECT_EQ(layer.deployed_param_count(), total * 8);
+  layer.prune_block(0);
+  layer.prune_block(5);
+  EXPECT_EQ(layer.pruned_count(), 2u);
+  EXPECT_EQ(layer.deployed_param_count(), (total - 2) * 8);
+  // Training params are unchanged in count (A and B remain allocated).
+  std::size_t train_params = 0;
+  for (auto* p : layer.params()) train_params += p->size();
+  EXPECT_EQ(train_params, 2 * total * 8);
+}
+
+TEST(BcmConvTest, BlockNormsMatchDenseFrobenius) {
+  numeric::Rng rng(14);
+  BcmConv2d layer(spec(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto norms = layer.block_norms();
+  for (std::size_t b = 0; b < layer.layout().total_blocks(); ++b) {
+    const auto dense = layer.dense_block(b);
+    double fro = 0.0;
+    for (std::size_t i = 0; i < dense.size(); ++i)
+      fro += static_cast<double>(dense[i]) * dense[i];
+    EXPECT_NEAR(norms[b], std::sqrt(fro), 1e-4 * std::sqrt(fro) + 1e-6);
+  }
+}
+
+TEST(BcmConvTest, SnapshotRestoreRoundTrip) {
+  numeric::Rng rng(15);
+  BcmConv2d layer(spec(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto before = layer.snapshot();
+  const auto norms_before = layer.block_norms();
+  layer.prune_block(3);
+  layer.prune_block(7);
+  EXPECT_EQ(layer.pruned_count(), 2u);
+  layer.restore(before);
+  EXPECT_EQ(layer.pruned_count(), 0u);
+  const auto norms_after = layer.block_norms();
+  for (std::size_t i = 0; i < norms_before.size(); ++i)
+    EXPECT_DOUBLE_EQ(norms_before[i], norms_after[i]);
+}
+
+TEST(BcmConvTest, FromDenseProjectionIsLeastSquares) {
+  // Projecting an exactly-circulant dense weight recovers it exactly.
+  numeric::Rng rng(16);
+  BcmConv2d src(spec(8, 8), 8, BcmParameterization::kPlain, rng);
+  const auto dense_w = src.dense_weights();
+  nn::Conv2d dense(spec(8, 8), rng);
+  dense.weight().value = dense_w;
+  const auto projected =
+      BcmConv2d::from_dense(dense, 8, BcmParameterization::kPlain);
+  EXPECT_LT(max_abs_diff(projected->dense_weights(), dense_w), 1e-5);
+}
+
+TEST(BcmConvTest, IndivisibleChannelsRejected) {
+  numeric::Rng rng(17);
+  EXPECT_THROW(BcmConv2d(spec(6, 8), 8, BcmParameterization::kPlain, rng),
+               rpbcm::CheckError);
+}
+
+TEST(BcmConvTest, DeepCompressionRatio) {
+  // Defining-vector storage is dense/BS — the paper's O(n^2) -> O(n).
+  numeric::Rng rng(18);
+  BcmConv2d layer(spec(32, 32), 8, BcmParameterization::kPlain, rng);
+  EXPECT_EQ(layer.layout().dense_params(),
+            layer.layout().defining_params() * 8);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

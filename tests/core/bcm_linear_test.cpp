@@ -1,0 +1,72 @@
+#include "core/bcm_linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+using testutil::input_grad_error;
+using testutil::max_abs_diff;
+using testutil::param_grad_error;
+using testutil::random_tensor;
+
+TEST(BcmLinearTest, ForwardMatchesDenseRealization) {
+  numeric::Rng rng(1);
+  BcmLinear layer(16, 8, 8, /*hadamard=*/true, rng);
+  const auto x = random_tensor({3, 16}, 2, 0.7F);
+  const auto y = layer.forward(x, false);
+  const auto w = layer.dense_weights();  // [8, 16]
+  for (std::size_t n = 0; n < 3; ++n)
+    for (std::size_t o = 0; o < 8; ++o) {
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < 16; ++i) acc += w.at(o, i) * x.at(n, i);
+      EXPECT_NEAR(y.at(n, o), acc, 1e-3);
+    }
+}
+
+TEST(BcmLinearTest, GradientCheckHadamard) {
+  numeric::Rng rng(3);
+  BcmLinear layer(8, 8, 4, true, rng);
+  const auto x = random_tensor({2, 8}, 4, 0.5F);
+  EXPECT_LT(param_grad_error(layer, x, 32), 3e-2);
+  EXPECT_LT(input_grad_error(layer, x, 32), 3e-2);
+}
+
+TEST(BcmLinearTest, GradientCheckPlain) {
+  numeric::Rng rng(5);
+  BcmLinear layer(16, 8, 8, false, rng);
+  const auto x = random_tensor({2, 16}, 6, 0.5F);
+  EXPECT_LT(param_grad_error(layer, x, 32), 3e-2);
+  EXPECT_LT(input_grad_error(layer, x, 32), 3e-2);
+}
+
+TEST(BcmLinearTest, PruningZeroesBlockContribution) {
+  numeric::Rng rng(7);
+  BcmLinear layer(8, 8, 8, true, rng);
+  ASSERT_EQ(layer.layout().total_blocks(), 1u);
+  layer.prune_block(0);
+  const auto x = random_tensor({2, 8}, 8);
+  const auto y = layer.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0F);
+  EXPECT_EQ(layer.deployed_param_count(), 0u);
+}
+
+TEST(BcmLinearTest, SnapshotRestore) {
+  numeric::Rng rng(9);
+  BcmLinear layer(16, 16, 8, true, rng);
+  const auto snap = layer.snapshot();
+  layer.prune_block(1);
+  layer.restore(snap);
+  EXPECT_EQ(layer.pruned_count(), 0u);
+}
+
+TEST(BcmLinearTest, NormsArePositiveBeforePruning) {
+  numeric::Rng rng(11);
+  BcmLinear layer(32, 16, 8, true, rng);
+  for (double n : layer.block_norms()) EXPECT_GT(n, 0.0);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

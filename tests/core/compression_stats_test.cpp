@@ -1,0 +1,140 @@
+#include "core/compression_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpbcm::core {
+namespace {
+
+ConvShape simple_conv() {
+  ConvShape c;
+  c.name = "c";
+  c.kernel = 3;
+  c.in_channels = 16;
+  c.out_channels = 16;
+  c.in_h = 8;
+  c.in_w = 8;
+  c.stride = 1;
+  c.pad = 1;
+  return c;
+}
+
+TEST(ConvShapeTest, GeometryAndCounts) {
+  const auto c = simple_conv();
+  EXPECT_EQ(c.out_h(), 8u);
+  EXPECT_EQ(c.out_w(), 8u);
+  EXPECT_EQ(c.dense_params(), 9u * 16u * 16u);
+  EXPECT_EQ(c.dense_macs(), c.dense_params() * 64u);
+  EXPECT_EQ(c.dense_flops(), 2u * c.dense_macs());
+  EXPECT_TRUE(c.bcm_compressible(8));
+  EXPECT_FALSE(c.bcm_compressible(32));
+}
+
+TEST(ConvShapeTest, StridedGeometry) {
+  auto c = simple_conv();
+  c.stride = 2;
+  EXPECT_EQ(c.out_h(), 4u);
+  c.kernel = 7;
+  c.pad = 3;
+  c.in_h = 224;
+  c.in_w = 224;
+  EXPECT_EQ(c.out_h(), 112u);
+}
+
+TEST(FlopHelpersTest, Values) {
+  EXPECT_EQ(fft_flops(8), 120u);            // 12 butterflies x 10
+  EXPECT_EQ(emac_flops_per_block(8), 40u);  // 5 cMACs x 8
+  EXPECT_EQ(emac_flops_per_block(4), 24u);
+}
+
+TEST(CompressionTest, PureBcmNoPruning) {
+  NetworkShape net;
+  net.name = "one-layer";
+  net.convs.push_back(simple_conv());
+  BcmCompressionConfig cfg;
+  cfg.block_size = 8;
+  cfg.alpha = 0.0;
+  const auto r = analyze_compression(net, cfg);
+  // Params shrink by exactly BS with no pruning.
+  EXPECT_EQ(r.compressed_params, net.dense_params() / 8);
+  EXPECT_EQ(r.skip_index_bits, 9u * 2u * 2u);
+  EXPECT_LT(r.compressed_flops, r.dense_flops);
+}
+
+TEST(CompressionTest, PruningScalesParams) {
+  NetworkShape net;
+  net.convs.push_back(simple_conv());
+  BcmCompressionConfig cfg;
+  cfg.block_size = 8;
+  cfg.alpha = 0.5;
+  const auto r = analyze_compression(net, cfg);
+  EXPECT_EQ(r.compressed_params, net.dense_params() / 8 / 2);
+  EXPECT_NEAR(r.param_reduction(), 1.0 - 1.0 / 16.0, 1e-9);
+}
+
+TEST(CompressionTest, IncompressibleLayerKeptDense) {
+  NetworkShape net;
+  auto stem = simple_conv();
+  stem.in_channels = 3;  // not divisible by 8
+  net.convs.push_back(stem);
+  BcmCompressionConfig cfg;
+  const auto r = analyze_compression(net, cfg);
+  EXPECT_EQ(r.compressed_params, stem.dense_params());
+  EXPECT_EQ(r.compressed_flops, stem.dense_flops());
+  EXPECT_EQ(r.skip_index_bits, 0u);
+}
+
+TEST(CompressionTest, FcCompressionToggle) {
+  NetworkShape net;
+  net.fcs.push_back({"fc", 512, 64});
+  BcmCompressionConfig on;
+  on.compress_fc = true;
+  on.alpha = 0.0;
+  BcmCompressionConfig off = on;
+  off.compress_fc = false;
+  EXPECT_EQ(analyze_compression(net, on).compressed_params,
+            net.dense_params() / on.block_size);
+  EXPECT_EQ(analyze_compression(net, off).compressed_params,
+            net.dense_params());
+}
+
+TEST(CompressionTest, OtherParamsNeverCompressed) {
+  NetworkShape net;
+  net.other_params = 1000;
+  net.convs.push_back(simple_conv());
+  BcmCompressionConfig cfg;
+  cfg.alpha = 0.9;
+  const auto r = analyze_compression(net, cfg);
+  EXPECT_GE(r.compressed_params, 1000u);
+}
+
+TEST(CompressionTest, LargerBsCompressesMoreParams) {
+  NetworkShape net;
+  auto c = simple_conv();
+  c.in_channels = c.out_channels = 64;
+  net.convs.push_back(c);
+  BcmCompressionConfig cfg;
+  cfg.alpha = 0.0;
+  std::size_t prev = net.dense_params() + 1;
+  for (std::size_t bs : {4u, 8u, 16u, 32u}) {
+    cfg.block_size = bs;
+    const auto r = analyze_compression(net, cfg);
+    EXPECT_LT(r.compressed_params, prev);
+    prev = r.compressed_params;
+  }
+}
+
+TEST(CompressionTest, AlphaSweepMonotoneInFlops) {
+  NetworkShape net;
+  net.convs.push_back(simple_conv());
+  BcmCompressionConfig cfg;
+  std::size_t prev_flops = ~0ull;
+  for (double a : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    cfg.alpha = a;
+    const auto r = analyze_compression(net, cfg);
+    EXPECT_LE(r.compressed_flops, prev_flops);
+    prev_flops = r.compressed_flops;
+  }
+}
+
+}  // namespace
+}  // namespace rpbcm::core

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pruning.hpp"
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+std::unique_ptr<nn::Sequential> bcm_model() {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.classes = 4;
+  cfg.kind = models::ConvKind::kHadaBcm;
+  cfg.block_size = 4;
+  cfg.seed = 12;
+  return models::make_scaled_vgg(cfg);
+}
+
+TEST(ImportanceCriterionTest, L2MatchesNormList) {
+  auto model = bcm_model();
+  auto set = BcmLayerSet::collect(*model);
+  const auto a = set.norm_list();
+  const auto b = set.importance_list(ImportanceCriterion::kL2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(ImportanceCriterionTest, L1CorrelatesWithL2) {
+  auto model = bcm_model();
+  auto set = BcmLayerSet::collect(*model);
+  const auto l2 = set.importance_list(ImportanceCriterion::kL2);
+  const auto l1 = set.importance_list(ImportanceCriterion::kL1);
+  ASSERT_EQ(l1.size(), l2.size());
+  // Pearson correlation should be strongly positive for Gaussian-ish
+  // weights (both are magnitude aggregates of the same vectors).
+  double m1 = 0, m2 = 0;
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    m1 += l1[i];
+    m2 += l2[i];
+  }
+  m1 /= static_cast<double>(l1.size());
+  m2 /= static_cast<double>(l2.size());
+  double num = 0, d1 = 0, d2 = 0;
+  for (std::size_t i = 0; i < l1.size(); ++i) {
+    num += (l1[i] - m1) * (l2[i] - m2);
+    d1 += (l1[i] - m1) * (l1[i] - m1);
+    d2 += (l2[i] - m2) * (l2[i] - m2);
+  }
+  EXPECT_GT(num / std::sqrt(d1 * d2), 0.8);
+}
+
+TEST(ImportanceCriterionTest, RandomIsSeededAndDifferent) {
+  auto model = bcm_model();
+  auto set = BcmLayerSet::collect(*model);
+  const auto r1 = set.importance_list(ImportanceCriterion::kRandom, 5);
+  const auto r2 = set.importance_list(ImportanceCriterion::kRandom, 5);
+  const auto r3 = set.importance_list(ImportanceCriterion::kRandom, 6);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);
+}
+
+TEST(ImportanceCriterionTest, AlternativeListDrivesPruneBelow) {
+  auto model = bcm_model();
+  auto set = BcmLayerSet::collect(*model);
+  const auto l1 = set.importance_list(ImportanceCriterion::kL1);
+  auto sorted = l1;
+  const auto k = sorted.size() / 4;
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<long>(k - 1),
+                   sorted.end());
+  const auto pruned = set.prune_below(l1, sorted[k - 1]);
+  EXPECT_GE(pruned, k);
+  EXPECT_LE(pruned, k + 2);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/compression_stats.hpp"
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+TEST(MixedCompressionTest, UniformMixedMatchesUniform) {
+  const auto net = models::resnet18_imagenet_shape();
+  BcmCompressionConfig uni;
+  uni.block_size = 8;
+  uni.alpha = 0.5;
+  const auto a = analyze_compression(net, uni);
+  const auto cfg = uniform_mixed_config(net, 8, 0.5);
+  const auto b = analyze_mixed_compression(net, cfg);
+  EXPECT_EQ(a.compressed_params, b.compressed_params);
+  EXPECT_EQ(a.compressed_flops, b.compressed_flops);
+  EXPECT_EQ(a.skip_index_bits, b.skip_index_bits);
+}
+
+TEST(MixedCompressionTest, StemIsDenseInUniformConfig) {
+  const auto net = models::resnet18_imagenet_shape();
+  const auto cfg = uniform_mixed_config(net, 8, 0.5);
+  EXPECT_EQ(cfg.conv_block_sizes[0], 0u);  // 3-channel stem
+  EXPECT_TRUE(std::all_of(cfg.conv_block_sizes.begin() + 1,
+                          cfg.conv_block_sizes.end(),
+                          [](std::size_t b) { return b == 8; }));
+}
+
+TEST(MixedCompressionTest, HeterogeneousBsCompressesMoreWhereWider) {
+  // REQ-YOLO-style: give the wide late layers a larger BS. The mixed
+  // config must compress params further than uniform BS=8 at alpha=0.
+  const auto net = models::resnet18_imagenet_shape();
+  auto cfg = uniform_mixed_config(net, 8, 0.0);
+  for (std::size_t i = 0; i < net.convs.size(); ++i)
+    if (net.convs[i].bcm_compressible(16)) cfg.conv_block_sizes[i] = 16;
+  cfg.fc_block_size = 16;
+  const auto mixed = analyze_mixed_compression(net, cfg);
+
+  BcmCompressionConfig uni;
+  uni.block_size = 8;
+  uni.alpha = 0.0;
+  const auto uniform = analyze_compression(net, uni);
+  EXPECT_LT(mixed.compressed_params, uniform.compressed_params);
+}
+
+TEST(MixedCompressionTest, PerLayerAlphaRespected) {
+  const auto net = models::resnet18_imagenet_shape();
+  auto light = uniform_mixed_config(net, 8, 0.0);
+  auto heavy = light;
+  // Prune only the last conv heavily.
+  heavy.conv_alphas.back() = 0.9;
+  const auto a = analyze_mixed_compression(net, light);
+  const auto b = analyze_mixed_compression(net, heavy);
+  EXPECT_LT(b.compressed_params, a.compressed_params);
+  EXPECT_LT(b.compressed_flops, a.compressed_flops);
+  // The delta equals 90% of the last conv's block parameters.
+  const auto& last = net.convs.back();
+  const std::size_t blocks =
+      last.kernel * last.kernel * (last.in_channels / 8) *
+      (last.out_channels / 8);
+  const auto pruned =
+      static_cast<std::size_t>(static_cast<double>(blocks) * 0.9);
+  EXPECT_EQ(a.compressed_params - b.compressed_params, pruned * 8);
+}
+
+TEST(MixedCompressionTest, MismatchedConfigRejected) {
+  const auto net = models::resnet18_imagenet_shape();
+  MixedCompressionConfig cfg;  // empty vectors
+  EXPECT_THROW(analyze_mixed_compression(net, cfg), rpbcm::CheckError);
+}
+
+TEST(MixedCompressionTest, InvalidBsForLayerRejected) {
+  const auto net = models::resnet18_imagenet_shape();
+  auto cfg = uniform_mixed_config(net, 8, 0.0);
+  cfg.conv_block_sizes[0] = 8;  // stem has 3 input channels: invalid
+  EXPECT_THROW(analyze_mixed_compression(net, cfg), rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

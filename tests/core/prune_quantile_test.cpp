@@ -1,0 +1,81 @@
+// Algorithm-1 threshold semantics, pinned precisely: num_prune =
+// floor(alpha * num_total) and V_threshold = norm_list_sorted[num_prune]
+// (Algorithm 1 lines 8-9), so exactly the num_prune lowest-norm blocks are
+// eliminated — across layer boundaries, from one global list.
+
+#include <gtest/gtest.h>
+
+#include "core/pruning.hpp"
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+std::unique_ptr<nn::Sequential> model_with_blocks() {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.classes = 4;
+  cfg.kind = models::ConvKind::kHadaBcm;
+  cfg.block_size = 4;
+  cfg.seed = 7;
+  return models::make_scaled_vgg(cfg);
+}
+
+class QuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweep, ExactCountPruned) {
+  const double alpha = GetParam();
+  auto model = model_with_blocks();
+  auto set = BcmLayerSet::collect(*model);
+  const std::size_t total = set.total_blocks();
+  const auto expected =
+      static_cast<std::size_t>(static_cast<double>(total) * alpha);
+  const auto pruned = BcmPruner::apply_ratio(set, static_cast<float>(alpha));
+  // Ties in the norm list could prune a couple extra; never fewer.
+  EXPECT_GE(pruned, expected);
+  EXPECT_LE(pruned, expected + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, QuantileSweep,
+                         ::testing::Values(0.1, 0.25, 0.33, 0.5, 0.66, 0.75,
+                                           0.9));
+
+TEST(QuantileTest, GlobalListCrossesLayerBoundaries) {
+  // Scale one layer's parameters down so its blocks dominate the bottom of
+  // the global norm list; a global 30% prune should hit that layer far
+  // harder than the others.
+  auto model = model_with_blocks();
+  auto set = BcmLayerSet::collect(*model);
+  ASSERT_GE(set.convs().size(), 2u);
+  auto* weak = set.convs()[0];
+  for (auto* p : weak->params()) p->value *= 0.01F;
+
+  BcmPruner::apply_ratio(set, 0.3F);
+  const double weak_frac =
+      static_cast<double>(weak->pruned_count()) /
+      static_cast<double>(weak->layout().total_blocks());
+  double other_frac = 0.0;
+  std::size_t other_pruned = 0, other_total = 0;
+  for (std::size_t i = 1; i < set.convs().size(); ++i) {
+    other_pruned += set.convs()[i]->pruned_count();
+    other_total += set.convs()[i]->layout().total_blocks();
+  }
+  other_frac = static_cast<double>(other_pruned) /
+               static_cast<double>(other_total);
+  EXPECT_GT(weak_frac, 0.9);
+  EXPECT_LT(other_frac, weak_frac);
+}
+
+TEST(QuantileTest, RepeatedApplicationIsMonotone) {
+  auto model = model_with_blocks();
+  auto set = BcmLayerSet::collect(*model);
+  std::size_t prev = 0;
+  for (float a : {0.2F, 0.4F, 0.6F, 0.8F}) {
+    const auto pruned = BcmPruner::apply_ratio(set, a);
+    EXPECT_GE(pruned, prev);
+    prev = pruned;
+  }
+}
+
+}  // namespace
+}  // namespace rpbcm::core

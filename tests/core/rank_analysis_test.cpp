@@ -1,0 +1,186 @@
+#include "core/rank_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/circulant.hpp"
+#include "numeric/stats.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+nn::ConvSpec spec8() {
+  nn::ConvSpec s;
+  s.in_channels = 8;
+  s.out_channels = 8;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+TEST(RankAnalysisTest, BlockSvNormalizedDescending) {
+  numeric::Rng rng(1);
+  BcmConv2d layer(spec8(), 8, BcmParameterization::kHadamard, rng);
+  const auto sv = bcm_block_sv(layer, 0);
+  ASSERT_EQ(sv.size(), 8u);
+  EXPECT_FLOAT_EQ(sv[0], 1.0F);
+  for (std::size_t k = 1; k < sv.size(); ++k) EXPECT_LE(sv[k], sv[k - 1]);
+}
+
+TEST(RankAnalysisTest, GaussianReferenceNearFullRank) {
+  numeric::Rng rng(2);
+  const auto sv = gaussian_reference_sv(16, rng);
+  EXPECT_FALSE(numeric::poor_rank_condition(sv));
+  // Gaussian random matrices have a gentle, near-linear decay.
+  EXPECT_GT(sv.back(), 0.01F);
+}
+
+TEST(RankAnalysisTest, RankOneBcmIsPoor) {
+  // A defining vector whose spectrum is concentrated in one bin gives an
+  // extremely poor rank condition: constant vector -> all spectral mass in
+  // the DC bin.
+  numeric::Rng rng(3);
+  BcmConv2d layer(spec8(), 8, BcmParameterization::kPlain, rng);
+  auto* w = layer.params()[0];
+  w->value.fill(0.5F);  // every block circulant of a constant vector
+  const auto report = analyze_bcm_layer(layer);
+  EXPECT_EQ(report.total_units, layer.layout().total_blocks());
+  EXPECT_DOUBLE_EQ(report.poor_fraction, 1.0);
+  EXPECT_LT(report.mean_effective_rank, 1.5);
+}
+
+TEST(RankAnalysisTest, RandomBcmBlocksAreHealthyAtInit) {
+  // At random init the spectrum magnitudes are iid-ish: most blocks should
+  // NOT be in poor rank condition. (It is *training* that collapses them;
+  // the Fig. 9 bench demonstrates that.)
+  numeric::Rng rng(4);
+  BcmConv2d layer(spec8(), 8, BcmParameterization::kHadamard, rng);
+  const auto report = analyze_bcm_layer(layer);
+  EXPECT_LT(report.poor_fraction, 0.3);
+  EXPECT_GT(report.mean_effective_rank, 3.0);
+}
+
+TEST(RankAnalysisTest, PrunedBlocksExcluded) {
+  numeric::Rng rng(5);
+  BcmConv2d layer(spec8(), 8, BcmParameterization::kHadamard, rng);
+  const auto before = analyze_bcm_layer(layer);
+  layer.prune_block(0);
+  layer.prune_block(1);
+  const auto after = analyze_bcm_layer(layer);
+  EXPECT_EQ(after.total_units, before.total_units - 2);
+}
+
+TEST(RankAnalysisTest, DenseConvUnits) {
+  numeric::Rng rng(6);
+  nn::Conv2d dense(spec8(), rng);
+  const auto report = analyze_dense_conv(dense, 8);
+  EXPECT_EQ(report.total_units, 9u);  // 3x3 kernel positions, 1x1 blocks
+  // Kaiming-random dense units are near full rank.
+  EXPECT_LT(report.poor_fraction, 0.2);
+}
+
+TEST(RankAnalysisTest, DenseConvNotPartitionableGivesEmptyReport) {
+  numeric::Rng rng(7);
+  nn::ConvSpec s;
+  s.in_channels = 3;
+  s.out_channels = 8;
+  nn::Conv2d dense(s, rng);
+  const auto report = analyze_dense_conv(dense, 8);
+  EXPECT_EQ(report.total_units, 0u);
+}
+
+TEST(RankAnalysisTest, MeanDecayCurveShape) {
+  numeric::Rng rng(8);
+  BcmConv2d layer(spec8(), 8, BcmParameterization::kHadamard, rng);
+  const auto curve = mean_bcm_decay_curve(layer);
+  ASSERT_EQ(curve.size(), 8u);
+  EXPECT_NEAR(curve[0], 1.0F, 1e-5);
+  for (std::size_t k = 1; k < curve.size(); ++k)
+    EXPECT_LE(curve[k], curve[k - 1] + 1e-6);
+}
+
+TEST(RankAnalysisTest, HadamardImprovesCollapsedSpectrum) {
+  // Start from a collapsed plain-BCM weight (constant defining vectors,
+  // rank 1) and show the Hadamard re-parameterization of random factors
+  // realizes a much better-conditioned block.
+  numeric::Rng rng(9);
+  BcmConv2d plain(spec8(), 8, BcmParameterization::kPlain, rng);
+  plain.params()[0]->value.fill(0.5F);
+  BcmConv2d hada(spec8(), 8, BcmParameterization::kHadamard, rng);
+  const auto rp = analyze_bcm_layer(plain);
+  const auto rh = analyze_bcm_layer(hada);
+  EXPECT_GT(rh.mean_effective_rank, rp.mean_effective_rank);
+  EXPECT_LT(rh.poor_fraction, rp.poor_fraction);
+}
+
+TEST(ConvergedModelTest, DefiningVectorHasRequestedSpectrum) {
+  numeric::Rng rng(10);
+  const double tau = 1.5;
+  const auto w = synth_converged_defining(16, tau, rng);
+  ASSERT_EQ(w.size(), 16u);
+  const auto sv = Circulant::from_first_column(w).singular_values();
+  // Singular values are the spectrum magnitudes: jittered exponential in
+  // the bin index. The largest must be a low-frequency bin (near exp(0)).
+  EXPECT_GT(sv[0], 0.4F);
+  EXPECT_LT(sv.back(), sv[0]);
+}
+
+TEST(ConvergedModelTest, SmallTauTripsPoorRank) {
+  numeric::Rng rng(11);
+  const double frac = synth_bcm_poor_fraction(16, 0.6, 200, rng, 0.1);
+  EXPECT_GT(frac, 0.9);
+}
+
+TEST(ConvergedModelTest, LargeTauIsHealthy) {
+  numeric::Rng rng(12);
+  const double frac = synth_bcm_poor_fraction(16, 6.0, 200, rng, 0.1);
+  EXPECT_LT(frac, 0.05);
+}
+
+TEST(ConvergedModelTest, HadamardReducesPoorFraction) {
+  // The Section III-A mechanism at converged statistics: the product
+  // spectrum is the circular convolution of the factor spectra, spreading
+  // energy across bins.
+  numeric::Rng rng(13);
+  const double plain = synth_bcm_poor_fraction(16, 1.0, 400, rng);
+  const double hada = synth_hadabcm_poor_fraction(16, 1.0, 400, rng);
+  EXPECT_GT(plain, 0.55);
+  EXPECT_LT(hada, plain - 0.15);
+}
+
+TEST(ConvergedModelTest, PoorFractionMonotoneInTau) {
+  numeric::Rng rng(14);
+  double prev = 1.1;
+  for (double tau : {0.6, 1.0, 1.6, 2.6, 4.0}) {
+    const double f = synth_bcm_poor_fraction(16, tau, 300, rng);
+    EXPECT_LE(f, prev + 0.05) << "tau=" << tau;
+    prev = f;
+  }
+}
+
+TEST(ConvergedModelTest, DecayCurveNormalizedDescending) {
+  numeric::Rng rng(15);
+  for (bool hadamard : {false, true}) {
+    const auto c = synth_decay_curve(16, 1.0, 50, hadamard, rng);
+    ASSERT_EQ(c.size(), 16u);
+    EXPECT_NEAR(c[0], 1.0F, 1e-5);
+    for (std::size_t k = 1; k < c.size(); ++k) EXPECT_LE(c[k], c[k - 1] + 1e-5);
+  }
+}
+
+TEST(ConvergedModelTest, HadamardCurveDecaysSlower) {
+  numeric::Rng rng(16);
+  const auto plain = synth_decay_curve(16, 1.0, 300, false, rng);
+  const auto hada = synth_decay_curve(16, 1.0, 300, true, rng);
+  // Compare mid-spectrum mass.
+  double plain_mid = 0.0, hada_mid = 0.0;
+  for (std::size_t k = 4; k < 12; ++k) {
+    plain_mid += plain[k];
+    hada_mid += hada[k];
+  }
+  EXPECT_GT(hada_mid, plain_mid);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

@@ -1,0 +1,158 @@
+#include "core/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pruning.hpp"
+#include "models/model_zoo.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+std::unique_ptr<nn::Sequential> small_model(std::uint64_t seed = 3) {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.classes = 4;
+  cfg.kind = models::ConvKind::kHadaBcm;
+  cfg.block_size = 4;
+  cfg.seed = seed;
+  return models::make_scaled_vgg(cfg);
+}
+
+TEST(CheckpointTest, RoundTripRestoresParamsAndMasks) {
+  auto a = small_model(3);
+  auto b = small_model(99);  // different init, same architecture
+
+  // Perturb A: prune some blocks so masks are non-trivial.
+  auto set = BcmLayerSet::collect(*a);
+  BcmPruner::apply_ratio(set, 0.3F);
+  const auto a_norms = set.norm_list();
+
+  std::stringstream buf;
+  save_checkpoint(*a, buf);
+  load_checkpoint(*b, buf);
+
+  // b now equals a: same params, same masks, same forward outputs.
+  auto set_b = BcmLayerSet::collect(*b);
+  EXPECT_EQ(set_b.pruned_blocks(), set.pruned_blocks());
+  const auto b_norms = set_b.norm_list();
+  ASSERT_EQ(a_norms.size(), b_norms.size());
+  for (std::size_t i = 0; i < a_norms.size(); ++i)
+    EXPECT_DOUBLE_EQ(a_norms[i], b_norms[i]);
+
+  const auto x = testutil::random_tensor({2, 3, 16, 16}, 7);
+  const auto ya = a->forward(x, false);
+  const auto yb = b->forward(x, false);
+  EXPECT_LT(testutil::max_abs_diff(ya, yb), 1e-6);
+}
+
+TEST(CheckpointTest, ArchitectureMismatchRejected) {
+  auto a = small_model();
+  models::ScaledNetConfig other;
+  other.base_width = 16;  // different widths
+  other.classes = 4;
+  other.kind = models::ConvKind::kHadaBcm;
+  other.block_size = 4;
+  auto b = models::make_scaled_vgg(other);
+  std::stringstream buf;
+  save_checkpoint(*a, buf);
+  EXPECT_THROW(load_checkpoint(*b, buf), rpbcm::CheckError);
+}
+
+TEST(CheckpointTest, CorruptionDetected) {
+  auto a = small_model();
+  std::stringstream buf;
+  save_checkpoint(*a, buf);
+  std::string data = buf.str();
+  data[data.size() / 2] ^= 0x40;  // flip a bit in the payload
+  std::stringstream corrupted(data);
+  auto b = small_model();
+  EXPECT_THROW(load_checkpoint(*b, corrupted), rpbcm::CheckError);
+}
+
+TEST(CheckpointTest, TruncationDetected) {
+  auto a = small_model();
+  std::stringstream buf;
+  save_checkpoint(*a, buf);
+  std::string data = buf.str();
+  std::stringstream truncated(data.substr(0, data.size() / 2));
+  auto b = small_model();
+  EXPECT_THROW(load_checkpoint(*b, truncated), rpbcm::CheckError);
+}
+
+TEST(CheckpointTest, WrongMagicRejected) {
+  std::stringstream buf;
+  buf << "GARBAGEDATA_____________________";
+  auto b = small_model();
+  EXPECT_THROW(load_checkpoint(*b, buf), rpbcm::CheckError);
+}
+
+TEST(FrequencyWeightsIoTest, RoundTrip) {
+  numeric::Rng rng(5);
+  nn::ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 16;
+  spec.kernel = 3;
+  spec.stride = 1;
+  spec.pad = 1;
+  BcmConv2d layer(spec, 8, BcmParameterization::kHadamard, rng);
+  layer.prune_block(1);
+  layer.prune_block(7);
+  const auto fw = export_frequency_weights(layer);
+
+  std::stringstream buf;
+  save_frequency_weights(fw, buf);
+  const auto loaded = load_frequency_weights(buf);
+
+  EXPECT_EQ(loaded.layout.total_blocks(), fw.layout.total_blocks());
+  EXPECT_EQ(loaded.layout.block_size, fw.layout.block_size);
+  EXPECT_EQ(loaded.skip_index, fw.skip_index);
+  for (std::size_t b = 0; b < fw.layout.total_blocks(); ++b) {
+    ASSERT_EQ(loaded.half_spectra[b].size(), fw.half_spectra[b].size());
+    for (std::size_t k = 0; k < fw.half_spectra[b].size(); ++k) {
+      EXPECT_EQ(loaded.half_spectra[b][k].real(),
+                fw.half_spectra[b][k].real());
+      EXPECT_EQ(loaded.half_spectra[b][k].imag(),
+                fw.half_spectra[b][k].imag());
+    }
+  }
+}
+
+TEST(FrequencyWeightsIoTest, FileRoundTrip) {
+  numeric::Rng rng(6);
+  nn::ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 8;
+  spec.kernel = 1;
+  spec.stride = 1;
+  spec.pad = 0;
+  BcmConv2d layer(spec, 8, BcmParameterization::kPlain, rng);
+  const auto fw = export_frequency_weights(layer);
+  const std::string path = "/tmp/rpbcm_fw_test.bin";
+  save_frequency_weights(fw, path);
+  const auto loaded = load_frequency_weights(path);
+  EXPECT_EQ(loaded.skip_index, fw.skip_index);
+  EXPECT_EQ(loaded.weight_words(), fw.weight_words());
+}
+
+TEST(FrequencyWeightsIoTest, CorruptionDetected) {
+  numeric::Rng rng(7);
+  nn::ConvSpec spec;
+  spec.in_channels = 8;
+  spec.out_channels = 8;
+  spec.kernel = 1;
+  spec.stride = 1;
+  spec.pad = 0;
+  BcmConv2d layer(spec, 8, BcmParameterization::kPlain, rng);
+  std::stringstream buf;
+  save_frequency_weights(export_frequency_weights(layer), buf);
+  std::string data = buf.str();
+  data[data.size() - 12] ^= 0x01;
+  std::stringstream corrupted(data);
+  EXPECT_THROW(load_frequency_weights(corrupted), rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

@@ -1,0 +1,68 @@
+#include "core/unstructured_prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "nn/conv2d.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+std::unique_ptr<nn::Sequential> dense_model() {
+  models::ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.classes = 4;
+  cfg.kind = models::ConvKind::kDense;
+  return models::make_scaled_vgg(cfg);
+}
+
+TEST(UnstructuredPruneTest, AchievesRequestedRatio) {
+  auto model = dense_model();
+  const auto r = prune_unstructured(*model, 0.5);
+  EXPECT_GT(r.total_weights, 0u);
+  EXPECT_NEAR(r.achieved_ratio, 0.5, 0.02);
+}
+
+TEST(UnstructuredPruneTest, ZeroRatioIsNoop) {
+  auto model = dense_model();
+  const auto r = prune_unstructured(*model, 0.0);
+  EXPECT_EQ(r.pruned_weights, 0u);
+}
+
+TEST(UnstructuredPruneTest, PrunesSmallestMagnitudesFirst) {
+  auto model = dense_model();
+  prune_unstructured(*model, 0.3);
+  // Every surviving weight must have magnitude >= every pruned one did;
+  // equivalently, the smallest surviving magnitude exceeds zero and no
+  // zeroed weight had larger magnitude than a survivor. Verify the global
+  // threshold property: min surviving |w| >= 30th-percentile magnitude of
+  // the original would require the original; instead check coarse sanity:
+  // survivors are nonzero, and pruning again at the same ratio removes
+  // (almost) nothing new.
+  const auto again = prune_unstructured(*model, 0.3);
+  EXPECT_LT(again.achieved_ratio, 0.05);
+}
+
+TEST(UnstructuredPruneTest, IrregularSparsityDoesNotZeroBlocks) {
+  // The Section I motivation: 50% element sparsity leaves essentially no
+  // BS x BS block entirely zero, so a block-skip PE gains nothing.
+  auto model = dense_model();
+  prune_unstructured(*model, 0.5);
+  EXPECT_LT(fully_zero_block_fraction(*model, 8), 0.01);
+}
+
+TEST(UnstructuredPruneTest, ExtremeSparsityEventuallyZeroesBlocks) {
+  auto model = dense_model();
+  prune_unstructured(*model, 0.999);
+  EXPECT_GT(fully_zero_block_fraction(*model, 8), 0.5);
+}
+
+TEST(UnstructuredPruneTest, InvalidRatioRejected) {
+  auto model = dense_model();
+  EXPECT_THROW(prune_unstructured(*model, 1.5), rpbcm::CheckError);
+  EXPECT_THROW(prune_unstructured(*model, -0.1), rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

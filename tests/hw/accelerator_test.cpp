@@ -1,0 +1,81 @@
+#include "hw/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+core::BcmCompressionConfig table3_compression() {
+  core::BcmCompressionConfig c;
+  c.block_size = 8;
+  c.alpha = 0.5;
+  return c;
+}
+
+TEST(AcceleratorTest, ResNet18ReportIsCoherent) {
+  const auto net = models::resnet18_imagenet_shape();
+  const HwConfig hw;
+  const auto r = simulate_accelerator(net, table3_compression(), hw);
+  EXPECT_EQ(r.network, "ResNet-18/ImageNet");
+  EXPECT_EQ(r.layers.size(), net.convs.size() + net.fcs.size());
+  EXPECT_GT(r.total_cycles, 0u);
+  EXPECT_GT(r.fps, 0.0);
+  EXPECT_NEAR(r.latency_ms * r.fps, 1000.0, 1e-6);
+  EXPECT_GT(r.fps_per_klut(), 0.0);
+  EXPECT_GT(r.fps_per_dsp(), 0.0);
+  EXPECT_GT(r.fps_per_watt(), 0.0);
+}
+
+TEST(AcceleratorTest, FpsInTableIIIBallpark) {
+  // Paper: 12.5 FPS for ResNet-18 at BS=8, alpha=0.5, 100 MHz. The shape
+  // requirement: same order of magnitude (a cycle model, not the HLS RTL).
+  const auto net = models::resnet18_imagenet_shape();
+  const HwConfig hw;
+  const auto r = simulate_accelerator(net, table3_compression(), hw);
+  EXPECT_GT(r.fps, 3.0);
+  EXPECT_LT(r.fps, 60.0);
+}
+
+TEST(AcceleratorTest, EnergyEfficiencyBeatsGpuConstant) {
+  // GPU baseline (Table III): 325.73 FPS / 148.54 W = 2.19 FPS/W. The
+  // accelerator must beat it by a clear factor (paper: 3.1x).
+  const auto net = models::resnet18_imagenet_shape();
+  const HwConfig hw;
+  const auto r = simulate_accelerator(net, table3_compression(), hw);
+  const double gpu_fps_per_watt = 325.73 / 148.54;
+  EXPECT_GT(r.fps_per_watt(), 1.5 * gpu_fps_per_watt);
+}
+
+TEST(AcceleratorTest, PruningImprovesFps) {
+  const auto net = models::resnet18_imagenet_shape();
+  const HwConfig hw;
+  auto c0 = table3_compression();
+  c0.alpha = 0.0;
+  auto c5 = table3_compression();
+  const auto r0 = simulate_accelerator(net, c0, hw);
+  const auto r5 = simulate_accelerator(net, c5, hw);
+  EXPECT_GT(r5.fps, r0.fps);
+}
+
+TEST(AcceleratorTest, FineGrainedDataflowBeatsSerial) {
+  const auto net = models::resnet18_imagenet_shape();
+  HwConfig fine, serial;
+  serial.dataflow = DataflowKind::kSerial;
+  const auto rf = simulate_accelerator(net, table3_compression(), fine);
+  const auto rs = simulate_accelerator(net, table3_compression(), serial);
+  EXPECT_GT(rf.fps, rs.fps);
+}
+
+TEST(AcceleratorTest, ResNet50SlowerThanResNet18) {
+  const HwConfig hw;
+  const auto r18 = simulate_accelerator(models::resnet18_imagenet_shape(),
+                                        table3_compression(), hw);
+  const auto r50 = simulate_accelerator(models::resnet50_imagenet_shape(),
+                                        table3_compression(), hw);
+  EXPECT_GT(r18.fps, r50.fps);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

@@ -1,0 +1,126 @@
+#include "hw/buffer_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+LayerWorkload layer(std::size_t cin, std::size_t cout, std::size_t spatial,
+                    double alpha = 0.0) {
+  LayerWorkload wl;
+  wl.shape.kernel = 3;
+  wl.shape.in_channels = cin;
+  wl.shape.out_channels = cout;
+  wl.shape.in_h = spatial;
+  wl.shape.in_w = spatial;
+  wl.shape.stride = 1;
+  wl.shape.pad = 1;
+  wl.block_size = 8;
+  wl.compressible = cin % 8 == 0 && cout % 8 == 0;
+  wl.alpha = alpha;
+  return wl;
+}
+
+TEST(BufferCheckTest, SmallLayerFitsEverything) {
+  const HwConfig cfg;
+  const auto f = check_tiles(layer(64, 64, 28), cfg);
+  EXPECT_TRUE(f.input_fits);
+  EXPECT_TRUE(f.output_fits);
+  EXPECT_TRUE(f.feasible());
+  EXPECT_GT(f.input_tile_kb, 0.0);
+}
+
+TEST(BufferCheckTest, WideLayerNeedsWeightStreaming) {
+  const HwConfig cfg;
+  // 512x512x3x3 at BS=8: 36864 blocks x 5 complex words x 4B = 720 KB of
+  // weights — far beyond the 78 KB buffer: streamed, not single-pass.
+  const auto f = check_tiles(layer(512, 512, 14), cfg);
+  EXPECT_TRUE(f.feasible());
+  EXPECT_FALSE(f.weights_single_pass);
+  EXPECT_GT(f.weight_total_kb, cfg.weight_buffer_kb);
+}
+
+TEST(BufferCheckTest, PruningShrinksWeightFootprint) {
+  const HwConfig cfg;
+  const auto dense = check_tiles(layer(256, 256, 14, 0.0), cfg);
+  const auto pruned = check_tiles(layer(256, 256, 14, 0.75), cfg);
+  EXPECT_LT(pruned.weight_total_kb, dense.weight_total_kb * 0.3);
+}
+
+TEST(BufferCheckTest, HugeInputTileOverflows) {
+  HwConfig cfg;
+  cfg.tile_h = cfg.tile_w = 112;
+  // 112x112 output tile of a 512-channel layer cannot fit a 90 KB buffer.
+  const auto f = check_tiles(layer(512, 512, 112), cfg);
+  EXPECT_FALSE(f.feasible());
+}
+
+TEST(BufferCheckTest, MaxFeasibleTileMonotoneInChannels) {
+  const HwConfig cfg;
+  const auto t64 = max_feasible_tile(layer(64, 64, 56), cfg);
+  const auto t256 = max_feasible_tile(layer(256, 256, 56), cfg);
+  EXPECT_GT(t64, 0u);
+  EXPECT_GE(t64, t256);
+}
+
+TEST(BufferCheckTest, MaxFeasibleTileActuallyFits) {
+  const HwConfig cfg;
+  const auto wl = layer(128, 128, 56);
+  const auto t = max_feasible_tile(wl, cfg);
+  ASSERT_GT(t, 0u);
+  HwConfig probe = cfg;
+  probe.tile_h = probe.tile_w = t;
+  EXPECT_TRUE(check_tiles(wl, probe).feasible());
+  probe.tile_h = probe.tile_w = t + 1;
+  // t+1 either exceeds the feature map (clamped -> still fits) or fails.
+  if (t + 1 <= wl.shape.out_h())
+    EXPECT_FALSE(check_tiles(wl, probe).feasible());
+}
+
+TEST(BufferCheckTest, EveryResNet18LayerHasAFeasibleTile) {
+  // The Table III design point must be buildable: every layer of ResNet-18
+  // must admit *some* tile under the buffer budgets (the dataflow's
+  // auto-tiling then picks it).
+  const HwConfig cfg;
+  core::BcmCompressionConfig ccfg;
+  ccfg.block_size = 8;
+  ccfg.alpha = 0.5;
+  const auto net = models::resnet18_imagenet_shape();
+  for (const auto& c : net.convs) {
+    LayerWorkload wl;
+    wl.shape = c;
+    wl.block_size = ccfg.block_size;
+    wl.compressible = c.bcm_compressible(ccfg.block_size);
+    wl.alpha = ccfg.alpha;
+    EXPECT_GT(max_feasible_tile(wl, cfg), 0u) << c.name;
+  }
+}
+
+TEST(BufferCheckTest, Stride2LayersNeedSmallerTiles) {
+  // A stride-2 layer's input halo is ~2x per side: its max feasible tile
+  // is smaller than the stride-1 equivalent.
+  const HwConfig cfg;
+  auto s1 = layer(128, 128, 56);
+  auto s2 = s1;
+  s2.shape.stride = 2;
+  EXPECT_LT(max_feasible_tile(s2, cfg), max_feasible_tile(s1, cfg));
+}
+
+TEST(BufferCheckTest, DenseFallbackWeightFootprint) {
+  const HwConfig cfg;
+  auto wl = layer(3, 64, 224);
+  wl.shape.kernel = 7;
+  wl.shape.stride = 2;
+  wl.shape.pad = 3;
+  wl.compressible = false;
+  const auto f = check_tiles(wl, cfg);
+  // 7*7*3*64*2B = ~18.4 KB: fits single-pass.
+  EXPECT_TRUE(f.weights_single_pass);
+  EXPECT_NEAR(f.weight_total_kb, 7.0 * 7.0 * 3.0 * 64.0 * 2.0 / 1024.0,
+              0.01);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "hw/config.hpp"
+#include "hw/dram.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+TEST(HwConfigTest, DefaultsValidate) {
+  const HwConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(HwConfigTest, InvalidConfigsRejected) {
+  HwConfig cfg;
+  cfg.parallelism = 0;
+  EXPECT_THROW(cfg.validate(), rpbcm::CheckError);
+  cfg = HwConfig{};
+  cfg.tile_h = 0;
+  EXPECT_THROW(cfg.validate(), rpbcm::CheckError);
+  cfg = HwConfig{};
+  cfg.dram_gbps = 0.0;
+  EXPECT_THROW(cfg.validate(), rpbcm::CheckError);
+  cfg = HwConfig{};
+  cfg.frequency_mhz = -1.0;
+  EXPECT_THROW(cfg.validate(), rpbcm::CheckError);
+}
+
+TEST(HwConfigTest, BytesPerCycleScalesWithClockAndBandwidth) {
+  HwConfig cfg;
+  cfg.frequency_mhz = 100.0;
+  cfg.dram_gbps = 1.0;
+  EXPECT_NEAR(cfg.bytes_per_cycle(), 10.0, 1e-9);  // 1e9 B/s / 1e8 Hz
+  cfg.frequency_mhz = 200.0;
+  EXPECT_NEAR(cfg.bytes_per_cycle(), 5.0, 1e-9);
+  cfg.dram_gbps = 2.0;
+  EXPECT_NEAR(cfg.bytes_per_cycle(), 10.0, 1e-9);
+}
+
+TEST(DramModelTest, ZeroBytesIsFree) {
+  const HwConfig cfg;
+  const DramModel dram(cfg);
+  EXPECT_EQ(dram.transfer_cycles(0), 0u);
+}
+
+TEST(DramModelTest, LatencyPlusStreaming) {
+  HwConfig cfg;
+  cfg.frequency_mhz = 100.0;
+  cfg.dram_gbps = 1.0;          // 10 B/cycle
+  cfg.dram_burst_latency = 80;
+  const DramModel dram(cfg);
+  // 1000 bytes in one burst: 80 + ceil(1000/10) = 180.
+  EXPECT_EQ(dram.transfer_cycles(1000, 1), 180u);
+  // Two bursts pay the latency twice.
+  EXPECT_EQ(dram.transfer_cycles(1000, 2), 260u);
+}
+
+TEST(DramModelTest, ZeroBurstsTreatedAsOne) {
+  HwConfig cfg;
+  cfg.dram_burst_latency = 80;
+  const DramModel dram(cfg);
+  EXPECT_EQ(dram.transfer_cycles(100, 0), dram.transfer_cycles(100, 1));
+}
+
+TEST(DramModelTest, MonotoneInBytes) {
+  const HwConfig cfg;
+  const DramModel dram(cfg);
+  std::uint64_t prev = 0;
+  for (std::uint64_t bytes : {1ull, 100ull, 10000ull, 1000000ull}) {
+    const auto c = dram.transfer_cycles(bytes);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

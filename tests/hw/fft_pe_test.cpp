@@ -1,0 +1,90 @@
+#include "hw/fft_pe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "numeric/fft.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+class FftPeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPeSizes, MatchesFloatFftWithinQuantization) {
+  const std::size_t n = GetParam();
+  numeric::Rng rng(n);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.uniform(-2.0F, 2.0F);
+
+  const FftPe pe(n);
+  std::vector<Fix16> xq(n);
+  for (std::size_t i = 0; i < n; ++i) xq[i] = Fix16::from_float(x[i]);
+  const auto fixed_spec = pe.forward_real(xq);
+  const auto float_spec = numeric::fft_real(x);
+  // Tolerance grows with transform size (error accumulates per stage).
+  const float tol = 0.02F * static_cast<float>(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fixed_spec[k].re.to_float(), float_spec[k].real(), tol);
+    EXPECT_NEAR(fixed_spec[k].im.to_float(), float_spec[k].imag(), tol);
+  }
+}
+
+TEST_P(FftPeSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  numeric::Rng rng(n + 9);
+  const FftPe pe(n);
+  std::vector<Fix16> x(n);
+  for (auto& v : x) v = Fix16::from_float(rng.uniform(-2.0F, 2.0F));
+  const auto spec = pe.forward_real(x);
+  const auto back = pe.inverse_real(spec);
+  const float tol = 0.05F;
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(back[i].to_float(), x[i].to_float(), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftPeSizes, ::testing::Values(4, 8, 16, 32));
+
+TEST(FftPeTest, ShiftDividerMatchesDivision) {
+  // The inverse applies >> log2(BS) — for BS=8 that is a divide-by-8 of the
+  // un-normalized inverse butterfly network.
+  const FftPe pe(8);
+  std::vector<Fix16> x(8);
+  for (std::size_t i = 0; i < 8; ++i)
+    x[i] = Fix16::from_float(static_cast<float>(i) * 0.25F);
+  const auto spec = pe.forward_real(x);
+  const auto y = pe.inverse_real(spec);
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(y[i].to_float(), x[i].to_float(), 0.05F);
+}
+
+TEST(FftPeTest, CyclesPerTransform) {
+  EXPECT_EQ(FftPe::cycles_per_transform(8), 12u);
+  EXPECT_EQ(FftPe::cycles_per_transform(16), 32u);
+  EXPECT_EQ(FftPe::cycles_per_transform(1), 0u);
+}
+
+TEST(FftPeTest, RomFootprint) {
+  const FftPe pe(16);
+  EXPECT_EQ(pe.rom_words(), 8u);
+}
+
+TEST(FftPeTest, DcInputConcentratesInBinZero) {
+  const FftPe pe(8);
+  std::vector<Fix16> x(8, Fix16::from_float(1.0F));
+  const auto spec = pe.forward_real(x);
+  EXPECT_NEAR(spec[0].re.to_float(), 8.0F, 0.1F);
+  for (std::size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(spec[k].re.to_float(), 0.0F, 0.1F);
+    EXPECT_NEAR(spec[k].im.to_float(), 0.0F, 0.1F);
+  }
+}
+
+TEST(FftPeTest, WrongBlockSizeRejected) {
+  const FftPe pe(8);
+  std::vector<Fix16> x(4);
+  EXPECT_THROW(pe.forward_real(x), rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

@@ -1,0 +1,101 @@
+#include "hw/pruned_bcm_pe.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rpbcm::hw {
+namespace {
+
+HwConfig base_cfg() {
+  HwConfig cfg;
+  cfg.parallelism = 16;
+  cfg.block_size = 8;
+  return cfg;
+}
+
+PeBankWork work(std::size_t total, std::size_t live, std::size_t pixels) {
+  PeBankWork w;
+  w.total_blocks = total;
+  w.live_blocks = live;
+  w.tile_pixels = pixels;
+  w.block_size = 8;
+  return w;
+}
+
+TEST(PeBankTest, NoPruningBaselineCycles) {
+  const auto cfg = base_cfg();
+  // 10 blocks, 32 pixels, p=16 -> 2 groups x 5 cycles = 10 cycles/block.
+  const auto c = pe_bank_cycles(work(10, 10, 32), cfg);
+  EXPECT_EQ(c.emac, 100u);
+  EXPECT_EQ(c.skip_check, 10u);
+  EXPECT_EQ(c.total(), 110u);
+}
+
+TEST(PeBankTest, ConventionalPeIgnoresSparsity) {
+  auto cfg = base_cfg();
+  cfg.skip_scheme = false;
+  const auto dense = pe_bank_cycles(work(10, 10, 32), cfg);
+  const auto sparse = pe_bank_cycles(work(10, 2, 32), cfg);
+  EXPECT_EQ(dense.total(), sparse.total());  // flat in alpha (Fig. 10)
+  EXPECT_EQ(dense.skip_check, 0u);
+}
+
+TEST(PeBankTest, ProposedPeScalesLinearlyWithSparsity) {
+  const auto cfg = base_cfg();
+  const std::size_t total = 100, pixels = 196;
+  std::uint64_t prev = ~0ull;
+  for (std::size_t live = 100; live > 0; live -= 20) {
+    const auto c = pe_bank_cycles(work(total, live, pixels), cfg);
+    EXPECT_LT(c.total(), prev);
+    prev = c.total();
+    // Skip cost constant, eMAC proportional to live blocks.
+    EXPECT_EQ(c.skip_check, total * cfg.skip_check_cycles);
+    EXPECT_EQ(c.emac, live * ((pixels + 15) / 16) * 5);
+  }
+}
+
+TEST(PeBankTest, SkipOverheadSmallAtAlphaZero) {
+  // The Fig. 10 claim: proposed vs conventional at alpha=0 differs only by
+  // the skip checks, a few percent of the eMAC time.
+  auto proposed = base_cfg();
+  auto conventional = base_cfg();
+  conventional.skip_scheme = false;
+  const auto w = work(288, 288, 196);  // one ResNet-18 layer tile
+  const auto cp = pe_bank_cycles(w, proposed);
+  const auto cc = pe_bank_cycles(w, conventional);
+  EXPECT_GT(cp.total(), cc.total());
+  const double overhead =
+      static_cast<double>(cp.total() - cc.total()) /
+      static_cast<double>(cc.total());
+  EXPECT_LT(overhead, 0.05);
+  EXPECT_GT(overhead, 0.0);
+}
+
+TEST(PeBankTest, ParallelismReducesCycles) {
+  auto cfg = base_cfg();
+  const auto w = work(50, 50, 196);
+  cfg.parallelism = 4;
+  const auto c4 = pe_bank_cycles(w, cfg);
+  cfg.parallelism = 16;
+  const auto c16 = pe_bank_cycles(w, cfg);
+  cfg.parallelism = 64;
+  const auto c64 = pe_bank_cycles(w, cfg);
+  EXPECT_GT(c4.emac, c16.emac);
+  EXPECT_GT(c16.emac, c64.emac);
+  // Close to ideal 4x between p=4 and p=16 for 196 pixels.
+  EXPECT_NEAR(static_cast<double>(c4.emac) / c16.emac, 49.0 / 13.0, 0.1);
+}
+
+TEST(PeBankTest, LiveExceedingTotalRejected) {
+  const auto cfg = base_cfg();
+  EXPECT_THROW(pe_bank_cycles(work(5, 6, 10), cfg), rpbcm::CheckError);
+}
+
+TEST(PeBankTest, ZeroPixelsCostOnlyChecks) {
+  const auto cfg = base_cfg();
+  const auto c = pe_bank_cycles(work(10, 10, 0), cfg);
+  EXPECT_EQ(c.emac, 0u);
+  EXPECT_EQ(c.skip_check, 10u);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

@@ -1,0 +1,77 @@
+#include "hw/report_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+AcceleratorReport sample_report() {
+  core::BcmCompressionConfig ccfg;
+  ccfg.block_size = 8;
+  ccfg.alpha = 0.5;
+  return simulate_accelerator(models::resnet18_imagenet_shape(), ccfg,
+                              HwConfig{});
+}
+
+TEST(ReportIoTest, CsvHasOneRowPerLayerPlusTotal) {
+  const auto report = sample_report();
+  std::stringstream ss;
+  write_layer_csv(report, ss);
+  std::size_t lines = 0;
+  std::string line, last;
+  while (std::getline(ss, line)) {
+    ++lines;
+    last = line;
+  }
+  EXPECT_EQ(lines, report.layers.size() + 2);  // header + layers + total
+  EXPECT_EQ(last.rfind("total,", 0), 0u);
+}
+
+TEST(ReportIoTest, CsvTotalRowSumsLayers) {
+  const auto report = sample_report();
+  std::stringstream ss;
+  write_layer_csv(report, ss);
+  std::string line;
+  std::getline(ss, line);  // header
+  std::uint64_t sum_total = 0, last_field = 0;
+  while (std::getline(ss, line)) {
+    const auto pos = line.rfind(',');
+    const auto v = std::stoull(line.substr(pos + 1));
+    if (line.rfind("total,", 0) == 0)
+      last_field = v;
+    else
+      sum_total += v;
+  }
+  EXPECT_EQ(last_field, sum_total);
+}
+
+TEST(ReportIoTest, MarkdownContainsHeadlineNumbers) {
+  const auto report = sample_report();
+  std::stringstream ss;
+  write_summary_markdown(report, ss);
+  const std::string md = ss.str();
+  EXPECT_NE(md.find("ResNet-18"), std::string::npos);
+  EXPECT_NE(md.find("| network |"), std::string::npos);
+  char fps[32];
+  std::snprintf(fps, sizeof fps, "%.2f", report.fps);
+  EXPECT_NE(md.find(fps), std::string::npos);
+}
+
+TEST(ReportIoTest, FileOverloadsWrite) {
+  const auto report = sample_report();
+  write_layer_csv(report, "/tmp/rpbcm_layers.csv");
+  write_summary_markdown(report, "/tmp/rpbcm_summary.md");
+  std::ifstream csv("/tmp/rpbcm_layers.csv");
+  EXPECT_TRUE(csv.good());
+  std::string header;
+  std::getline(csv, header);
+  EXPECT_EQ(header.rfind("layer,", 0), 0u);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

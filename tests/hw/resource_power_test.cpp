@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+TEST(ResourceModelTest, DefaultConfigMatchesTableIIIDesignPoint) {
+  const HwConfig cfg;
+  const auto r = estimate_resources(cfg);
+  // Paper Table III, "Ours" column: 18.2 kLUT, 117 DSP, 112.5 BRAM36.
+  EXPECT_NEAR(r.kilo_luts, 18.2, 0.5);
+  EXPECT_EQ(r.dsps, 117u);
+  EXPECT_NEAR(r.bram36, 112.5, 3.0);
+}
+
+TEST(ResourceModelTest, UtilizationWithinBoard) {
+  const HwConfig cfg;
+  const auto r = estimate_resources(cfg);
+  EXPECT_NEAR(r.lut_util(cfg.board), 0.34, 0.02);
+  EXPECT_NEAR(r.dsp_util(cfg.board), 0.53, 0.02);
+  EXPECT_NEAR(r.bram_util(cfg.board), 0.80, 0.03);
+  EXPECT_LT(r.lut_util(cfg.board), 1.0);
+  EXPECT_LT(r.dsp_util(cfg.board), 1.0);
+  EXPECT_LT(r.bram_util(cfg.board), 1.0);
+}
+
+TEST(ResourceModelTest, SkipSchemeOverheadIsSmall) {
+  // The Table II comparison: same parallelism and dataflow, with and
+  // without the skip scheme. Overhead is a sliver of LUTs and BRAM, no
+  // DSPs.
+  HwConfig with = HwConfig{};
+  HwConfig without = HwConfig{};
+  without.skip_scheme = false;
+  const auto rw = estimate_resources(with);
+  const auto ro = estimate_resources(without);
+  EXPECT_EQ(rw.dsps, ro.dsps);
+  EXPECT_GT(rw.kilo_luts, ro.kilo_luts);
+  EXPECT_LT(rw.kilo_luts - ro.kilo_luts, 1.0);  // < 1 kLUT
+  EXPECT_GE(rw.bram36, ro.bram36);
+  EXPECT_LT((rw.kilo_luts - ro.kilo_luts) / ro.kilo_luts, 0.05);
+}
+
+TEST(ResourceModelTest, ScalesWithParallelism) {
+  HwConfig small, big;
+  small.parallelism = 8;
+  big.parallelism = 32;
+  const auto rs = estimate_resources(small);
+  const auto rb = estimate_resources(big);
+  EXPECT_GT(rb.dsps, rs.dsps);
+  EXPECT_GT(rb.kilo_luts, rs.kilo_luts);
+  // DSP delta is exactly (32-8) * 4 for the default cost table.
+  EXPECT_EQ(rb.dsps - rs.dsps, 24u * 4u);
+}
+
+TEST(ResourceModelTest, Bram36Granularity) {
+  EXPECT_DOUBLE_EQ(bram36_for_kb(4.5), 1.0);
+  EXPECT_DOUBLE_EQ(bram36_for_kb(2.25), 0.5);
+  EXPECT_DOUBLE_EQ(bram36_for_kb(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(bram36_for_kb(9.1), 2.5);
+}
+
+TEST(PowerModelTest, TotalMatchesTableIII) {
+  const HwConfig cfg;
+  const auto res = estimate_resources(cfg);
+  const auto p = estimate_power(res, cfg);
+  // Paper: 1.83 W.
+  EXPECT_NEAR(p.total_w(), 1.83, 0.1);
+  EXPECT_GT(p.static_w, 0.0);
+  EXPECT_GT(p.dynamic_w, 0.0);
+}
+
+TEST(PowerModelTest, DynamicScalesWithFrequency) {
+  HwConfig slow, fast;
+  slow.frequency_mhz = 50.0;
+  fast.frequency_mhz = 200.0;
+  const auto res = estimate_resources(slow);
+  const auto ps = estimate_power(res, slow);
+  const auto pf = estimate_power(res, fast);
+  EXPECT_DOUBLE_EQ(ps.static_w, pf.static_w);
+  EXPECT_LT(ps.dynamic_w, pf.dynamic_w);
+}
+
+TEST(PowerModelTest, FewerResourcesLessPower) {
+  HwConfig big, small;
+  small.parallelism = 4;
+  small.fft_units = 1;
+  const auto pb = estimate_power(estimate_resources(big), big);
+  const auto ps = estimate_power(estimate_resources(small), small);
+  EXPECT_LT(ps.total_w(), pb.total_w());
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

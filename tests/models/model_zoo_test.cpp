@@ -1,0 +1,140 @@
+#include "models/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pruning.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::models {
+namespace {
+
+TEST(ModelZooTest, ResNet50ParamCount) {
+  const auto net = resnet50_imagenet_shape();
+  // Published: 25.557M. Our descriptor must land within 2%.
+  EXPECT_NEAR(static_cast<double>(net.dense_params()), 25.56e6, 0.02 * 25.56e6);
+  EXPECT_EQ(net.fcs.size(), 1u);
+  EXPECT_EQ(net.fcs[0].in_features, 2048u);
+  // 53 convs: 1 stem + 16 blocks x 3 + 4 downsamples.
+  EXPECT_EQ(net.convs.size(), 53u);
+}
+
+TEST(ModelZooTest, ResNet50FlopCount) {
+  const auto net = resnet50_imagenet_shape();
+  // Published: ~4.1 GMACs = ~8.2 GFLOPs for 224x224.
+  EXPECT_NEAR(static_cast<double>(net.dense_flops()), 8.2e9, 0.1 * 8.2e9);
+}
+
+TEST(ModelZooTest, ResNet18ParamAndFlopCount) {
+  const auto net = resnet18_imagenet_shape();
+  EXPECT_NEAR(static_cast<double>(net.dense_params()), 11.69e6,
+              0.02 * 11.69e6);
+  // Published: ~1.82 GMACs = ~3.6 GFLOPs.
+  EXPECT_NEAR(static_cast<double>(net.dense_flops()), 3.6e9, 0.15 * 3.6e9);
+  EXPECT_EQ(net.convs.size(), 20u);  // stem + 16 convs + 3 downsamples
+}
+
+TEST(ModelZooTest, Vgg16CifarParamCount) {
+  const auto net = vgg16_cifar_shape();
+  // VGG-16 CIFAR variant: ~14.7M params, 13 convs.
+  EXPECT_EQ(net.convs.size(), 13u);
+  EXPECT_NEAR(static_cast<double>(net.dense_params()), 14.73e6,
+              0.02 * 14.73e6);
+}
+
+TEST(ModelZooTest, Vgg19CifarDeeper) {
+  const auto v16 = vgg16_cifar_shape();
+  const auto v19 = vgg19_cifar_shape();
+  EXPECT_EQ(v19.convs.size(), 16u);
+  EXPECT_GT(v19.dense_params(), v16.dense_params());
+  EXPECT_EQ(v19.fcs[0].out_features, 100u);
+}
+
+TEST(ModelZooTest, SpatialDimsChainCorrectly) {
+  // Every layer's input spatial dims must equal the previous layer's
+  // output dims along each ResNet-50 main path (downsample branches skip).
+  const auto net = resnet50_imagenet_shape();
+  for (const auto& c : net.convs) {
+    EXPECT_GT(c.out_h(), 0u);
+    EXPECT_LE(c.out_h(), 224u);
+  }
+  // Last conv of the last block sees 7x7.
+  const auto& last = net.convs[net.convs.size() - 1];
+  EXPECT_EQ(last.out_h(), 7u);
+}
+
+TEST(ScaledModelTest, DenseVggTrainsForwardBackward) {
+  ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.kind = ConvKind::kDense;
+  auto model = make_scaled_vgg(cfg);
+  const auto x = testutil::random_tensor({2, 3, 16, 16}, 1);
+  const auto y = model->forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+  model->backward(testutil::random_tensor(y.shape(), 2));
+}
+
+TEST(ScaledModelTest, HadaBcmVggHasBcmLayers) {
+  ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  cfg.block_size = 8;
+  cfg.kind = ConvKind::kHadaBcm;
+  auto model = make_scaled_vgg(cfg);
+  auto set = core::BcmLayerSet::collect(*model);
+  // All convs except the 3-channel stem are BCM-compressed.
+  EXPECT_EQ(set.convs().size(), 6u);
+  for (auto* c : set.convs())
+    EXPECT_EQ(c->mode(), core::BcmParameterization::kHadamard);
+}
+
+TEST(ScaledModelTest, DeepFlagAddsConv) {
+  ScaledNetConfig cfg;
+  cfg.base_width = 8;
+  auto v16 = make_scaled_vgg(cfg, false);
+  auto v19 = make_scaled_vgg(cfg, true);
+  EXPECT_GT(v19->params().size(), v16->params().size());
+}
+
+TEST(ScaledModelTest, BcmVggCompressesParams) {
+  ScaledNetConfig dense_cfg;
+  dense_cfg.base_width = 16;
+  dense_cfg.kind = ConvKind::kDense;
+  ScaledNetConfig bcm_cfg = dense_cfg;
+  bcm_cfg.kind = ConvKind::kBcm;
+  bcm_cfg.block_size = 8;
+  auto dense = make_scaled_vgg(dense_cfg);
+  auto bcm = make_scaled_vgg(bcm_cfg);
+  EXPECT_LT(bcm->deployed_param_count(), dense->deployed_param_count() / 3);
+}
+
+TEST(ScaledModelTest, ResnetForwardBackwardAllKinds) {
+  for (auto kind : {ConvKind::kDense, ConvKind::kBcm, ConvKind::kHadaBcm}) {
+    ScaledNetConfig cfg;
+    cfg.base_width = 8;
+    cfg.block_size = 4;
+    cfg.kind = kind;
+    auto model = make_scaled_resnet(cfg);
+    const auto x = testutil::random_tensor({2, 3, 16, 16}, 3);
+    const auto y = model->forward(x, true);
+    EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+    model->backward(testutil::random_tensor(y.shape(), 4));
+  }
+}
+
+TEST(ScaledModelTest, HadamardDeployedEqualsPlainDeployed) {
+  // hadaBCM has 2x training params but identical deployment cost.
+  ScaledNetConfig plain_cfg;
+  plain_cfg.base_width = 16;
+  plain_cfg.kind = ConvKind::kBcm;
+  ScaledNetConfig hada_cfg = plain_cfg;
+  hada_cfg.kind = ConvKind::kHadaBcm;
+  auto plain = make_scaled_vgg(plain_cfg);
+  auto hada = make_scaled_vgg(hada_cfg);
+  EXPECT_EQ(plain->deployed_param_count(), hada->deployed_param_count());
+  std::size_t plain_train = 0, hada_train = 0;
+  for (auto* p : plain->params()) plain_train += p->size();
+  for (auto* p : hada->params()) hada_train += p->size();
+  EXPECT_GT(hada_train, plain_train);
+}
+
+}  // namespace
+}  // namespace rpbcm::models

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+#include "models/model_zoo.hpp"
+
+namespace rpbcm::nn {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec s;
+  s.classes = 4;
+  s.channels = 3;
+  s.image = 16;
+  s.train = 512;
+  s.test = 128;
+  s.seed = 3;
+  return s;
+}
+
+TEST(DatasetTest, ShapesAndLabels) {
+  const SyntheticImageDataset data(small_spec());
+  numeric::Rng rng(1);
+  const auto b = data.train_batch(rng, 16);
+  EXPECT_EQ(b.x.shape(), (std::vector<std::size_t>{16, 3, 16, 16}));
+  EXPECT_EQ(b.y.size(), 16u);
+  for (auto y : b.y) EXPECT_LT(y, 4u);
+}
+
+TEST(DatasetTest, TestSliceDeterministicAndClamped) {
+  const SyntheticImageDataset data(small_spec());
+  const auto a = data.test_batch(0, 32);
+  const auto b = data.test_batch(0, 32);
+  EXPECT_EQ(a.y, b.y);
+  for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]);
+  const auto tail = data.test_batch(120, 32);
+  EXPECT_EQ(tail.y.size(), 8u);  // clamped at test_size
+}
+
+TEST(DatasetTest, ClassesAreStatisticallyDistinct) {
+  const SyntheticImageDataset data(small_spec());
+  // Per-class mean images should differ: patterns are class-conditional.
+  const auto batch = data.test_batch(0, 128);
+  std::vector<std::vector<double>> mean(4, std::vector<double>(batch.x.size() / 128, 0.0));
+  std::vector<std::size_t> count(4, 0);
+  const std::size_t plane = batch.x.size() / 128;
+  for (std::size_t i = 0; i < 128; ++i) {
+    const auto c = batch.y[i];
+    ++count[c];
+    for (std::size_t j = 0; j < plane; ++j)
+      mean[c][j] += batch.x[i * plane + j];
+  }
+  for (std::size_t c = 0; c < 4; ++c)
+    for (auto& v : mean[c]) v /= static_cast<double>(count[c]);
+  double diff01 = 0.0;
+  for (std::size_t j = 0; j < plane; ++j)
+    diff01 += std::abs(mean[0][j] - mean[1][j]);
+  EXPECT_GT(diff01 / static_cast<double>(plane), 0.05);
+}
+
+TEST(TrainerTest, LearnsAboveChance) {
+  const SyntheticImageDataset data(small_spec());
+  numeric::Rng rng(11);
+  Sequential model;
+  models::ScaledNetConfig cfg;
+  cfg.classes = 4;
+  cfg.kind = models::ConvKind::kDense;
+  cfg.base_width = 8;
+  models::add_conv_bn_relu(model, 3, 8, cfg, rng);
+  model.emplace<MaxPool2d>(2);
+  models::add_conv_bn_relu(model, 8, 16, cfg, rng);
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Linear>(16, 4, rng);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.steps_per_epoch = 24;
+  tc.batch = 16;
+  tc.lr = 0.05F;
+  Trainer trainer(model, data, tc);
+  const auto stats = trainer.train();
+  ASSERT_EQ(stats.size(), 4u);
+  // Loss should drop and accuracy should beat the 25% chance level.
+  EXPECT_LT(stats.back().mean_loss, stats.front().mean_loss);
+  EXPECT_GT(stats.back().test_top1, 0.5);
+}
+
+TEST(TrainerTest, TopkAtLeastTop1) {
+  const SyntheticImageDataset data(small_spec());
+  numeric::Rng rng(13);
+  Sequential model;
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Linear>(3, 4, rng);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.steps_per_epoch = 4;
+  Trainer trainer(model, data, tc);
+  trainer.train();
+  EXPECT_GE(trainer.evaluate_topk(2), trainer.evaluate());
+  EXPECT_DOUBLE_EQ(trainer.evaluate_topk(4), 1.0);
+}
+
+}  // namespace
+}  // namespace rpbcm::nn

@@ -1,0 +1,68 @@
+#include "nn/dropout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rpbcm::nn {
+namespace {
+
+TEST(DropoutTest, EvalIsIdentity) {
+  Dropout d(0.5F);
+  const auto x = testutil::random_tensor({2, 16}, 1);
+  const auto y = d.forward(x, /*train=*/false);
+  EXPECT_LT(testutil::max_abs_diff(x, y), 1e-9);
+  // Backward after eval forward passes gradients through untouched.
+  const auto g = testutil::random_tensor({2, 16}, 2);
+  EXPECT_LT(testutil::max_abs_diff(d.backward(g), g), 1e-9);
+}
+
+TEST(DropoutTest, ZeroProbabilityIsIdentityInTraining) {
+  Dropout d(0.0F);
+  const auto x = testutil::random_tensor({2, 16}, 3);
+  EXPECT_LT(testutil::max_abs_diff(d.forward(x, true), x), 1e-9);
+}
+
+TEST(DropoutTest, DropsApproximatelyPFraction) {
+  Dropout d(0.3F);
+  const auto x = tensor::Tensor::full({1, 10000}, 1.0F);
+  const auto y = d.forward(x, true);
+  std::size_t zeros = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (y[i] == 0.0F) ++zeros;
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(DropoutTest, SurvivorsScaledToPreserveExpectation) {
+  Dropout d(0.25F);
+  const auto x = tensor::Tensor::full({1, 20000}, 2.0F);
+  const auto y = d.forward(x, true);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y[i];
+  // E[y] = x, so the mean should stay ~2.
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (y[i] != 0.0F) EXPECT_FLOAT_EQ(y[i], 2.0F / 0.75F);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout d(0.5F);
+  const auto x = tensor::Tensor::full({1, 64}, 1.0F);
+  const auto y = d.forward(x, true);
+  const auto g = tensor::Tensor::full({1, 64}, 1.0F);
+  const auto gx = d.backward(g);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (y[i] == 0.0F)
+      EXPECT_EQ(gx[i], 0.0F);
+    else
+      EXPECT_FLOAT_EQ(gx[i], 2.0F);  // 1/(1-0.5)
+  }
+}
+
+TEST(DropoutTest, InvalidProbabilityRejected) {
+  EXPECT_THROW(Dropout(1.0F), rpbcm::CheckError);
+  EXPECT_THROW(Dropout(-0.1F), rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::nn

@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::nn {
+namespace {
+
+using testutil::input_grad_error;
+using testutil::max_abs_diff;
+using testutil::param_grad_error;
+using testutil::random_tensor;
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  Tensor x({1, 1, 2, 2});
+  x[0] = -1.0F;
+  x[1] = 2.0F;
+  x[2] = 0.0F;
+  x[3] = -0.5F;
+  const auto y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0F);
+  EXPECT_EQ(y[1], 2.0F);
+  EXPECT_EQ(y[2], 0.0F);
+  EXPECT_EQ(y[3], 0.0F);
+}
+
+TEST(ReLUTest, BackwardMasksGradient) {
+  ReLU relu;
+  Tensor x({1, 1, 1, 4});
+  x[0] = -1.0F;
+  x[1] = 3.0F;
+  x[2] = -2.0F;
+  x[3] = 1.0F;
+  relu.forward(x, true);
+  const auto g = relu.backward(Tensor::full({1, 1, 1, 4}, 1.0F));
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 1.0F);
+  EXPECT_EQ(g[2], 0.0F);
+  EXPECT_EQ(g[3], 1.0F);
+}
+
+TEST(LinearTest, ForwardMatchesManual) {
+  numeric::Rng rng(1);
+  Linear lin(2, 2, rng, true);
+  lin.weight().value.at(0, 0) = 1.0F;
+  lin.weight().value.at(0, 1) = 2.0F;
+  lin.weight().value.at(1, 0) = -1.0F;
+  lin.weight().value.at(1, 1) = 0.5F;
+  Tensor x({1, 2});
+  x[0] = 3.0F;
+  x[1] = 4.0F;
+  // bias starts at 0
+  const auto y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 11.0F);
+  EXPECT_FLOAT_EQ(y[1], -1.0F);
+}
+
+TEST(LinearTest, GradientCheck) {
+  numeric::Rng rng(2);
+  Linear lin(6, 4, rng);
+  const auto x = random_tensor({3, 6}, 3, 0.5F);
+  EXPECT_LT(param_grad_error(lin, x), 2e-2);
+  EXPECT_LT(input_grad_error(lin, x), 2e-2);
+}
+
+TEST(BatchNormTest, NormalizesTrainBatch) {
+  BatchNorm2d bn(2);
+  const auto x = random_tensor({4, 2, 5, 5}, 4, 2.0F);
+  const auto y = bn.forward(x, true);
+  // Each channel of y should have ~zero mean and ~unit variance.
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sq = 0.0;
+    std::size_t count = 0;
+    for (std::size_t n = 0; n < 4; ++n)
+      for (std::size_t i = 0; i < 25; ++i) {
+        const float v = y[(n * 2 + c) * 25 + i];
+        sum += v;
+        sq += static_cast<double>(v) * v;
+        ++count;
+      }
+    const double m = sum / count;
+    EXPECT_NEAR(m, 0.0, 1e-4);
+    EXPECT_NEAR(sq / count - m * m, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNormTest, EvalUsesRunningStats) {
+  BatchNorm2d bn(1);
+  // Train on data with mean 4, std 2 for enough steps to move the
+  // running stats.
+  for (int i = 0; i < 200; ++i) {
+    auto x = random_tensor({8, 1, 4, 4}, 100 + i, 2.0F);
+    for (std::size_t j = 0; j < x.size(); ++j) x[j] += 4.0F;
+    bn.forward(x, true);
+  }
+  auto x = Tensor::full({1, 1, 2, 2}, 4.0F);
+  const auto y = bn.forward(x, false);
+  // Input at the running mean should map near zero.
+  EXPECT_NEAR(y[0], 0.0F, 0.2F);
+}
+
+TEST(BatchNormTest, GradientCheck) {
+  BatchNorm2d bn(3);
+  const auto x = random_tensor({4, 3, 3, 3}, 5, 1.0F);
+  EXPECT_LT(param_grad_error(bn, x), 5e-2);
+  EXPECT_LT(input_grad_error(bn, x), 5e-2);
+}
+
+TEST(MaxPoolTest, ForwardSelectsMax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0F;
+  x[1] = 5.0F;
+  x[2] = -3.0F;
+  x[3] = 2.0F;
+  const auto y = pool.forward(x, true);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 5.0F);
+}
+
+TEST(MaxPoolTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0F;
+  x[1] = 5.0F;
+  x[2] = -3.0F;
+  x[3] = 2.0F;
+  pool.forward(x, true);
+  const auto g = pool.backward(Tensor::full({1, 1, 1, 1}, 7.0F));
+  EXPECT_EQ(g[0], 0.0F);
+  EXPECT_EQ(g[1], 7.0F);
+  EXPECT_EQ(g[2], 0.0F);
+  EXPECT_EQ(g[3], 0.0F);
+}
+
+TEST(MaxPoolTest, IndivisibleDimsRejected) {
+  MaxPool2d pool(2);
+  EXPECT_THROW(pool.forward(random_tensor({1, 1, 3, 4}), true),
+               rpbcm::CheckError);
+}
+
+TEST(GlobalAvgPoolTest, ForwardAndBackward) {
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 4; ++i) x[i] = static_cast<float>(i);  // ch 0
+  for (std::size_t i = 4; i < 8; ++i) x[i] = 8.0F;                   // ch 1
+  const auto y = gap.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 1.5F);
+  EXPECT_FLOAT_EQ(y[1], 8.0F);
+  Tensor g({1, 2});
+  g[0] = 4.0F;
+  g[1] = 8.0F;
+  const auto gx = gap.backward(g);
+  EXPECT_FLOAT_EQ(gx[0], 1.0F);
+  EXPECT_FLOAT_EQ(gx[7], 2.0F);
+}
+
+TEST(FlattenTest, RoundTrip) {
+  Flatten fl;
+  const auto x = random_tensor({2, 3, 4, 4}, 6);
+  const auto y = fl.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  const auto gx = fl.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+  EXPECT_LT(max_abs_diff(gx, x), 1e-9);
+}
+
+TEST(SequentialTest, ChainsForwardBackward) {
+  numeric::Rng rng(7);
+  Sequential seq;
+  seq.emplace<Linear>(4, 8, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<Linear>(8, 3, rng);
+  const auto x = random_tensor({2, 4}, 8, 0.5F);
+  const auto y = seq.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(seq.params().size(), 4u);  // 2 weights + 2 biases
+  EXPECT_LT(param_grad_error(seq, x), 2e-2);
+  EXPECT_LT(input_grad_error(seq, x), 2e-2);
+}
+
+TEST(SequentialTest, ReplaceSwapsLayer) {
+  numeric::Rng rng(9);
+  Sequential seq;
+  seq.emplace<Linear>(4, 4, rng);
+  auto old = seq.replace(0, std::make_unique<ReLU>());
+  EXPECT_EQ(seq.layer(0).name(), "ReLU");
+  EXPECT_EQ(old->name(), "Linear");
+}
+
+TEST(ResidualBlockTest, IdentityShortcutAddsInput) {
+  // Main path is a 1x1 conv with weight 0 -> block returns ReLU(x).
+  numeric::Rng rng(10);
+  auto main = std::make_unique<Sequential>();
+  ConvSpec s;
+  s.in_channels = 2;
+  s.out_channels = 2;
+  s.kernel = 1;
+  s.stride = 1;
+  s.pad = 0;
+  auto* conv = main->emplace<Conv2d>(s, rng);
+  conv->weight().value.fill(0.0F);
+  ResidualBlock block(std::move(main), nullptr);
+  const auto x = random_tensor({1, 2, 3, 3}, 11);
+  const auto y = block.forward(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_FLOAT_EQ(y[i], std::max(0.0F, x[i]));
+}
+
+TEST(ResidualBlockTest, GradientCheck) {
+  numeric::Rng rng(12);
+  auto main = std::make_unique<Sequential>();
+  ConvSpec s;
+  s.in_channels = 2;
+  s.out_channels = 4;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  main->emplace<Conv2d>(s, rng);
+  auto shortcut = std::make_unique<Sequential>();
+  ConvSpec d;
+  d.in_channels = 2;
+  d.out_channels = 4;
+  d.kernel = 1;
+  d.stride = 1;
+  d.pad = 0;
+  shortcut->emplace<Conv2d>(d, rng);
+  ResidualBlock block(std::move(main), std::move(shortcut));
+  const auto x = random_tensor({1, 2, 4, 4}, 13, 0.5F);
+  EXPECT_LT(param_grad_error(block, x), 5e-2);
+  EXPECT_LT(input_grad_error(block, x), 5e-2);
+}
+
+TEST(SequentialTest, VisitReachesNestedLayers) {
+  numeric::Rng rng(14);
+  Sequential seq;
+  auto main = std::make_unique<Sequential>();
+  main->emplace<ReLU>();
+  seq.emplace<ResidualBlock>(std::move(main), nullptr);
+  seq.emplace<ReLU>();
+  std::size_t count = 0;
+  seq.visit([&count](Layer&) { ++count; });
+  EXPECT_EQ(count, 3u);  // block + nested relu + top relu
+}
+
+}  // namespace
+}  // namespace rpbcm::nn

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::nn {
+namespace {
+
+TEST(SoftmaxXentTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({2, 4});  // all zeros -> uniform
+  const std::vector<std::uint16_t> labels{0, 3};
+  EXPECT_NEAR(loss.forward(logits, labels), std::log(4.0F), 1e-5);
+}
+
+TEST(SoftmaxXentTest, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits[0] = 10.0F;
+  const std::vector<std::uint16_t> labels{0};
+  EXPECT_LT(loss.forward(logits, labels), 1e-3);
+}
+
+TEST(SoftmaxXentTest, GradientIsProbMinusOneHot) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  logits[0] = 1.0F;
+  logits[1] = 2.0F;
+  logits[2] = 0.5F;
+  const std::vector<std::uint16_t> labels{1};
+  loss.forward(logits, labels);
+  const auto g = loss.backward();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) sum += g[i];
+  EXPECT_NEAR(sum, 0.0, 1e-6);  // probs sum to 1, minus the one-hot
+  EXPECT_LT(g[1], 0.0F);
+  EXPECT_GT(g[0], 0.0F);
+}
+
+TEST(SoftmaxXentTest, NumericalGradientCheck) {
+  SoftmaxCrossEntropy loss;
+  auto logits = testutil::random_tensor({3, 5}, 17, 1.0F);
+  const std::vector<std::uint16_t> labels{1, 4, 0};
+  loss.forward(logits, labels);
+  const auto g = loss.backward();
+  const float eps = 1e-3F;
+  for (std::size_t i = 0; i < logits.size(); i += 3) {
+    const float orig = logits[i];
+    logits[i] = orig + eps;
+    const float lp = loss.forward(logits, labels);
+    logits[i] = orig - eps;
+    const float lm = loss.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR((lp - lm) / (2 * eps), g[i], 2e-3) << "logit " << i;
+  }
+}
+
+TEST(SoftmaxXentTest, AccuracyAndTopK) {
+  Tensor logits({2, 4});
+  // Sample 0: argmax 2; sample 1: argmax 0, second-best 1.
+  logits[2] = 5.0F;
+  logits[4] = 3.0F;
+  logits[5] = 2.0F;
+  const std::vector<std::uint16_t> labels{2, 1};
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropy::accuracy(logits, labels), 0.5);
+  EXPECT_DOUBLE_EQ(SoftmaxCrossEntropy::topk_accuracy(logits, labels, 2),
+                   1.0);
+}
+
+TEST(SoftmaxXentTest, LabelOutOfRangeRejected) {
+  SoftmaxCrossEntropy loss;
+  Tensor logits({1, 3});
+  const std::vector<std::uint16_t> labels{3};
+  EXPECT_THROW(loss.forward(logits, labels), rpbcm::CheckError);
+}
+
+TEST(SgdTest, VanillaStepMovesAgainstGradient) {
+  Param p("w", Tensor::full({2}, 1.0F));
+  p.grad.fill(0.5F);
+  Sgd opt(0.1F, /*momentum=*/0.0F);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 1.0F - 0.1F * 0.5F, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Param p("w", Tensor::full({1}, 0.0F));
+  Sgd opt(1.0F, /*momentum=*/0.5F);
+  p.grad.fill(1.0F);
+  opt.step({&p});  // v=1, w=-1
+  p.grad.fill(1.0F);
+  opt.step({&p});  // v=1.5, w=-2.5
+  EXPECT_NEAR(p.value[0], -2.5F, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Param p("w", Tensor::full({1}, 2.0F));
+  p.grad.fill(0.0F);
+  Sgd opt(0.1F, 0.0F, /*weight_decay=*/0.5F);
+  opt.step({&p});
+  EXPECT_NEAR(p.value[0], 2.0F - 0.1F * 0.5F * 2.0F, 1e-6);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 by hand-fed gradients.
+  Param p("w", Tensor::full({1}, 0.0F));
+  Sgd opt(0.1F, 0.9F);
+  for (int i = 0; i < 200; ++i) {
+    p.zero_grad();
+    p.grad[0] = 2.0F * (p.value[0] - 3.0F);
+    opt.step({&p});
+  }
+  EXPECT_NEAR(p.value[0], 3.0F, 1e-3);
+}
+
+TEST(CosineAnnealingTest, EndpointsAndMidpoint) {
+  CosineAnnealing sched(0.1F, 100, 0.0F);
+  EXPECT_NEAR(sched.lr(0), 0.1F, 1e-6);
+  EXPECT_NEAR(sched.lr(50), 0.05F, 1e-6);
+  EXPECT_NEAR(sched.lr(100), 0.0F, 1e-6);
+  // Clamped past the end.
+  EXPECT_NEAR(sched.lr(150), 0.0F, 1e-6);
+}
+
+TEST(CosineAnnealingTest, MonotoneDecreasing) {
+  CosineAnnealing sched(0.1F, 20, 1e-4F);
+  for (std::size_t e = 1; e <= 20; ++e)
+    EXPECT_LE(sched.lr(e), sched.lr(e - 1) + 1e-9);
+}
+
+}  // namespace
+}  // namespace rpbcm::nn

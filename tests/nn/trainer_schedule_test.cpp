@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "nn/linear.hpp"
+#include "nn/pool.hpp"
+#include "nn/sequential.hpp"
+#include "nn/trainer.hpp"
+
+namespace rpbcm::nn {
+namespace {
+
+SyntheticImageDataset tiny_data() {
+  SyntheticSpec s;
+  s.classes = 3;
+  s.train = 96;
+  s.test = 48;
+  s.seed = 9;
+  return SyntheticImageDataset(s);
+}
+
+Sequential tiny_model(numeric::Rng& rng) {
+  Sequential m;
+  m.emplace<GlobalAvgPool>();
+  m.emplace<Linear>(3, 3, rng);
+  return m;
+}
+
+TEST(TrainerScheduleTest, EpochStatsFollowCosineAnnealing) {
+  const auto data = tiny_data();
+  numeric::Rng rng(1);
+  auto model = tiny_model(rng);
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.steps_per_epoch = 2;
+  tc.batch = 8;
+  tc.lr = 0.1F;
+  tc.min_lr = 0.001F;
+  Trainer trainer(model, data, tc);
+  const auto stats = trainer.train();
+  ASSERT_EQ(stats.size(), 6u);
+  EXPECT_NEAR(stats[0].lr, 0.1F, 1e-6);
+  for (std::size_t e = 1; e < stats.size(); ++e) {
+    EXPECT_LT(stats[e].lr, stats[e - 1].lr);
+    EXPECT_EQ(stats[e].epoch, e);
+  }
+  EXPECT_GT(stats.back().lr, tc.min_lr - 1e-6);
+}
+
+TEST(TrainerScheduleTest, DeterministicGivenSeed) {
+  const auto data = tiny_data();
+  numeric::Rng r1(2), r2(2);
+  auto m1 = tiny_model(r1);
+  auto m2 = tiny_model(r2);
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.steps_per_epoch = 4;
+  tc.batch = 8;
+  tc.seed = 55;
+  Trainer t1(m1, data, tc);
+  Trainer t2(m2, data, tc);
+  const auto s1 = t1.train();
+  const auto s2 = t2.train();
+  for (std::size_t e = 0; e < s1.size(); ++e) {
+    EXPECT_FLOAT_EQ(s1[e].mean_loss, s2[e].mean_loss);
+    EXPECT_DOUBLE_EQ(s1[e].test_top1, s2[e].test_top1);
+  }
+}
+
+TEST(TrainerScheduleTest, FineTuneDoesNotResetSchedule) {
+  // fine_tune uses the fixed LR it is given and returns an evaluation.
+  const auto data = tiny_data();
+  numeric::Rng rng(3);
+  auto model = tiny_model(rng);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.steps_per_epoch = 2;
+  tc.batch = 8;
+  Trainer trainer(model, data, tc);
+  trainer.train();
+  const double acc = trainer.fine_tune(1, 0.01F);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+  EXPECT_NEAR(acc, trainer.evaluate(), 1e-12);
+}
+
+}  // namespace
+}  // namespace rpbcm::nn

@@ -1,0 +1,98 @@
+#include "numeric/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/random.hpp"
+
+namespace rpbcm::numeric {
+namespace {
+
+TEST(FixedTest, RoundTripSmallValues) {
+  for (float v : {0.0F, 1.0F, -1.0F, 0.5F, -0.5F, 3.25F, -7.125F}) {
+    EXPECT_FLOAT_EQ(Fix16::from_float(v).to_float(), v);
+  }
+}
+
+TEST(FixedTest, QuantizationStep) {
+  // Q7.8: resolution 1/256.
+  EXPECT_NEAR(Fix16::from_float(0.3F).to_float(), 0.3F, 1.0F / 256.0F);
+  EXPECT_FLOAT_EQ(Fix16::from_float(1.0F / 256.0F).to_float(), 1.0F / 256.0F);
+}
+
+TEST(FixedTest, SaturationAtBounds) {
+  EXPECT_FLOAT_EQ(Fix16::from_float(1000.0F).to_float(), Fix16::max_value());
+  EXPECT_FLOAT_EQ(Fix16::from_float(-1000.0F).to_float(), Fix16::min_value());
+  // Addition saturates instead of wrapping.
+  const auto big = Fix16::from_float(Fix16::max_value());
+  EXPECT_FLOAT_EQ((big + big).to_float(), Fix16::max_value());
+}
+
+TEST(FixedTest, ArithmeticMatchesFloat) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const float a = rng.uniform(-10.0F, 10.0F);
+    const float b = rng.uniform(-10.0F, 10.0F);
+    const auto fa = Fix16::from_float(a);
+    const auto fb = Fix16::from_float(b);
+    EXPECT_NEAR((fa + fb).to_float(), a + b, 2.0F / 256.0F);
+    EXPECT_NEAR((fa - fb).to_float(), a - b, 2.0F / 256.0F);
+    EXPECT_NEAR((fa * fb).to_float(), a * b, 0.05F);
+  }
+}
+
+TEST(FixedTest, ShiftRightIsDivideByPow2) {
+  const auto v = Fix16::from_float(6.0F);
+  EXPECT_FLOAT_EQ(v.shift_right(1).to_float(), 3.0F);
+  EXPECT_FLOAT_EQ(v.shift_right(3).to_float(), 0.75F);
+  // Negative values keep arithmetic-shift semantics (round toward -inf).
+  const auto n = Fix16::from_float(-6.0F);
+  EXPECT_FLOAT_EQ(n.shift_right(1).to_float(), -3.0F);
+}
+
+TEST(FixedTest, Negation) {
+  const auto v = Fix16::from_float(2.5F);
+  EXPECT_FLOAT_EQ((-v).to_float(), -2.5F);
+}
+
+TEST(ComplexFixedTest, MultiplicationMatchesComplexFloat) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const float ar = rng.uniform(-4.0F, 4.0F), ai = rng.uniform(-4.0F, 4.0F);
+    const float br = rng.uniform(-4.0F, 4.0F), bi = rng.uniform(-4.0F, 4.0F);
+    const auto a = CFix16::from_floats(ar, ai);
+    const auto b = CFix16::from_floats(br, bi);
+    const auto p = a * b;
+    EXPECT_NEAR(p.re.to_float(), ar * br - ai * bi, 0.1F);
+    EXPECT_NEAR(p.im.to_float(), ar * bi + ai * br, 0.1F);
+  }
+}
+
+TEST(ComplexFixedTest, ConjugateNegatesImaginary) {
+  const auto a = CFix16::from_floats(1.5F, -2.25F);
+  const auto c = a.conj();
+  EXPECT_FLOAT_EQ(c.re.to_float(), 1.5F);
+  EXPECT_FLOAT_EQ(c.im.to_float(), 2.25F);
+}
+
+TEST(ComplexFixedTest, AdditionAndShift) {
+  const auto a = CFix16::from_floats(1.0F, 2.0F);
+  const auto b = CFix16::from_floats(3.0F, -4.0F);
+  const auto s = a + b;
+  EXPECT_FLOAT_EQ(s.re.to_float(), 4.0F);
+  EXPECT_FLOAT_EQ(s.im.to_float(), -2.0F);
+  const auto sh = s.shift_right(2);
+  EXPECT_FLOAT_EQ(sh.re.to_float(), 1.0F);
+  EXPECT_FLOAT_EQ(sh.im.to_float(), -0.5F);
+}
+
+TEST(FixedTest, DifferentQFormats) {
+  using Fix12 = Fixed<12>;  // Q3.12: finer resolution, smaller range
+  EXPECT_NEAR(Fix12::from_float(0.3F).to_float(), 0.3F, 1.0F / 4096.0F);
+  EXPECT_FLOAT_EQ(Fix12::from_float(100.0F).to_float(), Fix12::max_value());
+  EXPECT_LT(Fix12::max_value(), Fix16::max_value());
+}
+
+}  // namespace
+}  // namespace rpbcm::numeric

@@ -1,0 +1,75 @@
+#include "numeric/kde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::numeric {
+namespace {
+
+TEST(KdeTest, IntegratesToOne) {
+  Rng rng(1);
+  const auto samples = rng.gaussian_vector(500, 0.0F, 1.0F);
+  const GaussianKde kde(samples);
+  // Trapezoid integral over a wide window.
+  const auto grid = kde.evaluate_grid(-6.0, 6.0, 600);
+  double integral = 0.0;
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    integral += 0.5 * (grid[i].second + grid[i - 1].second) *
+                (grid[i].first - grid[i - 1].first);
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(KdeTest, PeaksNearSampleMean) {
+  Rng rng(2);
+  const auto samples = rng.gaussian_vector(1000, 3.0F, 0.5F);
+  const GaussianKde kde(samples);
+  EXPECT_GT(kde.evaluate(3.0), kde.evaluate(1.0));
+  EXPECT_GT(kde.evaluate(3.0), kde.evaluate(5.0));
+}
+
+TEST(KdeTest, SilvermanBandwidthFormula) {
+  Rng rng(3);
+  const auto samples = rng.gaussian_vector(256, 0.0F, 2.0F);
+  const GaussianKde kde(samples);
+  double sigma = 0.0, m = 0.0;
+  for (float s : samples) m += s;
+  m /= static_cast<double>(samples.size());
+  for (float s : samples) sigma += (s - m) * (s - m);
+  sigma = std::sqrt(sigma / static_cast<double>(samples.size()));
+  const double expected = 1.06 * sigma * std::pow(256.0, -0.2);
+  EXPECT_NEAR(kde.bandwidth(), expected, 1e-9);
+}
+
+TEST(KdeTest, ExplicitBandwidthRespected) {
+  const std::vector<float> samples{0.0F, 1.0F};
+  const GaussianKde kde(samples, 0.25);
+  EXPECT_DOUBLE_EQ(kde.bandwidth(), 0.25);
+}
+
+TEST(KdeTest, DegenerateConstantSamples) {
+  const std::vector<float> samples(10, 2.0F);
+  const GaussianKde kde(samples);  // bandwidth floored, no division by zero
+  EXPECT_GT(kde.evaluate(2.0), 0.0);
+}
+
+TEST(KdeTest, EmptySamplesRejected) {
+  EXPECT_THROW(GaussianKde(std::vector<float>{}), rpbcm::CheckError);
+}
+
+TEST(KdeTest, WiderDistributionHasWiderDensity) {
+  // The Fig. 5 phenomenon in miniature: a wider sample set spreads its
+  // density mass across a wider support.
+  Rng rng(4);
+  const auto narrow = rng.gaussian_vector(500, 1.0F, 0.2F);
+  const auto wide = rng.gaussian_vector(500, 1.0F, 1.0F);
+  const GaussianKde kn(narrow), kw(wide);
+  EXPECT_GT(kn.evaluate(1.0), kw.evaluate(1.0));  // narrow peaks higher
+  EXPECT_GT(kw.evaluate(3.0), kn.evaluate(3.0));  // wide has heavier tails
+}
+
+}  // namespace
+}  // namespace rpbcm::numeric

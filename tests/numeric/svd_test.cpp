@@ -1,0 +1,108 @@
+#include "numeric/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/check.hpp"
+#include "numeric/random.hpp"
+
+namespace rpbcm::numeric {
+namespace {
+
+TEST(SvdTest, IdentityMatrix) {
+  std::vector<float> m(16, 0.0F);
+  for (int i = 0; i < 4; ++i) m[i * 4 + i] = 1.0F;
+  const auto sv = singular_values_square(m, 4);
+  ASSERT_EQ(sv.size(), 4u);
+  for (float s : sv) EXPECT_NEAR(s, 1.0F, 1e-5);
+}
+
+TEST(SvdTest, DiagonalMatrixGivesAbsDiagonal) {
+  std::vector<float> m(9, 0.0F);
+  m[0] = 3.0F;
+  m[4] = -5.0F;
+  m[8] = 1.0F;
+  const auto sv = singular_values_square(m, 3);
+  EXPECT_NEAR(sv[0], 5.0F, 1e-5);
+  EXPECT_NEAR(sv[1], 3.0F, 1e-5);
+  EXPECT_NEAR(sv[2], 1.0F, 1e-5);
+}
+
+TEST(SvdTest, RankOneMatrix) {
+  // m = u v^T with |u| = 2, |v| = 3 -> single singular value 6.
+  std::vector<float> u{2.0F, 0.0F, 0.0F, 0.0F};
+  std::vector<float> v{3.0F, 0.0F, 0.0F, 0.0F};
+  std::vector<float> m(16);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) m[i * 4 + j] = u[i] * v[j];
+  const auto sv = singular_values_square(m, 4);
+  EXPECT_NEAR(sv[0], 6.0F, 1e-4);
+  for (std::size_t k = 1; k < 4; ++k) EXPECT_NEAR(sv[k], 0.0F, 1e-4);
+}
+
+TEST(SvdTest, FrobeniusNormPreserved) {
+  Rng rng(3);
+  const std::size_t n = 8;
+  std::vector<float> m(n * n);
+  double fro = 0.0;
+  for (auto& x : m) {
+    x = rng.gaussian();
+    fro += static_cast<double>(x) * x;
+  }
+  const auto sv = singular_values_square(m, n);
+  double sum_sq = 0.0;
+  for (float s : sv) sum_sq += static_cast<double>(s) * s;
+  EXPECT_NEAR(sum_sq, fro, 1e-3 * fro);
+}
+
+TEST(SvdTest, DescendingOrder) {
+  Rng rng(4);
+  std::vector<float> m(64);
+  for (auto& x : m) x = rng.gaussian();
+  const auto sv = singular_values_square(m, 8);
+  for (std::size_t k = 1; k < sv.size(); ++k) EXPECT_LE(sv[k], sv[k - 1]);
+  for (float s : sv) EXPECT_GE(s, 0.0F);
+}
+
+TEST(SvdTest, RectangularTallAndWideAgree) {
+  Rng rng(5);
+  const std::size_t r = 6, c = 3;
+  std::vector<float> m(r * c);
+  for (auto& x : m) x = rng.gaussian();
+  std::vector<float> mt(c * r);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) mt[j * r + i] = m[i * c + j];
+  const auto sv = singular_values(m, r, c);
+  const auto svt = singular_values(mt, c, r);
+  ASSERT_EQ(sv.size(), svt.size());
+  for (std::size_t k = 0; k < sv.size(); ++k)
+    EXPECT_NEAR(sv[k], svt[k], 1e-4);
+}
+
+TEST(SvdTest, OrthogonalMatrixAllOnes) {
+  // 2x2 rotation has both singular values 1.
+  const float c = std::cos(0.7F), s = std::sin(0.7F);
+  std::vector<float> m{c, -s, s, c};
+  const auto sv = singular_values_square(m, 2);
+  EXPECT_NEAR(sv[0], 1.0F, 1e-5);
+  EXPECT_NEAR(sv[1], 1.0F, 1e-5);
+}
+
+TEST(SvdTest, SizeMismatchRejected) {
+  std::vector<float> m(5);
+  EXPECT_THROW(singular_values(m, 2, 2), rpbcm::CheckError);
+}
+
+TEST(SvdTest, KnownTwoByTwo) {
+  // [[1, 1], [0, 1]] has singular values sqrt((3±sqrt5)/2).
+  std::vector<float> m{1.0F, 1.0F, 0.0F, 1.0F};
+  const auto sv = singular_values_square(m, 2);
+  const double phi1 = std::sqrt((3.0 + std::sqrt(5.0)) / 2.0);
+  const double phi2 = std::sqrt((3.0 - std::sqrt(5.0)) / 2.0);
+  EXPECT_NEAR(sv[0], phi1, 1e-5);
+  EXPECT_NEAR(sv[1], phi2, 1e-5);
+}
+
+}  // namespace
+}  // namespace rpbcm::numeric

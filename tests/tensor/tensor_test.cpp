@@ -1,0 +1,98 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/check.hpp"
+#include "tensor/init.hpp"
+
+namespace rpbcm::tensor {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4u);
+  EXPECT_EQ(t.size(), 120u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(3), 5u);
+  EXPECT_EQ(t.shape_string(), "[2x3x4x5]");
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0F);
+}
+
+TEST(TensorTest, ZeroDimensionRejected) {
+  EXPECT_THROW(Tensor({2, 0, 3}), rpbcm::CheckError);
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), rpbcm::CheckError);
+}
+
+TEST(TensorTest, FullAndFill) {
+  auto t = Tensor::full({3}, 2.5F);
+  EXPECT_EQ(t[0], 2.5F);
+  t.fill(-1.0F);
+  EXPECT_EQ(t[2], -1.0F);
+  t.zero();
+  EXPECT_EQ(t[1], 0.0F);
+}
+
+TEST(TensorTest, Accessors2dAnd4d) {
+  Tensor m({2, 3});
+  m.at(1, 2) = 7.0F;
+  EXPECT_EQ(m[1 * 3 + 2], 7.0F);
+  EXPECT_THROW(m.at(2, 0), rpbcm::CheckError);
+
+  Tensor t({2, 2, 2, 2});
+  t.at(1, 0, 1, 0) = 3.0F;
+  EXPECT_EQ(t[(1 * 2 + 0) * 4 + 1 * 2 + 0], 3.0F);
+  EXPECT_THROW(t.at(0, 0, 0, 2), rpbcm::CheckError);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const auto r = t.reshaped({3, 4});
+  EXPECT_EQ(r.dim(0), 3u);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped({5, 5}), rpbcm::CheckError);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  auto a = Tensor::full({4}, 2.0F);
+  auto b = Tensor::full({4}, 3.0F);
+  a += b;
+  EXPECT_EQ(a[0], 5.0F);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0F);
+  a *= 4.0F;
+  EXPECT_EQ(a[2], 8.0F);
+  a.axpy(0.5F, b);
+  EXPECT_EQ(a[3], 9.5F);
+  EXPECT_THROW(a += Tensor({5}), rpbcm::CheckError);
+}
+
+TEST(TensorTest, Numel) {
+  const std::vector<std::size_t> s{3, 4, 5};
+  EXPECT_EQ(numel(s), 60u);
+}
+
+TEST(InitTest, KaimingVariance) {
+  numeric::Rng rng(1);
+  Tensor w({64, 64, 3, 3});
+  fill_kaiming(w, rng, 64 * 9);
+  double sq = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    sq += static_cast<double>(w[i]) * w[i];
+  const double var = sq / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / (64.0 * 9.0), 0.2 * 2.0 / (64.0 * 9.0));
+}
+
+TEST(InitTest, XavierBounds) {
+  numeric::Rng rng(2);
+  Tensor w({100, 50});
+  fill_xavier(w, rng, 50, 100);
+  const float a = std::sqrt(6.0F / 150.0F);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -a);
+    EXPECT_LE(w[i], a);
+  }
+}
+
+}  // namespace
+}  // namespace rpbcm::tensor
