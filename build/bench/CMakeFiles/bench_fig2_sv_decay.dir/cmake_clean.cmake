@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sv_decay.dir/bench_fig2_sv_decay.cpp.o"
+  "CMakeFiles/bench_fig2_sv_decay.dir/bench_fig2_sv_decay.cpp.o.d"
+  "bench_fig2_sv_decay"
+  "bench_fig2_sv_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sv_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_hadabcm_rank.dir/bench_fig9a_hadabcm_rank.cpp.o"
+  "CMakeFiles/bench_fig9a_hadabcm_rank.dir/bench_fig9a_hadabcm_rank.cpp.o.d"
+  "bench_fig9a_hadabcm_rank"
+  "bench_fig9a_hadabcm_rank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_hadabcm_rank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

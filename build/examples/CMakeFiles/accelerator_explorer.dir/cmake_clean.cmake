@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accelerator_explorer.dir/accelerator_explorer.cpp.o"
+  "CMakeFiles/accelerator_explorer.dir/accelerator_explorer.cpp.o.d"
+  "accelerator_explorer"
+  "accelerator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accelerator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

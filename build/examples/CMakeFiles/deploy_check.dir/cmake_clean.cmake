@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deploy_check.dir/deploy_check.cpp.o"
+  "CMakeFiles/deploy_check.dir/deploy_check.cpp.o.d"
+  "deploy_check"
+  "deploy_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deploy_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_doctor.dir/rank_doctor.cpp.o"
+  "CMakeFiles/rank_doctor.dir/rank_doctor.cpp.o.d"
+  "rank_doctor"
+  "rank_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admm.cpp" "src/core/CMakeFiles/rpbcm_core.dir/admm.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/admm.cpp.o.d"
+  "/root/repo/src/core/bcm_conv.cpp" "src/core/CMakeFiles/rpbcm_core.dir/bcm_conv.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/bcm_conv.cpp.o.d"
+  "/root/repo/src/core/bcm_linear.cpp" "src/core/CMakeFiles/rpbcm_core.dir/bcm_linear.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/bcm_linear.cpp.o.d"
+  "/root/repo/src/core/circulant.cpp" "src/core/CMakeFiles/rpbcm_core.dir/circulant.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/circulant.cpp.o.d"
+  "/root/repo/src/core/compression_stats.cpp" "src/core/CMakeFiles/rpbcm_core.dir/compression_stats.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/compression_stats.cpp.o.d"
+  "/root/repo/src/core/frequency_quant.cpp" "src/core/CMakeFiles/rpbcm_core.dir/frequency_quant.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/frequency_quant.cpp.o.d"
+  "/root/repo/src/core/frequency_weights.cpp" "src/core/CMakeFiles/rpbcm_core.dir/frequency_weights.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/frequency_weights.cpp.o.d"
+  "/root/repo/src/core/pruning.cpp" "src/core/CMakeFiles/rpbcm_core.dir/pruning.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/pruning.cpp.o.d"
+  "/root/repo/src/core/rank_analysis.cpp" "src/core/CMakeFiles/rpbcm_core.dir/rank_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/rank_analysis.cpp.o.d"
+  "/root/repo/src/core/serialization.cpp" "src/core/CMakeFiles/rpbcm_core.dir/serialization.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/serialization.cpp.o.d"
+  "/root/repo/src/core/unstructured_prune.cpp" "src/core/CMakeFiles/rpbcm_core.dir/unstructured_prune.cpp.o" "gcc" "src/core/CMakeFiles/rpbcm_core.dir/unstructured_prune.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_core.dir/admm.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/admm.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/bcm_conv.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/bcm_conv.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/bcm_linear.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/bcm_linear.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/circulant.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/circulant.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/compression_stats.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/compression_stats.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/frequency_quant.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/frequency_quant.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/frequency_weights.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/frequency_weights.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/pruning.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/pruning.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/rank_analysis.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/rank_analysis.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/serialization.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/serialization.cpp.o.d"
+  "CMakeFiles/rpbcm_core.dir/unstructured_prune.cpp.o"
+  "CMakeFiles/rpbcm_core.dir/unstructured_prune.cpp.o.d"
+  "librpbcm_core.a"
+  "librpbcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/accelerator.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hw/buffer_check.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/buffer_check.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/buffer_check.cpp.o.d"
+  "/root/repo/src/hw/dataflow.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/dataflow.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/dataflow.cpp.o.d"
+  "/root/repo/src/hw/emac_pe.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/emac_pe.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/emac_pe.cpp.o.d"
+  "/root/repo/src/hw/fft_pe.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/fft_pe.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/fft_pe.cpp.o.d"
+  "/root/repo/src/hw/functional.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/functional.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/functional.cpp.o.d"
+  "/root/repo/src/hw/pipeline_sim.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/pipeline_sim.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/hw/power_model.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/power_model.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/power_model.cpp.o.d"
+  "/root/repo/src/hw/pruned_bcm_pe.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/pruned_bcm_pe.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/pruned_bcm_pe.cpp.o.d"
+  "/root/repo/src/hw/report_io.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/report_io.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/report_io.cpp.o.d"
+  "/root/repo/src/hw/resource_model.cpp" "src/hw/CMakeFiles/rpbcm_hw.dir/resource_model.cpp.o" "gcc" "src/hw/CMakeFiles/rpbcm_hw.dir/resource_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rpbcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

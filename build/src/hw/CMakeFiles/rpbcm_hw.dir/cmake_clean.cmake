@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/buffer_check.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/buffer_check.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/dataflow.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/dataflow.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/emac_pe.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/emac_pe.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/fft_pe.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/fft_pe.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/functional.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/functional.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/power_model.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/pruned_bcm_pe.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/pruned_bcm_pe.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/report_io.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/report_io.cpp.o.d"
+  "CMakeFiles/rpbcm_hw.dir/resource_model.cpp.o"
+  "CMakeFiles/rpbcm_hw.dir/resource_model.cpp.o.d"
+  "librpbcm_hw.a"
+  "librpbcm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_models.dir/model_zoo.cpp.o"
+  "CMakeFiles/rpbcm_models.dir/model_zoo.cpp.o.d"
+  "librpbcm_models.a"
+  "librpbcm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

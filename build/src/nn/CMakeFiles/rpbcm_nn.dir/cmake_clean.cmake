@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_nn.dir/activations.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/dataset.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/dropout.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/im2col.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/im2col.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/linear.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/loss.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/pool.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/sequential.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/rpbcm_nn.dir/trainer.cpp.o"
+  "CMakeFiles/rpbcm_nn.dir/trainer.cpp.o.d"
+  "librpbcm_nn.a"
+  "librpbcm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpbcm_nn.a"
+)

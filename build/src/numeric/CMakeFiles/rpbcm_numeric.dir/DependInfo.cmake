@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/fft.cpp" "src/numeric/CMakeFiles/rpbcm_numeric.dir/fft.cpp.o" "gcc" "src/numeric/CMakeFiles/rpbcm_numeric.dir/fft.cpp.o.d"
+  "/root/repo/src/numeric/kde.cpp" "src/numeric/CMakeFiles/rpbcm_numeric.dir/kde.cpp.o" "gcc" "src/numeric/CMakeFiles/rpbcm_numeric.dir/kde.cpp.o.d"
+  "/root/repo/src/numeric/random.cpp" "src/numeric/CMakeFiles/rpbcm_numeric.dir/random.cpp.o" "gcc" "src/numeric/CMakeFiles/rpbcm_numeric.dir/random.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/numeric/CMakeFiles/rpbcm_numeric.dir/stats.cpp.o" "gcc" "src/numeric/CMakeFiles/rpbcm_numeric.dir/stats.cpp.o.d"
+  "/root/repo/src/numeric/svd.cpp" "src/numeric/CMakeFiles/rpbcm_numeric.dir/svd.cpp.o" "gcc" "src/numeric/CMakeFiles/rpbcm_numeric.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_numeric.dir/fft.cpp.o"
+  "CMakeFiles/rpbcm_numeric.dir/fft.cpp.o.d"
+  "CMakeFiles/rpbcm_numeric.dir/kde.cpp.o"
+  "CMakeFiles/rpbcm_numeric.dir/kde.cpp.o.d"
+  "CMakeFiles/rpbcm_numeric.dir/random.cpp.o"
+  "CMakeFiles/rpbcm_numeric.dir/random.cpp.o.d"
+  "CMakeFiles/rpbcm_numeric.dir/stats.cpp.o"
+  "CMakeFiles/rpbcm_numeric.dir/stats.cpp.o.d"
+  "CMakeFiles/rpbcm_numeric.dir/svd.cpp.o"
+  "CMakeFiles/rpbcm_numeric.dir/svd.cpp.o.d"
+  "librpbcm_numeric.a"
+  "librpbcm_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpbcm_tensor.dir/init.cpp.o"
+  "CMakeFiles/rpbcm_tensor.dir/init.cpp.o.d"
+  "CMakeFiles/rpbcm_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/rpbcm_tensor.dir/tensor.cpp.o.d"
+  "librpbcm_tensor.a"
+  "librpbcm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpbcm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/admm_test.cpp" "tests/CMakeFiles/core_test.dir/core/admm_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/admm_test.cpp.o.d"
+  "/root/repo/tests/core/bcm_backward_equiv_test.cpp" "tests/CMakeFiles/core_test.dir/core/bcm_backward_equiv_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bcm_backward_equiv_test.cpp.o.d"
+  "/root/repo/tests/core/bcm_conv_test.cpp" "tests/CMakeFiles/core_test.dir/core/bcm_conv_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bcm_conv_test.cpp.o.d"
+  "/root/repo/tests/core/bcm_layout_test.cpp" "tests/CMakeFiles/core_test.dir/core/bcm_layout_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bcm_layout_test.cpp.o.d"
+  "/root/repo/tests/core/bcm_linear_test.cpp" "tests/CMakeFiles/core_test.dir/core/bcm_linear_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/bcm_linear_test.cpp.o.d"
+  "/root/repo/tests/core/circulant_test.cpp" "tests/CMakeFiles/core_test.dir/core/circulant_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/circulant_test.cpp.o.d"
+  "/root/repo/tests/core/compression_stats_test.cpp" "tests/CMakeFiles/core_test.dir/core/compression_stats_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/compression_stats_test.cpp.o.d"
+  "/root/repo/tests/core/frequency_quant_test.cpp" "tests/CMakeFiles/core_test.dir/core/frequency_quant_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/frequency_quant_test.cpp.o.d"
+  "/root/repo/tests/core/frequency_weights_test.cpp" "tests/CMakeFiles/core_test.dir/core/frequency_weights_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/frequency_weights_test.cpp.o.d"
+  "/root/repo/tests/core/hadamard_spectrum_test.cpp" "tests/CMakeFiles/core_test.dir/core/hadamard_spectrum_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hadamard_spectrum_test.cpp.o.d"
+  "/root/repo/tests/core/importance_criterion_test.cpp" "tests/CMakeFiles/core_test.dir/core/importance_criterion_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/importance_criterion_test.cpp.o.d"
+  "/root/repo/tests/core/mixed_compression_test.cpp" "tests/CMakeFiles/core_test.dir/core/mixed_compression_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/mixed_compression_test.cpp.o.d"
+  "/root/repo/tests/core/prune_quantile_test.cpp" "tests/CMakeFiles/core_test.dir/core/prune_quantile_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/prune_quantile_test.cpp.o.d"
+  "/root/repo/tests/core/pruning_test.cpp" "tests/CMakeFiles/core_test.dir/core/pruning_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pruning_test.cpp.o.d"
+  "/root/repo/tests/core/rank_analysis_test.cpp" "tests/CMakeFiles/core_test.dir/core/rank_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rank_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/serialization_test.cpp" "tests/CMakeFiles/core_test.dir/core/serialization_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/serialization_test.cpp.o.d"
+  "/root/repo/tests/core/unstructured_prune_test.cpp" "tests/CMakeFiles/core_test.dir/core/unstructured_prune_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/unstructured_prune_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rpbcm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rpbcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpbcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

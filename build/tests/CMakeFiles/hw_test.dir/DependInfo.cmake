@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/accelerator_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/accelerator_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/accelerator_test.cpp.o.d"
+  "/root/repo/tests/hw/buffer_check_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/buffer_check_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/buffer_check_test.cpp.o.d"
+  "/root/repo/tests/hw/dataflow_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/dataflow_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/dataflow_test.cpp.o.d"
+  "/root/repo/tests/hw/dram_config_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/dram_config_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/dram_config_test.cpp.o.d"
+  "/root/repo/tests/hw/emac_pe_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/emac_pe_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/emac_pe_test.cpp.o.d"
+  "/root/repo/tests/hw/fft_pe_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/fft_pe_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/fft_pe_test.cpp.o.d"
+  "/root/repo/tests/hw/functional_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/functional_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/functional_test.cpp.o.d"
+  "/root/repo/tests/hw/pipeline_sim_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/pipeline_sim_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/pipeline_sim_test.cpp.o.d"
+  "/root/repo/tests/hw/pruned_bcm_pe_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/pruned_bcm_pe_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/pruned_bcm_pe_test.cpp.o.d"
+  "/root/repo/tests/hw/report_io_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/report_io_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/report_io_test.cpp.o.d"
+  "/root/repo/tests/hw/resource_power_test.cpp" "tests/CMakeFiles/hw_test.dir/hw/resource_power_test.cpp.o" "gcc" "tests/CMakeFiles/hw_test.dir/hw/resource_power_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rpbcm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rpbcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpbcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_test.dir/hw/accelerator_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/accelerator_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/buffer_check_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/buffer_check_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/dataflow_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/dataflow_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/dram_config_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/dram_config_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/emac_pe_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/emac_pe_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/fft_pe_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/fft_pe_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/functional_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/functional_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/pipeline_sim_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/pipeline_sim_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/pruned_bcm_pe_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/pruned_bcm_pe_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/report_io_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/report_io_test.cpp.o.d"
+  "CMakeFiles/hw_test.dir/hw/resource_power_test.cpp.o"
+  "CMakeFiles/hw_test.dir/hw/resource_power_test.cpp.o.d"
+  "hw_test"
+  "hw_test.pdb"
+  "hw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

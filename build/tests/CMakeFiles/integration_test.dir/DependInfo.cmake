@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rpbcm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rpbcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpbcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/conv2d_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o.d"
+  "/root/repo/tests/nn/dataset_trainer_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/dataset_trainer_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/dataset_trainer_test.cpp.o.d"
+  "/root/repo/tests/nn/dropout_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/dropout_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/dropout_test.cpp.o.d"
+  "/root/repo/tests/nn/im2col_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/im2col_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/im2col_test.cpp.o.d"
+  "/root/repo/tests/nn/layers_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "/root/repo/tests/nn/loss_optimizer_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/loss_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/loss_optimizer_test.cpp.o.d"
+  "/root/repo/tests/nn/trainer_schedule_test.cpp" "tests/CMakeFiles/nn_test.dir/nn/trainer_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/trainer_schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/rpbcm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/rpbcm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpbcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rpbcm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/rpbcm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/rpbcm_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

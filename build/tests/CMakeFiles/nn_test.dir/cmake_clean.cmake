@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/conv2d_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/dataset_trainer_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/dataset_trainer_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/dropout_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/dropout_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/im2col_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/im2col_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/loss_optimizer_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/loss_optimizer_test.cpp.o.d"
+  "CMakeFiles/nn_test.dir/nn/trainer_schedule_test.cpp.o"
+  "CMakeFiles/nn_test.dir/nn/trainer_schedule_test.cpp.o.d"
+  "nn_test"
+  "nn_test.pdb"
+  "nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

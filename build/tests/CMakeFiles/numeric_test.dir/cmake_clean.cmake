@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numeric_test.dir/numeric/fft_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/fft_test.cpp.o.d"
+  "CMakeFiles/numeric_test.dir/numeric/fixed_point_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/fixed_point_test.cpp.o.d"
+  "CMakeFiles/numeric_test.dir/numeric/kde_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/kde_test.cpp.o.d"
+  "CMakeFiles/numeric_test.dir/numeric/random_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/random_test.cpp.o.d"
+  "CMakeFiles/numeric_test.dir/numeric/stats_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/stats_test.cpp.o.d"
+  "CMakeFiles/numeric_test.dir/numeric/svd_test.cpp.o"
+  "CMakeFiles/numeric_test.dir/numeric/svd_test.cpp.o.d"
+  "numeric_test"
+  "numeric_test.pdb"
+  "numeric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numeric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
