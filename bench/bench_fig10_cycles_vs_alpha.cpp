@@ -3,10 +3,14 @@
 // alpha, for the proposed skip-scheme PE and the conventional PE. Also
 // reports the skip-check overhead at alpha = 0 (paper: 3.1%).
 
+// Observability:  --trace-out=<file>.json    per-layer pipeline timelines
+//                 --metrics-out=<file>.json  per-stream cycle/stall counters
+
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "hw/dataflow.hpp"
+#include "obs/cli.hpp"
 
 using namespace rpbcm;
 
@@ -30,7 +34,8 @@ hw::LayerWorkload fig10_layer(double alpha) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Fig. 10",
                     "execution cycles vs pruning ratio (layer 128x28x28, "
                     "K=3, BS=8)");
@@ -64,5 +69,6 @@ int main() {
   benchutil::note(
       "proposed PE cycles fall ~linearly with alpha; conventional PE is "
       "flat because it computes pruned blocks anyway");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

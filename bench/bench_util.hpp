@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -26,9 +28,10 @@ inline std::string sparkline(std::span<const float> values) {
   static const char* levels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
   std::string out;
   for (float v : values) {
-    int idx = static_cast<int>(v * 7.0F + 0.5F);
-    if (idx < 0) idx = 0;
-    if (idx > 7) idx = 7;
+    // lround, not a truncating cast: casting rounds negative intermediates
+    // toward zero, which would promote slightly-negative values a level up.
+    const long idx =
+        std::clamp(std::lround(static_cast<double>(v) * 7.0), 0L, 7L);
     out += levels[idx];
   }
   return out;

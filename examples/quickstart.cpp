@@ -8,18 +8,24 @@
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/examples/quickstart
+//
+// Observability:  --trace-out=trace.json    Chrome trace (chrome://tracing)
+//                 --metrics-out=metrics.json  registry snapshot
 
 #include <cstdio>
 
 #include "core/frequency_weights.hpp"
 #include "core/pruning.hpp"
 #include "hw/accelerator.hpp"
+#include "hw/report_io.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/trainer.hpp"
+#include "obs/cli.hpp"
 
 using namespace rpbcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   std::printf("== RP-BCM quickstart ==\n\n");
 
   // --- 1. model: scaled VGG with hadaBCM convolutions (BS = 8) ----------
@@ -46,10 +52,15 @@ int main() {
   tcfg.epochs = 5;
   tcfg.steps_per_epoch = 20;
   tcfg.batch = 16;
-  tcfg.verbose = true;
   nn::Trainer trainer(*model, data, tcfg);
+  trainer.set_progress_callback([](const nn::EpochStats& s) {
+    std::printf("  epoch %2zu  lr %.4f  loss %.4f  top1 %.3f  (%.2fs)\n",
+                s.epoch, s.lr, s.mean_loss, s.test_top1,
+                s.train_seconds + s.eval_seconds);
+  });
   std::printf("\ntraining...\n");
   trainer.train();
+  trainer.set_progress_callback(nullptr);  // pruning rounds print their own
   const double trained = trainer.evaluate();
   std::printf("trained accuracy: %.1f%%\n", trained * 100.0);
 
@@ -65,9 +76,11 @@ int main() {
               pcfg.target_accuracy * 100.0);
   const auto result = pruner.run(*model, trainer);
   for (const auto& r : result.rounds)
-    std::printf("  alpha %.2f: pruned %zu/%zu blocks, accuracy %.1f%%%s\n",
-                r.alpha, r.pruned_blocks, r.total_blocks,
-                r.accuracy * 100.0, r.met_target ? "" : "  [rolled back]");
+    std::printf("  alpha %.2f: pruned %zu/%zu blocks (norm thr %.3g), "
+                "accuracy %.1f%% in %.2fs%s\n",
+                r.alpha, r.pruned_blocks, r.total_blocks, r.norm_threshold,
+                r.accuracy * 100.0, r.finetune_seconds,
+                r.met_target ? "" : "  [rolled back]");
   std::printf("final: alpha=%.2f, %zu/%zu blocks pruned, accuracy %.1f%%, "
               "deployed params %zu\n",
               result.final_alpha, result.final_pruned_blocks,
@@ -99,6 +112,14 @@ int main() {
               "%.1f FPS, %.2f W, %.2f FPS/W on the XC7Z020 model\n",
               alpha, report.fps, report.power.total_w(),
               report.fps_per_watt());
+  std::printf("pipeline occupancy: ");
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s)
+    std::printf("%s %.0f%%%s", hw::kStreamNames[s],
+                report.stream_occupancy(s) * 100.0,
+                s + 1 < hw::kPipelineStreams ? ", " : "\n");
+
+  hw::export_report_metrics(report, obs::Registry::global());
+  obs::dump_outputs(obs_opts);
   std::printf("\nquickstart complete.\n");
   return 0;
 }

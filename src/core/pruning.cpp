@@ -1,8 +1,12 @@
 #include "core/pruning.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
+
+#include "obs/macros.hpp"
 
 namespace rpbcm::core {
 
@@ -158,18 +162,41 @@ PruneResult BcmPruner::run(nn::Sequential& model, nn::Trainer& trainer) const {
 
   for (std::size_t round = 0; round < cfg_.max_rounds && alpha <= 1.0F;
        ++round) {
+    RPBCM_OBS_TRACE_SCOPE("prune", "round");
     const double threshold = alpha_threshold(initial_norms, alpha);
     const std::size_t pruned = layers.prune_below(initial_norms, threshold);
+    const auto t0 = std::chrono::steady_clock::now();
     const double acc =
         trainer.fine_tune(cfg_.finetune_epochs, cfg_.finetune_lr);
 
     PruneRound r;
     r.alpha = alpha;
     r.accuracy = acc;
+    r.norm_threshold = threshold;
+    r.finetune_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     r.pruned_blocks = pruned;
     r.total_blocks = result.total_blocks;
     r.met_target = acc >= cfg_.target_accuracy;
     result.rounds.push_back(r);
+
+    // Per-α trajectory: one gauge set per round under the α-keyed name,
+    // plus aggregate counters/histograms for the whole Algorithm-1 run.
+    RPBCM_OBS_ONLY({
+      char key[64];
+      std::snprintf(key, sizeof key, "rpbcm.prune.alpha.%.2f.", r.alpha);
+      const std::string base(key);
+      auto& reg = obs::Registry::global();
+      reg.gauge(base + "accuracy").set(r.accuracy);
+      reg.gauge(base + "norm_threshold").set(r.norm_threshold);
+      reg.gauge(base + "finetune_seconds").set(r.finetune_seconds);
+      reg.gauge(base + "pruned_blocks")
+          .set(static_cast<double>(r.pruned_blocks));
+    });
+    RPBCM_OBS_COUNT("rpbcm.prune.rounds", 1);
+    RPBCM_OBS_OBSERVE("rpbcm.prune.finetune_seconds", r.finetune_seconds);
+    RPBCM_OBS_OBSERVE("rpbcm.prune.round_accuracy", r.accuracy);
 
     if (!r.met_target) {
       // Accuracy broke below β: keep the previous state (Algorithm 1 exits
@@ -183,6 +210,10 @@ PruneResult BcmPruner::run(nn::Sequential& model, nn::Trainer& trainer) const {
     result.final_pruned_blocks = pruned;
     alpha += cfg_.alpha_step;
   }
+  RPBCM_OBS_GAUGE("rpbcm.prune.final_alpha", result.final_alpha);
+  RPBCM_OBS_GAUGE("rpbcm.prune.final_accuracy", result.final_accuracy);
+  RPBCM_OBS_GAUGE("rpbcm.prune.final_pruned_blocks",
+                  static_cast<double>(result.final_pruned_blocks));
   return result;
 }
 

@@ -23,6 +23,8 @@ struct PruneConfig {
 struct PruneRound {
   float alpha = 0.0F;
   double accuracy = 0.0;        // fine-tuned accuracy after this round
+  double norm_threshold = 0.0;  // α-quantile of the initial norm list
+  double finetune_seconds = 0.0;  // wall time of this round's fine-tuning
   std::size_t pruned_blocks = 0;
   std::size_t total_blocks = 0;
   bool met_target = false;

@@ -8,6 +8,9 @@ AcceleratorReport simulate_accelerator(const core::NetworkShape& net,
   AcceleratorReport r;
   r.network = net.name;
   r.total_cycles = simulate_network_cycles(net, ccfg, hcfg, &r.layers);
+  for (const CycleBreakdown& l : r.layers)
+    for (std::size_t s = 0; s < kPipelineStreams; ++s)
+      r.stream_stats[s] += l.streams[s];
   const double hz = hcfg.frequency_mhz * 1e6;
   r.latency_ms = static_cast<double>(r.total_cycles) / hz * 1e3;
   r.fps = hz / static_cast<double>(r.total_cycles);

@@ -20,6 +20,19 @@ struct AcceleratorReport {
   ResourceReport resources;
   PowerReport power;
 
+  /// Network-wide per-stream busy/stall cycles, summed over layers
+  /// (fine-grained dataflow only; zero otherwise). Indexed by
+  /// hw::PipelineStream; names in hw::kStreamNames.
+  std::array<StreamStats, kPipelineStreams> stream_stats{};
+
+  /// Fraction of total cycles the stream's engine was busy.
+  double stream_occupancy(std::size_t stream) const {
+    return total_cycles > 0
+               ? static_cast<double>(stream_stats[stream].busy) /
+                     static_cast<double>(total_cycles)
+               : 0.0;
+  }
+
   double fps_per_klut() const {
     return resources.kilo_luts > 0 ? fps / resources.kilo_luts : 0.0;
   }

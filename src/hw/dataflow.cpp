@@ -9,6 +9,8 @@
 #include "hw/fft_pe.hpp"
 #include "hw/pipeline_sim.hpp"
 #include "hw/pruned_bcm_pe.hpp"
+#include "obs/macros.hpp"
+#include "obs/pipeline_trace.hpp"
 
 namespace rpbcm::hw {
 
@@ -21,6 +23,7 @@ CycleBreakdown& CycleBreakdown::operator+=(const CycleBreakdown& o) {
   weight_read += o.weight_read;
   output_write += o.output_write;
   total += o.total;
+  for (std::size_t s = 0; s < kPipelineStreams; ++s) streams[s] += o.streams[s];
   return *this;
 }
 
@@ -45,14 +48,15 @@ struct TileCost {
 // simulator (hw/pipeline_sim.hpp). Monolithic: compute is one delay
 // double-buffered against the combined transfer. Serial: everything adds
 // up.
-std::uint64_t compose(const std::vector<TileCost>& tiles, DataflowKind kind) {
+std::uint64_t compose(const std::vector<TileCost>& tiles, DataflowKind kind,
+                      PipelineTrace* trace = nullptr) {
   if (kind == DataflowKind::kFineGrained) {
     std::vector<TileStreamCosts> streams;
     streams.reserve(tiles.size());
     for (const TileCost& t : tiles)
       streams.push_back(TileStreamCosts{t.in_rd, t.fft, t.w_rd,
                                         t.emac + t.skip, t.ifft, t.out_wr});
-    return simulate_tile_pipeline(streams);
+    return simulate_tile_pipeline(streams, trace);
   }
   std::uint64_t total = 0;
   for (std::size_t i = 0; i < tiles.size(); ++i) {
@@ -72,6 +76,27 @@ std::uint64_t compose(const std::vector<TileCost>& tiles, DataflowKind kind) {
   return total;
 }
 
+// Composes tiles under cfg.dataflow; for the fine-grained dataflow also
+// reconstructs the per-stream schedule: stall breakdown into `out`, and —
+// in instrumented builds — registry counters plus (when a trace session is
+// live) one synthetic timeline track group per layer.
+std::uint64_t compose_observed(const std::vector<TileCost>& tiles,
+                               const HwConfig& cfg, const std::string& name,
+                               CycleBreakdown& out) {
+  if (cfg.dataflow != DataflowKind::kFineGrained)
+    return compose(tiles, cfg.dataflow);
+  PipelineTrace trace;
+  const std::uint64_t total = compose(tiles, cfg.dataflow, &trace);
+  out.streams = trace.streams;
+  RPBCM_OBS_ONLY({
+    obs::record_pipeline_metrics(trace, "rpbcm.hw.pipeline",
+                                 obs::Registry::global());
+    auto& session = obs::TraceSession::global();
+    if (session.enabled()) obs::emit_pipeline_trace(trace, name, session);
+  });
+  return total;
+}
+
 }  // namespace
 
 CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
@@ -81,6 +106,7 @@ CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
   const DramModel dram(cfg);
   const std::size_t bytes = cfg.data_bits / 8;
   CycleBreakdown out;
+  out.name = s.name;
 
   if (!wl.compressible) {
     // Dense fallback: direct convolution on the multiplier pool.
@@ -96,7 +122,7 @@ CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
     out.input_read = t.in_rd;
     out.weight_read = t.w_rd;
     out.output_write = t.out_wr;
-    out.total = compose({t}, cfg.dataflow);
+    out.total = compose_observed({t}, cfg, s.name, out);
     return out;
   }
 
@@ -187,7 +213,7 @@ CycleBreakdown simulate_conv_layer(const LayerWorkload& wl,
       tiles.push_back(t);
     }
   }
-  out.total = compose(tiles, cfg.dataflow);
+  out.total = compose_observed(tiles, cfg, s.name, out);
   return out;
 }
 

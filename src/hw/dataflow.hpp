@@ -1,10 +1,13 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/compression_stats.hpp"
 #include "hw/config.hpp"
+#include "hw/pipeline_sim.hpp"
 
 namespace rpbcm::hw {
 
@@ -21,6 +24,7 @@ struct LayerWorkload {
 /// are the three tile-by-tile off-chip streams they are double-buffered
 /// against (real input / complex weight / real output).
 struct CycleBreakdown {
+  std::string name;  // layer name (empty for aggregated rows)
   std::uint64_t fft = 0;
   std::uint64_t emac = 0;
   std::uint64_t skip_check = 0;
@@ -29,6 +33,11 @@ struct CycleBreakdown {
   std::uint64_t weight_read = 0;
   std::uint64_t output_write = 0;
   std::uint64_t total = 0;  // with the configured dataflow's overlap
+
+  /// Per-stream busy/stall accounting of the pipelined schedule. Only the
+  /// fine-grained dataflow fills this (the other dataflows have no
+  /// per-stream schedule to attribute).
+  std::array<StreamStats, kPipelineStreams> streams{};
 
   std::uint64_t compute_total() const {
     return fft + emac + skip_check + ifft;

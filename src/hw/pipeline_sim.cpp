@@ -6,43 +6,29 @@
 
 namespace rpbcm::hw {
 
-namespace {
-
-// Stream indices: topological order of the pipeline.
-enum Stream : std::size_t {
-  kInRd = 0,
-  kFft = 1,
-  kWRd = 2,
-  kEmac = 3,
-  kIfft = 4,
-  kOutWr = 5,
-  kStreams = 6,
-};
-
-}  // namespace
-
-std::uint64_t simulate_tile_pipeline(
-    const std::vector<TileStreamCosts>& tiles) {
+std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles,
+                                     PipelineTrace* trace) {
+  if (trace) *trace = PipelineTrace{};
   if (tiles.empty()) return 0;
   const std::size_t n = tiles.size();
   // finish[s][i]: completion cycle of stream s on tile i.
-  std::array<std::vector<std::uint64_t>, kStreams> finish;
+  std::array<std::vector<std::uint64_t>, kPipelineStreams> finish;
   for (auto& f : finish) f.assign(n, 0);
 
   auto cost = [&](std::size_t s, std::size_t i) -> std::uint64_t {
     const TileStreamCosts& t = tiles[i];
     switch (s) {
-      case kInRd:
+      case kStreamInputRead:
         return t.input_read;
-      case kFft:
+      case kStreamFft:
         return t.fft;
-      case kWRd:
+      case kStreamWeightRead:
         return t.weight_read;
-      case kEmac:
+      case kStreamEmac:
         return t.emac;
-      case kIfft:
+      case kStreamIfft:
         return t.ifft;
-      case kOutWr:
+      case kStreamOutputWrite:
         return t.output_write;
       default:
         RPBCM_CHECK(false);
@@ -51,34 +37,68 @@ std::uint64_t simulate_tile_pipeline(
   };
 
   // Producers of each stream (data dependencies within a tile).
-  static constexpr std::array<std::array<int, 2>, kStreams> producers = {{
-      {{-1, -1}},        // input read: none
-      {{kInRd, -1}},     // fft consumes the input tile
-      {{-1, -1}},        // weight read: none
-      {{kFft, kWRd}},    // emac consumes spectra + weights
-      {{kEmac, -1}},     // ifft consumes accumulated spectra
-      {{kIfft, -1}},     // output write drains the real outputs
-  }};
+  static constexpr std::array<std::array<int, 2>, kPipelineStreams> producers =
+      {{
+          {{-1, -1}},                         // input read: none
+          {{kStreamInputRead, -1}},           // fft consumes the input tile
+          {{-1, -1}},                         // weight read: none
+          {{kStreamFft, kStreamWeightRead}},  // emac: spectra + weights
+          {{kStreamEmac, -1}},                // ifft: accumulated spectra
+          {{kStreamIfft, -1}},                // output write drains outputs
+      }};
   // Consumer of each stream (whose double buffer must free up).
-  static constexpr std::array<int, kStreams> consumer = {
-      kFft, kEmac, kEmac, kIfft, kOutWr, -1};
+  static constexpr std::array<int, kPipelineStreams> consumer = {
+      kStreamFft, kStreamEmac, kStreamEmac, kStreamIfft, kStreamOutputWrite,
+      -1};
+
+  if (trace) trace->events.reserve(n * kPipelineStreams);
 
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t s = 0; s < kStreams; ++s) {
-      std::uint64_t start = 0;
-      if (i > 0) start = std::max(start, finish[s][i - 1]);  // engine busy
+    for (std::size_t s = 0; s < kPipelineStreams; ++s) {
+      const std::uint64_t engine_free = i > 0 ? finish[s][i - 1] : 0;
+      std::uint64_t data_ready = 0;
       for (int p : producers[s])
         if (p >= 0)
-          start = std::max(start, finish[static_cast<std::size_t>(p)][i]);
+          data_ready = std::max(data_ready,
+                                finish[static_cast<std::size_t>(p)][i]);
       // Ping-pong buffer: the consumer must have drained tile i-2 before
       // this stream may overwrite that buffer with tile i.
+      std::uint64_t buffer_free = 0;
       if (consumer[s] >= 0 && i >= 2)
-        start = std::max(
-            start, finish[static_cast<std::size_t>(consumer[s])][i - 2]);
+        buffer_free = finish[static_cast<std::size_t>(consumer[s])][i - 2];
+
+      const std::uint64_t start =
+          std::max({engine_free, data_ready, buffer_free});
       finish[s][i] = start + cost(s, i);
+
+      if (trace) {
+        // Idle attribution: from engine_free the engine first waits for
+        // its producer's data, then (if still blocked) for the consumer to
+        // release the ping-pong buffer. Overlapping waits are charged to
+        // the data dependency first.
+        const std::uint64_t idle = start - engine_free;
+        const std::uint64_t wait_data =
+            std::min(idle, data_ready > engine_free ? data_ready - engine_free
+                                                    : 0);
+        const std::uint64_t wait_buffer = idle - wait_data;
+        TileStreamEvent ev;
+        ev.stream = static_cast<std::uint32_t>(s);
+        ev.tile = static_cast<std::uint32_t>(i);
+        ev.start = start;
+        ev.finish = finish[s][i];
+        ev.stall_data = wait_data;
+        ev.stall_buffer = wait_buffer;
+        trace->events.push_back(ev);
+        StreamStats& st = trace->streams[s];
+        st.busy += cost(s, i);
+        st.stall_data += wait_data;
+        st.stall_buffer += wait_buffer;
+      }
     }
   }
-  return finish[kOutWr][n - 1];
+  const std::uint64_t total = finish[kStreamOutputWrite][n - 1];
+  if (trace) trace->total_cycles = total;
+  return total;
 }
 
 }  // namespace rpbcm::hw

@@ -17,6 +17,69 @@ struct TileStreamCosts {
   std::uint64_t output_write = 0;
 };
 
+/// Stream indices: topological order of the pipeline.
+enum PipelineStream : std::size_t {
+  kStreamInputRead = 0,
+  kStreamFft = 1,
+  kStreamWeightRead = 2,
+  kStreamEmac = 3,
+  kStreamIfft = 4,
+  kStreamOutputWrite = 5,
+  kPipelineStreams = 6,
+};
+
+/// Stable stream names used for trace tracks and metric names
+/// (`rpbcm.hw.pipeline.<stream>.*`).
+inline constexpr std::array<const char*, kPipelineStreams> kStreamNames = {
+    "input_read", "fft", "weight_read", "emac", "ifft", "output_write"};
+
+/// Aggregated engine accounting for one stream over a simulated schedule.
+/// Idle cycles between consecutive tiles are attributed to whichever
+/// dependency held the engine back: its producer's data not ready yet
+/// ("data") or its consumer still holding the ping-pong buffer ("buffer").
+/// Cycles outside [first start, last finish] — pipeline fill and drain —
+/// are neither busy nor stall.
+struct StreamStats {
+  std::uint64_t busy = 0;
+  std::uint64_t stall_data = 0;
+  std::uint64_t stall_buffer = 0;
+
+  StreamStats& operator+=(const StreamStats& o) {
+    busy += o.busy;
+    stall_data += o.stall_data;
+    stall_buffer += o.stall_buffer;
+    return *this;
+  }
+};
+
+/// One scheduled (stream, tile) occurrence with its stall attribution.
+/// `start - stall_data - stall_buffer` is the cycle the engine became free
+/// (its previous tile's finish).
+struct TileStreamEvent {
+  std::uint32_t stream = 0;
+  std::uint32_t tile = 0;
+  std::uint64_t start = 0;
+  std::uint64_t finish = 0;
+  std::uint64_t stall_data = 0;
+  std::uint64_t stall_buffer = 0;
+};
+
+/// Full schedule reconstruction of one simulate_tile_pipeline run: the raw
+/// events (tile-major, stream-minor) plus per-stream busy/stall totals.
+/// This is the data the obs layer turns into Chrome-trace tracks.
+struct PipelineTrace {
+  std::vector<TileStreamEvent> events;
+  std::array<StreamStats, kPipelineStreams> streams{};
+  std::uint64_t total_cycles = 0;
+
+  /// Fraction of the schedule the stream's engine spent busy.
+  double occupancy(std::size_t stream) const {
+    return total_cycles > 0 ? static_cast<double>(streams[stream].busy) /
+                                  static_cast<double>(total_cycles)
+                            : 0.0;
+  }
+};
+
 /// Event-level simulation of the tile pipeline with separated double
 /// buffering. Each stream owns two buffers, so stream S can work on tile i
 /// while its consumer drains tile i-1; the dependency recurrence is
@@ -30,7 +93,11 @@ struct TileStreamCosts {
 /// semantics the analytic steady-state approximation (max of streams)
 /// upper-bounds; tests cross-check the two.
 ///
+/// When `trace` is non-null, fills it with the per-(stream, tile) schedule
+/// and the per-stream stall attribution.
+///
 /// Returns the cycle at which the last output write finishes.
-std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles);
+std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles,
+                                     PipelineTrace* trace = nullptr);
 
 }  // namespace rpbcm::hw

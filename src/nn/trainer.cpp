@@ -1,8 +1,21 @@
 #include "nn/trainer.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <utility>
+
+#include "obs/macros.hpp"
 
 namespace rpbcm::nn {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Trainer::Trainer(Layer& model, const SyntheticImageDataset& data,
                  TrainConfig cfg)
@@ -12,23 +25,32 @@ Trainer::Trainer(Layer& model, const SyntheticImageDataset& data,
       opt_(cfg.lr, cfg.momentum, cfg.weight_decay),
       rng_(cfg.seed) {}
 
+void Trainer::set_progress_callback(ProgressCallback cb) {
+  progress_ = std::move(cb);
+}
+
 float Trainer::run_epoch(float lr) {
+  RPBCM_OBS_TRACE_SCOPE("train", "epoch");
   opt_.set_lr(lr);
   SoftmaxCrossEntropy loss;
   const auto params = model_.params();
   double total = 0.0;
   for (std::size_t step = 0; step < cfg_.steps_per_epoch; ++step) {
+    const auto t0 = std::chrono::steady_clock::now();
     Batch b = data_.train_batch(rng_, cfg_.batch);
     zero_grads(params);
     Tensor logits = model_.forward(b.x, /*train=*/true);
     total += loss.forward(logits, b.y);
     model_.backward(loss.backward());
     opt_.step(params);
+    RPBCM_OBS_OBSERVE("rpbcm.train.step_seconds", seconds_since(t0));
+    RPBCM_OBS_COUNT("rpbcm.train.steps", 1);
   }
   return static_cast<float>(total / static_cast<double>(cfg_.steps_per_epoch));
 }
 
 std::vector<EpochStats> Trainer::train() {
+  RPBCM_OBS_TRACE_SCOPE("train", "train");
   CosineAnnealing schedule(cfg_.lr, cfg_.epochs, cfg_.min_lr);
   std::vector<EpochStats> stats;
   stats.reserve(cfg_.epochs);
@@ -36,24 +58,55 @@ std::vector<EpochStats> Trainer::train() {
     EpochStats s;
     s.epoch = e;
     s.lr = schedule.lr(e);
+    auto t0 = std::chrono::steady_clock::now();
     s.mean_loss = run_epoch(s.lr);
+    s.train_seconds = seconds_since(t0);
+    t0 = std::chrono::steady_clock::now();
     s.test_top1 = evaluate();
+    s.eval_seconds = seconds_since(t0);
+    RPBCM_OBS_COUNT("rpbcm.train.epochs", 1);
+    RPBCM_OBS_OBSERVE("rpbcm.train.epoch_seconds", s.train_seconds);
+    RPBCM_OBS_OBSERVE("rpbcm.train.eval_seconds", s.eval_seconds);
+    RPBCM_OBS_GAUGE("rpbcm.train.last_loss", s.mean_loss);
+    RPBCM_OBS_GAUGE("rpbcm.train.last_top1", s.test_top1);
     if (cfg_.verbose)
-      std::printf("  epoch %2zu  lr %.4f  loss %.4f  top1 %.3f\n", e, s.lr,
-                  s.mean_loss, s.test_top1);
+      std::printf("  epoch %2zu  lr %.4f  loss %.4f  top1 %.3f  "
+                  "(%.2fs train, %.2fs eval)\n",
+                  e, s.lr, s.mean_loss, s.test_top1, s.train_seconds,
+                  s.eval_seconds);
+    if (progress_) progress_(s);
     stats.push_back(s);
   }
   return stats;
 }
 
 double Trainer::fine_tune(std::size_t epochs, float lr) {
-  for (std::size_t e = 0; e < epochs; ++e) run_epoch(lr);
-  return evaluate();
+  RPBCM_OBS_TRACE_SCOPE("train", "fine_tune");
+  for (std::size_t e = 0; e < epochs; ++e) {
+    EpochStats s;
+    s.epoch = e;
+    s.lr = lr;
+    const auto t0 = std::chrono::steady_clock::now();
+    s.mean_loss = run_epoch(lr);
+    s.train_seconds = seconds_since(t0);
+    RPBCM_OBS_COUNT("rpbcm.train.finetune_epochs", 1);
+    RPBCM_OBS_OBSERVE("rpbcm.train.epoch_seconds", s.train_seconds);
+    if (progress_ && e + 1 < epochs) progress_(s);
+    if (e + 1 == epochs) {
+      const auto e0 = std::chrono::steady_clock::now();
+      s.test_top1 = evaluate();
+      s.eval_seconds = seconds_since(e0);
+      if (progress_) progress_(s);
+      return s.test_top1;
+    }
+  }
+  return evaluate();  // epochs == 0: plain evaluation
 }
 
 double Trainer::evaluate() { return evaluate_topk(1); }
 
 double Trainer::evaluate_topk(std::size_t k) {
+  RPBCM_OBS_TRACE_SCOPE("train", "evaluate");
   const std::size_t chunk = 128;
   std::size_t seen = 0;
   double hits = 0.0;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+
 #include "nn/dataset.hpp"
 #include "nn/layer.hpp"
 #include "nn/loss.hpp"
@@ -26,6 +28,8 @@ struct EpochStats {
   float lr = 0.0F;
   float mean_loss = 0.0F;
   double test_top1 = 0.0;
+  double train_seconds = 0.0;  // wall time of the epoch's training steps
+  double eval_seconds = 0.0;   // wall time of the test-split evaluation
 };
 
 /// Minimal training loop binding a model, a synthetic dataset, SGD and the
@@ -33,7 +37,15 @@ struct EpochStats {
 /// the fine-tuning step of Algorithm 1.
 class Trainer {
  public:
+  /// Invoked after every finished epoch (including fine-tuning epochs,
+  /// where test_top1 is only filled on the last one). Lets callers stream
+  /// progress to a UI / log without re-implementing the loop.
+  using ProgressCallback = std::function<void(const EpochStats&)>;
+
   Trainer(Layer& model, const SyntheticImageDataset& data, TrainConfig cfg);
+
+  /// Registers a per-epoch progress callback (empty to remove).
+  void set_progress_callback(ProgressCallback cb);
 
   /// Runs the configured number of epochs; returns per-epoch stats.
   std::vector<EpochStats> train();
@@ -56,6 +68,7 @@ class Trainer {
   TrainConfig cfg_;
   Sgd opt_;
   numeric::Rng rng_;
+  ProgressCallback progress_;
 };
 
 }  // namespace rpbcm::nn

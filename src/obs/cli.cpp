@@ -1,0 +1,63 @@
+#include "obs/cli.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+
+#include "base/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace rpbcm::obs {
+
+namespace {
+
+bool take_flag(std::string_view arg, std::string_view prefix,
+               std::string* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::string(arg.substr(prefix.size()));
+  return true;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int& argc, char** argv) {
+  CliOptions opts;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (take_flag(arg, "--trace-out=", &opts.trace_out) ||
+        take_flag(arg, "--metrics-out=", &opts.metrics_out) ||
+        take_flag(arg, "--metrics-md=", &opts.metrics_md))
+      continue;
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  if (!opts.trace_out.empty()) TraceSession::global().enable();
+  return opts;
+}
+
+void dump_outputs(const CliOptions& opts) {
+  if (!opts.trace_out.empty()) {
+    TraceSession::global().write_json_file(opts.trace_out);
+    std::printf("obs: wrote trace (%zu events) to %s\n",
+                TraceSession::global().event_count(), opts.trace_out.c_str());
+  }
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  if (!opts.metrics_out.empty()) {
+    std::ofstream os(opts.metrics_out);
+    RPBCM_CHECK_MSG(os.is_open(), "cannot open " << opts.metrics_out);
+    snap.write_json(os);
+    std::printf("obs: wrote %zu metrics to %s\n", snap.metrics.size(),
+                opts.metrics_out.c_str());
+  }
+  if (!opts.metrics_md.empty()) {
+    std::ofstream os(opts.metrics_md);
+    RPBCM_CHECK_MSG(os.is_open(), "cannot open " << opts.metrics_md);
+    snap.write_markdown(os);
+    std::printf("obs: wrote metrics table to %s\n", opts.metrics_md.c_str());
+  }
+}
+
+}  // namespace rpbcm::obs

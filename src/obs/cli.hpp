@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+namespace rpbcm::obs {
+
+/// Observability flags shared by examples and benches:
+///   --trace-out=<file>.json    Chrome trace_event timeline
+///   --metrics-out=<file>.json  registry snapshot
+///   --metrics-md=<file>.md     registry snapshot as markdown
+struct CliOptions {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string metrics_md;
+
+  bool any() const {
+    return !trace_out.empty() || !metrics_out.empty() || !metrics_md.empty();
+  }
+};
+
+/// Extracts the observability flags from argv, compacting argv in place so
+/// downstream parsers (e.g. google-benchmark) never see them; argc is
+/// decremented accordingly. Enables the global TraceSession when
+/// --trace-out is present, so instrumented code starts emitting
+/// immediately.
+CliOptions parse_cli(int& argc, char** argv);
+
+/// Writes the requested outputs (global TraceSession / global Registry
+/// snapshot) and prints one line per file written. No-op when no flag was
+/// given.
+void dump_outputs(const CliOptions& opts);
+
+}  // namespace rpbcm::obs

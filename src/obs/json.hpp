@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace rpbcm::obs {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Shared by the registry, the trace
+/// writer and hw::report_io so every exporter produces parseable JSON.
+std::string json_escape(std::string_view s);
+
+/// Writes `s` as a quoted, escaped JSON string.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// Writes a double as a JSON number (finite values only; NaN/inf are
+/// written as null, which keeps the document valid).
+void write_json_number(std::ostream& os, double v);
+
+}  // namespace rpbcm::obs

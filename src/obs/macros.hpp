@@ -1,0 +1,84 @@
+#pragma once
+
+/// Cheap instrumentation macros for hot paths. Compiled to no-ops when the
+/// CMake option RPBCM_OBS is OFF (the build passes RPBCM_OBS_ENABLED=0);
+/// arguments are then only type-checked (unevaluated sizeof), so a no-op
+/// build carries zero runtime overhead. Code that *requires* metrics (e.g.
+/// the --metrics-out exporters) should use the obs::Registry / TraceSession
+/// API directly — those classes are always compiled.
+
+#ifndef RPBCM_OBS_ENABLED
+#define RPBCM_OBS_ENABLED 1
+#endif
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+#define RPBCM_OBS_CONCAT_INNER(a, b) a##b
+#define RPBCM_OBS_CONCAT(a, b) RPBCM_OBS_CONCAT_INNER(a, b)
+
+#if RPBCM_OBS_ENABLED
+
+/// Bumps counter `name` (rpbcm.<area>.<metric>) by `delta`.
+#define RPBCM_OBS_COUNT(name, delta) \
+  ::rpbcm::obs::Registry::global().counter(name).add(delta)
+
+/// Sets gauge `name` to `value`.
+#define RPBCM_OBS_GAUGE(name, value) \
+  ::rpbcm::obs::Registry::global().gauge(name).set(value)
+
+/// Records `value` into histogram `name`.
+#define RPBCM_OBS_OBSERVE(name, value) \
+  ::rpbcm::obs::Registry::global().histogram(name).record(value)
+
+/// RAII trace scope: emits a complete event into the global TraceSession
+/// (dropped while the session is disabled).
+#define RPBCM_OBS_TRACE_SCOPE(category, name)                 \
+  ::rpbcm::obs::ScopedTimer RPBCM_OBS_CONCAT(rpbcm_obs_scope_, \
+                                             __LINE__)(category, name)
+
+/// Trace scope that also records elapsed seconds into histogram `metric`.
+#define RPBCM_OBS_TIMED_SCOPE(category, name, metric)          \
+  ::rpbcm::obs::ScopedTimer RPBCM_OBS_CONCAT(rpbcm_obs_scope_, \
+                                             __LINE__)(        \
+      category, name, &::rpbcm::obs::Registry::global().histogram(metric))
+
+/// Wraps a statement that should only exist in instrumented builds.
+#define RPBCM_OBS_ONLY(...) __VA_ARGS__
+
+#else  // RPBCM_OBS_ENABLED == 0: type-check arguments, evaluate nothing.
+
+#define RPBCM_OBS_COUNT(name, delta) \
+  do {                               \
+    (void)sizeof(name);              \
+    (void)sizeof(delta);             \
+  } while (0)
+
+#define RPBCM_OBS_GAUGE(name, value) \
+  do {                               \
+    (void)sizeof(name);              \
+    (void)sizeof(value);             \
+  } while (0)
+
+#define RPBCM_OBS_OBSERVE(name, value) \
+  do {                                 \
+    (void)sizeof(name);                \
+    (void)sizeof(value);               \
+  } while (0)
+
+#define RPBCM_OBS_TRACE_SCOPE(category, name) \
+  do {                                        \
+    (void)sizeof(category);                   \
+    (void)sizeof(name);                       \
+  } while (0)
+
+#define RPBCM_OBS_TIMED_SCOPE(category, name, metric) \
+  do {                                                \
+    (void)sizeof(category);                           \
+    (void)sizeof(name);                               \
+    (void)sizeof(metric);                             \
+  } while (0)
+
+#define RPBCM_OBS_ONLY(...)
+
+#endif  // RPBCM_OBS_ENABLED

@@ -1,0 +1,64 @@
+#include "obs/pipeline_trace.hpp"
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace rpbcm::obs {
+
+std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
+                                  std::string_view label,
+                                  TraceSession& session) {
+  if (!session.enabled()) return 0;
+  const std::uint32_t pid = session.next_pid();
+  session.set_process_name(pid, "pipeline:" + std::string(label));
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s)
+    session.set_thread_name(pid, static_cast<std::uint32_t>(s),
+                            hw::kStreamNames[s]);
+
+  for (const hw::TileStreamEvent& ev : trace.events) {
+    const auto ts = static_cast<double>(ev.start);
+    const auto dur = static_cast<double>(ev.finish - ev.start);
+    // Stall slices precede the busy slice on the same track: the engine
+    // went idle at start - stall_data - stall_buffer, waited on data
+    // first, then on the ping-pong buffer.
+    if (ev.stall_data > 0)
+      session.add_complete(
+          "stall", "wait:data", pid, ev.stream,
+          static_cast<double>(ev.start - ev.stall_data - ev.stall_buffer),
+          static_cast<double>(ev.stall_data),
+          "{\"tile\": " + std::to_string(ev.tile) + "}");
+    if (ev.stall_buffer > 0)
+      session.add_complete("stall", "wait:buffer", pid, ev.stream,
+                           static_cast<double>(ev.start - ev.stall_buffer),
+                           static_cast<double>(ev.stall_buffer),
+                           "{\"tile\": " + std::to_string(ev.tile) + "}");
+    if (dur > 0)
+      session.add_complete("pipeline",
+                           "tile" + std::to_string(ev.tile), pid, ev.stream,
+                           ts, dur, "{\"tile\": " + std::to_string(ev.tile) +
+                                        ", \"stall_data\": " +
+                                        std::to_string(ev.stall_data) +
+                                        ", \"stall_buffer\": " +
+                                        std::to_string(ev.stall_buffer) + "}");
+  }
+  return pid;
+}
+
+void record_pipeline_metrics(const hw::PipelineTrace& trace,
+                             std::string_view prefix, Registry& registry) {
+  const std::string base(prefix);
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s) {
+    const std::string stream = base + "." + hw::kStreamNames[s];
+    const hw::StreamStats& st = trace.streams[s];
+    registry.counter(stream + ".busy_cycles").add(st.busy);
+    registry.counter(stream + ".stall_data_cycles").add(st.stall_data);
+    registry.counter(stream + ".stall_buffer_cycles").add(st.stall_buffer);
+    registry.histogram(stream + ".occupancy").record(trace.occupancy(s));
+  }
+  registry.counter(base + ".total_cycles").add(trace.total_cycles);
+  registry.counter(base + ".runs").add(1);
+}
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hw/pipeline_sim.hpp"
+
+namespace rpbcm::obs {
+
+class Registry;
+class TraceSession;
+
+/// Renders one simulated pipeline schedule as a synthetic Chrome-trace
+/// process: one track (tid) per pipeline stream, one complete event per
+/// (stream, tile) busy interval, plus explicit "wait:data" /
+/// "wait:buffer" slices for the stall intervals preceding each busy one —
+/// the Fig. 8a fine-grained dataflow as an inspectable timeline. Cycle
+/// counts are mapped 1:1 onto trace microseconds.
+///
+/// Returns the pid allocated for the track group (0 if the session is
+/// disabled and nothing was emitted).
+std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
+                                  std::string_view label,
+                                  TraceSession& session);
+
+/// Accumulates per-stream cycle accounting into `registry`:
+///   <prefix>.<stream>.busy_cycles          counter
+///   <prefix>.<stream>.stall_data_cycles    counter
+///   <prefix>.<stream>.stall_buffer_cycles  counter
+///   <prefix>.<stream>.occupancy            histogram (one sample per run)
+/// plus <prefix>.total_cycles / <prefix>.runs counters.
+void record_pipeline_metrics(const hw::PipelineTrace& trace,
+                             std::string_view prefix, Registry& registry);
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,208 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace rpbcm::obs {
+
+void Histogram::record(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  auto sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+const MetricSnapshot* RegistrySnapshot::find(std::string_view name) const {
+  for (const auto& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void RegistrySnapshot::write_json(std::ostream& os) const {
+  os << "{\"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const MetricSnapshot& m = metrics[i];
+    if (i) os << ", ";
+    os << "\n  {\"name\": ";
+    write_json_string(os, m.name);
+    os << ", \"kind\": \"" << kind_name(m.kind) << "\", \"value\": ";
+    write_json_number(os, m.value);
+    if (m.kind == MetricKind::kHistogram) {
+      os << ", \"count\": " << m.count << ", \"sum\": ";
+      write_json_number(os, m.sum);
+      os << ", \"min\": ";
+      write_json_number(os, m.min);
+      os << ", \"max\": ";
+      write_json_number(os, m.max);
+      os << ", \"p50\": ";
+      write_json_number(os, m.p50);
+      os << ", \"p90\": ";
+      write_json_number(os, m.p90);
+      os << ", \"p99\": ";
+      write_json_number(os, m.p99);
+    }
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void RegistrySnapshot::write_markdown(std::ostream& os) const {
+  os << "| metric | kind | value | count | min | p50 | p90 | p99 | max |\n";
+  os << "|---|---|---|---|---|---|---|---|---|\n";
+  char buf[256];
+  for (const MetricSnapshot& m : metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %s | %.6g | %llu | %.6g | %.6g | %.6g | %.6g | "
+                    "%.6g |\n",
+                    m.name.c_str(), kind_name(m.kind), m.value,
+                    static_cast<unsigned long long>(m.count), m.min, m.p50,
+                    m.p90, m.p99, m.max);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %s | %.6g | | | | | | |\n", m.name.c_str(),
+                    kind_name(m.kind), m.value);
+    }
+    os << buf;
+  }
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.metrics.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kCounter;
+    m.value = static_cast<double>(c->value());
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kGauge;
+    m.value = g->value();
+    snap.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot m;
+    m.name = name;
+    m.kind = MetricKind::kHistogram;
+    m.count = h->count();
+    m.sum = h->sum();
+    m.value = m.count ? m.sum / static_cast<double>(m.count) : 0.0;
+    m.min = h->min();
+    m.max = h->max();
+    m.p50 = h->percentile(50.0);
+    m.p90 = h->percentile(90.0);
+    m.p99 = h->percentile(99.0);
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::write_json(std::ostream& os) const { snapshot().write_json(os); }
+
+void Registry::write_markdown(std::ostream& os) const {
+  snapshot().write_markdown(os);
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace rpbcm::obs

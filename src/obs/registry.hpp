@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpbcm::obs {
+
+/// Monotonically increasing event count. Lock-free; safe to bump from any
+/// thread.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current α, current accuracy).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Sample-retaining distribution: exact percentiles at snapshot time. The
+/// instrumented paths record at epoch / pruning-round / layer granularity,
+/// so retaining samples is cheap; callers needing bounded memory should
+/// reset between runs.
+class Histogram {
+ public:
+  void record(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Nearest-rank percentile, p in [0, 100]. Returns 0 with no samples.
+  double percentile(double p) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one metric, decoupled from the live registry.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram mean
+  // Histogram-only fields.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of a whole registry, sorted by metric name.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(std::string_view name) const;
+
+  /// `{"metrics": [{"name": ..., "kind": ..., ...}, ...]}` — one object per
+  /// metric; histogram entries carry count/sum/min/max/percentiles.
+  void write_json(std::ostream& os) const;
+  /// GitHub-flavored markdown table (the EXPERIMENTS.md idiom).
+  void write_markdown(std::ostream& os) const;
+};
+
+/// Named metric registry. Metric handles returned by counter()/gauge()/
+/// histogram() are stable for the registry's lifetime, so hot paths may
+/// cache them. Names follow the `rpbcm.<area>.<name>` convention
+/// (docs/observability.md).
+class Registry {
+ public:
+  /// Process-wide registry the RPBCM_OBS_* macros record into.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  RegistrySnapshot snapshot() const;
+  void write_json(std::ostream& os) const;
+  void write_markdown(std::ostream& os) const;
+
+  /// Drops every metric (tests / repeated runs in one process).
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+#include "base/check.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace rpbcm::obs {
+
+TraceSession& TraceSession::global() {
+  static TraceSession* instance = new TraceSession();  // leaked: process-wide
+  return *instance;
+}
+
+double TraceSession::now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point start = clock::now();
+  return std::chrono::duration<double, std::micro>(clock::now() - start)
+      .count();
+}
+
+std::uint32_t TraceSession::next_pid() {
+  return next_pid_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceSession::push(TraceEvent ev) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+void TraceSession::add_complete(std::string_view category,
+                                std::string_view name, std::uint32_t pid,
+                                std::uint32_t tid, double ts_us, double dur_us,
+                                std::string args_json) {
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.category = std::string(category);
+  ev.phase = 'X';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.args_json = std::move(args_json);
+  push(std::move(ev));
+}
+
+void TraceSession::set_process_name(std::uint32_t pid, std::string_view name) {
+  TraceEvent ev;
+  ev.name = "process_name";
+  ev.category = "__metadata";
+  ev.phase = 'M';
+  ev.pid = pid;
+  ev.tid = 0;
+  ev.args_json = "{\"name\": \"" + json_escape(name) + "\"}";
+  push(std::move(ev));
+}
+
+void TraceSession::set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                                   std::string_view name) {
+  TraceEvent ev;
+  ev.name = "thread_name";
+  ev.category = "__metadata";
+  ev.phase = 'M';
+  ev.pid = pid;
+  ev.tid = tid;
+  ev.args_json = "{\"name\": \"" + json_escape(name) + "\"}";
+  push(std::move(ev));
+}
+
+std::size_t TraceSession::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+void TraceSession::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& ev = events_[i];
+    if (i) os << ',';
+    os << "\n{\"name\": ";
+    write_json_string(os, ev.name);
+    os << ", \"cat\": ";
+    write_json_string(os, ev.category);
+    os << ", \"ph\": \"" << ev.phase << "\", \"pid\": " << ev.pid
+       << ", \"tid\": " << ev.tid << ", \"ts\": ";
+    write_json_number(os, ev.ts_us);
+    if (ev.phase == 'X') {
+      os << ", \"dur\": ";
+      write_json_number(os, ev.dur_us);
+    }
+    if (!ev.args_json.empty()) os << ", \"args\": " << ev.args_json;
+    os << "}";
+  }
+  os << "\n]}\n";
+}
+
+void TraceSession::write_json_file(const std::string& path) const {
+  std::ofstream os(path);
+  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
+  write_json(os);
+  RPBCM_CHECK_MSG(os.good(), "trace write failed: " << path);
+}
+
+ScopedTimer::ScopedTimer(std::string_view category, std::string_view name,
+                         Histogram* seconds_histogram, TraceSession* session)
+    : category_(category),
+      name_(name),
+      histogram_(seconds_histogram),
+      session_(session ? session : &TraceSession::global()),
+      start_us_(TraceSession::now_us()) {}
+
+double ScopedTimer::elapsed_seconds() const {
+  return (TraceSession::now_us() - start_us_) * 1e-6;
+}
+
+ScopedTimer::~ScopedTimer() {
+  const double end_us = TraceSession::now_us();
+  if (histogram_) histogram_->record((end_us - start_us_) * 1e-6);
+  if (session_->enabled())
+    session_->add_complete(category_, name_, /*pid=*/1, /*tid=*/1, start_us_,
+                           end_us - start_us_);
+}
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpbcm::obs {
+
+class Histogram;
+
+/// One Chrome trace_event record. `args_json` is a pre-rendered JSON
+/// object (e.g. `{"tile": 3}`) or empty.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';  // 'X' complete, 'M' metadata, 'C' counter
+  std::uint32_t pid = 1;
+  std::uint32_t tid = 1;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::string args_json;
+};
+
+/// Collects trace_event records and serializes them in the Chrome
+/// `chrome://tracing` / Perfetto JSON format:
+///
+///   {"displayTimeUnit": "ms", "traceEvents": [ ... ]}
+///
+/// Disabled by default: add_* calls are dropped until enable() is called
+/// (typically by obs::parse_cli when `--trace-out=` is present), so
+/// instrumented code can emit unconditionally. Thread-safe.
+class TraceSession {
+ public:
+  /// Process-wide session the RPBCM_OBS_TRACE_* macros emit into.
+  static TraceSession& global();
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since the first call in this process (steady clock).
+  static double now_us();
+
+  /// Allocates a fresh pid for a synthetic track group (e.g. one simulated
+  /// pipeline run). pid 1 is reserved for the host process.
+  std::uint32_t next_pid();
+
+  void add_complete(std::string_view category, std::string_view name,
+                    std::uint32_t pid, std::uint32_t tid, double ts_us,
+                    double dur_us, std::string args_json = {});
+  void set_process_name(std::uint32_t pid, std::string_view name);
+  void set_thread_name(std::uint32_t pid, std::uint32_t tid,
+                       std::string_view name);
+
+  std::size_t event_count() const;
+  void clear();
+
+  void write_json(std::ostream& os) const;
+  void write_json_file(const std::string& path) const;
+
+ private:
+  void push(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> next_pid_{2};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII wall-clock scope: on destruction emits a complete event into the
+/// session (if enabled) and optionally records elapsed seconds into a
+/// histogram. Used via RPBCM_OBS_TRACE_SCOPE / RPBCM_OBS_TIMED_SCOPE, or
+/// directly by tools that always want timing.
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string_view category, std::string_view name,
+              Histogram* seconds_histogram = nullptr,
+              TraceSession* session = nullptr);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed since construction.
+  double elapsed_seconds() const;
+
+ private:
+  std::string category_;
+  std::string name_;
+  Histogram* histogram_;
+  TraceSession* session_;
+  double start_us_;
+};
+
+}  // namespace rpbcm::obs

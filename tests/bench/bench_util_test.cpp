@@ -1,0 +1,45 @@
+#include "bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace rpbcm::benchutil {
+namespace {
+
+std::string spark1(float v) {
+  const std::array<float, 1> one = {v};
+  return sparkline(one);
+}
+
+TEST(SparklineTest, EndpointsMapToExtremeLevels) {
+  EXPECT_EQ(spark1(0.0F), " ");
+  EXPECT_EQ(spark1(1.0F), "#");
+}
+
+TEST(SparklineTest, ValuesSlightlyBelowZeroClampToLowestLevel) {
+  EXPECT_EQ(spark1(-0.01F), " ");
+  EXPECT_EQ(spark1(-0.49F), " ");
+  EXPECT_EQ(spark1(-5.0F), " ");
+}
+
+TEST(SparklineTest, ValuesAboveOneClampToHighestLevel) {
+  EXPECT_EQ(spark1(1.01F), "#");
+  EXPECT_EQ(spark1(42.0F), "#");
+}
+
+TEST(SparklineTest, MidpointsRoundToNearestLevel) {
+  // v * 7 per level; 0.5 -> 3.5 rounds away from zero to level 4 ("=").
+  EXPECT_EQ(spark1(0.5F), "=");
+  EXPECT_EQ(spark1(1.0F / 7.0F), ".");
+  EXPECT_EQ(spark1(0.99F / 7.0F), ".");   // 0.99 rounds up to level 1
+  EXPECT_EQ(spark1(0.49F / 7.0F), " ");   // 0.49 rounds down to level 0
+}
+
+TEST(SparklineTest, SeriesLengthMatchesInput) {
+  const std::array<float, 5> vals = {0.0F, 0.25F, 0.5F, 0.75F, 1.0F};
+  EXPECT_EQ(sparkline(vals).size(), 5u);
+}
+
+}  // namespace
+}  // namespace rpbcm::benchutil

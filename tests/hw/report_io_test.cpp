@@ -4,8 +4,10 @@
 
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "models/model_zoo.hpp"
+#include "obs/json_checker.hpp"
 
 namespace rpbcm::hw {
 namespace {
@@ -60,6 +62,118 @@ TEST(ReportIoTest, MarkdownContainsHeadlineNumbers) {
   char fps[32];
   std::snprintf(fps, sizeof fps, "%.2f", report.fps);
   EXPECT_NE(md.find(fps), std::string::npos);
+}
+
+// Splits one CSV line into fields honoring RFC-4180 quoting.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        cur += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(cur);
+  return fields;
+}
+
+TEST(ReportIoTest, CsvUsesLayerNames) {
+  const auto report = sample_report();
+  std::stringstream ss;
+  write_layer_csv(report, ss);
+  std::string header, first;
+  std::getline(ss, header);
+  std::getline(ss, first);
+  EXPECT_EQ(split_csv(first)[0], report.layers[0].name);
+}
+
+TEST(ReportIoTest, CsvEscapesAwkwardLayerNames) {
+  AcceleratorReport report;
+  report.network = "synthetic";
+  CycleBreakdown a;
+  a.name = "conv,with,commas";
+  a.total = 10;
+  CycleBreakdown b;
+  b.name = "conv \"quoted\" 3x3";
+  b.total = 20;
+  CycleBreakdown c;
+  c.name = "plain";
+  c.total = 30;
+  report.layers = {a, b, c};
+
+  std::stringstream ss;
+  write_layer_csv(report, ss);
+  std::string line;
+  std::getline(ss, line);  // header
+  const std::size_t columns = split_csv(line).size();
+
+  std::getline(ss, line);
+  auto fields = split_csv(line);
+  ASSERT_EQ(fields.size(), columns);  // commas in the name stayed quoted
+  EXPECT_EQ(fields[0], "conv,with,commas");
+  EXPECT_EQ(line.rfind("\"conv,with,commas\",", 0), 0u);
+
+  std::getline(ss, line);
+  fields = split_csv(line);
+  ASSERT_EQ(fields.size(), columns);
+  EXPECT_EQ(fields[0], "conv \"quoted\" 3x3");
+
+  std::getline(ss, line);
+  fields = split_csv(line);
+  EXPECT_EQ(fields[0], "plain");  // unremarkable names stay unquoted
+  EXPECT_EQ(line.find('"'), std::string::npos);
+
+  std::getline(ss, line);
+  EXPECT_EQ(split_csv(line)[0], "total");
+  EXPECT_EQ(split_csv(line).back(), "60");
+}
+
+TEST(ReportIoTest, ExportReportMetricsAndJson) {
+  const auto report = sample_report();
+  obs::Registry reg;
+  export_report_metrics(report, reg);
+  const auto snap = reg.snapshot();
+  const auto* cycles = snap.find("rpbcm.hw.report.total_cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_DOUBLE_EQ(cycles->value, static_cast<double>(report.total_cycles));
+  ASSERT_NE(snap.find("rpbcm.hw.report.stream.emac.busy_cycles"), nullptr);
+  ASSERT_NE(snap.find("rpbcm.hw.report.stream.fft.stall_data_cycles"),
+            nullptr);
+
+  std::stringstream ss;
+  write_metrics_json(snap, ss);
+  const auto doc = testjson::parse(ss.str());
+  EXPECT_GE(doc.at("metrics").arr().size(), 4u + 6u * 4u);
+}
+
+TEST(ReportIoTest, StreamStatsAggregateAcrossLayers) {
+  const auto report = sample_report();
+  // The fine-grained default dataflow fills per-stream stats; the network
+  // totals must equal the per-layer sums.
+  std::uint64_t emac_busy = 0;
+  for (const auto& l : report.layers) emac_busy += l.streams[kStreamEmac].busy;
+  EXPECT_EQ(report.stream_stats[kStreamEmac].busy, emac_busy);
+  EXPECT_GT(emac_busy, 0u);
+  for (std::size_t s = 0; s < kPipelineStreams; ++s) {
+    EXPECT_GE(report.stream_occupancy(s), 0.0);
+    EXPECT_LE(report.stream_occupancy(s), 1.0);
+  }
 }
 
 TEST(ReportIoTest, FileOverloadsWrite) {

@@ -1,0 +1,222 @@
+#pragma once
+
+// Minimal recursive-descent JSON parser for tests: parses a document into
+// a tree of variant values so trace/metrics exports can be round-trip
+// checked without an external JSON dependency. Throws std::runtime_error
+// on malformed input (which is itself the test signal).
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace rpbcm::testjson {
+
+struct Value;
+using Object = std::map<std::string, Value>;
+using Array = std::vector<Value>;
+
+struct Value {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<Array>, std::shared_ptr<Object>>
+      v = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<Object>>(v);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<Array>>(v);
+  }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+
+  const Object& obj() const { return *std::get<std::shared_ptr<Object>>(v); }
+  const Array& arr() const { return *std::get<std::shared_ptr<Array>>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  double num() const { return std::get<double>(v); }
+
+  bool has(const std::string& key) const {
+    return is_object() && obj().count(key) > 0;
+  }
+  const Value& at(const std::string& key) const { return obj().at(key); }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Value{string()};
+      case 't':
+        literal("true");
+        return Value{true};
+      case 'f':
+        literal("false");
+        return Value{false};
+      case 'n':
+        literal("null");
+        return Value{nullptr};
+      default:
+        return number();
+    }
+  }
+
+  void literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) fail("bad literal");
+    pos_ += lit.size();
+  }
+
+  Value object() {
+    expect('{');
+    auto out = std::make_shared<Object>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value{out};
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      (*out)[key] = value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value{out};
+    }
+  }
+
+  Value array() {
+    expect('[');
+    auto out = std::make_shared<Array>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value{out};
+    }
+    while (true) {
+      out->push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value{out};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("bad escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          const std::string hex(s_.substr(pos_, 4));
+          pos_ += 4;
+          const auto code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
+          // Tests only emit control characters via \u; keep it simple.
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    return Value{std::stod(std::string(s_.substr(start, pos_ - start)))};
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline Value parse(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace rpbcm::testjson

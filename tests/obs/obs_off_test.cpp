@@ -1,0 +1,54 @@
+// Compile-check for the RPBCM_OBS=OFF configuration: this translation unit
+// is built with RPBCM_OBS_ENABLED=0 regardless of the CMake option (see
+// tests/CMakeLists.txt), proving every macro form compiles to a no-op while
+// the explicit Registry / TraceSession API keeps working.
+
+#include <gtest/gtest.h>
+
+#include "obs/macros.hpp"
+
+static_assert(RPBCM_OBS_ENABLED == 0,
+              "obs_off_test must be compiled with RPBCM_OBS_ENABLED=0");
+
+namespace rpbcm::obs {
+namespace {
+
+double expensive_side_effect(int* calls) {
+  ++*calls;
+  return 1.0;
+}
+
+TEST(ObsOffTest, MacrosAreNoOpsAndDoNotEvaluateArguments) {
+  int calls = 0;
+  RPBCM_OBS_COUNT("rpbcm.off.count", 1);
+  RPBCM_OBS_COUNT("rpbcm.off.count",
+                  static_cast<std::uint64_t>(expensive_side_effect(&calls)));
+  RPBCM_OBS_GAUGE("rpbcm.off.gauge", expensive_side_effect(&calls));
+  RPBCM_OBS_OBSERVE("rpbcm.off.hist", expensive_side_effect(&calls));
+  RPBCM_OBS_TRACE_SCOPE("off", "scope");
+  RPBCM_OBS_TIMED_SCOPE("off", "timed", "rpbcm.off.timed");
+  RPBCM_OBS_ONLY(FAIL() << "RPBCM_OBS_ONLY body must be compiled out";);
+
+  // Arguments sit in unevaluated sizeof context: no side effects ran.
+  EXPECT_EQ(calls, 0);
+
+  // Nothing reached the global registry or the global trace session.
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.find("rpbcm.off.count"), nullptr);
+  EXPECT_EQ(snap.find("rpbcm.off.gauge"), nullptr);
+  EXPECT_EQ(snap.find("rpbcm.off.hist"), nullptr);
+}
+
+TEST(ObsOffTest, ExplicitApiStillWorksWhenMacrosAreOff) {
+  Registry reg;
+  reg.counter("rpbcm.off.explicit").add(3);
+  EXPECT_EQ(reg.counter("rpbcm.off.explicit").value(), 3u);
+
+  TraceSession session;
+  session.enable();
+  session.add_complete("off", "explicit", 1, 1, 0.0, 1.0);
+  EXPECT_EQ(session.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rpbcm::obs

@@ -1,0 +1,198 @@
+#include "obs/pipeline_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "hw/pipeline_sim.hpp"
+#include "numeric/random.hpp"
+#include "obs/json_checker.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace rpbcm::obs {
+namespace {
+
+std::vector<hw::TileStreamCosts> random_tiles(std::size_t n,
+                                              std::uint64_t seed) {
+  numeric::Rng rng(seed);
+  std::vector<hw::TileStreamCosts> tiles;
+  tiles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tiles.push_back(hw::TileStreamCosts{
+        static_cast<std::uint64_t>(rng.randint(0, 40)),
+        static_cast<std::uint64_t>(rng.randint(0, 40)),
+        static_cast<std::uint64_t>(rng.randint(0, 40)),
+        static_cast<std::uint64_t>(rng.randint(0, 40)),
+        static_cast<std::uint64_t>(rng.randint(0, 40)),
+        static_cast<std::uint64_t>(rng.randint(0, 40))});
+  return tiles;
+}
+
+TEST(PipelineTraceTest, TraceConsistentWithSimulation) {
+  const auto tiles = random_tiles(30, 11);
+  hw::PipelineTrace trace;
+  const auto total = hw::simulate_tile_pipeline(tiles, &trace);
+
+  EXPECT_EQ(trace.total_cycles, total);
+  EXPECT_EQ(trace.events.size(), tiles.size() * hw::kPipelineStreams);
+
+  // The returned finish cycle is the last output write's finish.
+  std::uint64_t last_out_finish = 0;
+  for (const auto& ev : trace.events)
+    if (ev.stream == hw::kStreamOutputWrite)
+      last_out_finish = std::max(last_out_finish, ev.finish);
+  EXPECT_EQ(last_out_finish, total);
+
+  // Per-stream busy totals equal the summed input costs.
+  std::array<std::uint64_t, hw::kPipelineStreams> cost_sums{};
+  for (const auto& t : tiles) {
+    cost_sums[hw::kStreamInputRead] += t.input_read;
+    cost_sums[hw::kStreamFft] += t.fft;
+    cost_sums[hw::kStreamWeightRead] += t.weight_read;
+    cost_sums[hw::kStreamEmac] += t.emac;
+    cost_sums[hw::kStreamIfft] += t.ifft;
+    cost_sums[hw::kStreamOutputWrite] += t.output_write;
+  }
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s)
+    EXPECT_EQ(trace.streams[s].busy, cost_sums[s]) << hw::kStreamNames[s];
+}
+
+TEST(PipelineTraceTest, EventsNonOverlappingAndOrderedPerStream) {
+  const auto tiles = random_tiles(50, 23);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+
+  std::array<std::uint64_t, hw::kPipelineStreams> prev_finish{};
+  std::array<std::uint32_t, hw::kPipelineStreams> next_tile{};
+  for (const auto& ev : trace.events) {
+    ASSERT_LT(ev.stream, hw::kPipelineStreams);
+    // Tile-major emission covers every tile exactly once per stream.
+    EXPECT_EQ(ev.tile, next_tile[ev.stream]);
+    ++next_tile[ev.stream];
+    // One engine per stream: busy intervals on a track may not overlap.
+    EXPECT_GE(ev.start, prev_finish[ev.stream]);
+    EXPECT_GE(ev.finish, ev.start);
+    prev_finish[ev.stream] = ev.finish;
+  }
+}
+
+TEST(PipelineTraceTest, StallAttributionMatchesIdleGap) {
+  const auto tiles = random_tiles(40, 7);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+
+  // Reconstruct each engine's previous finish and check
+  //   start == engine_free + stall_data + stall_buffer.
+  std::array<std::uint64_t, hw::kPipelineStreams> engine_free{};
+  for (const auto& ev : trace.events) {
+    EXPECT_EQ(ev.start, engine_free[ev.stream] + ev.stall_data +
+                            ev.stall_buffer)
+        << "stream " << hw::kStreamNames[ev.stream] << " tile " << ev.tile;
+    engine_free[ev.stream] = ev.finish;
+  }
+}
+
+TEST(PipelineTraceTest, KnownBackpressureAttributedToBuffer) {
+  // Slow output writes: upstream streams stall on the ping-pong buffer
+  // chain, not on missing data.
+  std::vector<hw::TileStreamCosts> tiles(6,
+                                         hw::TileStreamCosts{1, 1, 1, 1, 1, 50});
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+  std::uint64_t buffer_stalls = 0;
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s)
+    buffer_stalls += trace.streams[s].stall_buffer;
+  EXPECT_GT(buffer_stalls, 0u);
+  // The ifft engine waits on the writer's buffer, not on data.
+  EXPECT_GT(trace.streams[hw::kStreamIfft].stall_buffer, 0u);
+}
+
+TEST(PipelineTraceTest, KnownStarvationAttributedToData) {
+  // Slow input reads: downstream engines starve on data.
+  std::vector<hw::TileStreamCosts> tiles(6,
+                                         hw::TileStreamCosts{50, 1, 1, 1, 1, 1});
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+  EXPECT_GT(trace.streams[hw::kStreamFft].stall_data, 0u);
+  EXPECT_EQ(trace.streams[hw::kStreamInputRead].stall_data, 0u);
+}
+
+TEST(PipelineTraceTest, OccupancyBounded) {
+  const auto tiles = random_tiles(25, 3);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s) {
+    EXPECT_GE(trace.occupancy(s), 0.0);
+    EXPECT_LE(trace.occupancy(s), 1.0);
+  }
+}
+
+TEST(PipelineTraceTest, EmitProducesChromeTracks) {
+  const auto tiles = random_tiles(10, 5);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+
+  TraceSession session;
+  session.enable();
+  const auto pid = emit_pipeline_trace(trace, "conv1", session);
+  ASSERT_GT(pid, 0u);
+
+  std::stringstream ss;
+  session.write_json(ss);
+  const auto doc = testjson::parse(ss.str());
+  const auto& events = doc.at("traceEvents").arr();
+
+  // Metadata: one process name + six thread names.
+  std::size_t meta = 0, slices = 0;
+  bool saw_process = false;
+  for (const auto& ev : events) {
+    if (ev.at("ph").str() == "M") {
+      ++meta;
+      if (ev.at("name").str() == "process_name") {
+        saw_process = true;
+        EXPECT_EQ(ev.at("args").at("name").str(), "pipeline:conv1");
+      }
+      continue;
+    }
+    ++slices;
+    EXPECT_EQ(ev.at("ph").str(), "X");
+    EXPECT_DOUBLE_EQ(ev.at("pid").num(), static_cast<double>(pid));
+    EXPECT_LT(ev.at("tid").num(), static_cast<double>(hw::kPipelineStreams));
+    EXPECT_GE(ev.at("dur").num(), 0.0);
+  }
+  EXPECT_TRUE(saw_process);
+  EXPECT_EQ(meta, 1u + hw::kPipelineStreams);
+  EXPECT_GT(slices, 0u);
+}
+
+TEST(PipelineTraceTest, EmitDisabledSessionIsNoop) {
+  const auto tiles = random_tiles(5, 9);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+  TraceSession session;  // never enabled
+  EXPECT_EQ(emit_pipeline_trace(trace, "x", session), 0u);
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(PipelineTraceTest, RecordMetricsAccumulates) {
+  const auto tiles = random_tiles(12, 13);
+  hw::PipelineTrace trace;
+  hw::simulate_tile_pipeline(tiles, &trace);
+
+  Registry reg;
+  record_pipeline_metrics(trace, "rpbcm.test.pipe", reg);
+  record_pipeline_metrics(trace, "rpbcm.test.pipe", reg);
+
+  EXPECT_EQ(reg.counter("rpbcm.test.pipe.runs").value(), 2u);
+  EXPECT_EQ(reg.counter("rpbcm.test.pipe.total_cycles").value(),
+            2 * trace.total_cycles);
+  EXPECT_EQ(reg.counter("rpbcm.test.pipe.fft.busy_cycles").value(),
+            2 * trace.streams[hw::kStreamFft].busy);
+  EXPECT_EQ(reg.histogram("rpbcm.test.pipe.emac.occupancy").count(), 2u);
+}
+
+}  // namespace
+}  // namespace rpbcm::obs

@@ -1,0 +1,117 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json_checker.hpp"
+#include "obs/registry.hpp"
+
+namespace rpbcm::obs {
+namespace {
+
+TEST(TraceTest, DisabledSessionDropsEvents) {
+  TraceSession session;
+  session.add_complete("cat", "ev", 1, 1, 0.0, 5.0);
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(TraceTest, JsonSchemaRoundTrip) {
+  TraceSession session;
+  session.enable();
+  session.set_process_name(1, "rpbcm");
+  session.set_thread_name(1, 1, "main");
+  session.add_complete("train", "epoch", 1, 1, 100.0, 250.5,
+                       "{\"epoch\": 3}");
+  session.add_complete("train", "name with \"quotes\" and \\slash\\", 1, 1,
+                       400.0, 10.0);
+  ASSERT_EQ(session.event_count(), 4u);
+
+  std::stringstream ss;
+  session.write_json(ss);
+  const auto doc = testjson::parse(ss.str());
+
+  ASSERT_TRUE(doc.has("traceEvents"));
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+  const auto& events = doc.at("traceEvents").arr();
+  ASSERT_EQ(events.size(), 4u);
+
+  // Every event carries the mandatory trace_event keys.
+  for (const auto& ev : events) {
+    EXPECT_TRUE(ev.has("name"));
+    EXPECT_TRUE(ev.has("ph"));
+    EXPECT_TRUE(ev.has("pid"));
+    EXPECT_TRUE(ev.has("tid"));
+    EXPECT_TRUE(ev.has("ts"));
+  }
+
+  // Metadata events name the process/thread.
+  EXPECT_EQ(events[0].at("ph").str(), "M");
+  EXPECT_EQ(events[0].at("name").str(), "process_name");
+  EXPECT_EQ(events[0].at("args").at("name").str(), "rpbcm");
+
+  // Complete events round-trip ts/dur/args exactly.
+  const auto& epoch = events[2];
+  EXPECT_EQ(epoch.at("ph").str(), "X");
+  EXPECT_EQ(epoch.at("cat").str(), "train");
+  EXPECT_DOUBLE_EQ(epoch.at("ts").num(), 100.0);
+  EXPECT_DOUBLE_EQ(epoch.at("dur").num(), 250.5);
+  EXPECT_DOUBLE_EQ(epoch.at("args").at("epoch").num(), 3.0);
+
+  // Escaping survives the round trip.
+  EXPECT_EQ(events[3].at("name").str(),
+            "name with \"quotes\" and \\slash\\");
+}
+
+TEST(TraceTest, ClearAndReenable) {
+  TraceSession session;
+  session.enable();
+  session.add_complete("c", "a", 1, 1, 0.0, 1.0);
+  session.clear();
+  EXPECT_EQ(session.event_count(), 0u);
+  session.disable();
+  session.add_complete("c", "b", 1, 1, 0.0, 1.0);
+  EXPECT_EQ(session.event_count(), 0u);
+}
+
+TEST(TraceTest, NextPidMonotone) {
+  TraceSession session;
+  const auto a = session.next_pid();
+  const auto b = session.next_pid();
+  EXPECT_GT(b, a);
+  EXPECT_GE(a, 2u);  // pid 1 is the host process
+}
+
+TEST(TraceTest, ScopedTimerEmitsAndRecords) {
+  TraceSession session;
+  session.enable();
+  Histogram hist;
+  {
+    ScopedTimer t("test", "scope", &hist, &session);
+    // Trivial busy-wait so elapsed > 0 on any clock resolution.
+    while (t.elapsed_seconds() <= 0.0) {
+    }
+  }
+  EXPECT_EQ(session.event_count(), 1u);
+  EXPECT_EQ(hist.count(), 1u);
+  EXPECT_GT(hist.max(), 0.0);
+
+  std::stringstream ss;
+  session.write_json(ss);
+  const auto doc = testjson::parse(ss.str());
+  const auto& ev = doc.at("traceEvents").arr()[0];
+  EXPECT_EQ(ev.at("name").str(), "scope");
+  EXPECT_EQ(ev.at("cat").str(), "test");
+  EXPECT_GT(ev.at("dur").num(), 0.0);
+}
+
+TEST(TraceTest, EmptySessionStillValidJson) {
+  TraceSession session;
+  std::stringstream ss;
+  session.write_json(ss);
+  const auto doc = testjson::parse(ss.str());
+  EXPECT_TRUE(doc.at("traceEvents").arr().empty());
+}
+
+}  // namespace
+}  // namespace rpbcm::obs
