@@ -1,0 +1,38 @@
+# Sanitizer wiring for the whole tree.
+#
+# RPBCM_SANITIZE is a semicolon/comma-separated sanitizer list applied to
+# every target (compile + link). Supported configurations:
+#
+#   -DRPBCM_SANITIZE="address;undefined"   ASan + UBSan (the default CI pair)
+#   -DRPBCM_SANITIZE=thread                TSan (mutually exclusive with ASan)
+#
+# When a sanitizer is active, tests/CMakeLists.txt labels every test `san`
+# so `ctest -L san` runs the whole suite under that sanitizer. Runtime
+# options (suppression files, halt-on-error) are wired through the asan/
+# tsan test presets in CMakePresets.json and tools/ci.sh; the suppression
+# files live in tools/sanitizers/.
+
+set(RPBCM_SANITIZE "" CACHE STRING
+    "Sanitizers to build with: e.g. 'address;undefined' or 'thread'")
+
+if(RPBCM_SANITIZE)
+  string(REPLACE ";" "," _rpbcm_san_csv "${RPBCM_SANITIZE}")
+  if(_rpbcm_san_csv MATCHES "thread" AND _rpbcm_san_csv MATCHES "address")
+    message(FATAL_ERROR
+        "RPBCM_SANITIZE: 'thread' cannot be combined with 'address' "
+        "(TSan and ASan use incompatible shadow memory). Configure two "
+        "build trees instead.")
+  endif()
+
+  set(RPBCM_SANITIZE_FLAGS
+      -fsanitize=${_rpbcm_san_csv} -fno-omit-frame-pointer -g)
+  if(_rpbcm_san_csv MATCHES "undefined")
+    # Make every UBSan finding fatal; otherwise reports scroll by and the
+    # test still exits 0.
+    list(APPEND RPBCM_SANITIZE_FLAGS -fno-sanitize-recover=all)
+  endif()
+
+  add_compile_options(${RPBCM_SANITIZE_FLAGS})
+  add_link_options(${RPBCM_SANITIZE_FLAGS})
+  message(STATUS "rpbcm: building with -fsanitize=${_rpbcm_san_csv}")
+endif()

@@ -1,0 +1,21 @@
+# Raised warning floor for the numeric-heavy libraries.
+#
+# The FFT / eMAC / block-size arithmetic is where narrowing and sign bugs
+# hide (a silently truncated block index corrupts a whole spectrum), so the
+# targets that own that math compile with -Wconversion -Wshadow
+# -Wdouble-promotion on top of the global -Wall -Wextra. Call
+# rpbcm_strict_warnings(<target>) to opt a target in.
+#
+# RPBCM_WERROR=ON additionally turns all warnings into errors tree-wide
+# (used by tools/ci.sh; off by default so exploratory builds stay friendly).
+
+option(RPBCM_WERROR "Treat compiler warnings as errors" OFF)
+
+if(RPBCM_WERROR)
+  add_compile_options(-Werror)
+endif()
+
+function(rpbcm_strict_warnings target)
+  target_compile_options(${target} PRIVATE
+      -Wconversion -Wshadow -Wdouble-promotion)
+endfunction()

@@ -35,8 +35,11 @@ namespace detail {
 #define RPBCM_CHECK_MSG(cond, msg)                                     \
   do {                                                                 \
     if (!(cond)) {                                                     \
-      std::ostringstream os_;                                          \
-      os_ << msg;                                                      \
-      ::rpbcm::detail::check_failed(#cond, __FILE__, __LINE__, os_.str()); \
+      /* Uncommon name: the macro body lands in user scopes, so a */   \
+      /* plain identifier would shadow (or collide with) theirs. */    \
+      std::ostringstream rpbcm_check_os_;                              \
+      rpbcm_check_os_ << msg;                                          \
+      ::rpbcm::detail::check_failed(#cond, __FILE__, __LINE__,         \
+                                    rpbcm_check_os_.str());            \
     }                                                                  \
   } while (0)

@@ -82,9 +82,9 @@ double AdmmCirculantRegularizer::constraint_violation() const {
     const auto proj = project_block_circulant(w, block_size_);
     double num = 0.0, den = 0.0;
     for (std::size_t i = 0; i < w.size(); ++i) {
-      const double d = static_cast<double>(w[i]) - proj[i];
+      const double d = static_cast<double>(w[i]) - static_cast<double>(proj[i]);
       num += d * d;
-      den += static_cast<double>(w[i]) * w[i];
+      den += static_cast<double>(w[i]) * static_cast<double>(w[i]);
     }
     total += std::sqrt(num / std::max(den, 1e-30));
   }

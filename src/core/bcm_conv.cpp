@@ -112,7 +112,7 @@ std::vector<double> BcmConv2d::block_norms() const {
   for (std::size_t b = 0; b < norms.size(); ++b) {
     const auto w = effective_defining(b);
     double s = 0.0;
-    for (float v : w) s += static_cast<double>(v) * v;
+    for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
     // The paper measures the norm of the full BS x BS block; each defining
     // element appears BS times, so scale accordingly.
     norms[b] = std::sqrt(s * static_cast<double>(layout_.block_size));

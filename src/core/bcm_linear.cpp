@@ -63,7 +63,7 @@ std::vector<double> BcmLinear::block_norms() const {
   for (std::size_t blk = 0; blk < norms.size(); ++blk) {
     const auto w = effective_defining(blk);
     double s = 0.0;
-    for (float v : w) s += static_cast<double>(v) * v;
+    for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
     norms[blk] = std::sqrt(s * static_cast<double>(layout_.block_size));
   }
   return norms;

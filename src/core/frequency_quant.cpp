@@ -43,11 +43,13 @@ FrequencyQuantStats quantize_frequency_weights(FrequencyLayerWeights& fw,
     for (auto& c : spec) {
       const float re = quantize_component(c.real(), st.scale, inv_scale, qmax);
       const float im = quantize_component(c.imag(), st.scale, inv_scale, qmax);
-      const double er = static_cast<double>(c.real()) - re;
-      const double ei = static_cast<double>(c.imag()) - im;
+      const double er =
+          static_cast<double>(c.real()) - static_cast<double>(re);
+      const double ei =
+          static_cast<double>(c.imag()) - static_cast<double>(im);
       st.max_abs_err = std::max({st.max_abs_err, std::abs(er), std::abs(ei)});
-      sig += static_cast<double>(c.real()) * c.real() +
-             static_cast<double>(c.imag()) * c.imag();
+      sig += static_cast<double>(c.real()) * static_cast<double>(c.real()) +
+             static_cast<double>(c.imag()) * static_cast<double>(c.imag());
       noise += er * er + ei * ei;
       c = cfloat(re, im);
     }

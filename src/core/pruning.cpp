@@ -56,7 +56,9 @@ std::vector<double> BcmLayerSet::importance_list(
   auto score_layer = [&](auto* layer) {
     for (std::size_t b = 0; b < layer->layout().total_blocks(); ++b) {
       if (criterion == ImportanceCriterion::kRandom) {
-        scores.push_back(layer->is_pruned(b) ? 0.0 : rng.uniform(0.0F, 1.0F));
+        scores.push_back(layer->is_pruned(b)
+                             ? 0.0
+                             : static_cast<double>(rng.uniform(0.0F, 1.0F)));
         continue;
       }
       const auto w = layer->effective_defining(b);
@@ -185,7 +187,8 @@ PruneResult BcmPruner::run(nn::Sequential& model, nn::Trainer& trainer) const {
     // plus aggregate counters/histograms for the whole Algorithm-1 run.
     RPBCM_OBS_ONLY({
       char key[64];
-      std::snprintf(key, sizeof key, "rpbcm.prune.alpha.%.2f.", r.alpha);
+      std::snprintf(key, sizeof key, "rpbcm.prune.alpha.%.2f.",
+                    static_cast<double>(r.alpha));
       const std::string base(key);
       auto& reg = obs::Registry::global();
       reg.gauge(base + "accuracy").set(r.accuracy);

@@ -92,7 +92,7 @@ std::vector<float> mean_bcm_decay_curve(const BcmConv2d& layer) {
   for (std::size_t b = 0; b < layer.layout().total_blocks(); ++b) {
     if (layer.is_pruned(b)) continue;
     const auto sv = bcm_block_sv(layer, b);
-    for (std::size_t k = 0; k < bs; ++k) acc[k] += sv[k];
+    for (std::size_t k = 0; k < bs; ++k) acc[k] += static_cast<double>(sv[k]);
     ++count;
   }
   std::vector<float> out(bs, 0.0F);
@@ -109,7 +109,8 @@ std::vector<float> synth_converged_defining(std::size_t bs, double tau,
   // and random phases, then transform back to a real defining vector.
   std::vector<numeric::cfloat> spec(bs);
   for (std::size_t k = 0; k <= bs / 2; ++k) {
-    const double jitter = std::exp(0.25 * rng.gaussian());
+    const double jitter =
+        std::exp(0.25 * static_cast<double>(rng.gaussian()));
     const double mag =
         jitter * std::exp(-static_cast<double>(std::min(k, bs - k)) / tau);
     const double phase = rng.uniform(0.0F, 6.2831853F);
@@ -128,7 +129,7 @@ std::vector<float> synth_converged_defining(std::size_t bs, double tau,
 namespace {
 
 double sample_tau(double tau, double tau_sigma, rpbcm::numeric::Rng& rng) {
-  return tau * std::exp(tau_sigma * rng.gaussian());
+  return tau * std::exp(tau_sigma * static_cast<double>(rng.gaussian()));
 }
 
 std::vector<float> synth_block_sv(std::size_t bs, double tau,
@@ -174,7 +175,7 @@ std::vector<float> synth_decay_curve(std::size_t bs, double tau,
   for (std::size_t s = 0; s < samples; ++s) {
     const auto sv = numeric::normalize_by_max(
         synth_block_sv(bs, tau, tau_sigma, hadamard, rng));
-    for (std::size_t k = 0; k < bs; ++k) acc[k] += sv[k];
+    for (std::size_t k = 0; k < bs; ++k) acc[k] += static_cast<double>(sv[k]);
   }
   std::vector<float> out(bs);
   for (std::size_t k = 0; k < bs; ++k)

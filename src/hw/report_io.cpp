@@ -51,15 +51,19 @@ void write_summary_markdown(const AcceleratorReport& report,
         "power (W) | FPS/kLUT | FPS/DSP | FPS/W |\n";
   os << "|---|---|---|---|---|---|---|---|---|---|---|\n";
   char buf[512];
-  std::snprintf(buf, sizeof buf,
-                "| %s | %llu | %.2f | %.2f | %.1f | %zu | %.1f | %.2f | "
-                "%.2f | %.3f | %.2f |\n",
-                report.network.c_str(),
-                static_cast<unsigned long long>(report.total_cycles),
-                report.latency_ms, report.fps, report.resources.kilo_luts,
-                report.resources.dsps, report.resources.bram36,
-                report.power.total_w(), report.fps_per_klut(),
-                report.fps_per_dsp(), report.fps_per_watt());
+  const int n = std::snprintf(
+      buf, sizeof buf,
+      "| %s | %llu | %.2f | %.2f | %.1f | %zu | %.1f | %.2f | "
+      "%.2f | %.3f | %.2f |\n",
+      report.network.c_str(),
+      static_cast<unsigned long long>(report.total_cycles),
+      report.latency_ms, report.fps, report.resources.kilo_luts,
+      report.resources.dsps, report.resources.bram36,
+      report.power.total_w(), report.fps_per_klut(),
+      report.fps_per_dsp(), report.fps_per_watt());
+  RPBCM_CHECK_MSG(n >= 0 && static_cast<std::size_t>(n) < sizeof buf,
+                  "markdown row truncated (network name too long: "
+                      << report.network.size() << " chars)");
   os << buf;
   RPBCM_CHECK_MSG(os.good(), "markdown write failed");
 }

@@ -28,7 +28,7 @@ double GaussianKde::evaluate(double x) const {
              std::sqrt(2.0 * std::numbers::pi));
   double s = 0.0;
   for (float xi : samples_) {
-    const double u = (x - xi) / h;
+    const double u = (x - static_cast<double>(xi)) / h;
     s += std::exp(-0.5 * u * u);
   }
   return norm * s;

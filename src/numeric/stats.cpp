@@ -10,7 +10,7 @@ namespace rpbcm::numeric {
 double mean(std::span<const float> v) {
   if (v.empty()) return 0.0;
   double s = 0.0;
-  for (float x : v) s += x;
+  for (float x : v) s += static_cast<double>(x);
   return s / static_cast<double>(v.size());
 }
 
@@ -18,13 +18,16 @@ double stddev(std::span<const float> v) {
   if (v.size() < 2) return 0.0;
   const double m = mean(v);
   double s = 0.0;
-  for (float x : v) s += (x - m) * (x - m);
+  for (float x : v) {
+    const double d = static_cast<double>(x) - m;
+    s += d * d;
+  }
   return std::sqrt(s / static_cast<double>(v.size()));
 }
 
 double l2_norm(std::span<const float> v) {
   double s = 0.0;
-  for (float x : v) s += static_cast<double>(x) * x;
+  for (float x : v) s += static_cast<double>(x) * static_cast<double>(x);
   return std::sqrt(s);
 }
 
@@ -54,7 +57,7 @@ bool poor_rank_condition(std::span<const float> sv, double threshold,
   if (mx == 0.0) return true;  // zero matrix: no representation at all
   std::size_t small = 0;
   for (float s : sv)
-    if (s < threshold * mx) ++small;
+    if (static_cast<double>(s) < threshold * mx) ++small;
   return static_cast<double>(small) >
          fraction * static_cast<double>(sv.size());
 }
@@ -62,11 +65,11 @@ bool poor_rank_condition(std::span<const float> sv, double threshold,
 double effective_rank(std::span<const float> sv) {
   RPBCM_CHECK(!sv.empty());
   double total = 0.0;
-  for (float s : sv) total += std::abs(s);
+  for (float s : sv) total += static_cast<double>(std::abs(s));
   if (total == 0.0) return 0.0;
   double h = 0.0;
   for (float s : sv) {
-    const double p = std::abs(s) / total;
+    const double p = static_cast<double>(std::abs(s)) / total;
     if (p > 0.0) h -= p * std::log(p);
   }
   return std::exp(h);
@@ -80,7 +83,7 @@ double log_decay_slope(std::span<const float> sv, double floor) {
   double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
   std::size_t n = 0;
   for (std::size_t k = 0; k < sv.size(); ++k) {
-    const double rel = sv[k] / mx;
+    const double rel = static_cast<double>(sv[k]) / mx;
     if (rel < floor) continue;
     const double x = static_cast<double>(k);
     const double y = std::log(rel);
@@ -102,7 +105,7 @@ std::vector<std::size_t> histogram(std::span<const float> v, double lo,
   std::vector<std::size_t> h(bins, 0);
   const double w = (hi - lo) / static_cast<double>(bins);
   for (float x : v) {
-    auto b = static_cast<long>((x - lo) / w);
+    auto b = static_cast<long>((static_cast<double>(x) - lo) / w);
     b = std::clamp<long>(b, 0, static_cast<long>(bins) - 1);
     ++h[static_cast<std::size_t>(b)];
   }

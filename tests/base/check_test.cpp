@@ -1,0 +1,146 @@
+// Death-path coverage for RPBCM_CHECK / RPBCM_CHECK_MSG (src/base/check.hpp).
+// The macro is load-bearing in every library: these tests pin down the
+// throw-not-abort semantics, the CheckError type, and the message format
+// that callers (and humans reading CI logs) rely on.
+
+#include "base/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace rpbcm {
+namespace {
+
+TEST(CheckTest, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(RPBCM_CHECK(true));
+  EXPECT_NO_THROW(RPBCM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(RPBCM_CHECK_MSG(true, "never rendered"));
+}
+
+TEST(CheckTest, FailingCheckThrowsCheckErrorNotAbort) {
+  EXPECT_THROW(RPBCM_CHECK(false), CheckError);
+  EXPECT_THROW(RPBCM_CHECK_MSG(false, "boom"), CheckError);
+}
+
+TEST(CheckTest, CheckErrorIsARuntimeError) {
+  // Callers catch std::runtime_error at tool boundaries; CheckError must
+  // stay in that hierarchy while remaining distinguishable.
+  static_assert(std::is_base_of_v<std::runtime_error, CheckError>);
+  static_assert(!std::is_same_v<std::runtime_error, CheckError>);
+  try {
+    RPBCM_CHECK(false);
+    FAIL() << "RPBCM_CHECK(false) did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("RPBCM_CHECK failed"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageCarriesConditionFileAndLine) {
+  std::string what;
+  try {
+    RPBCM_CHECK(2 + 2 == 5);
+  } catch (const CheckError& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("RPBCM_CHECK failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos)
+      << "stringized condition missing: " << what;
+  EXPECT_NE(what.find("check_test.cpp"), std::string::npos)
+      << "file name missing: " << what;
+  // A plausible line number follows the file name ("file:NN").
+  EXPECT_NE(what.find("check_test.cpp:"), std::string::npos) << what;
+}
+
+TEST(CheckTest, MsgFormWithStreamedOperands) {
+  std::string what;
+  try {
+    RPBCM_CHECK_MSG(false, "block " << 7 << " of " << 12 << " at alpha "
+                                    << 0.25);
+  } catch (const CheckError& e) {
+    what = e.what();
+  }
+  EXPECT_NE(what.find("block 7 of 12 at alpha 0.25"), std::string::npos)
+      << what;
+}
+
+TEST(CheckTest, PlainFormOmitsMessageSeparator) {
+  std::string what;
+  try {
+    RPBCM_CHECK(false);
+  } catch (const CheckError& e) {
+    what = e.what();
+  }
+  // The em-dash separator only appears when a message was supplied.
+  EXPECT_EQ(what.find("—"), std::string::npos) << what;
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto observed = [&calls] {
+    ++calls;
+    return true;
+  };
+  RPBCM_CHECK(observed());
+  EXPECT_EQ(calls, 1);
+
+  calls = 0;
+  auto failing = [&calls] {
+    ++calls;
+    return false;
+  };
+  EXPECT_THROW(RPBCM_CHECK(failing()), CheckError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckTest, MessageOnlyRenderedOnFailure) {
+  int renders = 0;
+  auto render = [&renders] {
+    ++renders;
+    return "msg";
+  };
+  RPBCM_CHECK_MSG(true, render());
+  EXPECT_EQ(renders, 0) << "message must not be built on the passing path";
+  EXPECT_THROW(RPBCM_CHECK_MSG(false, render()), CheckError);
+  EXPECT_EQ(renders, 1);
+}
+
+TEST(CheckTest, UsableAsSingleStatementInIfElse) {
+  // The do-while(0) wrapper must keep if/else association intact.
+  bool threw = false;
+  if (1 == 2)
+    RPBCM_CHECK(false);
+  else
+    threw = false;
+  EXPECT_FALSE(threw);
+
+  try {
+    if (1 == 1)
+      RPBCM_CHECK_MSG(false, "taken branch");
+    else
+      FAIL() << "wrong branch taken";
+  } catch (const CheckError& e) {
+    threw = true;
+    EXPECT_NE(std::string(e.what()).find("taken branch"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(CheckTest, ThrownErrorIsCatchableAcrossRethrow) {
+  // Simulates the tool-boundary pattern: library throws, harness rethrows
+  // after annotating. The dynamic type must survive.
+  auto rethrow = [] {
+    try {
+      RPBCM_CHECK_MSG(false, "inner");
+    } catch (...) {
+      std::rethrow_exception(std::current_exception());
+    }
+  };
+  EXPECT_THROW(rethrow(), CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm

@@ -7,7 +7,9 @@ namespace {
 
 ConvShape simple_conv() {
   ConvShape c;
-  c.name = "c";
+  // std::string(...) rather than assigning the literal: works around the
+  // gcc 12 -Wrestrict false positive on short-literal operator= (PR105329).
+  c.name = std::string("c");
   c.kernel = 3;
   c.in_channels = 16;
   c.out_channels = 16;

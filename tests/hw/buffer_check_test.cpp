@@ -75,8 +75,9 @@ TEST(BufferCheckTest, MaxFeasibleTileActuallyFits) {
   EXPECT_TRUE(check_tiles(wl, probe).feasible());
   probe.tile_h = probe.tile_w = t + 1;
   // t+1 either exceeds the feature map (clamped -> still fits) or fails.
-  if (t + 1 <= wl.shape.out_h())
+  if (t + 1 <= wl.shape.out_h()) {
     EXPECT_FALSE(check_tiles(wl, probe).feasible());
+  }
 }
 
 TEST(BufferCheckTest, EveryResNet18LayerHasAFeasibleTile) {

@@ -41,8 +41,11 @@ TEST(DropoutTest, SurvivorsScaledToPreserveExpectation) {
   for (std::size_t i = 0; i < y.size(); ++i) sum += y[i];
   // E[y] = x, so the mean should stay ~2.
   EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
-  for (std::size_t i = 0; i < y.size(); ++i)
-    if (y[i] != 0.0F) EXPECT_FLOAT_EQ(y[i], 2.0F / 0.75F);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] != 0.0F) {
+      EXPECT_FLOAT_EQ(y[i], 2.0F / 0.75F);
+    }
+  }
 }
 
 TEST(DropoutTest, BackwardUsesSameMask) {

@@ -70,8 +70,11 @@ TEST(FftTest, SingleToneBin) {
   }
   fft_inplace(std::span<cfloat>(d));
   EXPECT_NEAR(std::abs(d[3]), static_cast<float>(n), 1e-3);
-  for (std::size_t k = 0; k < n; ++k)
-    if (k != 3) EXPECT_NEAR(std::abs(d[k]), 0.0F, 1e-3) << "bin " << k;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != 3) {
+      EXPECT_NEAR(std::abs(d[k]), 0.0F, 1e-3) << "bin " << k;
+    }
+  }
 }
 
 class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};

@@ -1,0 +1,134 @@
+// TSan-targeted stress tests for obs::TraceSession: concurrent event
+// emission, enable/disable flips, pid allocation, and serialization while
+// writers are active. Run as part of `ctest -L san`.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rpbcm::obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kEventsPerThread = 1500;
+
+TEST(TraceStressTest, ConcurrentEmissionLosesNoEvents) {
+  TraceSession session;
+  session.enable();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&session, t] {
+      const auto tid = static_cast<std::uint32_t>(t + 1);
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        session.add_complete("stress", "ev", 1, tid,
+                             static_cast<double>(i), 1.0,
+                             R"({"i": )" + std::to_string(i) + "}");
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(session.event_count(),
+            static_cast<std::size_t>(kThreads) * kEventsPerThread);
+}
+
+TEST(TraceStressTest, NextPidIsUniqueAcrossThreads) {
+  TraceSession session;
+  std::vector<std::vector<std::uint32_t>> per_thread(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&session, &per_thread, t] {
+      per_thread[static_cast<std::size_t>(t)].reserve(kEventsPerThread);
+      for (int i = 0; i < kEventsPerThread; ++i)
+        per_thread[static_cast<std::size_t>(t)].push_back(session.next_pid());
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  std::set<std::uint32_t> all;
+  for (const auto& pids : per_thread) all.insert(pids.begin(), pids.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kEventsPerThread)
+      << "next_pid handed out a duplicate under contention";
+  EXPECT_EQ(all.count(1), 0u) << "pid 1 is reserved for the host process";
+}
+
+TEST(TraceStressTest, SerializeWhileWritersActive) {
+  TraceSession session;
+  session.enable();
+  std::atomic<bool> stop{false};
+
+  std::thread serializer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream os;
+      session.write_json(os);
+      std::string json = os.str();
+      while (!json.empty() && json.back() == '\n') json.pop_back();
+      // The serialized form must always be a complete document, never a
+      // torn view of the event vector.
+      EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+      ASSERT_FALSE(json.empty());
+      EXPECT_EQ(json.back(), '}');
+    }
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&session, t] {
+      const auto tid = static_cast<std::uint32_t>(t + 1);
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        session.add_complete("stress", "write", 1, tid, 0.0, 0.5);
+        if (i % 64 == 0) session.set_thread_name(1, tid, "w");
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  serializer.join();
+  EXPECT_GE(session.event_count(),
+            static_cast<std::size_t>(kThreads) * kEventsPerThread);
+}
+
+TEST(TraceStressTest, EnableDisableFlipsWhileEmitting) {
+  TraceSession session;
+  std::atomic<bool> stop{false};
+
+  std::thread toggler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      session.enable();
+      session.disable();
+    }
+  });
+
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([&session] {
+      for (int i = 0; i < kEventsPerThread; ++i) {
+        // Emission must be safe (dropped or recorded, never torn) no
+        // matter where the enabled flag flips.
+        ScopedTimer scope("stress", "flip", nullptr, &session);
+        session.add_complete("stress", "flip_direct", 1, 1, 0.0, 0.1);
+      }
+    });
+  }
+  for (auto& e : emitters) e.join();
+  stop.store(true, std::memory_order_relaxed);
+  toggler.join();
+
+  session.enable();
+  session.add_complete("stress", "final", 1, 1, 0.0, 1.0);
+  EXPECT_GE(session.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace rpbcm::obs

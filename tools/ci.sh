@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Full correctness gauntlet, in the order a CI runner should execute it:
+#
+#   1. tier-1: strict (-Werror) Release build + the whole ctest suite
+#      (includes rpbcm_lint and the header self-containment objects)
+#   2. ASan+UBSan build, `ctest -L san` (full suite — every test is
+#      labeled `san` when RPBCM_SANITIZE is set)
+#   3. TSan build, `ctest -L san`
+#   4. clang-tidy over the compile database (skipped with a notice when
+#      clang-tidy is not installed; any finding is fatal)
+#
+# Every stage exits nonzero on any finding. See docs/static_analysis.md.
+#
+# Env knobs:
+#   JOBS=N          parallelism (default: nproc)
+#   SKIP_TSAN=1     skip stage 3 (e.g. on machines without TSan runtime)
+#   SKIP_ASAN=1     skip stage 2
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+cd "$ROOT"
+
+stage() { echo; echo "=== ci.sh: $* ==="; }
+
+stage "tier-1 build (strict, -Werror) + full test suite"
+cmake -B build-strict -S . -DCMAKE_BUILD_TYPE=Release -DRPBCM_WERROR=ON \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+cmake --build build-strict -j "$JOBS"
+ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  stage "ASan+UBSan build + ctest -L san"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRPBCM_SANITIZE="address;undefined" > /dev/null
+  cmake --build build-asan -j "$JOBS"
+  ASAN_OPTIONS="detect_leaks=1:check_initialization_order=1:strict_init_order=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/lsan.supp" \
+  UBSAN_OPTIONS="print_stacktrace=1" \
+    ctest --test-dir build-asan -L san --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  stage "TSan build + ctest -L san"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DRPBCM_SANITIZE=thread > /dev/null
+  cmake --build build-tsan -j "$JOBS"
+  TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp:halt_on_error=1" \
+    ctest --test-dir build-tsan -L san --output-on-failure -j "$JOBS"
+fi
+
+stage "clang-tidy"
+set +e
+tools/run_tidy.sh -p "$ROOT/build-strict"
+tidy_status=$?
+set -e
+if [[ $tidy_status -eq 3 ]]; then
+  echo "ci.sh: clang-tidy unavailable — stage skipped"
+elif [[ $tidy_status -ne 0 ]]; then
+  exit "$tidy_status"
+fi
+
+stage "all stages passed"

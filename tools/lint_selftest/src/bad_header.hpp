@@ -1,0 +1,12 @@
+// Fixture for the LintSelfTest CTest: every rule fires on this header.
+// Deliberately missing #pragma once.
+
+inline int fixture_raw_assert(int x) {
+  assert(x > 0);
+  return x;
+}
+
+inline void fixture_obs_side_effects(int i) {
+  RPBCM_OBS_COUNT("rpbcm.fixture.count", i++);
+  RPBCM_OBS_GAUGE("rpbcm.fixture.gauge", i += 2);
+}

@@ -1,0 +1,15 @@
+#pragma once
+
+// Fixture for the LintSelfTest CTest: nothing in here may be reported.
+
+// A comment mentioning assert(x) must not trip no-raw-assert.
+inline const char* fixture_string_immunity() {
+  return "assert(true) and RPBCM_OBS_COUNT(\"x\", i++) inside a string";
+}
+
+inline void fixture_clean_obs(int i) {
+  RPBCM_OBS_COUNT("rpbcm.fixture.ok", i + 1);
+  RPBCM_OBS_OBSERVE("rpbcm.fixture.cmp", i >= 2 ? 1.0 : 0.0);
+  // Explicitly waived side effect:
+  RPBCM_OBS_COUNT("rpbcm.fixture.waived", i++);  // rpbcm-lint: allow(obs-side-effect)
+}

@@ -1,0 +1,361 @@
+// rpbcm_lint — repo-specific invariant linter.
+//
+// Enforces rules the generic tools (compiler warnings, clang-tidy,
+// sanitizers) cannot express:
+//
+//   pragma-once      every header under src/, bench/, tests/ starts with
+//                    `#pragma once`
+//   no-raw-assert    no raw `assert(...)` in src/, bench/, examples/ —
+//                    library code must use RPBCM_CHECK / RPBCM_CHECK_MSG so
+//                    contract violations throw CheckError instead of
+//                    aborting (and survive NDEBUG builds)
+//   obs-side-effect  arguments to the RPBCM_OBS_* macros must be
+//                    side-effect-free (`++`, `--`, assignment, compound
+//                    assignment are rejected): with RPBCM_OBS=OFF the macro
+//                    arguments are unevaluated, so a side effect there
+//                    silently changes program behaviour between builds
+//
+// A finding may be waived on its line with `// rpbcm-lint: allow(<rule>)`.
+//
+// Usage: rpbcm_lint <repo-root> [--verbose]
+// Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.
+//
+// Header self-containment (the fourth repo invariant) is a compile check,
+// not a text check: tools/CMakeLists.txt generates one TU per src/ header
+// and builds them as the `rpbcm_header_selfcheck` object library.
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void report(const fs::path& file, std::size_t line, std::string rule,
+            std::string message) {
+  g_findings.push_back(
+      {file.generic_string(), line, std::move(rule), std::move(message)});
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::cerr << "rpbcm_lint: cannot read " << p << '\n';
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Replaces comments and string/char literal *contents* with spaces while
+// preserving newlines and the literal delimiters, so later scans see code
+// structure (parens, operators) without literal noise. Comment text is kept
+// in a parallel copy so the allow() waiver can be found per line.
+std::string strip_literals_and_comments(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChr, kRawStr };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident_char(src[i - 1]))) {
+          const std::size_t paren = src.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim.assign(1, ')');
+            raw_delim.append(src, i + 2, paren - i - 2);
+            raw_delim.push_back('"');
+            st = St::kRawStr;
+            for (std::size_t j = i; j <= paren; ++j) out[j] = ' ';
+            i = paren;
+          }
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'' && (i == 0 || !is_ident_char(src[i - 1]))) {
+          // Identifier check skips digit separators (1'000'000).
+          st = St::kChr;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n')
+          st = St::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          st = St::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kChr:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRawStr:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t j = 0; j < raw_delim.size(); ++j) out[i + j] = ' ';
+          i += raw_delim.size() - 1;
+          st = St::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::size_t line_of(const std::string& src, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < src.size(); ++i)
+    if (src[i] == '\n') ++line;
+  return line;
+}
+
+bool line_has_waiver(const std::string& raw, std::size_t line,
+                     std::string_view rule) {
+  std::size_t start = 0;
+  for (std::size_t l = 1; l < line; ++l) {
+    start = raw.find('\n', start);
+    if (start == std::string::npos) return false;
+    ++start;
+  }
+  const std::size_t end = raw.find('\n', start);
+  const std::string_view text(raw.data() + start,
+                              (end == std::string::npos ? raw.size() : end) -
+                                  start);
+  const std::string tag = "rpbcm-lint: allow(" + std::string(rule) + ")";
+  return text.find(tag) != std::string_view::npos;
+}
+
+// --- rule: pragma-once -----------------------------------------------------
+
+void check_pragma_once(const fs::path& file, const std::string& raw) {
+  std::istringstream in(raw);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    std::string_view t(line.data() + first, line.size() - first);
+    if (t.starts_with("//")) continue;
+    if (t.starts_with("#pragma once")) return;
+    report(file, lineno, "pragma-once",
+           "header must start with `#pragma once` (found other content "
+           "first)");
+    return;
+  }
+  report(file, 1, "pragma-once", "header is missing `#pragma once`");
+}
+
+// --- rule: no-raw-assert ---------------------------------------------------
+
+void check_no_raw_assert(const fs::path& file, const std::string& raw,
+                         const std::string& code) {
+  std::size_t pos = 0;
+  while ((pos = code.find("assert", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 6;
+    if (at > 0 && is_ident_char(code[at - 1])) continue;  // static_assert etc.
+    std::size_t after = at + 6;
+    while (after < code.size() &&
+           (code[after] == ' ' || code[after] == '\t'))
+      ++after;
+    if (after >= code.size() || code[after] != '(') continue;
+    const std::size_t line = line_of(code, at);
+    if (line_has_waiver(raw, line, "no-raw-assert")) continue;
+    report(file, line, "no-raw-assert",
+           "raw assert() in library code — use RPBCM_CHECK / RPBCM_CHECK_MSG "
+           "(throws CheckError, survives NDEBUG)");
+  }
+}
+
+// --- rule: obs-side-effect -------------------------------------------------
+
+// Returns the description of the first side-effecting operator found in a
+// macro argument list, or empty if clean. `args` has literals blanked out.
+std::string find_side_effect(std::string_view args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    const char next = i + 1 < args.size() ? args[i + 1] : '\0';
+    const char prev = i > 0 ? args[i - 1] : '\0';
+    if (c == '+' && next == '+') return "increment (++)";
+    if (c == '-' && next == '-') return "decrement (--)";
+    if (c == '=' && next != '=') {
+      if (prev == '=' || prev == '!' || prev == '<' || prev == '>') {
+        // ==, !=, <=, >= are comparisons — unless the '<'/'>' is itself the
+        // second char of a shift, which makes this <<= / >>=.
+        const char prev2 = i > 1 ? args[i - 2] : '\0';
+        if ((prev == '<' && prev2 == '<') || (prev == '>' && prev2 == '>'))
+          return "shift-assignment (<<= or >>=)";
+        continue;
+      }
+      if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+          prev == '%' || prev == '&' || prev == '|' || prev == '^')
+        return std::string("compound assignment (") + prev + "=)";
+      return "assignment (=)";
+    }
+  }
+  return {};
+}
+
+void check_obs_macro_args(const fs::path& file, const std::string& raw,
+                          const std::string& code) {
+  static constexpr std::string_view kPrefix = "RPBCM_OBS_";
+  std::size_t pos = 0;
+  while ((pos = code.find(kPrefix, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += kPrefix.size();
+    if (at > 0 && is_ident_char(code[at - 1])) continue;
+    // Macro name runs to the first non-identifier char.
+    std::size_t open = at + kPrefix.size();
+    while (open < code.size() && is_ident_char(code[open])) ++open;
+    const std::string_view name(code.data() + at, open - at);
+    // RPBCM_OBS_ONLY wraps whole statements that exist only in instrumented
+    // builds — side effects there are the point, not a hazard. The CONCAT
+    // helpers are token-pasting plumbing.
+    if (name == "RPBCM_OBS_ONLY" || name.starts_with("RPBCM_OBS_CONCAT"))
+      continue;
+    while (open < code.size() && (code[open] == ' ' || code[open] == '\t' ||
+                                  code[open] == '\n' || code[open] == '\r'))
+      ++open;
+    if (open >= code.size() || code[open] != '(') continue;  // mention, not call
+    // Balanced-paren scan (literals are already blanked).
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '(') ++depth;
+      if (code[close] == ')' && --depth == 0) break;
+    }
+    if (depth != 0) break;  // unbalanced tail; nothing more to scan
+    const std::string_view args(code.data() + open + 1, close - open - 1);
+    const std::string effect = find_side_effect(args);
+    if (effect.empty()) continue;
+    const std::size_t line = line_of(code, at);
+    if (line_has_waiver(raw, line, "obs-side-effect")) continue;
+    report(file, line, "obs-side-effect",
+           "RPBCM_OBS_* argument contains " + effect +
+               " — macro arguments are unevaluated when RPBCM_OBS=OFF, so "
+               "side effects change behaviour between builds");
+  }
+}
+
+// --- driver ----------------------------------------------------------------
+
+bool has_ext(const fs::path& p, std::string_view a, std::string_view b = "") {
+  const std::string e = p.extension().string();
+  return e == a || (!b.empty() && e == b);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rpbcm_lint <repo-root> [--verbose]\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  const bool verbose = argc > 2 && std::string_view(argv[2]) == "--verbose";
+  if (!fs::is_directory(root)) {
+    std::cerr << "rpbcm_lint: not a directory: " << root << '\n';
+    return 2;
+  }
+
+  // (dir, headers-need-pragma-once, forbid-raw-assert)
+  struct Scope {
+    const char* dir;
+    bool pragma_once;
+    bool no_assert;
+  };
+  static constexpr Scope kScopes[] = {
+      {"src", true, true},        {"bench", true, true},
+      {"examples", true, true},   {"tests", true, false},
+      {"tools", false, false},
+  };
+
+  std::size_t scanned = 0;
+  for (const Scope& scope : kScopes) {
+    const fs::path dir = root / scope.dir;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      const bool header = has_ext(p, ".hpp", ".h");
+      if (!header && !has_ext(p, ".cpp", ".cc")) continue;
+      const fs::path rel = fs::relative(p, root);
+      // The macro definitions themselves legitimately contain the tokens the
+      // scanner looks for.
+      if (rel == fs::path("src") / "obs" / "macros.hpp") continue;
+      // Self-test fixtures contain deliberate violations (the LintSelfTest
+      // CTest runs the linter on that tree and expects the findings).
+      if (rel.generic_string().find("lint_selftest") != std::string::npos)
+        continue;
+      ++scanned;
+      const std::string raw = read_file(p);
+      const std::string code = strip_literals_and_comments(raw);
+      if (header && scope.pragma_once) check_pragma_once(rel, raw);
+      if (scope.no_assert) check_no_raw_assert(rel, raw, code);
+      check_obs_macro_args(rel, raw, code);
+    }
+  }
+
+  for (const Finding& f : g_findings)
+    std::cerr << f.file << ':' << f.line << ": [" << f.rule << "] "
+              << f.message << '\n';
+  if (verbose || !g_findings.empty())
+    std::cerr << "rpbcm_lint: " << scanned << " files scanned, "
+              << g_findings.size() << " finding(s)\n";
+  return g_findings.empty() ? 0 : 1;
+}
