@@ -6,9 +6,22 @@
 // Observability:  --trace-out= / --metrics-out= are stripped before
 // google-benchmark sees argv; kernel timings recorded by the harness are
 // exported through the shared obs registry.
+//
+// Parallel runtime: --threads=N sets base::set_num_threads before any
+// benchmark runs; --kernels-json[=PATH] additionally writes a
+// serial-vs-threaded baseline (default PATH: BENCH_kernels.json) so the
+// runtime's speedup can be tracked across commits.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "base/parallel.hpp"
 #include "core/bcm_conv.hpp"
 #include "core/circulant.hpp"
 #include "hw/emac_pe.hpp"
@@ -17,6 +30,7 @@
 #include "numeric/fft.hpp"
 #include "numeric/random.hpp"
 #include "obs/cli.hpp"
+#include "obs/json.hpp"
 #include "obs/macros.hpp"
 #include "tensor/init.hpp"
 
@@ -150,10 +164,119 @@ void BM_BcmConvForwardPruned(benchmark::State& state) {
 }
 BENCHMARK(BM_BcmConvForwardPruned)->Arg(16)->Arg(32)->Arg(64);
 
+// Wall-clock of `reps` invocations of fn(), in milliseconds.
+template <typename Fn>
+double time_ms(int reps, Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+struct KernelBaseline {
+  std::string name;
+  double serial_ms = 0.0;
+  double threaded_ms = 0.0;
+};
+
+// Times one kernel at num_threads()==1 and at `threads`, restoring the
+// configured parallelism afterwards.
+template <typename Fn>
+KernelBaseline baseline(const std::string& name, std::size_t threads,
+                        int reps, Fn&& fn) {
+  KernelBaseline b;
+  b.name = name;
+  fn();  // warm-up (spectra caches, allocator)
+  base::set_num_threads(1);
+  b.serial_ms = time_ms(reps, fn);
+  base::set_num_threads(threads);
+  b.threaded_ms = time_ms(reps, fn);
+  return b;
+}
+
+// Serial-vs-threaded snapshot of the runtime-wired kernels: the BCM conv
+// forward (FFT + eMAC + IFFT per block) and the batched FFT itself.
+void write_kernels_json(const std::string& path, std::size_t threads) {
+  std::vector<KernelBaseline> rows;
+
+  numeric::Rng rng(6);
+  core::BcmConv2d conv(conv_spec(32), 8,
+                       core::BcmParameterization::kHadamard, rng);
+  tensor::Tensor x({2, 32, 14, 14});
+  tensor::fill_gaussian(x, rng);
+  rows.push_back(baseline("bcm_conv_forward", threads, 20, [&] {
+    auto y = conv.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }));
+
+  const std::size_t bs = 16, count = 4096;
+  const numeric::TwiddleRom rom(bs);
+  std::vector<numeric::cfloat> batch(bs * count);
+  for (auto& v : batch) v = {rng.gaussian(), rng.gaussian()};
+  rows.push_back(baseline("fft_batch", threads, 50, [&] {
+    auto copy = batch;
+    numeric::fft_batch_inplace(std::span<numeric::cfloat>(copy), rom, false);
+    benchmark::DoNotOptimize(copy.data());
+  }));
+
+  std::ofstream os(path);
+  os << "{\n  \"threads\": " << threads << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    os << "    {\"name\": ";
+    obs::write_json_string(os, r.name);
+    os << ", \"serial_ms\": ";
+    obs::write_json_number(os, r.serial_ms);
+    os << ", \"threaded_ms\": ";
+    obs::write_json_number(os, r.threaded_ms);
+    os << ", \"speedup\": ";
+    obs::write_json_number(os, r.threaded_ms > 0.0
+                                   ? r.serial_ms / r.threaded_ms
+                                   : 0.0);
+    os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+// Strips --threads=N and --kernels-json[=PATH] from argv (before
+// google-benchmark parses it). Returns false on a malformed value.
+bool parse_parallel_flags(int& argc, char** argv, std::size_t& threads,
+                          bool& want_json, std::string& json_path) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg.c_str() + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0) return false;
+      threads = static_cast<std::size_t>(v);
+    } else if (arg == "--kernels-json") {
+      want_json = true;
+    } else if (arg.rfind("--kernels-json=", 0) == 0) {
+      want_json = true;
+      json_path = arg.substr(std::strlen("--kernels-json="));
+      if (json_path.empty()) return false;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   obs::CliOptions obs_opts = obs::parse_cli(argc, argv);  // strips obs flags
+  std::size_t threads = 0;  // 0: leave the RPBCM_THREADS / hardware default
+  bool want_json = false;
+  std::string json_path = "BENCH_kernels.json";
+  if (!parse_parallel_flags(argc, argv, threads, want_json, json_path)) {
+    std::fprintf(stderr,
+                 "usage: --threads=N (N>=1), --kernels-json[=PATH]\n");
+    return 1;
+  }
+  if (threads != 0) base::set_num_threads(threads);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   {
@@ -161,6 +284,10 @@ int main(int argc, char** argv) {
     benchmark::RunSpecifiedBenchmarks();
   }
   benchmark::Shutdown();
+  if (want_json) {
+    write_kernels_json(json_path,
+                       threads != 0 ? threads : base::num_threads());
+  }
   obs::dump_outputs(obs_opts);
   return 0;
 }

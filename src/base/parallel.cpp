@@ -1,0 +1,263 @@
+#include "base/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "obs/macros.hpp"
+
+namespace rpbcm::base {
+
+namespace {
+
+/// Set for the lifetime of a pool worker thread. Nested parallel_for calls
+/// detect it and run inline — the pool never deadlocks on itself.
+thread_local bool tl_pool_worker = false;
+
+std::size_t env_default_threads() {
+  if (const char* env = std::getenv("RPBCM_THREADS")) {
+    char* endp = nullptr;
+    const unsigned long v = std::strtoul(env, &endp, 10);
+    if (endp != env && *endp == '\0' && v >= 1 &&
+        v <= static_cast<unsigned long>(std::numeric_limits<int>::max()))
+      return static_cast<std::size_t>(v);
+  }
+  return hardware_threads();
+}
+
+/// Shared state of one parallel_for call. Workers and the caller claim
+/// chunks from `next`; whoever claims a chunk runs it. The caller claims
+/// until the range is exhausted, so completion never depends on a worker
+/// showing up (or surviving a concurrent set_num_threads()).
+struct ForContext {
+  const std::function<void(std::size_t, std::size_t, std::size_t)>* fn =
+      nullptr;
+  std::vector<ChunkRange> chunks;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t err_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err;
+
+  /// Claims and runs chunks until none remain. Returns after contributing
+  /// `done` increments for every chunk it ran.
+  void drain(bool on_caller) {
+    const std::size_t total = chunks.size();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total) return;
+      try {
+        (*fn)(i, chunks[i].begin, chunks[i].end);
+      } catch (...) {
+        // Keep the lowest-indexed exception so the surfaced error is
+        // deterministic regardless of which thread ran which chunk.
+        std::lock_guard<std::mutex> lk(mu);
+        if (i < err_chunk) {
+          err_chunk = i;
+          err = std::current_exception();
+        }
+      }
+      if (on_caller) {
+        RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_inline", 1);
+      } else {
+        RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_stolen", 1);
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        // Lock pairing with the caller's wait: either the caller has not
+        // checked the predicate yet (it will observe done==total), or it is
+        // inside cv.wait and this notify wakes it.
+        std::lock_guard<std::mutex> lk(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+/// Lazily-started fixed pool. Workers block on a task queue; parallel_for
+/// enqueues lightweight "helper" tasks that cooperatively drain one
+/// ForContext. set_num_threads() joins the current workers (each finishes
+/// the task it is running) and lets the pool restart lazily at the new
+/// size.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  std::size_t configured() {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (configured_ == 0) configured_ = env_default_threads();
+    return configured_;
+  }
+
+  void set_configured(std::size_t n) {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    const std::size_t target = n == 0 ? env_default_threads() : n;
+    if (target == configured_) return;
+    stop_workers_locked();
+    configured_ = target;
+  }
+
+  /// Spawns configured()-1 workers if the pool is not already running.
+  void ensure_started() {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    if (!workers_.empty() || configured_ <= 1) return;
+    {
+      std::lock_guard<std::mutex> qlk(queue_mu_);
+      stop_ = false;
+    }
+    workers_.reserve(configured_ - 1);
+    for (std::size_t i = 0; i + 1 < configured_; ++i)
+      workers_.emplace_back([this] { worker_main(); });
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      queue_.push_back(std::move(task));
+    }
+    queue_cv_.notify_one();
+    RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_submitted", 1);
+  }
+
+  ~Pool() {
+    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+    stop_workers_locked();
+  }
+
+ private:
+  Pool() = default;
+
+  void worker_main() {
+    tl_pool_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(queue_mu_);
+        queue_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        // Drain the queue even when stopping: a queued helper must not be
+        // dropped while its ForContext is still live (it is a no-op once
+        // the context's range is exhausted).
+        if (queue_.empty()) return;  // implies stop_
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  // Requires lifecycle_mu_. Joining waits for in-flight tasks; a helper
+  // task drains its whole (finite) chunk range, so this terminates.
+  void stop_workers_locked() {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+    workers_.clear();
+  }
+
+  std::mutex lifecycle_mu_;  // guards configured_ + workers_ lifecycle
+  std::size_t configured_ = 0;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+std::size_t num_threads() { return Pool::instance().configured(); }
+
+void set_num_threads(std::size_t n) { Pool::instance().set_configured(n); }
+
+std::size_t chunk_count(std::size_t begin, std::size_t end,
+                        std::size_t grain) {
+  if (end <= begin) return 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return (end - begin + g - 1) / g;
+}
+
+std::vector<ChunkRange> compute_chunks(std::size_t begin, std::size_t end,
+                                       std::size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (end <= begin) return chunks;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  chunks.reserve(chunk_count(begin, end, grain));
+  for (std::size_t b = begin; b < end; b += g)
+    chunks.push_back(ChunkRange{b, b + g < end ? b + g : end});
+  return chunks;
+}
+
+void parallel_for_chunks(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  auto chunks = compute_chunks(begin, end, grain);
+  if (chunks.empty()) return;
+
+  Pool& pool = Pool::instance();
+  const std::size_t threads = pool.configured();
+  if (chunks.size() == 1 || threads <= 1 || tl_pool_worker) {
+    // Serial reference path: same chunk boundaries, ascending order.
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      fn(c, chunks[c].begin, chunks[c].end);
+      RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_inline", 1);
+    }
+    return;
+  }
+
+  auto ctx = std::make_shared<ForContext>();
+  ctx->fn = &fn;
+  ctx->chunks = std::move(chunks);
+  const std::size_t total = ctx->chunks.size();
+
+  pool.ensure_started();
+  const std::size_t helpers = std::min(threads - 1, total - 1);
+  for (std::size_t i = 0; i < helpers; ++i)
+    pool.submit([ctx] { ctx->drain(/*on_caller=*/false); });
+
+  ctx->drain(/*on_caller=*/true);
+  {
+    std::unique_lock<std::mutex> lk(ctx->mu);
+    ctx->cv.wait(lk, [&] {
+      return ctx->done.load(std::memory_order_acquire) == total;
+    });
+  }
+  if (ctx->err) std::rethrow_exception(ctx->err);
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  parallel_for_chunks(begin, end, grain,
+                      [&fn](std::size_t /*chunk*/, std::size_t b,
+                            std::size_t e) { fn(b, e); });
+}
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt) {
+  // SplitMix64 finalizer over base + golden-ratio-spaced salt.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace rpbcm::base

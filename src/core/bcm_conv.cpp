@@ -2,12 +2,20 @@
 
 #include <cmath>
 
+#include "base/parallel.hpp"
 #include "core/circulant.hpp"
 #include "tensor/init.hpp"
 
 namespace rpbcm::core {
 
 namespace {
+
+// Chunk grains for the parallel loops below. Fixed constants — never
+// derived from the thread count — so chunk boundaries and every
+// floating-point accumulation order are identical at any parallelism.
+constexpr std::size_t kSpectrumGrain = 8;  // per-pixel/per-block FFT tasks
+constexpr std::size_t kPixelGrain = 2;     // output pixels per eMAC task
+constexpr std::size_t kBlockGrain = 16;    // defining-vector blocks per task
 
 // Loads SoA (re, im) into a scratch complex buffer, runs the FFT, stores
 // back. Hot paths below keep data SoA so the eMAC inner loops are plain
@@ -109,14 +117,17 @@ std::vector<float> BcmConv2d::effective_defining(std::size_t block) const {
 
 std::vector<double> BcmConv2d::block_norms() const {
   std::vector<double> norms(layout_.total_blocks(), 0.0);
-  for (std::size_t b = 0; b < norms.size(); ++b) {
-    const auto w = effective_defining(b);
-    double s = 0.0;
-    for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
-    // The paper measures the norm of the full BS x BS block; each defining
-    // element appears BS times, so scale accordingly.
-    norms[b] = std::sqrt(s * static_cast<double>(layout_.block_size));
-  }
+  base::parallel_for(0, norms.size(), kBlockGrain,
+                     [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      const auto w = effective_defining(b);
+      double s = 0.0;
+      for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
+      // The paper measures the norm of the full BS x BS block; each
+      // defining element appears BS times, so scale accordingly.
+      norms[b] = std::sqrt(s * static_cast<double>(layout_.block_size));
+    }
+  });
   return norms;
 }
 
@@ -207,17 +218,20 @@ void BcmConv2d::refresh_weight_spectra() {
   wspec_re_.assign(blocks * bs, 0.0F);
   wspec_im_.assign(blocks * bs, 0.0F);
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
-  for (std::size_t blk = 0; blk < blocks; ++blk) {
-    if (skip_[blk] == 0) continue;
-    const auto def = effective_defining(blk);
-    for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
-    numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
-    for (std::size_t k = 0; k < bs; ++k) {
-      wspec_re_[blk * bs + k] = scratch[k].real();
-      wspec_im_[blk * bs + k] = scratch[k].imag();
+  base::parallel_for(0, blocks, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t blk = b; blk < e; ++blk) {
+      if (skip_[blk] == 0) continue;
+      const auto def = effective_defining(blk);
+      for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
+      numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
+      for (std::size_t k = 0; k < bs; ++k) {
+        wspec_re_[blk * bs + k] = scratch[k].real();
+        wspec_im_[blk * bs + k] = scratch[k].imag();
+      }
     }
-  }
+  });
 }
 
 nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
@@ -237,36 +251,48 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
   refresh_weight_spectra();
 
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
 
-  // Input spectra for every in-bounds pixel and channel block ("FFT" stage).
+  // Input spectra for every in-bounds pixel and channel block ("FFT"
+  // stage). Every (sample, pixel, in-block) spectrum is independent.
   xspec_re_.assign(n * h * w * nbi * bs, 0.0F);
   xspec_im_.assign(n * h * w * nbi * bs, 0.0F);
   const float* xd = x.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t ih = 0; ih < h; ++ih)
-      for (std::size_t iw = 0; iw < w; ++iw)
-        for (std::size_t bi = 0; bi < nbi; ++bi) {
-          const std::size_t base =
-              (((ni * h + ih) * w + iw) * nbi + bi) * bs;
-          float* re = xspec_re_.data() + base;
-          float* im = xspec_im_.data() + base;
-          for (std::size_t c = 0; c < bs; ++c) {
-            re[c] = xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w +
-                       iw];
-            im[c] = 0.0F;
-          }
-          fft_soa(scratch, re, im, rom, false);
+  base::parallel_for(0, n * h * w, kSpectrumGrain,
+                     [&](std::size_t pb, std::size_t pe) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t p = pb; p < pe; ++p) {
+      const std::size_t ni = p / (h * w);
+      const std::size_t ih = (p / w) % h;
+      const std::size_t iw = p % w;
+      for (std::size_t bi = 0; bi < nbi; ++bi) {
+        const std::size_t base = (((ni * h + ih) * w + iw) * nbi + bi) * bs;
+        float* re = xspec_re_.data() + base;
+        float* im = xspec_im_.data() + base;
+        for (std::size_t c = 0; c < bs; ++c) {
+          re[c] = xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w +
+                     iw];
+          im[c] = 0.0F;
         }
+        fft_soa(scratch, re, im, rom, false);
+      }
+    }
+  });
 
   // eMAC stage: frequency-domain accumulation over all surviving blocks,
-  // then one IFFT per output pixel per out-block.
+  // then one IFFT per output pixel per out-block. Output pixels are
+  // independent; each task owns its accumulators, and the in-accumulator
+  // addition order matches the serial nest.
   nn::Tensor y({n, spec_.out_channels, ho, wo});
   float* yd = y.data();
-  std::vector<float> acc_re(nbo * bs), acc_im(nbo * bs);
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t oh = 0; oh < ho; ++oh) {
-      for (std::size_t ow = 0; ow < wo; ++ow) {
+  base::parallel_for(0, n * ho * wo, kPixelGrain,
+                     [&](std::size_t qb, std::size_t qe) {
+    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<float> acc_re(nbo * bs), acc_im(nbo * bs);
+    for (std::size_t q = qb; q < qe; ++q) {
+      const std::size_t ni = q / (ho * wo);
+      const std::size_t oh = (q / wo) % ho;
+      const std::size_t ow = q % wo;
+      {
         std::fill(acc_re.begin(), acc_re.end(), 0.0F);
         std::fill(acc_im.begin(), acc_im.end(), 0.0F);
         for (std::size_t kh = 0; kh < k; ++kh) {
@@ -313,7 +339,7 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -329,28 +355,33 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
 
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
 
-  // Spectra of the output gradient blocks.
+  // Spectra of the output gradient blocks. Each flattened output pixel owns
+  // its own gspec slice, so pixels are independent.
   std::vector<float> gspec_re(n * ho * wo * nbo * bs);
   std::vector<float> gspec_im(n * ho * wo * nbo * bs, 0.0F);
   const float* gyd = gy.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t oh = 0; oh < ho; ++oh)
-      for (std::size_t ow = 0; ow < wo; ++ow)
-        for (std::size_t bo = 0; bo < nbo; ++bo) {
-          const std::size_t base =
-              (((ni * ho + oh) * wo + ow) * nbo + bo) * bs;
-          float* re = gspec_re.data() + base;
-          float* im = gspec_im.data() + base;
-          for (std::size_t c = 0; c < bs; ++c) {
-            re[c] = gyd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) *
-                            wo +
-                        ow];
-            im[c] = 0.0F;
-          }
-          fft_soa(scratch, re, im, rom, false);
+  base::parallel_for(0, n * ho * wo, kSpectrumGrain,
+                     [&](std::size_t q0, std::size_t q1) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t q = q0; q < q1; ++q) {
+      const std::size_t ni = q / (ho * wo);
+      const std::size_t oh = (q / wo) % ho;
+      const std::size_t ow = q % wo;
+      for (std::size_t bo = 0; bo < nbo; ++bo) {
+        const std::size_t base = (q * nbo + bo) * bs;
+        float* re = gspec_re.data() + base;
+        float* im = gspec_im.data() + base;
+        for (std::size_t c = 0; c < bs; ++c) {
+          re[c] = gyd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) *
+                          wo +
+                      ow];
+          im[c] = 0.0F;
         }
+        fft_soa(scratch, re, im, rom, false);
+      }
+    }
+  });
 
   // Frequency-domain accumulators for grad-input and grad-weight.
   std::vector<float> gx_re(n * h * w * nbi * bs, 0.0F);
@@ -359,44 +390,52 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   std::vector<float> gw_re(blocks * bs, 0.0F);
   std::vector<float> gw_im(blocks * bs, 0.0F);
 
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t oh = 0; oh < ho; ++oh) {
-      for (std::size_t ow = 0; ow < wo; ++ow) {
-        const std::size_t g_base = ((ni * ho + oh) * wo + ow) * nbo * bs;
-        for (std::size_t kh = 0; kh < k; ++kh) {
-          const long ih =
-              static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
-          if (ih < 0 || ih >= static_cast<long>(h)) continue;
-          for (std::size_t kw = 0; kw < k; ++kw) {
-            const long iw =
-                static_cast<long>(ow * stride + kw) - static_cast<long>(pad);
-            if (iw < 0 || iw >= static_cast<long>(w)) continue;
-            const std::size_t pix_base =
-                (((ni * h + static_cast<std::size_t>(ih)) * w +
-                  static_cast<std::size_t>(iw)) *
-                 nbi) *
-                bs;
-            for (std::size_t bi = 0; bi < nbi; ++bi) {
-              const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
-              const float* xr = xspec_re_.data() + pix_base + bi * bs;
-              const float* xi = xspec_im_.data() + pix_base + bi * bs;
-              float* gxr = gx_re.data() + pix_base + bi * bs;
-              float* gxi = gx_im.data() + pix_base + bi * bs;
-              for (std::size_t bo = 0; bo < nbo; ++bo) {
-                const std::size_t blk = row + bo;
-                if (skip_[blk] == 0) continue;  // pruned: no grad, no compute
-                const float* wr = wspec_re_.data() + blk * bs;
-                const float* wi = wspec_im_.data() + blk * bs;
-                const float* gr = gspec_re.data() + g_base + bo * bs;
-                const float* gi = gspec_im.data() + g_base + bo * bs;
-                float* gwr = gw_re.data() + blk * bs;
-                float* gwi = gw_im.data() + blk * bs;
-                for (std::size_t kk = 0; kk < bs; ++kk) {
-                  // gX += conj(W) * G ; gW += conj(X) * G
-                  gxr[kk] += wr[kk] * gr[kk] + wi[kk] * gi[kk];
-                  gxi[kk] += wr[kk] * gi[kk] - wi[kk] * gr[kk];
-                  gwr[kk] += xr[kk] * gr[kk] + xi[kk] * gi[kk];
-                  gwi[kk] += xr[kk] * gi[kk] - xi[kk] * gr[kk];
+  // Partitioned by input block: every gx slice (keyed by (pixel, bi)) and
+  // every weight block blk = ((kh*k+kw)*nbi+bi)*nbo+bo belongs to exactly
+  // one bi, so the bi-outer loop is race-free. Within a bi the contribution
+  // order into each accumulator matches the original ni/oh/ow/kh/kw/bo nest,
+  // so the result is bitwise identical to the serial code.
+  base::parallel_for(0, nbi, 1, [&](std::size_t bi0, std::size_t bi1) {
+    for (std::size_t bi = bi0; bi < bi1; ++bi) {
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        for (std::size_t oh = 0; oh < ho; ++oh) {
+          for (std::size_t ow = 0; ow < wo; ++ow) {
+            const std::size_t g_base = ((ni * ho + oh) * wo + ow) * nbo * bs;
+            for (std::size_t kh = 0; kh < k; ++kh) {
+              const long ih =
+                  static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
+              if (ih < 0 || ih >= static_cast<long>(h)) continue;
+              for (std::size_t kw = 0; kw < k; ++kw) {
+                const long iw =
+                    static_cast<long>(ow * stride + kw) -
+                    static_cast<long>(pad);
+                if (iw < 0 || iw >= static_cast<long>(w)) continue;
+                const std::size_t pix_base =
+                    (((ni * h + static_cast<std::size_t>(ih)) * w +
+                      static_cast<std::size_t>(iw)) *
+                     nbi) *
+                    bs;
+                const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
+                const float* xr = xspec_re_.data() + pix_base + bi * bs;
+                const float* xi = xspec_im_.data() + pix_base + bi * bs;
+                float* gxr = gx_re.data() + pix_base + bi * bs;
+                float* gxi = gx_im.data() + pix_base + bi * bs;
+                for (std::size_t bo = 0; bo < nbo; ++bo) {
+                  const std::size_t blk = row + bo;
+                  if (skip_[blk] == 0) continue;  // pruned: no grad, no compute
+                  const float* wr = wspec_re_.data() + blk * bs;
+                  const float* wi = wspec_im_.data() + blk * bs;
+                  const float* gr = gspec_re.data() + g_base + bo * bs;
+                  const float* gi = gspec_im.data() + g_base + bo * bs;
+                  float* gwr = gw_re.data() + blk * bs;
+                  float* gwi = gw_im.data() + blk * bs;
+                  for (std::size_t kk = 0; kk < bs; ++kk) {
+                    // gX += conj(W) * G ; gW += conj(X) * G
+                    gxr[kk] += wr[kk] * gr[kk] + wi[kk] * gi[kk];
+                    gxi[kk] += wr[kk] * gi[kk] - wi[kk] * gr[kk];
+                    gwr[kk] += xr[kk] * gr[kk] + xi[kk] * gi[kk];
+                    gwi[kk] += xr[kk] * gi[kk] - xi[kk] * gr[kk];
+                  }
                 }
               }
             }
@@ -404,41 +443,51 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
         }
       }
     }
-  }
+  });
 
-  // Grad-input back to the time domain.
+  // Grad-input back to the time domain; each flattened input pixel is
+  // independent.
   nn::Tensor gx({n, spec_.in_channels, h, w});
   float* gxd = gx.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t ih = 0; ih < h; ++ih)
-      for (std::size_t iw = 0; iw < w; ++iw)
-        for (std::size_t bi = 0; bi < nbi; ++bi) {
-          const std::size_t base =
-              (((ni * h + ih) * w + iw) * nbi + bi) * bs;
-          float* re = gx_re.data() + base;
-          float* im = gx_im.data() + base;
-          fft_soa(scratch, re, im, rom, true);
-          for (std::size_t c = 0; c < bs; ++c)
-            gxd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw] =
-                re[c];
-        }
+  base::parallel_for(0, n * h * w, kSpectrumGrain,
+                     [&](std::size_t p0, std::size_t p1) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t p = p0; p < p1; ++p) {
+      const std::size_t ni = p / (h * w);
+      const std::size_t ih = (p / w) % h;
+      const std::size_t iw = p % w;
+      for (std::size_t bi = 0; bi < nbi; ++bi) {
+        const std::size_t base = (p * nbi + bi) * bs;
+        float* re = gx_re.data() + base;
+        float* im = gx_im.data() + base;
+        fft_soa(scratch, re, im, rom, true);
+        for (std::size_t c = 0; c < bs; ++c)
+          gxd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw] =
+              re[c];
+      }
+    }
+  });
 
   // Grad of the defining vectors; chain through the Hadamard factors
-  // (Eq. (1): dL/dA = dL/dW ⊙ B, dL/dB = dL/dW ⊙ A).
-  for (std::size_t blk = 0; blk < blocks; ++blk) {
-    if (skip_[blk] == 0) continue;
-    float* re = gw_re.data() + blk * bs;
-    float* im = gw_im.data() + blk * bs;
-    fft_soa(scratch, re, im, rom, true);
-    if (mode_ == BcmParameterization::kHadamard) {
-      for (std::size_t kk = 0; kk < bs; ++kk) {
-        a_.grad.at(blk, kk) += re[kk] * b_.value.at(blk, kk);
-        b_.grad.at(blk, kk) += re[kk] * a_.value.at(blk, kk);
+  // (Eq. (1): dL/dA = dL/dW ⊙ B, dL/dB = dL/dW ⊙ A). Blocks are disjoint.
+  base::parallel_for(0, blocks, kSpectrumGrain,
+                     [&](std::size_t b0, std::size_t b1) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t blk = b0; blk < b1; ++blk) {
+      if (skip_[blk] == 0) continue;
+      float* re = gw_re.data() + blk * bs;
+      float* im = gw_im.data() + blk * bs;
+      fft_soa(scratch, re, im, rom, true);
+      if (mode_ == BcmParameterization::kHadamard) {
+        for (std::size_t kk = 0; kk < bs; ++kk) {
+          a_.grad.at(blk, kk) += re[kk] * b_.value.at(blk, kk);
+          b_.grad.at(blk, kk) += re[kk] * a_.value.at(blk, kk);
+        }
+      } else {
+        for (std::size_t kk = 0; kk < bs; ++kk) w_.grad.at(blk, kk) += re[kk];
       }
-    } else {
-      for (std::size_t kk = 0; kk < bs; ++kk) w_.grad.at(blk, kk) += re[kk];
     }
-  }
+  });
   return gx;
 }
 

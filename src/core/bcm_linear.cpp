@@ -2,12 +2,19 @@
 
 #include <cmath>
 
+#include "base/parallel.hpp"
 #include "core/circulant.hpp"
 #include "tensor/init.hpp"
 
 namespace rpbcm::core {
 
 namespace {
+
+// Chunk grains for the block-parallel loops. Fixed constants — never a
+// function of the thread count — so chunk boundaries (and therefore every
+// floating-point accumulation order) are identical at any parallelism.
+constexpr std::size_t kSpectrumGrain = 8;   // FFTs per task
+constexpr std::size_t kBlockGrain = 16;     // defining-vector blocks per task
 
 void fft_soa(std::vector<numeric::cfloat>& scratch, float* re, float* im,
              const numeric::TwiddleRom& rom, bool inverse) {
@@ -60,12 +67,15 @@ std::vector<float> BcmLinear::effective_defining(std::size_t block) const {
 
 std::vector<double> BcmLinear::block_norms() const {
   std::vector<double> norms(layout_.total_blocks(), 0.0);
-  for (std::size_t blk = 0; blk < norms.size(); ++blk) {
-    const auto w = effective_defining(blk);
-    double s = 0.0;
-    for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
-    norms[blk] = std::sqrt(s * static_cast<double>(layout_.block_size));
-  }
+  base::parallel_for(0, norms.size(), kBlockGrain,
+                     [&](std::size_t b, std::size_t e) {
+    for (std::size_t blk = b; blk < e; ++blk) {
+      const auto w = effective_defining(blk);
+      double s = 0.0;
+      for (float v : w) s += static_cast<double>(v) * static_cast<double>(v);
+      norms[blk] = std::sqrt(s * static_cast<double>(layout_.block_size));
+    }
+  });
   return norms;
 }
 
@@ -118,17 +128,20 @@ void BcmLinear::refresh_weight_spectra() {
   wspec_re_.assign(blocks * bs, 0.0F);
   wspec_im_.assign(blocks * bs, 0.0F);
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
-  for (std::size_t blk = 0; blk < blocks; ++blk) {
-    if (skip_[blk] == 0) continue;
-    const auto def = effective_defining(blk);
-    for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
-    numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
-    for (std::size_t k = 0; k < bs; ++k) {
-      wspec_re_[blk * bs + k] = scratch[k].real();
-      wspec_im_[blk * bs + k] = scratch[k].imag();
+  base::parallel_for(0, blocks, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t blk = b; blk < e; ++blk) {
+      if (skip_[blk] == 0) continue;
+      const auto def = effective_defining(blk);
+      for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
+      numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
+      for (std::size_t k = 0; k < bs; ++k) {
+        wspec_re_[blk * bs + k] = scratch[k].real();
+        wspec_im_[blk * bs + k] = scratch[k].imag();
+      }
     }
-  }
+  });
 }
 
 nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
@@ -142,25 +155,35 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
   refresh_weight_spectra();
 
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
 
+  // FFT stage: every (sample, in-block) spectrum is independent.
   xspec_re_.assign(n * nbi * bs, 0.0F);
   xspec_im_.assign(n * nbi * bs, 0.0F);
   const float* xd = x.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t bi = 0; bi < nbi; ++bi) {
+  base::parallel_for(0, n * nbi, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t t = b; t < e; ++t) {
+      const std::size_t ni = t / nbi, bi = t % nbi;
       float* re = xspec_re_.data() + (ni * nbi + bi) * bs;
       float* im = xspec_im_.data() + (ni * nbi + bi) * bs;
       for (std::size_t c = 0; c < bs; ++c)
         re[c] = xd[ni * layout_.in_channels + bi * bs + c];
       fft_soa(scratch, re, im, rom, false);
     }
+  });
 
+  // eMAC + IFFT stage: every (sample, out-block) accumulator is
+  // independent; the bi accumulation order inside one accumulator is the
+  // serial order, so results are bit-exact at any thread count.
   nn::Tensor y({n, layout_.out_channels});
   float* yd = y.data();
-  std::vector<float> acc_re(bs), acc_im(bs);
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t bo = 0; bo < nbo; ++bo) {
+  base::parallel_for(0, n * nbo, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<float> acc_re(bs), acc_im(bs);
+    for (std::size_t t = b; t < e; ++t) {
+      const std::size_t ni = t / nbo, bo = t % nbo;
       std::fill(acc_re.begin(), acc_re.end(), 0.0F);
       std::fill(acc_im.begin(), acc_im.end(), 0.0F);
       for (std::size_t bi = 0; bi < nbi; ++bi) {
@@ -179,7 +202,7 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
       for (std::size_t c = 0; c < bs; ++c)
         yd[ni * layout_.out_channels + bo * bs + c] = acc_re[c];
     }
-  }
+  });
   return y;
 }
 
@@ -192,71 +215,88 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
 
   const numeric::TwiddleRom rom(bs);
-  std::vector<numeric::cfloat> scratch(bs);
 
   std::vector<float> gspec_re(n * nbo * bs), gspec_im(n * nbo * bs, 0.0F);
   const float* gyd = gy.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t bo = 0; bo < nbo; ++bo) {
+  base::parallel_for(0, n * nbo, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t t = b; t < e; ++t) {
+      const std::size_t ni = t / nbo, bo = t % nbo;
       float* re = gspec_re.data() + (ni * nbo + bo) * bs;
       float* im = gspec_im.data() + (ni * nbo + bo) * bs;
       for (std::size_t c = 0; c < bs; ++c)
         re[c] = gyd[ni * layout_.out_channels + bo * bs + c];
       fft_soa(scratch, re, im, rom, false);
     }
+  });
 
   std::vector<float> gx_re(n * nbi * bs, 0.0F), gx_im(n * nbi * bs, 0.0F);
   const std::size_t blocks = layout_.total_blocks();
   std::vector<float> gw_re(blocks * bs, 0.0F), gw_im(blocks * bs, 0.0F);
 
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t bi = 0; bi < nbi; ++bi)
-      for (std::size_t bo = 0; bo < nbo; ++bo) {
-        const std::size_t blk = layout_.block_id(0, 0, bi, bo);
-        if (skip_[blk] == 0) continue;
-        const float* wr = wspec_re_.data() + blk * bs;
-        const float* wi = wspec_im_.data() + blk * bs;
-        const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
-        const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
-        const float* gr = gspec_re.data() + (ni * nbo + bo) * bs;
-        const float* gi = gspec_im.data() + (ni * nbo + bo) * bs;
-        float* gxr = gx_re.data() + (ni * nbi + bi) * bs;
-        float* gxi = gx_im.data() + (ni * nbi + bi) * bs;
-        float* gwr = gw_re.data() + blk * bs;
-        float* gwi = gw_im.data() + blk * bs;
-        for (std::size_t k = 0; k < bs; ++k) {
-          gxr[k] += wr[k] * gr[k] + wi[k] * gi[k];
-          gxi[k] += wr[k] * gi[k] - wi[k] * gr[k];
-          gwr[k] += xr[k] * gr[k] + xi[k] * gi[k];
-          gwi[k] += xr[k] * gi[k] - xi[k] * gr[k];
+  // Accumulation stage, partitioned by input block: every gx slice belongs
+  // to one (sample, bi) and every weight block belongs to one bi, so the bi
+  // partition is race-free. The per-accumulator addition order (samples
+  // ascending, then bo ascending) matches the serial nest exactly.
+  base::parallel_for(0, nbi, 1, [&](std::size_t bb, std::size_t be) {
+    for (std::size_t bi = bb; bi < be; ++bi)
+      for (std::size_t ni = 0; ni < n; ++ni)
+        for (std::size_t bo = 0; bo < nbo; ++bo) {
+          const std::size_t blk = layout_.block_id(0, 0, bi, bo);
+          if (skip_[blk] == 0) continue;
+          const float* wr = wspec_re_.data() + blk * bs;
+          const float* wi = wspec_im_.data() + blk * bs;
+          const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
+          const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
+          const float* gr = gspec_re.data() + (ni * nbo + bo) * bs;
+          const float* gi = gspec_im.data() + (ni * nbo + bo) * bs;
+          float* gxr = gx_re.data() + (ni * nbi + bi) * bs;
+          float* gxi = gx_im.data() + (ni * nbi + bi) * bs;
+          float* gwr = gw_re.data() + blk * bs;
+          float* gwi = gw_im.data() + blk * bs;
+          for (std::size_t k = 0; k < bs; ++k) {
+            gxr[k] += wr[k] * gr[k] + wi[k] * gi[k];
+            gxi[k] += wr[k] * gi[k] - wi[k] * gr[k];
+            gwr[k] += xr[k] * gr[k] + xi[k] * gi[k];
+            gwi[k] += xr[k] * gi[k] - xi[k] * gr[k];
+          }
         }
-      }
+  });
 
   nn::Tensor gx({n, layout_.in_channels});
   float* gxd = gx.data();
-  for (std::size_t ni = 0; ni < n; ++ni)
-    for (std::size_t bi = 0; bi < nbi; ++bi) {
+  base::parallel_for(0, n * nbi, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t t = b; t < e; ++t) {
+      const std::size_t ni = t / nbi, bi = t % nbi;
       float* re = gx_re.data() + (ni * nbi + bi) * bs;
       float* im = gx_im.data() + (ni * nbi + bi) * bs;
       fft_soa(scratch, re, im, rom, true);
       for (std::size_t c = 0; c < bs; ++c)
         gxd[ni * layout_.in_channels + bi * bs + c] = re[c];
     }
+  });
 
-  for (std::size_t blk = 0; blk < blocks; ++blk) {
-    if (skip_[blk] == 0) continue;
-    float* re = gw_re.data() + blk * bs;
-    float* im = gw_im.data() + blk * bs;
-    fft_soa(scratch, re, im, rom, true);
-    if (hadamard_) {
-      for (std::size_t k = 0; k < bs; ++k) {
-        a_.grad.at(blk, k) += re[k] * b_.value.at(blk, k);
-        b_.grad.at(blk, k) += re[k] * a_.value.at(blk, k);
+  base::parallel_for(0, blocks, kSpectrumGrain,
+                     [&](std::size_t b, std::size_t e) {
+    std::vector<numeric::cfloat> scratch(bs);
+    for (std::size_t blk = b; blk < e; ++blk) {
+      if (skip_[blk] == 0) continue;
+      float* re = gw_re.data() + blk * bs;
+      float* im = gw_im.data() + blk * bs;
+      fft_soa(scratch, re, im, rom, true);
+      if (hadamard_) {
+        for (std::size_t k = 0; k < bs; ++k) {
+          a_.grad.at(blk, k) += re[k] * b_.value.at(blk, k);
+          b_.grad.at(blk, k) += re[k] * a_.value.at(blk, k);
+        }
+      } else {
+        for (std::size_t k = 0; k < bs; ++k) w_.grad.at(blk, k) += re[k];
       }
-    } else {
-      for (std::size_t k = 0; k < bs; ++k) w_.grad.at(blk, k) += re[k];
     }
-  }
+  });
   return gx;
 }
 

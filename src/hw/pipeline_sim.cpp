@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "base/parallel.hpp"
 
 namespace rpbcm::hw {
 
@@ -51,49 +52,70 @@ std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles,
       kStreamFft, kStreamEmac, kStreamEmac, kStreamIfft, kStreamOutputWrite,
       -1};
 
-  if (trace) trace->events.reserve(n * kPipelineStreams);
+  // Events are written by index so the trace order matches the serial
+  // s-ascending sweep regardless of the thread count.
+  if (trace) trace->events.resize(n * kPipelineStreams);
+
+  // Same-tile dependency levels: the reads have no same-tile producers,
+  // then fft, emac, ifft, and the output write each consume earlier levels
+  // only. Streams within a level touch disjoint finish rows, stats slots,
+  // and event indices, so they may run in parallel; all the arithmetic is
+  // integral, hence exact at any thread count.
+  static constexpr std::array<std::array<int, 2>, 5> levels = {{
+      {{kStreamInputRead, kStreamWeightRead}},
+      {{kStreamFft, -1}},
+      {{kStreamEmac, -1}},
+      {{kStreamIfft, -1}},
+      {{kStreamOutputWrite, -1}},
+  }};
 
   for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t s = 0; s < kPipelineStreams; ++s) {
-      const std::uint64_t engine_free = i > 0 ? finish[s][i - 1] : 0;
-      std::uint64_t data_ready = 0;
-      for (int p : producers[s])
-        if (p >= 0)
-          data_ready = std::max(data_ready,
-                                finish[static_cast<std::size_t>(p)][i]);
-      // Ping-pong buffer: the consumer must have drained tile i-2 before
-      // this stream may overwrite that buffer with tile i.
-      std::uint64_t buffer_free = 0;
-      if (consumer[s] >= 0 && i >= 2)
-        buffer_free = finish[static_cast<std::size_t>(consumer[s])][i - 2];
+    for (const auto& level : levels) {
+      const std::size_t width = level[1] >= 0 ? 2 : 1;
+      base::parallel_for(0, width, 1, [&](std::size_t l0, std::size_t l1) {
+        for (std::size_t li = l0; li < l1; ++li) {
+          const auto s = static_cast<std::size_t>(level[li]);
+          const std::uint64_t engine_free = i > 0 ? finish[s][i - 1] : 0;
+          std::uint64_t data_ready = 0;
+          for (int p : producers[s])
+            if (p >= 0)
+              data_ready = std::max(data_ready,
+                                    finish[static_cast<std::size_t>(p)][i]);
+          // Ping-pong buffer: the consumer must have drained tile i-2
+          // before this stream may overwrite that buffer with tile i.
+          std::uint64_t buffer_free = 0;
+          if (consumer[s] >= 0 && i >= 2)
+            buffer_free = finish[static_cast<std::size_t>(consumer[s])][i - 2];
 
-      const std::uint64_t start =
-          std::max({engine_free, data_ready, buffer_free});
-      finish[s][i] = start + cost(s, i);
+          const std::uint64_t start =
+              std::max({engine_free, data_ready, buffer_free});
+          finish[s][i] = start + cost(s, i);
 
-      if (trace) {
-        // Idle attribution: from engine_free the engine first waits for
-        // its producer's data, then (if still blocked) for the consumer to
-        // release the ping-pong buffer. Overlapping waits are charged to
-        // the data dependency first.
-        const std::uint64_t idle = start - engine_free;
-        const std::uint64_t wait_data =
-            std::min(idle, data_ready > engine_free ? data_ready - engine_free
-                                                    : 0);
-        const std::uint64_t wait_buffer = idle - wait_data;
-        TileStreamEvent ev;
-        ev.stream = static_cast<std::uint32_t>(s);
-        ev.tile = static_cast<std::uint32_t>(i);
-        ev.start = start;
-        ev.finish = finish[s][i];
-        ev.stall_data = wait_data;
-        ev.stall_buffer = wait_buffer;
-        trace->events.push_back(ev);
-        StreamStats& st = trace->streams[s];
-        st.busy += cost(s, i);
-        st.stall_data += wait_data;
-        st.stall_buffer += wait_buffer;
-      }
+          if (trace) {
+            // Idle attribution: from engine_free the engine first waits for
+            // its producer's data, then (if still blocked) for the consumer
+            // to release the ping-pong buffer. Overlapping waits are
+            // charged to the data dependency first.
+            const std::uint64_t idle = start - engine_free;
+            const std::uint64_t wait_data = std::min(
+                idle,
+                data_ready > engine_free ? data_ready - engine_free : 0);
+            const std::uint64_t wait_buffer = idle - wait_data;
+            TileStreamEvent ev;
+            ev.stream = static_cast<std::uint32_t>(s);
+            ev.tile = static_cast<std::uint32_t>(i);
+            ev.start = start;
+            ev.finish = finish[s][i];
+            ev.stall_data = wait_data;
+            ev.stall_buffer = wait_buffer;
+            trace->events[i * kPipelineStreams + s] = ev;
+            StreamStats& st = trace->streams[s];
+            st.busy += cost(s, i);
+            st.stall_data += wait_data;
+            st.stall_buffer += wait_buffer;
+          }
+        }
+      });
     }
   }
   const std::uint64_t total = finish[kStreamOutputWrite][n - 1];

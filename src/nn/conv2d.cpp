@@ -1,5 +1,6 @@
 #include "nn/conv2d.hpp"
 
+#include "base/parallel.hpp"
 #include "tensor/init.hpp"
 
 namespace rpbcm::nn {
@@ -54,8 +55,11 @@ Tensor conv2d_reference(const Tensor& x, const Tensor& w,
   const float* xd = x.data();
   const float* wd = w.data();
   float* yd = y.data();
-  for (std::size_t n = 0; n < g.n; ++n) {
-    for (std::size_t co = 0; co < g.cout; ++co) {
+  // Each (sample, out-channel) plane is written by exactly one iteration.
+  base::parallel_for(0, g.n * g.cout, 1, [&](std::size_t t0, std::size_t t1) {
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t n = t / g.cout;
+      const std::size_t co = t % g.cout;
       for (std::size_t oh = 0; oh < g.ho; ++oh) {
         for (std::size_t ow = 0; ow < g.wo; ++ow) {
           float acc = 0.0F;
@@ -77,7 +81,7 @@ Tensor conv2d_reference(const Tensor& x, const Tensor& w,
         }
       }
     }
-  }
+  });
   return y;
 }
 
@@ -87,12 +91,14 @@ Tensor Conv2d::forward(const Tensor& x, bool /*train*/) {
   if (has_bias_) {
     const Geometry g = geometry(x, spec_);
     float* yd = y.data();
-    for (std::size_t n = 0; n < g.n; ++n)
-      for (std::size_t co = 0; co < g.cout; ++co) {
-        const float b = bias_.value[co];
-        float* row = yd + (n * g.cout + co) * g.ho * g.wo;
+    base::parallel_for(0, g.n * g.cout, 4,
+                       [&](std::size_t t0, std::size_t t1) {
+      for (std::size_t t = t0; t < t1; ++t) {
+        const float b = bias_.value[t % g.cout];
+        float* row = yd + t * g.ho * g.wo;
         for (std::size_t i = 0; i < g.ho * g.wo; ++i) row[i] += b;
       }
+    });
   }
   return y;
 }

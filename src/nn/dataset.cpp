@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "base/check.hpp"
+#include "base/parallel.hpp"
 
 namespace rpbcm::nn {
 
@@ -82,12 +83,20 @@ Batch SyntheticImageDataset::train_batch(numeric::Rng& rng,
   b.x = Tensor({batch, c, s, s});
   b.y.resize(batch);
   const std::size_t plane = c * s * s;
+  // All draws from the shared RNG happen serially first, so the stream the
+  // caller sees is independent of the thread count; only the (pure) plane
+  // copies run in parallel.
+  std::vector<std::size_t> srcs(batch);
   for (std::size_t i = 0; i < batch; ++i) {
-    const auto src = static_cast<std::size_t>(
+    srcs[i] = static_cast<std::size_t>(
         rng.randint(0, static_cast<int>(spec_.train) - 1));
-    std::copy_n(train_x_.data() + src * plane, plane, b.x.data() + i * plane);
-    b.y[i] = train_y_[src];
+    b.y[i] = train_y_[srcs[i]];
   }
+  base::parallel_for(0, batch, 8, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i)
+      std::copy_n(train_x_.data() + srcs[i] * plane, plane,
+                  b.x.data() + i * plane);
+  });
   return b;
 }
 

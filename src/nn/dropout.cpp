@@ -1,6 +1,17 @@
 #include "nn/dropout.hpp"
 
+#include "base/parallel.hpp"
+
 namespace rpbcm::nn {
+
+namespace {
+
+// Activations per chunk for mask generation. Fixed so the per-chunk
+// sub-RNG streams — and therefore the mask — never depend on the thread
+// count.
+constexpr std::size_t kMaskGrain = 256;
+
+}  // namespace
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
   if (!train || p_ == 0.0F) {
@@ -10,12 +21,18 @@ Tensor Dropout::forward(const Tensor& x, bool train) {
   const float scale = 1.0F / (1.0F - p_);
   mask_.assign(x.size(), 0.0F);
   Tensor y(x.shape());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    if (!rng_.bernoulli(p_)) {
-      mask_[i] = scale;
-      y[i] = x[i] * scale;
-    }
-  }
+  const std::uint64_t call_seed = base::mix_seed(seed_, calls_++);
+  base::parallel_for_chunks(
+      0, x.size(), kMaskGrain,
+      [&](std::size_t chunk, std::size_t i0, std::size_t i1) {
+        numeric::Rng sub(base::mix_seed(call_seed, chunk));
+        for (std::size_t i = i0; i < i1; ++i) {
+          if (!sub.bernoulli(p_)) {
+            mask_[i] = scale;
+            y[i] = x[i] * scale;
+          }
+        }
+      });
   return y;
 }
 
@@ -23,7 +40,11 @@ Tensor Dropout::backward(const Tensor& gy) {
   if (mask_.empty()) return gy;  // eval-mode forward: identity
   RPBCM_CHECK_MSG(gy.size() == mask_.size(), "dropout backward shape mismatch");
   Tensor gx(gy.shape());
-  for (std::size_t i = 0; i < gy.size(); ++i) gx[i] = gy[i] * mask_[i];
+  base::parallel_for(0, gy.size(), kMaskGrain,
+                     [&](std::size_t i0, std::size_t i1) {
+                       for (std::size_t i = i0; i < i1; ++i)
+                         gx[i] = gy[i] * mask_[i];
+                     });
   return gx;
 }
 

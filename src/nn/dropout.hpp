@@ -7,11 +7,14 @@ namespace rpbcm::nn {
 
 /// Inverted dropout: during training each activation is zeroed with
 /// probability p and survivors are scaled by 1/(1-p); evaluation is the
-/// identity. Deterministic given the layer's seed.
+/// identity. Deterministic given the layer's seed: each training forward
+/// derives a fresh stream from (seed, call index) and each fixed-size chunk
+/// of activations gets its own sub-RNG, so the mask is identical at any
+/// thread count (see docs/parallelism.md).
 class Dropout : public Layer {
  public:
   explicit Dropout(float p = 0.5F, std::uint64_t seed = 1234)
-      : p_(p), rng_(seed) {
+      : p_(p), seed_(seed) {
     RPBCM_CHECK_MSG(p >= 0.0F && p < 1.0F, "dropout p must be in [0, 1)");
   }
 
@@ -23,7 +26,8 @@ class Dropout : public Layer {
 
  private:
   float p_;
-  numeric::Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t calls_ = 0;  // training forwards seen, salts the stream
   std::vector<float> mask_;  // 0 or 1/(1-p), empty after eval forward
 };
 

@@ -1,6 +1,16 @@
 #include "nn/im2col.hpp"
 
+#include "base/parallel.hpp"
+
 namespace rpbcm::nn {
+
+namespace {
+
+// Patch rows per chunk. Fixed so chunk boundaries never depend on the
+// thread count (determinism contract of base::parallel_for).
+constexpr std::size_t kRowGrain = 16;
+
+}  // namespace
 
 tensor::Tensor im2col(const tensor::Tensor& x, const ConvSpec& spec) {
   RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec.in_channels,
@@ -12,32 +22,35 @@ tensor::Tensor im2col(const tensor::Tensor& x, const ConvSpec& spec) {
   tensor::Tensor cols({n * ho * wo, patch});
   const float* xd = x.data();
   float* cd = cols.data();
-  for (std::size_t ni = 0; ni < n; ++ni) {
-    for (std::size_t oh = 0; oh < ho; ++oh) {
-      for (std::size_t ow = 0; ow < wo; ++ow) {
-        float* row = cd + ((ni * ho + oh) * wo + ow) * patch;
-        std::size_t idx = 0;
-        for (std::size_t ci = 0; ci < cin; ++ci) {
-          for (std::size_t kh = 0; kh < k; ++kh) {
-            const long ih = static_cast<long>(oh * spec.stride + kh) -
+  // Each patch row is written by exactly one flattened (ni, oh, ow) index.
+  base::parallel_for(0, n * ho * wo, kRowGrain,
+                     [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const std::size_t ni = r / (ho * wo);
+      const std::size_t oh = (r / wo) % ho;
+      const std::size_t ow = r % wo;
+      float* row = cd + r * patch;
+      std::size_t idx = 0;
+      for (std::size_t ci = 0; ci < cin; ++ci) {
+        for (std::size_t kh = 0; kh < k; ++kh) {
+          const long ih = static_cast<long>(oh * spec.stride + kh) -
+                          static_cast<long>(spec.pad);
+          for (std::size_t kw = 0; kw < k; ++kw, ++idx) {
+            const long iw = static_cast<long>(ow * spec.stride + kw) -
                             static_cast<long>(spec.pad);
-            for (std::size_t kw = 0; kw < k; ++kw, ++idx) {
-              const long iw = static_cast<long>(ow * spec.stride + kw) -
-                              static_cast<long>(spec.pad);
-              row[idx] =
-                  (ih < 0 || ih >= static_cast<long>(h) || iw < 0 ||
-                   iw >= static_cast<long>(w))
-                      ? 0.0F
-                      : xd[((ni * cin + ci) * h +
-                            static_cast<std::size_t>(ih)) *
-                               w +
-                           static_cast<std::size_t>(iw)];
-            }
+            row[idx] =
+                (ih < 0 || ih >= static_cast<long>(h) || iw < 0 ||
+                 iw >= static_cast<long>(w))
+                    ? 0.0F
+                    : xd[((ni * cin + ci) * h +
+                          static_cast<std::size_t>(ih)) *
+                             w +
+                         static_cast<std::size_t>(iw)];
           }
         }
       }
     }
-  }
+  });
   return cols;
 }
 
@@ -57,17 +70,20 @@ tensor::Tensor conv2d_gemm(const tensor::Tensor& x, const tensor::Tensor& w,
   const float* wd = w.data();  // already [Cout, patch] row-major
   float* yd = y.data();
   const std::size_t rows = n * ho * wo;
-  for (std::size_t r = 0; r < rows; ++r) {
-    const float* crow = cd + r * patch;
-    const std::size_t ni = r / (ho * wo);
-    const std::size_t pix = r % (ho * wo);
-    for (std::size_t co = 0; co < spec.out_channels; ++co) {
-      const float* wrow = wd + co * patch;
-      float acc = 0.0F;
-      for (std::size_t i = 0; i < patch; ++i) acc += crow[i] * wrow[i];
-      yd[(ni * spec.out_channels + co) * ho * wo + pix] = acc;
+  // Each output pixel accumulates into a private `acc`; rows are disjoint.
+  base::parallel_for(0, rows, kRowGrain, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t r = r0; r < r1; ++r) {
+      const float* crow = cd + r * patch;
+      const std::size_t ni = r / (ho * wo);
+      const std::size_t pix = r % (ho * wo);
+      for (std::size_t co = 0; co < spec.out_channels; ++co) {
+        const float* wrow = wd + co * patch;
+        float acc = 0.0F;
+        for (std::size_t i = 0; i < patch; ++i) acc += crow[i] * wrow[i];
+        yd[(ni * spec.out_channels + co) * ho * wo + pix] = acc;
+      }
     }
-  }
+  });
   return y;
 }
 

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cmath>
 
+#include "base/parallel.hpp"
+
 namespace rpbcm::nn {
+
+namespace {
+
+// Chunk size for per-sample loops. Fixed (never derived from the thread
+// count) so partial reductions combine identically at any parallelism.
+constexpr std::size_t kSampleGrain = 16;
+
+}  // namespace
 
 float SoftmaxCrossEntropy::forward(const Tensor& logits,
                                    std::span<const std::uint16_t> labels) {
@@ -14,19 +24,25 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
   labels_.assign(labels.begin(), labels.end());
   const float* ld = logits.data();
   float* pd = probs_.data();
-  double loss = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* row = ld + i * c;
-    const float mx = *std::max_element(row, row + c);
-    double denom = 0.0;
-    for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
-    const auto log_denom = static_cast<float>(std::log(denom));
-    float* prow = pd + i * c;
-    for (std::size_t j = 0; j < c; ++j)
-      prow[j] = std::exp(row[j] - mx - log_denom);
-    RPBCM_CHECK_MSG(labels[i] < c, "label out of range");
-    loss -= static_cast<double>(row[labels[i]] - mx - log_denom);
-  }
+  // Each sample owns its probs_ row; the scalar loss is reduced per chunk
+  // and combined in chunk order (deterministic at any thread count).
+  const double loss = base::parallel_sum<double>(
+      0, n, kSampleGrain, [&](std::size_t i0, std::size_t i1) {
+        double partial = 0.0;
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* row = ld + i * c;
+          const float mx = *std::max_element(row, row + c);
+          double denom = 0.0;
+          for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+          const auto log_denom = static_cast<float>(std::log(denom));
+          float* prow = pd + i * c;
+          for (std::size_t j = 0; j < c; ++j)
+            prow[j] = std::exp(row[j] - mx - log_denom);
+          RPBCM_CHECK_MSG(labels[i] < c, "label out of range");
+          partial -= static_cast<double>(row[labels[i]] - mx - log_denom);
+        }
+        return partial;
+      });
   return static_cast<float>(loss / static_cast<double>(n));
 }
 
@@ -36,10 +52,12 @@ Tensor SoftmaxCrossEntropy::backward() const {
   Tensor g = probs_;
   float* gd = g.data();
   const float inv_n = 1.0F / static_cast<float>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    gd[i * c + labels_[i]] -= 1.0F;
-    for (std::size_t j = 0; j < c; ++j) gd[i * c + j] *= inv_n;
-  }
+  base::parallel_for(0, n, kSampleGrain, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      gd[i * c + labels_[i]] -= 1.0F;
+      for (std::size_t j = 0; j < c; ++j) gd[i * c + j] *= inv_n;
+    }
+  });
   return g;
 }
 
@@ -55,20 +73,24 @@ double SoftmaxCrossEntropy::topk_accuracy(
   const std::size_t n = logits.dim(0), c = logits.dim(1);
   RPBCM_CHECK(k >= 1 && k <= c);
   const float* ld = logits.data();
-  std::size_t hits = 0;
-  std::vector<std::size_t> idx(c);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* row = ld + i * c;
-    for (std::size_t j = 0; j < c; ++j) idx[j] = j;
-    std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(k),
-                      idx.end(),
-                      [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
-    for (std::size_t j = 0; j < k; ++j)
-      if (idx[j] == labels[i]) {
-        ++hits;
-        break;
-      }
-  }
+  const std::size_t hits = base::parallel_sum<std::size_t>(
+      0, n, kSampleGrain, [&](std::size_t i0, std::size_t i1) {
+        std::size_t partial = 0;
+        std::vector<std::size_t> idx(c);
+        for (std::size_t i = i0; i < i1; ++i) {
+          const float* row = ld + i * c;
+          for (std::size_t j = 0; j < c; ++j) idx[j] = j;
+          std::partial_sort(
+              idx.begin(), idx.begin() + static_cast<long>(k), idx.end(),
+              [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+          for (std::size_t j = 0; j < k; ++j)
+            if (idx[j] == labels[i]) {
+              ++partial;
+              break;
+            }
+        }
+        return partial;
+      });
   return static_cast<double>(hits) / static_cast<double>(n);
 }
 

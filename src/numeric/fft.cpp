@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "base/check.hpp"
+#include "base/parallel.hpp"
 
 namespace rpbcm::numeric {
 
@@ -79,6 +80,21 @@ void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom, bool inverse) {
 void fft_inplace(std::span<cfloat> data, bool inverse) {
   const TwiddleRom rom(data.size());
   fft_inplace(data, rom, inverse);
+}
+
+void fft_batch_inplace(std::span<cfloat> data, const TwiddleRom& rom,
+                       bool inverse) {
+  const std::size_t n = rom.size();
+  RPBCM_CHECK_MSG(n > 0 && data.size() % n == 0,
+                  "batch size " << data.size()
+                                << " is not a multiple of FFT size " << n);
+  const std::size_t count = data.size() / n;
+  // Grain: a handful of transforms per task keeps scheduling overhead
+  // below the butterfly work for the small BS-point FFTs BCM layers use.
+  base::parallel_for(0, count, 8, [&](std::size_t b, std::size_t e) {
+    for (std::size_t t = b; t < e; ++t)
+      fft_inplace(data.subspan(t * n, n), rom, inverse);
+  });
 }
 
 std::vector<cfloat> fft_real(std::span<const float> x) {

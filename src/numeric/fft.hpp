@@ -49,6 +49,14 @@ void fft_inplace(std::span<cfloat> data, bool inverse = false);
 void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom,
                  bool inverse = false);
 
+/// Batched transform: `data` holds data.size()/rom.size() independent
+/// signals of rom.size() points stored back-to-back; each is transformed
+/// in place. Independent transforms are spread across the parallel runtime
+/// (base::parallel_for), and the result is bitwise identical to running
+/// fft_inplace over the batch serially, at every thread count.
+void fft_batch_inplace(std::span<cfloat> data, const TwiddleRom& rom,
+                       bool inverse = false);
+
 /// Out-of-place complex FFT of a real signal (full n-bin spectrum).
 std::vector<cfloat> fft_real(std::span<const float> x);
 

@@ -1,0 +1,113 @@
+#include "base/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "numeric/random.hpp"
+
+namespace rpbcm::base {
+namespace {
+
+// Restores the configured parallelism when a test tweaks it.
+struct ThreadGuard {
+  std::size_t saved = num_threads();
+  ~ThreadGuard() { set_num_threads(saved); }
+};
+
+// The chunk decomposition is the determinism contract of the runtime: it
+// must tile [begin, end) exactly once, in order, and depend only on
+// (begin, end, grain) — never on the thread count.
+void expect_exact_tiling(std::size_t begin, std::size_t end,
+                         std::size_t grain) {
+  const auto chunks = compute_chunks(begin, end, grain);
+  ASSERT_EQ(chunks.size(), chunk_count(begin, end, grain));
+  if (begin >= end) {
+    EXPECT_TRUE(chunks.empty());
+    return;
+  }
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  std::size_t cursor = begin;
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    EXPECT_EQ(chunks[c].begin, cursor) << "gap/overlap before chunk " << c;
+    EXPECT_GT(chunks[c].end, chunks[c].begin);
+    if (c + 1 < chunks.size()) {
+      EXPECT_EQ(chunks[c].size(), g) << "only the last chunk may be short";
+    }
+    EXPECT_LE(chunks[c].size(), g);
+    cursor = chunks[c].end;
+  }
+  EXPECT_EQ(cursor, end);
+}
+
+TEST(ParallelChunkTest, RandomizedTilingProperty) {
+  numeric::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto begin = static_cast<std::size_t>(rng.randint(0, 50));
+    const auto len = static_cast<std::size_t>(rng.randint(0, 300));
+    const auto grain = static_cast<std::size_t>(rng.randint(0, 40));
+    expect_exact_tiling(begin, begin + len, grain);
+  }
+}
+
+TEST(ParallelChunkTest, GrainZeroClampsToOne) {
+  const auto chunks = compute_chunks(0, 5, 0);
+  ASSERT_EQ(chunks.size(), 5u);
+  for (std::size_t c = 0; c < 5; ++c)
+    EXPECT_EQ(chunks[c], (ChunkRange{c, c + 1}));
+}
+
+TEST(ParallelChunkTest, EmptyAndDegenerateRanges) {
+  EXPECT_TRUE(compute_chunks(0, 0, 4).empty());
+  EXPECT_TRUE(compute_chunks(7, 7, 4).empty());
+  EXPECT_EQ(chunk_count(3, 3, 1), 0u);
+  // A range smaller than the grain is a single chunk.
+  const auto sub = compute_chunks(2, 5, 100);
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub[0], (ChunkRange{2, 5}));
+}
+
+TEST(ParallelChunkTest, BoundariesInvariantToThreadCount) {
+  ThreadGuard guard;
+  numeric::Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto begin = static_cast<std::size_t>(rng.randint(0, 20));
+    const auto end = begin + static_cast<std::size_t>(rng.randint(1, 200));
+    const auto grain = static_cast<std::size_t>(rng.randint(1, 30));
+    const auto expected = compute_chunks(begin, end, grain);
+    for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+      set_num_threads(threads);
+      std::mutex mu;
+      std::vector<ChunkRange> seen(expected.size());
+      std::vector<std::uint8_t> hit(expected.size(), 0);
+      parallel_for_chunks(begin, end, grain,
+                          [&](std::size_t c, std::size_t b, std::size_t e) {
+                            const std::lock_guard<std::mutex> lock(mu);
+                            ASSERT_LT(c, expected.size());
+                            seen[c] = ChunkRange{b, e};
+                            ++hit[c];
+                          });
+      for (std::size_t c = 0; c < expected.size(); ++c) {
+        EXPECT_EQ(hit[c], 1u) << "chunk " << c << " at " << threads
+                              << " threads";
+        EXPECT_EQ(seen[c], expected[c])
+            << "chunk " << c << " moved at " << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(ParallelChunkTest, MixSeedIsDeterministicAndDecorrelated) {
+  EXPECT_EQ(mix_seed(42, 0), mix_seed(42, 0));
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t salt = 0; salt < 256; ++salt)
+    seeds.insert(mix_seed(42, salt));
+  EXPECT_EQ(seeds.size(), 256u) << "per-chunk sub-seeds must not collide";
+  EXPECT_NE(mix_seed(1, 0), mix_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace rpbcm::base

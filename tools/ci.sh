@@ -3,10 +3,13 @@
 #
 #   1. tier-1: strict (-Werror) Release build + the whole ctest suite
 #      (includes rpbcm_lint and the header self-containment objects)
-#   2. ASan+UBSan build, `ctest -L san` (full suite — every test is
+#   2. the same suite again with RPBCM_THREADS=4, so every test also runs
+#      with the parallel runtime forked (the bitwise-equivalence contract
+#      of src/base/parallel.hpp — see docs/parallelism.md)
+#   3. ASan+UBSan build, `ctest -L san` (full suite — every test is
 #      labeled `san` when RPBCM_SANITIZE is set)
-#   3. TSan build, `ctest -L san`
-#   4. clang-tidy over the compile database (skipped with a notice when
+#   4. TSan build, `ctest -L san`
+#   5. clang-tidy over the compile database (skipped with a notice when
 #      clang-tidy is not installed; any finding is fatal)
 #
 # Every stage exits nonzero on any finding. See docs/static_analysis.md.
@@ -29,6 +32,9 @@ cmake -B build-strict -S . -DCMAKE_BUILD_TYPE=Release -DRPBCM_WERROR=ON \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
 cmake --build build-strict -j "$JOBS"
 ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+
+stage "full test suite with RPBCM_THREADS=4 (forked parallel runtime)"
+RPBCM_THREADS=4 ctest --test-dir build-strict --output-on-failure -j "$JOBS"
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   stage "ASan+UBSan build + ctest -L san"
