@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 
 #include "base/parallel.hpp"
@@ -29,6 +30,7 @@
 #include "nn/conv2d.hpp"
 #include "numeric/fft.hpp"
 #include "numeric/random.hpp"
+#include "numeric/rfft.hpp"
 #include "obs/cli.hpp"
 #include "obs/json.hpp"
 #include "obs/macros.hpp"
@@ -45,7 +47,7 @@ std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
 
 void BM_FftComplex(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
-  const numeric::TwiddleRom rom(n);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
   std::vector<numeric::cfloat> data(n);
   numeric::Rng rng(n);
   for (auto& v : data) v = {rng.gaussian(), rng.gaussian()};
@@ -58,6 +60,42 @@ void BM_FftComplex(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FftComplex)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
+
+// Full complex FFT of a real signal (imaginary lane zero) — the transform
+// the layers ran before the packed rfft path.
+void BM_FftOfRealSignal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
+  const auto x = random_vec(n, n);
+  std::vector<numeric::cfloat> scratch(n);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) scratch[i] = {x[i], 0.0F};
+    numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FftOfRealSignal)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
+
+// Packed real FFT of the same signal: an n/2-point complex FFT plus O(n)
+// untangling. Compare against BM_FftOfRealSignal at the same size.
+void BM_RfftReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
+  const auto x = random_vec(n, n);
+  const std::size_t hb = numeric::half_bins(n);
+  std::vector<float> re(hb), im(hb);
+  std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(n));
+  for (auto _ : state) {
+    numeric::rfft_soa(x.data(), re.data(), im.data(), rom, scratch);
+    benchmark::DoNotOptimize(re.data());
+    benchmark::DoNotOptimize(im.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RfftReal)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(256);
 
 void BM_CirculantMatvecDirect(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -109,6 +147,52 @@ void BM_EmacHalf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmacHalf)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+// Float SoA eMAC inner loop of the BCM layers, accumulating over `bins`
+// frequency bins per (weight, activation) spectrum pair.
+void emac_bins(benchmark::State& state, std::size_t bins) {
+  constexpr std::size_t kPairs = 64;  // in-blocks folded into one accumulator
+  numeric::Rng rng(8);
+  std::vector<float> wr(kPairs * bins), wi(kPairs * bins);
+  std::vector<float> xr(kPairs * bins), xi(kPairs * bins);
+  for (std::size_t i = 0; i < wr.size(); ++i) {
+    wr[i] = rng.gaussian();
+    wi[i] = rng.gaussian();
+    xr[i] = rng.gaussian();
+    xi[i] = rng.gaussian();
+  }
+  std::vector<float> ar(bins), ai(bins);
+  for (auto _ : state) {
+    std::fill(ar.begin(), ar.end(), 0.0F);
+    std::fill(ai.begin(), ai.end(), 0.0F);
+    for (std::size_t p = 0; p < kPairs; ++p) {
+      const float* wrp = wr.data() + p * bins;
+      const float* wip = wi.data() + p * bins;
+      const float* xrp = xr.data() + p * bins;
+      const float* xip = xi.data() + p * bins;
+      for (std::size_t k = 0; k < bins; ++k) {
+        ar[k] += wrp[k] * xrp[k] - wip[k] * xip[k];
+        ai[k] += wrp[k] * xip[k] + wip[k] * xrp[k];
+      }
+    }
+    benchmark::DoNotOptimize(ar.data());
+    benchmark::DoNotOptimize(ai.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs * bins));
+}
+
+// Full-spectrum accumulation (BS bins) vs the half-spectrum path (BS/2+1
+// bins) the layers now run — the eMAC side of the rfft speedup.
+void BM_EmacBinsFull(benchmark::State& state) {
+  emac_bins(state, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_EmacBinsFull)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EmacBinsHalf(benchmark::State& state) {
+  emac_bins(state, static_cast<std::size_t>(state.range(0)) / 2 + 1);
+}
+BENCHMARK(BM_EmacBinsHalf)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 nn::ConvSpec conv_spec(std::size_t c) {
   nn::ConvSpec s;
@@ -173,11 +257,129 @@ double time_ms(int reps, Fn&& fn) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
+// Best single-invocation wall-clock over `reps` tries, in milliseconds.
+// The minimum is the noise-robust estimator for before/after comparisons:
+// scheduler preemption and cache pollution only ever add time, so the
+// fastest rep is the closest observation of the kernel's true cost.
+template <typename Fn>
+double best_ms(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
 struct KernelBaseline {
   std::string name;
   double serial_ms = 0.0;
   double threaded_ms = 0.0;
 };
+
+// Before/after row of the half-spectrum rewrite: the retired full-spectrum
+// kernel vs the live rfft path, both at num_threads()==1.
+struct HalfSpectrumRow {
+  std::string name;
+  double full_ms = 0.0;
+  double half_ms = 0.0;
+};
+
+// Pre-rewrite reference: full-spectrum FFT–eMAC–IFFT conv forward exactly
+// as the layers computed it before the packed-rfft path (serial, BS bins
+// per block, complex FFT with a zero imaginary lane). Kept here only to
+// measure the rewrite's speedup against an honest baseline.
+tensor::Tensor full_spectrum_conv_forward(const core::BcmConv2d& conv,
+                                          const tensor::Tensor& x) {
+  const auto& lay = conv.layout();
+  const auto& spec = conv.spec();
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec.out_dim(h), wo = spec.out_dim(w);
+  const std::size_t bs = lay.block_size;
+  const std::size_t nbi = lay.in_blocks(), nbo = lay.out_blocks();
+  const std::size_t k = spec.kernel, stride = spec.stride, pad = spec.pad;
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
+  const auto& skip = conv.skip_index();
+
+  std::vector<numeric::cfloat> wspec(lay.total_blocks() * bs);
+  for (std::size_t blk = 0; blk < lay.total_blocks(); ++blk) {
+    if (skip[blk] == 0) continue;
+    const auto def = conv.effective_defining(blk);
+    for (std::size_t c = 0; c < bs; ++c) wspec[blk * bs + c] = {def[c], 0.0F};
+    numeric::fft_inplace(
+        std::span<numeric::cfloat>(wspec.data() + blk * bs, bs), rom, false);
+  }
+
+  std::vector<numeric::cfloat> xspec(n * h * w * nbi * bs);
+  const float* xd = x.data();
+  for (std::size_t p = 0; p < n * h * w; ++p) {
+    const std::size_t ni = p / (h * w), ih = (p / w) % h, iw = p % w;
+    for (std::size_t bi = 0; bi < nbi; ++bi) {
+      numeric::cfloat* s = xspec.data() + (p * nbi + bi) * bs;
+      for (std::size_t c = 0; c < bs; ++c)
+        s[c] = {xd[((ni * spec.in_channels + bi * bs + c) * h + ih) * w + iw],
+                0.0F};
+      numeric::fft_inplace(std::span<numeric::cfloat>(s, bs), rom, false);
+    }
+  }
+
+  tensor::Tensor y({n, spec.out_channels, ho, wo});
+  float* yd = y.data();
+  std::vector<numeric::cfloat> acc(nbo * bs);
+  for (std::size_t q = 0; q < n * ho * wo; ++q) {
+    const std::size_t ni = q / (ho * wo), oh = (q / wo) % ho, ow = q % wo;
+    std::fill(acc.begin(), acc.end(), numeric::cfloat{0.0F, 0.0F});
+    for (std::size_t kh = 0; kh < k; ++kh) {
+      const long ih =
+          static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
+      if (ih < 0 || ih >= static_cast<long>(h)) continue;
+      for (std::size_t kw = 0; kw < k; ++kw) {
+        const long iw =
+            static_cast<long>(ow * stride + kw) - static_cast<long>(pad);
+        if (iw < 0 || iw >= static_cast<long>(w)) continue;
+        const std::size_t pix =
+            (ni * h + static_cast<std::size_t>(ih)) * w +
+            static_cast<std::size_t>(iw);
+        for (std::size_t bi = 0; bi < nbi; ++bi) {
+          const numeric::cfloat* xs = xspec.data() + (pix * nbi + bi) * bs;
+          const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
+          for (std::size_t bo = 0; bo < nbo; ++bo) {
+            const std::size_t blk = row + bo;
+            if (skip[blk] == 0) continue;
+            const numeric::cfloat* ws = wspec.data() + blk * bs;
+            numeric::cfloat* a = acc.data() + bo * bs;
+            for (std::size_t c = 0; c < bs; ++c) a[c] += ws[c] * xs[c];
+          }
+        }
+      }
+    }
+    for (std::size_t bo = 0; bo < nbo; ++bo) {
+      numeric::cfloat* a = acc.data() + bo * bs;
+      numeric::fft_inplace(std::span<numeric::cfloat>(a, bs), rom, true);
+      for (std::size_t c = 0; c < bs; ++c)
+        yd[((ni * spec.out_channels + bo * bs + c) * ho + oh) * wo + ow] =
+            a[c].real();
+    }
+  }
+  return y;
+}
+
+// Pre-rewrite reference circulant matvec: two full complex FFTs of real
+// signals, an n-bin product, one inverse FFT.
+std::vector<float> full_spectrum_matvec(const core::Circulant& c,
+                                        std::span<const float> x) {
+  const std::size_t n = c.size();
+  auto ws = numeric::fft_real(c.defining());
+  auto xs = numeric::fft_real(x);
+  for (std::size_t k = 0; k < n; ++k) xs[k] *= ws[k];
+  numeric::fft_inplace(std::span<numeric::cfloat>(xs), true);
+  std::vector<float> y(n);
+  for (std::size_t k = 0; k < n; ++k) y[k] = xs[k].real();
+  return y;
+}
 
 // Times one kernel at num_threads()==1 and at `threads`, restoring the
 // configured parallelism afterwards.
@@ -200,7 +402,7 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
   std::vector<KernelBaseline> rows;
 
   numeric::Rng rng(6);
-  core::BcmConv2d conv(conv_spec(32), 8,
+  core::BcmConv2d conv(conv_spec(32), 16,
                        core::BcmParameterization::kHadamard, rng);
   tensor::Tensor x({2, 32, 14, 14});
   tensor::fill_gaussian(x, rng);
@@ -210,7 +412,7 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
   }));
 
   const std::size_t bs = 16, count = 4096;
-  const numeric::TwiddleRom rom(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   std::vector<numeric::cfloat> batch(bs * count);
   for (auto& v : batch) v = {rng.gaussian(), rng.gaussian()};
   rows.push_back(baseline("fft_batch", threads, 50, [&] {
@@ -218,6 +420,54 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
     numeric::fft_batch_inplace(std::span<numeric::cfloat>(copy), rom, false);
     benchmark::DoNotOptimize(copy.data());
   }));
+
+  std::vector<float> rbatch(bs * count);
+  for (auto& v : rbatch) v = rng.gaussian();
+  const std::size_t hb = numeric::half_bins(bs);
+  std::vector<float> bre(count * hb), bim(count * hb);
+  rows.push_back(baseline("rfft_batch", threads, 50, [&] {
+    numeric::rfft_batch_soa(rbatch, bs, bre, bim);
+    benchmark::DoNotOptimize(bre.data());
+  }));
+
+  // Before/after the half-spectrum rewrite, both sides single-threaded:
+  // the retired full-spectrum kernels vs what the layers run today.
+  std::vector<HalfSpectrumRow> half_rows;
+  base::set_num_threads(1);
+  {
+    HalfSpectrumRow r;
+    r.name = "bcm_conv_forward";
+    auto warm_full = full_spectrum_conv_forward(conv, x);
+    auto warm_half = conv.forward(x, false);
+    benchmark::DoNotOptimize(warm_full.data());
+    benchmark::DoNotOptimize(warm_half.data());
+    r.full_ms = best_ms(20, [&] {
+      auto y = full_spectrum_conv_forward(conv, x);
+      benchmark::DoNotOptimize(y.data());
+    });
+    r.half_ms = best_ms(20, [&] {
+      auto y = conv.forward(x, false);
+      benchmark::DoNotOptimize(y.data());
+    });
+    half_rows.push_back(r);
+  }
+  {
+    HalfSpectrumRow r;
+    r.name = "circulant_matvec_fft";
+    const std::size_t n = 512;
+    const auto c = core::Circulant::from_first_column(random_vec(n, 1));
+    const auto v = random_vec(n, 2);
+    r.full_ms = best_ms(200, [&] {
+      auto y = full_spectrum_matvec(c, v);
+      benchmark::DoNotOptimize(y.data());
+    });
+    r.half_ms = best_ms(200, [&] {
+      auto y = c.matvec_fft(v);
+      benchmark::DoNotOptimize(y.data());
+    });
+    half_rows.push_back(r);
+  }
+  base::set_num_threads(threads);
 
   std::ofstream os(path);
   os << "{\n  \"threads\": " << threads << ",\n  \"kernels\": [\n";
@@ -234,6 +484,19 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
                                    ? r.serial_ms / r.threaded_ms
                                    : 0.0);
     os << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"half_spectrum\": [\n";
+  for (std::size_t i = 0; i < half_rows.size(); ++i) {
+    const auto& r = half_rows[i];
+    os << "    {\"name\": ";
+    obs::write_json_string(os, r.name);
+    os << ", \"full_spectrum_ms\": ";
+    obs::write_json_number(os, r.full_ms);
+    os << ", \"half_spectrum_ms\": ";
+    obs::write_json_number(os, r.half_ms);
+    os << ", \"speedup\": ";
+    obs::write_json_number(os, r.half_ms > 0.0 ? r.full_ms / r.half_ms : 0.0);
+    os << "}" << (i + 1 < half_rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

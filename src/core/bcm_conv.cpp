@@ -4,6 +4,8 @@
 
 #include "base/parallel.hpp"
 #include "core/circulant.hpp"
+#include "numeric/rfft.hpp"
+#include "obs/macros.hpp"
 #include "tensor/init.hpp"
 
 namespace rpbcm::core {
@@ -13,24 +15,9 @@ namespace {
 // Chunk grains for the parallel loops below. Fixed constants — never
 // derived from the thread count — so chunk boundaries and every
 // floating-point accumulation order are identical at any parallelism.
-constexpr std::size_t kSpectrumGrain = 8;  // per-pixel/per-block FFT tasks
+constexpr std::size_t kSpectrumGrain = 8;  // per-pixel/per-block rFFT tasks
 constexpr std::size_t kPixelGrain = 2;     // output pixels per eMAC task
 constexpr std::size_t kBlockGrain = 16;    // defining-vector blocks per task
-
-// Loads SoA (re, im) into a scratch complex buffer, runs the FFT, stores
-// back. Hot paths below keep data SoA so the eMAC inner loops are plain
-// float arithmetic.
-void fft_soa(std::vector<numeric::cfloat>& scratch, float* re, float* im,
-             const numeric::TwiddleRom& rom, bool inverse) {
-  const std::size_t n = rom.size();
-  for (std::size_t k = 0; k < n; ++k) scratch[k] = {re[k], im[k]};
-  numeric::fft_inplace(std::span<numeric::cfloat>(scratch.data(), n), rom,
-                       inverse);
-  for (std::size_t k = 0; k < n; ++k) {
-    re[k] = scratch[k].real();
-    im[k] = scratch[k].imag();
-  }
-}
 
 }  // namespace
 
@@ -98,6 +85,13 @@ std::unique_ptr<BcmConv2d> BcmConv2d::from_dense(const nn::Conv2d& dense,
       }
     }
   }
+  // The loops above wrote the parameter tensors directly.
+  if (mode == BcmParameterization::kHadamard) {
+    bcm->a_.mark_updated();
+    bcm->b_.mark_updated();
+  } else {
+    bcm->w_.mark_updated();
+  }
   return bcm;
 }
 
@@ -157,6 +151,7 @@ tensor::Tensor BcmConv2d::dense_weights() const {
 void BcmConv2d::prune_block(std::size_t block) {
   RPBCM_CHECK(block < skip_.size());
   skip_[block] = 0;
+  ++mask_version_;
   const std::size_t bs = layout_.block_size;
   // "Eliminate A and B" (Algorithm 1, line 12): zero the parameters so the
   // optimizer cannot resurrect them through momentum.
@@ -177,7 +172,10 @@ std::size_t BcmConv2d::pruned_count() const {
   return n;
 }
 
-void BcmConv2d::reset_pruning() { skip_.assign(skip_.size(), 1); }
+void BcmConv2d::reset_pruning() {
+  skip_.assign(skip_.size(), 1);
+  ++mask_version_;
+}
 
 void BcmConv2d::load_defining(std::size_t block, std::span<const float> w) {
   const std::size_t bs = layout_.block_size;
@@ -187,8 +185,11 @@ void BcmConv2d::load_defining(std::size_t block, std::span<const float> w) {
       a_.value.at(block, k) = w[k];
       b_.value.at(block, k) = 1.0F;
     }
+    a_.mark_updated();
+    b_.mark_updated();
   } else {
     for (std::size_t k = 0; k < bs; ++k) w_.value.at(block, k) = w[k];
+    w_.mark_updated();
   }
 }
 
@@ -205,6 +206,7 @@ void BcmConv2d::restore(const Snapshot& s) {
   b_.value = s.b;
   w_.value = s.w;
   skip_ = s.skip;
+  ++mask_version_;  // value + mask rollback: one bump invalidates the cache
 }
 
 std::vector<nn::Param*> BcmConv2d::params() {
@@ -212,26 +214,31 @@ std::vector<nn::Param*> BcmConv2d::params() {
   return {&w_};
 }
 
-void BcmConv2d::refresh_weight_spectra() {
+void BcmConv2d::maybe_refresh_weight_spectra() {
+  const std::uint64_t state = weight_state();
+  if (wspec_valid_ && state == wspec_state_) {
+    RPBCM_OBS_COUNT("rpbcm.core.wspec.cache_hits", 1);
+    return;
+  }
   const std::size_t blocks = layout_.total_blocks();
   const std::size_t bs = layout_.block_size;
-  wspec_re_.assign(blocks * bs, 0.0F);
-  wspec_im_.assign(blocks * bs, 0.0F);
-  const numeric::TwiddleRom rom(bs);
+  const std::size_t hb = numeric::half_bins(bs);
+  wspec_re_.assign(blocks * hb, 0.0F);
+  wspec_im_.assign(blocks * hb, 0.0F);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
       const auto def = effective_defining(blk);
-      for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
-      numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
-      for (std::size_t k = 0; k < bs; ++k) {
-        wspec_re_[blk * bs + k] = scratch[k].real();
-        wspec_im_[blk * bs + k] = scratch[k].imag();
-      }
+      numeric::rfft_soa(def.data(), wspec_re_.data() + blk * hb,
+                        wspec_im_.data() + blk * hb, rom, scratch);
     }
   });
+  wspec_state_ = state;
+  wspec_valid_ = true;
+  RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
 }
 
 nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
@@ -248,46 +255,49 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
   cached_n_ = n;
   cached_h_ = h;
   cached_w_ = w;
-  refresh_weight_spectra();
+  maybe_refresh_weight_spectra();
 
-  const numeric::TwiddleRom rom(bs);
+  const std::size_t hb = numeric::half_bins(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
-  // Input spectra for every in-bounds pixel and channel block ("FFT"
-  // stage). Every (sample, pixel, in-block) spectrum is independent.
-  xspec_re_.assign(n * h * w * nbi * bs, 0.0F);
-  xspec_im_.assign(n * h * w * nbi * bs, 0.0F);
+  // Input half spectra for every in-bounds pixel and channel block ("FFT"
+  // stage). Every (sample, pixel, in-block) spectrum is independent. NCHW
+  // channels are strided, so each block is gathered into a contiguous
+  // buffer before the packed rFFT.
+  xspec_re_.assign(n * h * w * nbi * hb, 0.0F);
+  xspec_im_.assign(n * h * w * nbi * hb, 0.0F);
   const float* xd = x.data();
   base::parallel_for(0, n * h * w, kSpectrumGrain,
                      [&](std::size_t pb, std::size_t pe) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> gather(bs);
     for (std::size_t p = pb; p < pe; ++p) {
       const std::size_t ni = p / (h * w);
       const std::size_t ih = (p / w) % h;
       const std::size_t iw = p % w;
       for (std::size_t bi = 0; bi < nbi; ++bi) {
-        const std::size_t base = (((ni * h + ih) * w + iw) * nbi + bi) * bs;
-        float* re = xspec_re_.data() + base;
-        float* im = xspec_im_.data() + base;
-        for (std::size_t c = 0; c < bs; ++c) {
-          re[c] = xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w +
-                     iw];
-          im[c] = 0.0F;
-        }
-        fft_soa(scratch, re, im, rom, false);
+        const std::size_t base = (((ni * h + ih) * w + iw) * nbi + bi) * hb;
+        for (std::size_t c = 0; c < bs; ++c)
+          gather[c] =
+              xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw];
+        numeric::rfft_soa(gather.data(), xspec_re_.data() + base,
+                          xspec_im_.data() + base, rom, scratch);
       }
     }
   });
 
   // eMAC stage: frequency-domain accumulation over all surviving blocks,
-  // then one IFFT per output pixel per out-block. Output pixels are
+  // then one inverse rFFT per output pixel per out-block. Output pixels are
   // independent; each task owns its accumulators, and the in-accumulator
-  // addition order matches the serial nest.
+  // addition order matches the serial nest. Only the BS/2+1 non-redundant
+  // bins are multiplied — the halved MAC count of the eMAC PE
+  // (Section IV-B).
   nn::Tensor y({n, spec_.out_channels, ho, wo});
   float* yd = y.data();
   base::parallel_for(0, n * ho * wo, kPixelGrain,
                      [&](std::size_t qb, std::size_t qe) {
-    std::vector<numeric::cfloat> scratch(bs);
-    std::vector<float> acc_re(nbo * bs), acc_im(nbo * bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> acc_re(nbo * hb), acc_im(nbo * hb), out(bs);
     for (std::size_t q = qb; q < qe; ++q) {
       const std::size_t ni = q / (ho * wo);
       const std::size_t oh = (q / wo) % ho;
@@ -307,20 +317,20 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
                 (((ni * h + static_cast<std::size_t>(ih)) * w +
                   static_cast<std::size_t>(iw)) *
                  nbi) *
-                bs;
+                hb;
             for (std::size_t bi = 0; bi < nbi; ++bi) {
-              const float* xr = xspec_re_.data() + pix_base + bi * bs;
-              const float* xi = xspec_im_.data() + pix_base + bi * bs;
+              const float* xr = xspec_re_.data() + pix_base + bi * hb;
+              const float* xi = xspec_im_.data() + pix_base + bi * hb;
               const std::size_t row =
                   ((kh * k + kw) * nbi + bi) * nbo;
               for (std::size_t bo = 0; bo < nbo; ++bo) {
                 const std::size_t blk = row + bo;
                 if (skip_[blk] == 0) continue;  // skip-index scheme
-                const float* wr = wspec_re_.data() + blk * bs;
-                const float* wi = wspec_im_.data() + blk * bs;
-                float* ar = acc_re.data() + bo * bs;
-                float* ai = acc_im.data() + bo * bs;
-                for (std::size_t kk = 0; kk < bs; ++kk) {
+                const float* wr = wspec_re_.data() + blk * hb;
+                const float* wi = wspec_im_.data() + blk * hb;
+                float* ar = acc_re.data() + bo * hb;
+                float* ai = acc_im.data() + bo * hb;
+                for (std::size_t kk = 0; kk < hb; ++kk) {
                   ar[kk] += wr[kk] * xr[kk] - wi[kk] * xi[kk];
                   ai[kk] += wr[kk] * xi[kk] + wi[kk] * xr[kk];
                 }
@@ -330,12 +340,11 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
         }
         // IFFT stage: recover the real-valued output channel block.
         for (std::size_t bo = 0; bo < nbo; ++bo) {
-          float* ar = acc_re.data() + bo * bs;
-          float* ai = acc_im.data() + bo * bs;
-          fft_soa(scratch, ar, ai, rom, true);
+          numeric::irfft_soa(acc_re.data() + bo * hb, acc_im.data() + bo * hb,
+                             out.data(), rom, scratch);
           for (std::size_t c = 0; c < bs; ++c)
             yd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) * wo +
-               ow] = ar[c];
+               ow] = out[c];
         }
       }
     }
@@ -354,41 +363,42 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
   const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
 
-  const numeric::TwiddleRom rom(bs);
+  const std::size_t hb = numeric::half_bins(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
-  // Spectra of the output gradient blocks. Each flattened output pixel owns
-  // its own gspec slice, so pixels are independent.
-  std::vector<float> gspec_re(n * ho * wo * nbo * bs);
-  std::vector<float> gspec_im(n * ho * wo * nbo * bs, 0.0F);
+  // Half spectra of the output gradient blocks. Each flattened output pixel
+  // owns its own gspec slice, so pixels are independent.
+  std::vector<float> gspec_re(n * ho * wo * nbo * hb);
+  std::vector<float> gspec_im(n * ho * wo * nbo * hb, 0.0F);
   const float* gyd = gy.data();
   base::parallel_for(0, n * ho * wo, kSpectrumGrain,
                      [&](std::size_t q0, std::size_t q1) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> gather(bs);
     for (std::size_t q = q0; q < q1; ++q) {
       const std::size_t ni = q / (ho * wo);
       const std::size_t oh = (q / wo) % ho;
       const std::size_t ow = q % wo;
       for (std::size_t bo = 0; bo < nbo; ++bo) {
-        const std::size_t base = (q * nbo + bo) * bs;
-        float* re = gspec_re.data() + base;
-        float* im = gspec_im.data() + base;
-        for (std::size_t c = 0; c < bs; ++c) {
-          re[c] = gyd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) *
-                          wo +
-                      ow];
-          im[c] = 0.0F;
-        }
-        fft_soa(scratch, re, im, rom, false);
+        const std::size_t base = (q * nbo + bo) * hb;
+        for (std::size_t c = 0; c < bs; ++c)
+          gather[c] =
+              gyd[((ni * spec_.out_channels + bo * bs + c) * ho + oh) * wo +
+                  ow];
+        numeric::rfft_soa(gather.data(), gspec_re.data() + base,
+                          gspec_im.data() + base, rom, scratch);
       }
     }
   });
 
-  // Frequency-domain accumulators for grad-input and grad-weight.
-  std::vector<float> gx_re(n * h * w * nbi * bs, 0.0F);
-  std::vector<float> gx_im(n * h * w * nbi * bs, 0.0F);
+  // Frequency-domain accumulators for grad-input and grad-weight. Both
+  // conj(W)*G and conj(X)*G are products of real-signal spectra, hence
+  // Hermitian — the BS/2+1 bins carry the full gradient.
+  std::vector<float> gx_re(n * h * w * nbi * hb, 0.0F);
+  std::vector<float> gx_im(n * h * w * nbi * hb, 0.0F);
   const std::size_t blocks = layout_.total_blocks();
-  std::vector<float> gw_re(blocks * bs, 0.0F);
-  std::vector<float> gw_im(blocks * bs, 0.0F);
+  std::vector<float> gw_re(blocks * hb, 0.0F);
+  std::vector<float> gw_im(blocks * hb, 0.0F);
 
   // Partitioned by input block: every gx slice (keyed by (pixel, bi)) and
   // every weight block blk = ((kh*k+kw)*nbi+bi)*nbo+bo belongs to exactly
@@ -400,7 +410,7 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
       for (std::size_t ni = 0; ni < n; ++ni) {
         for (std::size_t oh = 0; oh < ho; ++oh) {
           for (std::size_t ow = 0; ow < wo; ++ow) {
-            const std::size_t g_base = ((ni * ho + oh) * wo + ow) * nbo * bs;
+            const std::size_t g_base = ((ni * ho + oh) * wo + ow) * nbo * hb;
             for (std::size_t kh = 0; kh < k; ++kh) {
               const long ih =
                   static_cast<long>(oh * stride + kh) - static_cast<long>(pad);
@@ -414,22 +424,22 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
                     (((ni * h + static_cast<std::size_t>(ih)) * w +
                       static_cast<std::size_t>(iw)) *
                      nbi) *
-                    bs;
+                    hb;
                 const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
-                const float* xr = xspec_re_.data() + pix_base + bi * bs;
-                const float* xi = xspec_im_.data() + pix_base + bi * bs;
-                float* gxr = gx_re.data() + pix_base + bi * bs;
-                float* gxi = gx_im.data() + pix_base + bi * bs;
+                const float* xr = xspec_re_.data() + pix_base + bi * hb;
+                const float* xi = xspec_im_.data() + pix_base + bi * hb;
+                float* gxr = gx_re.data() + pix_base + bi * hb;
+                float* gxi = gx_im.data() + pix_base + bi * hb;
                 for (std::size_t bo = 0; bo < nbo; ++bo) {
                   const std::size_t blk = row + bo;
                   if (skip_[blk] == 0) continue;  // pruned: no grad, no compute
-                  const float* wr = wspec_re_.data() + blk * bs;
-                  const float* wi = wspec_im_.data() + blk * bs;
-                  const float* gr = gspec_re.data() + g_base + bo * bs;
-                  const float* gi = gspec_im.data() + g_base + bo * bs;
-                  float* gwr = gw_re.data() + blk * bs;
-                  float* gwi = gw_im.data() + blk * bs;
-                  for (std::size_t kk = 0; kk < bs; ++kk) {
+                  const float* wr = wspec_re_.data() + blk * hb;
+                  const float* wi = wspec_im_.data() + blk * hb;
+                  const float* gr = gspec_re.data() + g_base + bo * hb;
+                  const float* gi = gspec_im.data() + g_base + bo * hb;
+                  float* gwr = gw_re.data() + blk * hb;
+                  float* gwi = gw_im.data() + blk * hb;
+                  for (std::size_t kk = 0; kk < hb; ++kk) {
                     // gX += conj(W) * G ; gW += conj(X) * G
                     gxr[kk] += wr[kk] * gr[kk] + wi[kk] * gi[kk];
                     gxi[kk] += wr[kk] * gi[kk] - wi[kk] * gr[kk];
@@ -451,19 +461,19 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   float* gxd = gx.data();
   base::parallel_for(0, n * h * w, kSpectrumGrain,
                      [&](std::size_t p0, std::size_t p1) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> block(bs);
     for (std::size_t p = p0; p < p1; ++p) {
       const std::size_t ni = p / (h * w);
       const std::size_t ih = (p / w) % h;
       const std::size_t iw = p % w;
       for (std::size_t bi = 0; bi < nbi; ++bi) {
-        const std::size_t base = (p * nbi + bi) * bs;
-        float* re = gx_re.data() + base;
-        float* im = gx_im.data() + base;
-        fft_soa(scratch, re, im, rom, true);
+        const std::size_t base = (p * nbi + bi) * hb;
+        numeric::irfft_soa(gx_re.data() + base, gx_im.data() + base,
+                           block.data(), rom, scratch);
         for (std::size_t c = 0; c < bs; ++c)
           gxd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw] =
-              re[c];
+              block[c];
       }
     }
   });
@@ -472,19 +482,19 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   // (Eq. (1): dL/dA = dL/dW ⊙ B, dL/dB = dL/dW ⊙ A). Blocks are disjoint.
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b0, std::size_t b1) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> gw(bs);
     for (std::size_t blk = b0; blk < b1; ++blk) {
       if (skip_[blk] == 0) continue;
-      float* re = gw_re.data() + blk * bs;
-      float* im = gw_im.data() + blk * bs;
-      fft_soa(scratch, re, im, rom, true);
+      numeric::irfft_soa(gw_re.data() + blk * hb, gw_im.data() + blk * hb,
+                         gw.data(), rom, scratch);
       if (mode_ == BcmParameterization::kHadamard) {
         for (std::size_t kk = 0; kk < bs; ++kk) {
-          a_.grad.at(blk, kk) += re[kk] * b_.value.at(blk, kk);
-          b_.grad.at(blk, kk) += re[kk] * a_.value.at(blk, kk);
+          a_.grad.at(blk, kk) += gw[kk] * b_.value.at(blk, kk);
+          b_.grad.at(blk, kk) += gw[kk] * a_.value.at(blk, kk);
         }
       } else {
-        for (std::size_t kk = 0; kk < bs; ++kk) w_.grad.at(blk, kk) += re[kk];
+        for (std::size_t kk = 0; kk < bs; ++kk) w_.grad.at(blk, kk) += gw[kk];
       }
     }
   });

@@ -81,6 +81,7 @@ class BcmConv2d : public nn::Layer {
   void set_skip_index(std::vector<std::uint8_t> skip) {
     RPBCM_CHECK_MSG(skip.size() == skip_.size(), "skip index size mismatch");
     skip_ = std::move(skip);
+    ++mask_version_;
   }
   void reset_pruning();
 
@@ -99,9 +100,13 @@ class BcmConv2d : public nn::Layer {
   void restore(const Snapshot& s);
 
  private:
-  // Recomputes the cached frequency-domain weights (SoA re/im, full BS bins
-  // per block; pruned blocks zero).
-  void refresh_weight_spectra();
+  /// Re-FFTs the weight half-spectra iff the parameters or the skip index
+  /// changed since the cached spectra were built (see weight_state()).
+  void maybe_refresh_weight_spectra();
+  /// Monotone fingerprint of everything the weight spectra depend on.
+  std::uint64_t weight_state() const {
+    return a_.version + b_.version + w_.version + mask_version_;
+  }
 
   nn::ConvSpec spec_;
   BcmLayout layout_;
@@ -111,12 +116,16 @@ class BcmConv2d : public nn::Layer {
   nn::Param b_;
   nn::Param w_;  // [total_blocks, BS] (plain) — or unused
   std::vector<std::uint8_t> skip_;  // 1 = keep
+  std::uint64_t mask_version_ = 0;  // bumped by prune/restore/skip writes
 
-  // forward caches
+  // forward caches — half spectra: only the BS/2+1 non-redundant bins of
+  // each real-signal DFT are stored (SoA re/im).
   tensor::Tensor cached_input_;
-  std::vector<float> wspec_re_, wspec_im_;      // [blocks*BS]
-  std::vector<float> xspec_re_, xspec_im_;      // [N*H*W*in_blocks*BS]
+  std::vector<float> wspec_re_, wspec_im_;      // [blocks*(BS/2+1)]
+  std::vector<float> xspec_re_, xspec_im_;      // [N*H*W*in_blocks*(BS/2+1)]
   std::size_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+  std::uint64_t wspec_state_ = 0;
+  bool wspec_valid_ = false;
 };
 
 }  // namespace rpbcm::core

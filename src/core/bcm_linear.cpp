@@ -4,6 +4,8 @@
 
 #include "base/parallel.hpp"
 #include "core/circulant.hpp"
+#include "numeric/rfft.hpp"
+#include "obs/macros.hpp"
 #include "tensor/init.hpp"
 
 namespace rpbcm::core {
@@ -13,20 +15,8 @@ namespace {
 // Chunk grains for the block-parallel loops. Fixed constants — never a
 // function of the thread count — so chunk boundaries (and therefore every
 // floating-point accumulation order) are identical at any parallelism.
-constexpr std::size_t kSpectrumGrain = 8;   // FFTs per task
+constexpr std::size_t kSpectrumGrain = 8;   // rFFTs per task
 constexpr std::size_t kBlockGrain = 16;     // defining-vector blocks per task
-
-void fft_soa(std::vector<numeric::cfloat>& scratch, float* re, float* im,
-             const numeric::TwiddleRom& rom, bool inverse) {
-  const std::size_t n = rom.size();
-  for (std::size_t k = 0; k < n; ++k) scratch[k] = {re[k], im[k]};
-  numeric::fft_inplace(std::span<numeric::cfloat>(scratch.data(), n), rom,
-                       inverse);
-  for (std::size_t k = 0; k < n; ++k) {
-    re[k] = scratch[k].real();
-    im[k] = scratch[k].imag();
-  }
-}
 
 }  // namespace
 
@@ -95,6 +85,7 @@ tensor::Tensor BcmLinear::dense_weights() const {
 void BcmLinear::prune_block(std::size_t block) {
   RPBCM_CHECK(block < skip_.size());
   skip_[block] = 0;
+  ++mask_version_;
   const std::size_t bs = layout_.block_size;
   if (hadamard_) {
     for (std::size_t k = 0; k < bs; ++k) {
@@ -122,26 +113,31 @@ std::vector<nn::Param*> BcmLinear::params() {
   return {&w_};
 }
 
-void BcmLinear::refresh_weight_spectra() {
+void BcmLinear::maybe_refresh_weight_spectra() {
+  const std::uint64_t state = weight_state();
+  if (wspec_valid_ && state == wspec_state_) {
+    RPBCM_OBS_COUNT("rpbcm.core.wspec.cache_hits", 1);
+    return;
+  }
   const std::size_t blocks = layout_.total_blocks();
   const std::size_t bs = layout_.block_size;
-  wspec_re_.assign(blocks * bs, 0.0F);
-  wspec_im_.assign(blocks * bs, 0.0F);
-  const numeric::TwiddleRom rom(bs);
+  const std::size_t hb = numeric::half_bins(bs);
+  wspec_re_.assign(blocks * hb, 0.0F);
+  wspec_im_.assign(blocks * hb, 0.0F);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
       const auto def = effective_defining(blk);
-      for (std::size_t k = 0; k < bs; ++k) scratch[k] = {def[k], 0.0F};
-      numeric::fft_inplace(std::span<numeric::cfloat>(scratch), rom, false);
-      for (std::size_t k = 0; k < bs; ++k) {
-        wspec_re_[blk * bs + k] = scratch[k].real();
-        wspec_im_[blk * bs + k] = scratch[k].imag();
-      }
+      numeric::rfft_soa(def.data(), wspec_re_.data() + blk * hb,
+                        wspec_im_.data() + blk * hb, rom, scratch);
     }
   });
+  wspec_state_ = state;
+  wspec_valid_ = true;
+  RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
 }
 
 nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
@@ -150,38 +146,41 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
                                                 << "]");
   const std::size_t n = x.dim(0);
   const std::size_t bs = layout_.block_size;
+  const std::size_t hb = numeric::half_bins(bs);
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
   cached_input_ = x;
-  refresh_weight_spectra();
+  maybe_refresh_weight_spectra();
 
-  const numeric::TwiddleRom rom(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
-  // FFT stage: every (sample, in-block) spectrum is independent.
-  xspec_re_.assign(n * nbi * bs, 0.0F);
-  xspec_im_.assign(n * nbi * bs, 0.0F);
+  // rFFT stage: every (sample, in-block) half spectrum is independent. The
+  // input rows are contiguous per block, so the packed kernel reads the
+  // activations in place.
+  xspec_re_.assign(n * nbi * hb, 0.0F);
+  xspec_im_.assign(n * nbi * hb, 0.0F);
   const float* xd = x.data();
   base::parallel_for(0, n * nbi, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbi, bi = t % nbi;
-      float* re = xspec_re_.data() + (ni * nbi + bi) * bs;
-      float* im = xspec_im_.data() + (ni * nbi + bi) * bs;
-      for (std::size_t c = 0; c < bs; ++c)
-        re[c] = xd[ni * layout_.in_channels + bi * bs + c];
-      fft_soa(scratch, re, im, rom, false);
+      numeric::rfft_soa(xd + ni * layout_.in_channels + bi * bs,
+                        xspec_re_.data() + t * hb, xspec_im_.data() + t * hb,
+                        rom, scratch);
     }
   });
 
-  // eMAC + IFFT stage: every (sample, out-block) accumulator is
+  // eMAC + IrFFT stage: every (sample, out-block) accumulator is
   // independent; the bi accumulation order inside one accumulator is the
-  // serial order, so results are bit-exact at any thread count.
+  // serial order, so results are bit-exact at any thread count. Only the
+  // BS/2+1 non-redundant bins are multiplied — the eMAC PE's halved MAC
+  // count (Section IV-B).
   nn::Tensor y({n, layout_.out_channels});
   float* yd = y.data();
   base::parallel_for(0, n * nbo, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
-    std::vector<float> acc_re(bs), acc_im(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> acc_re(hb), acc_im(hb);
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbo, bo = t % nbo;
       std::fill(acc_re.begin(), acc_re.end(), 0.0F);
@@ -189,18 +188,18 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
       for (std::size_t bi = 0; bi < nbi; ++bi) {
         const std::size_t blk = layout_.block_id(0, 0, bi, bo);
         if (skip_[blk] == 0) continue;
-        const float* wr = wspec_re_.data() + blk * bs;
-        const float* wi = wspec_im_.data() + blk * bs;
-        const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
-        const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
-        for (std::size_t k = 0; k < bs; ++k) {
+        const float* wr = wspec_re_.data() + blk * hb;
+        const float* wi = wspec_im_.data() + blk * hb;
+        const float* xr = xspec_re_.data() + (ni * nbi + bi) * hb;
+        const float* xi = xspec_im_.data() + (ni * nbi + bi) * hb;
+        for (std::size_t k = 0; k < hb; ++k) {
           acc_re[k] += wr[k] * xr[k] - wi[k] * xi[k];
           acc_im[k] += wr[k] * xi[k] + wi[k] * xr[k];
         }
       }
-      fft_soa(scratch, acc_re.data(), acc_im.data(), rom, true);
-      for (std::size_t c = 0; c < bs; ++c)
-        yd[ni * layout_.out_channels + bo * bs + c] = acc_re[c];
+      numeric::irfft_soa(acc_re.data(), acc_im.data(),
+                         yd + ni * layout_.out_channels + bo * bs, rom,
+                         scratch);
     }
   });
   return y;
@@ -212,50 +211,51 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
   RPBCM_CHECK(gy.rank() == 2 && gy.dim(0) == n &&
               gy.dim(1) == layout_.out_channels);
   const std::size_t bs = layout_.block_size;
+  const std::size_t hb = numeric::half_bins(bs);
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
 
-  const numeric::TwiddleRom rom(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
-  std::vector<float> gspec_re(n * nbo * bs), gspec_im(n * nbo * bs, 0.0F);
+  std::vector<float> gspec_re(n * nbo * hb), gspec_im(n * nbo * hb, 0.0F);
   const float* gyd = gy.data();
   base::parallel_for(0, n * nbo, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbo, bo = t % nbo;
-      float* re = gspec_re.data() + (ni * nbo + bo) * bs;
-      float* im = gspec_im.data() + (ni * nbo + bo) * bs;
-      for (std::size_t c = 0; c < bs; ++c)
-        re[c] = gyd[ni * layout_.out_channels + bo * bs + c];
-      fft_soa(scratch, re, im, rom, false);
+      numeric::rfft_soa(gyd + ni * layout_.out_channels + bo * bs,
+                        gspec_re.data() + t * hb, gspec_im.data() + t * hb,
+                        rom, scratch);
     }
   });
 
-  std::vector<float> gx_re(n * nbi * bs, 0.0F), gx_im(n * nbi * bs, 0.0F);
+  std::vector<float> gx_re(n * nbi * hb, 0.0F), gx_im(n * nbi * hb, 0.0F);
   const std::size_t blocks = layout_.total_blocks();
-  std::vector<float> gw_re(blocks * bs, 0.0F), gw_im(blocks * bs, 0.0F);
+  std::vector<float> gw_re(blocks * hb, 0.0F), gw_im(blocks * hb, 0.0F);
 
   // Accumulation stage, partitioned by input block: every gx slice belongs
   // to one (sample, bi) and every weight block belongs to one bi, so the bi
   // partition is race-free. The per-accumulator addition order (samples
-  // ascending, then bo ascending) matches the serial nest exactly.
+  // ascending, then bo ascending) matches the serial nest exactly. Both
+  // conj(W)*G and conj(X)*G are products of real-signal spectra, hence
+  // Hermitian — the BS/2+1 bins carry the full gradient.
   base::parallel_for(0, nbi, 1, [&](std::size_t bb, std::size_t be) {
     for (std::size_t bi = bb; bi < be; ++bi)
       for (std::size_t ni = 0; ni < n; ++ni)
         for (std::size_t bo = 0; bo < nbo; ++bo) {
           const std::size_t blk = layout_.block_id(0, 0, bi, bo);
           if (skip_[blk] == 0) continue;
-          const float* wr = wspec_re_.data() + blk * bs;
-          const float* wi = wspec_im_.data() + blk * bs;
-          const float* xr = xspec_re_.data() + (ni * nbi + bi) * bs;
-          const float* xi = xspec_im_.data() + (ni * nbi + bi) * bs;
-          const float* gr = gspec_re.data() + (ni * nbo + bo) * bs;
-          const float* gi = gspec_im.data() + (ni * nbo + bo) * bs;
-          float* gxr = gx_re.data() + (ni * nbi + bi) * bs;
-          float* gxi = gx_im.data() + (ni * nbi + bi) * bs;
-          float* gwr = gw_re.data() + blk * bs;
-          float* gwi = gw_im.data() + blk * bs;
-          for (std::size_t k = 0; k < bs; ++k) {
+          const float* wr = wspec_re_.data() + blk * hb;
+          const float* wi = wspec_im_.data() + blk * hb;
+          const float* xr = xspec_re_.data() + (ni * nbi + bi) * hb;
+          const float* xi = xspec_im_.data() + (ni * nbi + bi) * hb;
+          const float* gr = gspec_re.data() + (ni * nbo + bo) * hb;
+          const float* gi = gspec_im.data() + (ni * nbo + bo) * hb;
+          float* gxr = gx_re.data() + (ni * nbi + bi) * hb;
+          float* gxi = gx_im.data() + (ni * nbi + bi) * hb;
+          float* gwr = gw_re.data() + blk * hb;
+          float* gwi = gw_im.data() + blk * hb;
+          for (std::size_t k = 0; k < hb; ++k) {
             gxr[k] += wr[k] * gr[k] + wi[k] * gi[k];
             gxi[k] += wr[k] * gi[k] - wi[k] * gr[k];
             gwr[k] += xr[k] * gr[k] + xi[k] * gi[k];
@@ -268,32 +268,30 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
   float* gxd = gx.data();
   base::parallel_for(0, n * nbi, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbi, bi = t % nbi;
-      float* re = gx_re.data() + (ni * nbi + bi) * bs;
-      float* im = gx_im.data() + (ni * nbi + bi) * bs;
-      fft_soa(scratch, re, im, rom, true);
-      for (std::size_t c = 0; c < bs; ++c)
-        gxd[ni * layout_.in_channels + bi * bs + c] = re[c];
+      numeric::irfft_soa(gx_re.data() + t * hb, gx_im.data() + t * hb,
+                         gxd + ni * layout_.in_channels + bi * bs, rom,
+                         scratch);
     }
   });
 
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(bs);
+    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    std::vector<float> gw(bs);
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
-      float* re = gw_re.data() + blk * bs;
-      float* im = gw_im.data() + blk * bs;
-      fft_soa(scratch, re, im, rom, true);
+      numeric::irfft_soa(gw_re.data() + blk * hb, gw_im.data() + blk * hb,
+                         gw.data(), rom, scratch);
       if (hadamard_) {
         for (std::size_t k = 0; k < bs; ++k) {
-          a_.grad.at(blk, k) += re[k] * b_.value.at(blk, k);
-          b_.grad.at(blk, k) += re[k] * a_.value.at(blk, k);
+          a_.grad.at(blk, k) += gw[k] * b_.value.at(blk, k);
+          b_.grad.at(blk, k) += gw[k] * a_.value.at(blk, k);
         }
       } else {
-        for (std::size_t k = 0; k < bs; ++k) w_.grad.at(blk, k) += re[k];
+        for (std::size_t k = 0; k < bs; ++k) w_.grad.at(blk, k) += gw[k];
       }
     }
   });

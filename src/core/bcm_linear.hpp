@@ -42,6 +42,7 @@ class BcmLinear : public nn::Layer {
   void set_skip_index(std::vector<std::uint8_t> skip) {
     RPBCM_CHECK_MSG(skip.size() == skip_.size(), "skip index size mismatch");
     skip_ = std::move(skip);
+    ++mask_version_;
   }
 
   /// Full parameter+mask snapshot for Algorithm-1 rollback.
@@ -55,19 +56,30 @@ class BcmLinear : public nn::Layer {
     b_.value = s.b;
     w_.value = s.w;
     skip_ = s.skip;
+    ++mask_version_;
   }
 
  private:
-  void refresh_weight_spectra();
+  /// Re-FFTs the weight half-spectra iff the parameters or the skip index
+  /// changed since the cached spectra were built (see weight_state()).
+  void maybe_refresh_weight_spectra();
+  /// Monotone fingerprint of everything the weight spectra depend on.
+  std::uint64_t weight_state() const {
+    return a_.version + b_.version + w_.version + mask_version_;
+  }
 
   BcmLayout layout_;  // kernel=1
   bool hadamard_ = true;
   nn::Param a_, b_, w_;
   std::vector<std::uint8_t> skip_;
+  std::uint64_t mask_version_ = 0;  // bumped by prune/restore/skip writes
 
   tensor::Tensor cached_input_;
+  // Cached half spectra: blocks x (BS/2+1) non-redundant bins, SoA.
   std::vector<float> wspec_re_, wspec_im_;
   std::vector<float> xspec_re_, xspec_im_;
+  std::uint64_t wspec_state_ = 0;
+  bool wspec_valid_ = false;
 };
 
 }  // namespace rpbcm::core

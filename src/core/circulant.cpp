@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "numeric/rfft.hpp"
 
 namespace rpbcm::core {
 
@@ -42,12 +43,22 @@ std::vector<float> Circulant::matvec_direct(std::span<const float> x) const {
 std::vector<float> Circulant::matvec_fft(std::span<const float> x) const {
   const std::size_t n = w_.size();
   RPBCM_CHECK(x.size() == n);
-  auto ws = numeric::fft_real(w_);
-  auto xs = numeric::fft_real(x);
-  for (std::size_t k = 0; k < n; ++k) xs[k] *= ws[k];
-  numeric::fft_inplace(std::span<cfloat>(xs), /*inverse=*/true);
+  // Real signals: only the n/2+1 non-redundant bins are transformed and
+  // multiplied; the product spectrum is Hermitian, so irfft recovers y.
+  const std::size_t hb = numeric::half_bins(n);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
+  std::vector<cfloat> scratch(numeric::rfft_scratch_size(n));
+  std::vector<float> wr(hb), wi(hb), xr(hb), xi(hb);
+  numeric::rfft_soa(w_.data(), wr.data(), wi.data(), rom, scratch);
+  numeric::rfft_soa(x.data(), xr.data(), xi.data(), rom, scratch);
+  for (std::size_t k = 0; k < hb; ++k) {
+    const float re = wr[k] * xr[k] - wi[k] * xi[k];
+    const float im = wr[k] * xi[k] + wi[k] * xr[k];
+    xr[k] = re;
+    xi[k] = im;
+  }
   std::vector<float> y(n);
-  for (std::size_t k = 0; k < n; ++k) y[k] = xs[k].real();
+  numeric::irfft_soa(xr.data(), xi.data(), y.data(), rom, scratch);
   return y;
 }
 
@@ -55,12 +66,21 @@ std::vector<float> Circulant::matvec_transpose_fft(
     std::span<const float> x) const {
   const std::size_t n = w_.size();
   RPBCM_CHECK(x.size() == n);
-  auto ws = numeric::fft_real(w_);
-  auto xs = numeric::fft_real(x);
-  for (std::size_t k = 0; k < n; ++k) xs[k] *= std::conj(ws[k]);
-  numeric::fft_inplace(std::span<cfloat>(xs), /*inverse=*/true);
+  const std::size_t hb = numeric::half_bins(n);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
+  std::vector<cfloat> scratch(numeric::rfft_scratch_size(n));
+  std::vector<float> wr(hb), wi(hb), xr(hb), xi(hb);
+  numeric::rfft_soa(w_.data(), wr.data(), wi.data(), rom, scratch);
+  numeric::rfft_soa(x.data(), xr.data(), xi.data(), rom, scratch);
+  for (std::size_t k = 0; k < hb; ++k) {
+    // conj(W) ⊙ X on the half spectrum
+    const float re = wr[k] * xr[k] + wi[k] * xi[k];
+    const float im = wr[k] * xi[k] - wi[k] * xr[k];
+    xr[k] = re;
+    xi[k] = im;
+  }
   std::vector<float> y(n);
-  for (std::size_t k = 0; k < n; ++k) y[k] = xs[k].real();
+  numeric::irfft_soa(xr.data(), xi.data(), y.data(), rom, scratch);
   return y;
 }
 

@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "core/pruning.hpp"
-#include "numeric/fft.hpp"
+#include "numeric/rfft.hpp"
 
 namespace rpbcm::core {
 

@@ -193,6 +193,7 @@ void load_checkpoint(nn::Sequential& model, std::istream& is) {
       RPBCM_CHECK_MSG(r.u64() == p->value.dim(d),
                       "parameter shape mismatch for " << p->name);
     r.raw(p->value.data(), p->value.size() * sizeof(float));
+    p->mark_updated();  // raw write bypasses the layer: bump the version
   }
   const auto buffers = collect_buffers(model);
   RPBCM_CHECK_MSG(r.u64() == buffers.size(),

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,10 +14,17 @@ using tensor::Tensor;
 /// A trainable parameter: value plus accumulated gradient. Gradients are
 /// accumulated with += by layer backward passes; the optimizer consumes and
 /// the trainer zeroes them per step.
+///
+/// `version` is a monotone update counter: every writer of `value` (the
+/// optimizer, checkpoint load, any out-of-band mutation) must call
+/// mark_updated() afterwards. Layers with derived caches (the BCM weight
+/// spectra) key their validity on it, so a stale version means a stale —
+/// wrong — forward pass.
 struct Param {
   std::string name;
   Tensor value;
   Tensor grad;
+  std::uint64_t version = 0;
 
   Param() = default;
   Param(std::string n, Tensor v)
@@ -24,6 +32,9 @@ struct Param {
 
   void zero_grad() { grad.zero(); }
   std::size_t size() const { return value.size(); }
+
+  /// Records that `value` changed; invalidates version-keyed caches.
+  void mark_updated() { ++version; }
 };
 
 /// Base class of all layers in the training substrate. The contract is the

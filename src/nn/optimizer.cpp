@@ -19,6 +19,7 @@ void Sgd::step(const std::vector<Param*>& params) {
       vd[i] = momentum_ * vd[i] + g;
       wd[i] -= lr_ * vd[i];
     }
+    p->mark_updated();  // invalidate version-keyed caches (weight spectra)
   }
 }
 

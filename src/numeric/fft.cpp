@@ -1,10 +1,14 @@
 #include "numeric/fft.hpp"
 
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 
 #include "base/check.hpp"
 #include "base/parallel.hpp"
+#include "obs/macros.hpp"
 
 namespace rpbcm::numeric {
 
@@ -53,12 +57,17 @@ void bit_reverse_permute(std::span<cfloat> data) {
 
 void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom, bool inverse) {
   const std::size_t n = data.size();
-  RPBCM_CHECK_MSG(rom.size() == n, "twiddle ROM size " << rom.size()
-                                   << " != FFT size " << n);
+  RPBCM_CHECK_MSG(n != 0 && rom.size() % n == 0,
+                  "twiddle ROM size " << rom.size()
+                                      << " is not a multiple of FFT size "
+                                      << n);
   if (n <= 1) return;
   bit_reverse_permute(data);
   for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;  // twiddle index step at this stage
+    // Twiddle index step at this stage. W_len^k lives at k * rom.size()/len
+    // in a ROM of any power-of-two multiple size, so one ROM serves n and
+    // all its divisors (the packed rfft runs its n/2-point inner FFT here).
+    const std::size_t stride = rom.size() / len;
     for (std::size_t i = 0; i < n; i += len) {
       for (std::size_t k = 0; k < len / 2; ++k) {
         const cfloat w = inverse ? rom.inverse(k * stride)
@@ -77,9 +86,30 @@ void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom, bool inverse) {
   }
 }
 
+const TwiddleRom& twiddle_rom(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, std::unique_ptr<TwiddleRom>> cache;
+  const TwiddleRom* rom = nullptr;
+  bool miss = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    auto& slot = cache[n];
+    if (!slot) {
+      slot = std::make_unique<TwiddleRom>(n);  // throws on non-pow2: slot
+      miss = true;                             // stays empty, retried later
+    }
+    rom = slot.get();
+  }
+  if (miss) {
+    RPBCM_OBS_COUNT("rpbcm.numeric.rom_cache.misses", 1);
+  } else {
+    RPBCM_OBS_COUNT("rpbcm.numeric.rom_cache.hits", 1);
+  }
+  return *rom;
+}
+
 void fft_inplace(std::span<cfloat> data, bool inverse) {
-  const TwiddleRom rom(data.size());
-  fft_inplace(data, rom, inverse);
+  fft_inplace(data, twiddle_rom(data.size()), inverse);
 }
 
 void fft_batch_inplace(std::span<cfloat> data, const TwiddleRom& rom,
@@ -102,31 +132,6 @@ std::vector<cfloat> fft_real(std::span<const float> x) {
   for (std::size_t i = 0; i < x.size(); ++i) d[i] = cfloat(x[i], 0.0F);
   fft_inplace(d);
   return d;
-}
-
-std::vector<cfloat> rfft(std::span<const float> x) {
-  auto full = fft_real(x);
-  full.resize(x.size() / 2 + 1);
-  return full;
-}
-
-std::vector<cfloat> expand_half_spectrum(std::span<const cfloat> half,
-                                         std::size_t n) {
-  RPBCM_CHECK_MSG(half.size() == n / 2 + 1,
-                  "half spectrum must have n/2+1 bins");
-  std::vector<cfloat> full(n);
-  for (std::size_t k = 0; k < half.size(); ++k) full[k] = half[k];
-  for (std::size_t k = half.size(); k < n; ++k) full[k] = std::conj(half[n - k]);
-  return full;
-}
-
-std::vector<float> irfft(std::span<const cfloat> half, std::size_t n) {
-  RPBCM_CHECK_MSG(is_pow2(n), "irfft size must be a power of two");
-  auto full = expand_half_spectrum(half, n);
-  fft_inplace(std::span<cfloat>(full), /*inverse=*/true);
-  std::vector<float> out(n);
-  for (std::size_t i = 0; i < n; ++i) out[i] = full[i].real();
-  return out;
 }
 
 std::size_t fft_butterfly_count(std::size_t n) {

@@ -18,7 +18,10 @@ std::size_t log2_exact(std::size_t n);
 
 /// Pre-computed twiddle factors. Mirrors the twiddle ROM the accelerator
 /// stores on chip ("essential data for the FFT, such as the twiddle factor,
-/// are pre-stored in the ROM", Section IV-A).
+/// are pre-stored in the ROM", Section IV-A). A ROM built for size n also
+/// serves every FFT size dividing n (W_m^k == W_n^{k*(n/m)}), which is how
+/// the packed real FFT (numeric/rfft.hpp) runs its n/2-point inner
+/// transform off the same ROM the accelerator stores for size n.
 class TwiddleRom {
  public:
   /// Builds the ROM for FFT size `n` (power of two).
@@ -40,12 +43,22 @@ class TwiddleRom {
   std::vector<cfloat> w_;
 };
 
+/// Process-wide, thread-safe twiddle-ROM cache: returns the lazily built
+/// ROM for size `n` (power of two). References stay valid for the life of
+/// the process, so hot paths never construct ROMs per call — the software
+/// analogue of the accelerator's one pre-loaded on-chip ROM. Hit/miss
+/// counts are exported as rpbcm.numeric.rom_cache.{hits,misses}.
+const TwiddleRom& twiddle_rom(std::size_t n);
+
 /// In-place iterative radix-2 Cooley-Tukey FFT. `data.size()` must be a
 /// power of two. The inverse transform applies the 1/n scaling (the hardware
-/// implements this as a log2(BS)-bit shift, Section IV-B).
+/// implements this as a log2(BS)-bit shift, Section IV-B). Twiddles come
+/// from the process-wide ROM cache.
 void fft_inplace(std::span<cfloat> data, bool inverse = false);
 
 /// Same, reusing a caller-owned twiddle ROM (avoids per-call sin/cos).
+/// `rom.size()` must be a power-of-two multiple of `data.size()`: a larger
+/// ROM is indexed at a coarser stride, so one ROM serves all smaller sizes.
 void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom,
                  bool inverse = false);
 
@@ -57,22 +70,11 @@ void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom,
 void fft_batch_inplace(std::span<cfloat> data, const TwiddleRom& rom,
                        bool inverse = false);
 
-/// Out-of-place complex FFT of a real signal (full n-bin spectrum).
+/// Out-of-place complex FFT of a real signal (full n-bin spectrum). For
+/// analysis paths only (spectra, singular values); compute paths use the
+/// half-spectrum kernels in numeric/rfft.hpp, which do half the butterfly
+/// work on real data.
 std::vector<cfloat> fft_real(std::span<const float> x);
-
-/// Real FFT returning only the n/2+1 non-redundant bins; the remaining bins
-/// are the conjugate mirror. This is the packing the eMAC PE exploits
-/// ("BS-size computation consists of only BS/2+1 MAC operations").
-std::vector<cfloat> rfft(std::span<const float> x);
-
-/// Inverse of rfft: reconstructs the length-n real signal from the n/2+1
-/// half-spectrum (conjugate symmetry is assumed, the imaginary residue of
-/// the inverse transform is discarded).
-std::vector<float> irfft(std::span<const cfloat> half, std::size_t n);
-
-/// Expands an n/2+1 half-spectrum into the full n-bin spectrum.
-std::vector<cfloat> expand_half_spectrum(std::span<const cfloat> half,
-                                         std::size_t n);
 
 /// Number of real-MAC-equivalent butterfly operations of a radix-2 FFT of
 /// size n: (n/2)*log2(n) butterflies. Used by the FLOPs model and by the

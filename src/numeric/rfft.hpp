@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "numeric/fft.hpp"
+
+namespace rpbcm::numeric {
+
+/// Half-spectrum (real-FFT) kernels. A real length-n signal has a
+/// conjugate-symmetric spectrum, so only n/2+1 bins are non-redundant —
+/// the packing the paper's eMAC PE exploits ("BS-size computation consists
+/// of only BS/2+1 MAC operations", Section IV-B). The forward transform is
+/// the standard packed algorithm: the n real samples are folded into an
+/// n/2-point complex FFT (adjacent even/odd samples become real/imaginary
+/// parts) followed by an O(n) untangling stage, which halves the butterfly
+/// work relative to running a full n-point complex FFT on real data.
+///
+/// The SoA kernels below are the hot path of the BCM layers: spectra stay
+/// as separate re/im float arrays, so the eMAC inner loops are plain float
+/// arithmetic with no std::complex marshalling.
+
+/// Number of non-redundant bins of a real length-n signal: n/2+1.
+constexpr std::size_t half_bins(std::size_t n) { return n / 2 + 1; }
+
+/// Complex scratch words rfft_soa/irfft_soa need for size n: n/2 (min 1).
+constexpr std::size_t rfft_scratch_size(std::size_t n) {
+  return n < 2 ? 1 : n / 2;
+}
+
+/// Packed real FFT, SoA out: transforms the n = rom.size() real samples at
+/// `x` into the n/2+1 half-spectrum bins at (re, im). `scratch` provides
+/// at least rfft_scratch_size(n) complex words. im[0] and im[n/2] are
+/// exactly zero (DC and Nyquist bins of a real signal are real).
+void rfft_soa(const float* x, float* re, float* im, const TwiddleRom& rom,
+              std::span<cfloat> scratch);
+
+/// Hermitian inverse of rfft_soa: reconstructs the n = rom.size() real
+/// samples at `x` from the n/2+1 half-spectrum bins at (re, im). Conjugate
+/// symmetry of the implied full spectrum is assumed, so a Hermitian
+/// accumulation (any product/sum of real-signal spectra) inverts exactly.
+void irfft_soa(const float* re, const float* im, float* x,
+               const TwiddleRom& rom, std::span<cfloat> scratch);
+
+/// Batched rfft_soa: `x` holds x.size()/n signals of n points back to
+/// back; the half spectra land in (re, im), half_bins(n) bins per signal,
+/// also back to back. Independent transforms are spread over
+/// base::parallel_for with the fixed-grain chunking contract, so results
+/// are bitwise identical at every thread count. Transform counts are
+/// exported as rpbcm.numeric.rfft.transforms.
+void rfft_batch_soa(std::span<const float> x, std::size_t n,
+                    std::span<float> re, std::span<float> im);
+
+/// Batched irfft_soa, same layout and determinism contract as
+/// rfft_batch_soa. Counted as rpbcm.numeric.irfft.transforms.
+void irfft_batch_soa(std::span<const float> re, std::span<const float> im,
+                     std::size_t n, std::span<float> x);
+
+/// Real FFT returning only the n/2+1 non-redundant bins; the remaining
+/// bins are the conjugate mirror (convenience AoS wrapper of rfft_soa).
+std::vector<cfloat> rfft(std::span<const float> x);
+
+/// Inverse of rfft: reconstructs the length-n real signal from the n/2+1
+/// half-spectrum (conjugate symmetry is assumed).
+std::vector<float> irfft(std::span<const cfloat> half, std::size_t n);
+
+/// Expands an n/2+1 half-spectrum into the full n-bin spectrum.
+std::vector<cfloat> expand_half_spectrum(std::span<const cfloat> half,
+                                         std::size_t n);
+
+/// Real-MAC-equivalent butterfly operations of the packed real FFT of size
+/// n: the n/2-point complex FFT plus the n/2-op untangling stage — roughly
+/// half of fft_butterfly_count(n).
+std::size_t rfft_butterfly_count(std::size_t n);
+
+}  // namespace rpbcm::numeric

@@ -124,7 +124,7 @@ TEST(ParallelEquivTest, BcmConvBitwiseAcrossThreadCounts) {
 TEST(ParallelEquivTest, FftBatchMatchesSerialLoopBitwise) {
   ThreadGuard guard;
   const std::size_t bs = 8, count = 33;  // odd count: short tail chunk
-  const numeric::TwiddleRom rom(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   numeric::Rng rng(9);
   std::vector<numeric::cfloat> init(bs * count);
   for (auto& v : init)

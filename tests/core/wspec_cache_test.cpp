@@ -1,0 +1,265 @@
+// Weight-spectrum cache invalidation tests: the BCM layers re-FFT their
+// defining vectors only when the parameters or the skip index actually
+// changed (keyed on Param::version + the layer's mask version). Each
+// scenario asserts BOTH the refresh/hit counter deltas and that the output
+// after the mutation matches the dense ground truth — a stale cache would
+// produce a bitwise-plausible but wrong forward pass.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/bcm_conv.hpp"
+#include "core/bcm_linear.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/optimizer.hpp"
+#include "obs/registry.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::core {
+namespace {
+
+using testutil::max_abs_diff;
+using testutil::random_tensor;
+
+std::uint64_t refreshes() {
+  return obs::Registry::global().counter("rpbcm.core.wspec.refreshes").value();
+}
+std::uint64_t cache_hits() {
+  return obs::Registry::global().counter("rpbcm.core.wspec.cache_hits").value();
+}
+
+// Counter deltas across a callable.
+struct Deltas {
+  std::uint64_t refreshes = 0, hits = 0;
+};
+template <typename Fn>
+Deltas deltas_of(Fn&& fn) {
+  const std::uint64_t r0 = refreshes(), h0 = cache_hits();
+  fn();
+  return {refreshes() - r0, cache_hits() - h0};
+}
+
+tensor::Tensor dense_linear_forward(const BcmLinear& layer,
+                                    const tensor::Tensor& x) {
+  const auto w = layer.dense_weights();  // [out, in]
+  tensor::Tensor y({x.dim(0), w.dim(0)});
+  for (std::size_t n = 0; n < x.dim(0); ++n)
+    for (std::size_t o = 0; o < w.dim(0); ++o) {
+      float acc = 0.0F;
+      for (std::size_t i = 0; i < w.dim(1); ++i)
+        acc += w.at(o, i) * x.at(n, i);
+      y.at(n, o) = acc;
+    }
+  return y;
+}
+
+nn::ConvSpec spec3x3(std::size_t cin, std::size_t cout) {
+  nn::ConvSpec s;
+  s.in_channels = cin;
+  s.out_channels = cout;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+TEST(WspecCacheTest, LinearRepeatForwardHitsCache) {
+  numeric::Rng rng(1);
+  BcmLinear layer(16, 16, 8, /*hadamard=*/true, rng);
+  const auto x = random_tensor({2, 16}, 2, 0.6F);
+
+  tensor::Tensor y1, y2;
+  const auto first = deltas_of([&] { y1 = layer.forward(x, false); });
+  EXPECT_EQ(first.refreshes, 1u);
+  EXPECT_EQ(first.hits, 0u);
+
+  const auto second = deltas_of([&] { y2 = layer.forward(x, false); });
+  EXPECT_EQ(second.refreshes, 0u);
+  EXPECT_EQ(second.hits, 1u);
+
+  // Identical parameters, identical spectra: bitwise-equal outputs.
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+  EXPECT_LT(max_abs_diff(y2, dense_linear_forward(layer, x)), 1e-3);
+}
+
+TEST(WspecCacheTest, LinearOptimizerStepInvalidates) {
+  numeric::Rng rng(3);
+  BcmLinear layer(16, 8, 8, true, rng);
+  const auto x = random_tensor({2, 16}, 4, 0.6F);
+
+  layer.forward(x, true);
+  layer.backward(random_tensor({2, 8}, 5, 1.0F));
+  nn::Sgd opt(0.05F);
+
+  const auto d = deltas_of([&] {
+    opt.step(layer.params());
+    const auto y = layer.forward(x, false);
+    EXPECT_LT(max_abs_diff(y, dense_linear_forward(layer, x)), 1e-3);
+  });
+  EXPECT_EQ(d.refreshes, 1u);  // exactly one re-FFT, no redundant work
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST(WspecCacheTest, LinearPruneInvalidates) {
+  numeric::Rng rng(5);
+  BcmLinear layer(16, 16, 8, true, rng);
+  const auto x = random_tensor({2, 16}, 6, 0.6F);
+  layer.forward(x, false);
+
+  const auto d = deltas_of([&] {
+    layer.prune_block(1);
+    const auto y = layer.forward(x, false);
+    EXPECT_LT(max_abs_diff(y, dense_linear_forward(layer, x)), 1e-3);
+  });
+  EXPECT_EQ(d.refreshes, 1u);
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST(WspecCacheTest, LinearRestoreInvalidates) {
+  numeric::Rng rng(7);
+  BcmLinear layer(16, 16, 8, true, rng);
+  const auto x = random_tensor({2, 16}, 8, 0.6F);
+  const auto snap = layer.snapshot();
+  layer.prune_block(0);
+  const auto pruned = layer.forward(x, false);
+
+  const auto d = deltas_of([&] {
+    layer.restore(snap);
+    const auto y = layer.forward(x, false);
+    EXPECT_LT(max_abs_diff(y, dense_linear_forward(layer, x)), 1e-3);
+    // The rollback must actually undo the pruning in the compute path.
+    EXPECT_GT(max_abs_diff(y, pruned), 1e-4);
+  });
+  EXPECT_EQ(d.refreshes, 1u);
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST(WspecCacheTest, LinearSetSkipIndexInvalidates) {
+  numeric::Rng rng(9);
+  BcmLinear layer(16, 16, 8, true, rng);
+  const auto x = random_tensor({2, 16}, 10, 0.6F);
+  layer.forward(x, false);
+
+  const auto d = deltas_of([&] {
+    auto skip = layer.skip_index();
+    skip[2] = 0;
+    layer.set_skip_index(std::move(skip));
+    const auto y = layer.forward(x, false);
+    // dense_weights() honors the skip index, so the reference agrees.
+    EXPECT_LT(max_abs_diff(y, dense_linear_forward(layer, x)), 1e-3);
+  });
+  EXPECT_EQ(d.refreshes, 1u);
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST(WspecCacheTest, ConvRepeatForwardHitsCache) {
+  numeric::Rng rng(11);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto x = random_tensor({1, 8, 5, 5}, 12, 0.5F);
+
+  tensor::Tensor y1, y2;
+  const auto first = deltas_of([&] { y1 = layer.forward(x, false); });
+  EXPECT_EQ(first.refreshes, 1u);
+  EXPECT_EQ(first.hits, 0u);
+
+  const auto second = deltas_of([&] { y2 = layer.forward(x, false); });
+  EXPECT_EQ(second.refreshes, 0u);
+  EXPECT_EQ(second.hits, 1u);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+
+  const auto ref = nn::conv2d_reference(x, layer.dense_weights(),
+                                        layer.spec());
+  EXPECT_LT(max_abs_diff(y2, ref), 1e-3);
+}
+
+TEST(WspecCacheTest, ConvOptimizerStepInvalidates) {
+  numeric::Rng rng(13);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 14, 0.5F);
+
+  layer.forward(x, true);
+  layer.backward(random_tensor({1, 8, 4, 4}, 15, 1.0F));
+  nn::Sgd opt(0.05F);
+
+  const auto d = deltas_of([&] {
+    opt.step(layer.params());
+    const auto y = layer.forward(x, false);
+    const auto ref = nn::conv2d_reference(x, layer.dense_weights(),
+                                          layer.spec());
+    EXPECT_LT(max_abs_diff(y, ref), 1e-3);
+  });
+  EXPECT_EQ(d.refreshes, 1u);
+  EXPECT_EQ(d.hits, 0u);
+}
+
+TEST(WspecCacheTest, ConvPruneAndRestoreInvalidate) {
+  numeric::Rng rng(17);
+  BcmConv2d layer(spec3x3(8, 16), 8, BcmParameterization::kPlain, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 18, 0.5F);
+  const auto snap = layer.snapshot();
+  layer.forward(x, false);
+
+  const auto prune = deltas_of([&] {
+    layer.prune_block(3);
+    const auto y = layer.forward(x, false);
+    const auto ref = nn::conv2d_reference(x, layer.dense_weights(),
+                                          layer.spec());
+    EXPECT_LT(max_abs_diff(y, ref), 1e-3);
+  });
+  EXPECT_EQ(prune.refreshes, 1u);
+  EXPECT_EQ(prune.hits, 0u);
+
+  const auto restore = deltas_of([&] {
+    layer.restore(snap);
+    const auto y = layer.forward(x, false);
+    const auto ref = nn::conv2d_reference(x, layer.dense_weights(),
+                                          layer.spec());
+    EXPECT_LT(max_abs_diff(y, ref), 1e-3);
+  });
+  EXPECT_EQ(restore.refreshes, 1u);
+  EXPECT_EQ(restore.hits, 0u);
+}
+
+TEST(WspecCacheTest, ConvLoadDefiningInvalidates) {
+  numeric::Rng rng(19);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto x = random_tensor({1, 8, 4, 4}, 20, 0.5F);
+  layer.forward(x, false);
+
+  const auto d = deltas_of([&] {
+    std::vector<float> w(8, 0.25F);
+    layer.load_defining(0, w);
+    const auto y = layer.forward(x, false);
+    const auto ref = nn::conv2d_reference(x, layer.dense_weights(),
+                                          layer.spec());
+    EXPECT_LT(max_abs_diff(y, ref), 1e-3);
+  });
+  EXPECT_EQ(d.refreshes, 1u);
+  EXPECT_EQ(d.hits, 0u);
+}
+
+// Backward consumes the cached spectra of the preceding forward; a full
+// train step must still refresh exactly once per parameter change.
+TEST(WspecCacheTest, TrainLoopRefreshesOncePerStep) {
+  numeric::Rng rng(23);
+  BcmLinear layer(16, 16, 8, true, rng);
+  const auto x = random_tensor({4, 16}, 24, 0.6F);
+  const auto g = random_tensor({4, 16}, 25, 1.0F);
+  nn::Sgd opt(0.01F);
+
+  layer.forward(x, true);  // initial build
+  const auto d = deltas_of([&] {
+    for (int step = 0; step < 3; ++step) {
+      nn::zero_grads(layer.params());
+      layer.forward(x, true);   // cache hit: params unchanged since step
+      layer.backward(g);
+      opt.step(layer.params());
+      layer.forward(x, false);  // refresh: optimizer moved the params
+    }
+  });
+  EXPECT_EQ(d.refreshes, 3u);
+  EXPECT_EQ(d.hits, 3u);
+}
+
+}  // namespace
+}  // namespace rpbcm::core

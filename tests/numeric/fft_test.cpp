@@ -6,6 +6,7 @@
 
 #include "base/check.hpp"
 #include "numeric/random.hpp"
+#include "numeric/rfft.hpp"
 
 namespace rpbcm::numeric {
 namespace {
@@ -155,10 +156,26 @@ TEST(FftTest, ButterflyCount) {
   EXPECT_EQ(fft_butterfly_count(16), 32u);
 }
 
-TEST(FftTest, RomSizeMismatchRejected) {
+TEST(FftTest, RomSmallerThanDataRejected) {
   std::vector<cfloat> d(8);
-  const TwiddleRom rom(16);
+  const TwiddleRom rom(4);
   EXPECT_THROW(fft_inplace(std::span<cfloat>(d), rom, false), CheckError);
+}
+
+// A ROM of size n serves any divisor size via twiddle striding
+// (W_m^k == W_n^{k*(n/m)}) — the property the packed rfft relies on to run
+// its inner n/2-point FFT off the size-n ROM.
+TEST(FftTest, LargerRomMatchesExactRom) {
+  Rng rng(13);
+  std::vector<cfloat> a(8), b(8);
+  for (std::size_t i = 0; i < 8; ++i)
+    a[i] = b[i] = cfloat(rng.gaussian(), rng.gaussian());
+  fft_inplace(std::span<cfloat>(a), TwiddleRom(8), false);
+  fft_inplace(std::span<cfloat>(b), TwiddleRom(16), false);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_EQ(a[k].real(), b[k].real()) << "bin " << k;
+    EXPECT_EQ(a[k].imag(), b[k].imag()) << "bin " << k;
+  }
 }
 
 TEST(FftTest, LinearityOfTransform) {

@@ -54,10 +54,13 @@ inline double param_grad_error(nn::Layer& layer, const Tensor& x,
           rng.randint(0, static_cast<int>(p->value.size()) - 1));
       const float orig = p->value[idx];
       p->value[idx] = orig + eps;
+      p->mark_updated();  // out-of-band write: invalidate spectrum caches
       const double lp = probe.value(layer.forward(x, true));
       p->value[idx] = orig - eps;
+      p->mark_updated();
       const double lm = probe.value(layer.forward(x, true));
       p->value[idx] = orig;
+      p->mark_updated();
       const double fd = (lp - lm) / (2.0 * static_cast<double>(eps));
       const double err = std::abs(fd - static_cast<double>(p->grad[idx]));
       max_err = std::max(max_err, err);

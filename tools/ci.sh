@@ -11,6 +11,9 @@
 #   4. TSan build, `ctest -L san`
 #   5. clang-tidy over the compile database (skipped with a notice when
 #      clang-tidy is not installed; any finding is fatal)
+#   6. bench smoke: bench_micro_kernels in minimum-time mode, and the
+#      --kernels-json baseline writer — fails if BENCH_kernels.json is
+#      not produced (catches bit-rot in the benchmark harness itself)
 #
 # Every stage exits nonzero on any finding. See docs/static_analysis.md.
 #
@@ -18,6 +21,7 @@
 #   JOBS=N          parallelism (default: nproc)
 #   SKIP_TSAN=1     skip stage 3 (e.g. on machines without TSan runtime)
 #   SKIP_ASAN=1     skip stage 2
+#   SKIP_BENCH=1    skip stage 6
 
 set -euo pipefail
 
@@ -65,6 +69,23 @@ if [[ $tidy_status -eq 3 ]]; then
   echo "ci.sh: clang-tidy unavailable — stage skipped"
 elif [[ $tidy_status -ne 0 ]]; then
   exit "$tidy_status"
+fi
+
+if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
+  stage "bench smoke + kernels baseline JSON"
+  # Smoke pass: every benchmark at a tiny min-time. This google-benchmark
+  # predates the duration-suffix syntax, so the value is a bare double.
+  RPBCM_THREADS=1 build-strict/bench/bench_micro_kernels \
+    --benchmark_min_time=0.01 > /dev/null
+  bench_json="build-strict/BENCH_kernels.json"
+  rm -f "$bench_json"
+  RPBCM_THREADS=1 build-strict/bench/bench_micro_kernels \
+    --benchmark_filter='NONE' --threads=1 \
+    --kernels-json="$bench_json" > /dev/null
+  if [[ ! -s "$bench_json" ]]; then
+    echo "ci.sh: bench_micro_kernels did not produce $bench_json" >&2
+    exit 1
+  fi
 fi
 
 stage "all stages passed"
