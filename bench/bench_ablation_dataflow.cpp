@@ -14,6 +14,7 @@
 #include <sstream>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/frequency_quant.hpp"
 #include "core/pruning.hpp"
 #include "core/serialization.hpp"
@@ -41,7 +42,8 @@ double fps_for(const hw::HwConfig& cfg, double alpha = 0.5) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Ablations", "dataflow / skip scheme / p / bandwidth / "
                                  "tiles on ResNet-18");
 
@@ -162,5 +164,6 @@ int main() {
       "expected: fine-grained > monolithic > serial; skip-scheme speedup "
       "~1/(1-alpha) at high alpha; FPS saturates in p once transfers "
       "dominate; accuracy holds down to ~8-bit frequency-domain weights");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/admm.hpp"
 #include "core/pruning.hpp"
 #include "core/rank_analysis.hpp"
@@ -67,7 +68,8 @@ double mean_eff_rank(nn::Sequential& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Training ablation",
                     "from-scratch BCM vs ADMM projection vs hadaBCM (BS=8)");
   const nn::SyntheticImageDataset data(dataset_spec());
@@ -136,5 +138,6 @@ int main() {
       "set (violation << 1) or projection costs accuracy; hadaBCM matches "
       "or beats plain BCM at identical deployed size with higher "
       "effective rank");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/pruning.hpp"
 #include "core/rank_analysis.hpp"
 #include "numeric/stats.hpp"
@@ -197,7 +198,8 @@ void converged_regime_panel() {
               "BS 8/16/32; ~2%% for original conv units\n");
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Fig. 2",
                     "singular-value decay: original conv vs Gaussian vs "
                     "trained BCM");
@@ -209,5 +211,6 @@ int main() {
       "blocks decay exponentially. Short proxy training shows the onset "
       "(steeper BCM slope); the converged-regime model reproduces the "
       "paper's poor-rank percentages (see DESIGN.md substitutions)");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

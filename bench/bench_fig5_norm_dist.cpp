@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/pruning.hpp"
 #include "models/model_zoo.hpp"
 #include "numeric/kde.hpp"
@@ -96,7 +97,8 @@ void report(const char* label, std::span<const float> norms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Fig. 5",
                     "norm distribution of pruning units: U_bcm vs U_cnn");
   const std::size_t bs = 8;
@@ -140,5 +142,6 @@ int main() {
       "expected shape (paper Fig. 5): U_bcm has larger deviation and its "
       "minimum norm sits closer to zero — both requirements of norm-based "
       "pruning [20]");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/pruning.hpp"
 #include "core/rank_analysis.hpp"
 #include "models/model_zoo.hpp"
@@ -85,7 +86,8 @@ Summary summarize(nn::Sequential& model) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Fig. 9a", "hadaBCM repairs the BCM rank condition");
 
   const std::size_t bs = 16;  // same block as the left panel of Fig. 2
@@ -134,5 +136,6 @@ int main() {
       "expected shape: hadaBCM decays more linearly, has a much smaller "
       "poor-rank fraction, and trains to equal-or-better accuracy at "
       "identical deployed size");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

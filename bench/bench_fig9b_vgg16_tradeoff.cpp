@@ -3,9 +3,11 @@
 // BS=8, then BCM-wise pruning). Scaled proxy on the synthetic Cifar-10
 // stand-in; see DESIGN.md substitutions.
 
+#include "obs/cli.hpp"
 #include "tradeoff_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const rpbcm::obs::CliOptions obs_opts = rpbcm::obs::parse_cli(argc, argv);
   rpbcm::benchutil::TradeoffSetup s;
   s.figure = "Fig. 9b";
   s.network = "VGG-16 proxy / synthetic Cifar-10 stand-in (beta ~ paper's 92%)";
@@ -14,5 +16,6 @@ int main() {
   s.beta_drop = 0.05;
   s.seed = 51;
   rpbcm::benchutil::run_tradeoff(s);
+  rpbcm::obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -3,9 +3,11 @@
 // task is not learnable by the scaled proxy in bench time; the comparison
 // between compression methods is unaffected — all series share the task).
 
+#include "obs/cli.hpp"
 #include "tradeoff_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const rpbcm::obs::CliOptions obs_opts = rpbcm::obs::parse_cli(argc, argv);
   rpbcm::benchutil::TradeoffSetup s;
   s.figure = "Fig. 9c";
   s.network =
@@ -15,5 +17,6 @@ int main() {
   s.beta_drop = 0.07;
   s.seed = 61;
   rpbcm::benchutil::run_tradeoff(s);
+  rpbcm::obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -33,6 +33,7 @@
 #include "numeric/rfft.hpp"
 #include "obs/cli.hpp"
 #include "obs/json.hpp"
+#include "obs/log.hpp"
 #include "obs/macros.hpp"
 #include "tensor/init.hpp"
 
@@ -535,8 +536,8 @@ int main(int argc, char** argv) {
   bool want_json = false;
   std::string json_path = "BENCH_kernels.json";
   if (!parse_parallel_flags(argc, argv, threads, want_json, json_path)) {
-    std::fprintf(stderr,
-                 "usage: --threads=N (N>=1), --kernels-json[=PATH]\n");
+    RPBCM_LOG_ERROR("bench", "usage: --threads=N (N>=1), "
+                             "--kernels-json[=PATH]");
     return 1;
   }
   if (threads != 0) base::set_num_threads(threads);

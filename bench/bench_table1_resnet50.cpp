@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "core/compression_stats.hpp"
 #include "core/pruning.hpp"
 #include "models/model_zoo.hpp"
@@ -93,7 +94,8 @@ void published_row(const char* method, const char* top1, const char* d1,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Table I", "compression comparison on ResNet-50/ImageNet");
 
   const auto net = models::resnet50_imagenet_shape();
@@ -163,5 +165,6 @@ int main() {
       "shape check: ours has by far the largest parameter reduction of any "
       "method in the table (>88%), with FLOPs reduction in the 70-80% band "
       "at BS=8");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -4,11 +4,13 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "obs/cli.hpp"
 #include "hw/resource_model.hpp"
 
 using namespace rpbcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   benchutil::banner("Table II", "resource estimation with the skip scheme");
 
   hw::HwConfig with;       // proposed Pruned-BCM PE (skip scheme on)
@@ -44,5 +46,6 @@ int main() {
   benchutil::note(
       "paper claim: the skip scheme adds a negligible sliver of logic "
       "(1 bit per BCM index buffer + controller), zero DSPs");
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -13,9 +13,12 @@
 #include "hw/accelerator.hpp"
 #include "models/model_zoo.hpp"
 
+#include "obs/cli.hpp"
+
 using namespace rpbcm;
 
 int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   const double alpha = argc > 1 ? std::strtod(argv[1], nullptr) : 0.5;
   const std::size_t bs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
 
@@ -66,5 +69,6 @@ int main(int argc, char** argv) {
   std::printf("total: %llu cycles -> %.2f FPS at %.0f MHz\n",
               static_cast<unsigned long long>(r.total_cycles), r.fps,
               cfg.frequency_mhz);
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -16,11 +16,13 @@
 #include "hw/functional.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/trainer.hpp"
+#include "obs/cli.hpp"
 #include "tensor/init.hpp"
 
 using namespace rpbcm;
 
-int main() {
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   std::printf("== deploy_check: float vs 16-bit fixed-point datapath ==\n\n");
 
   // Train a small hadaBCM model and prune a third of its blocks so the
@@ -84,5 +86,6 @@ int main() {
                               "within quantization noise — safe to deploy"
                             : "some layers show excess quantization error — "
                               "consider rescaling activations");
+  obs::dump_outputs(obs_opts);
   return all_ok ? 0 : 1;
 }

@@ -11,8 +11,12 @@
 //
 // Observability:  --trace-out=trace.json    Chrome trace (chrome://tracing)
 //                 --metrics-out=metrics.json  registry snapshot
+//                 --metrics-jsonl=/--metrics-prom=  background exporter
+//
+// --smoke shrinks training/pruning to a few seconds for CI smoke runs.
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/frequency_weights.hpp"
 #include "core/pruning.hpp"
@@ -26,7 +30,10 @@ using namespace rpbcm;
 
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
-  std::printf("== RP-BCM quickstart ==\n\n");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  std::printf("== RP-BCM quickstart%s ==\n\n", smoke ? " (smoke)" : "");
 
   // --- 1. model: scaled VGG with hadaBCM convolutions (BS = 8) ----------
   models::ScaledNetConfig mcfg;
@@ -45,12 +52,12 @@ int main(int argc, char** argv) {
   // --- 2. train ----------------------------------------------------------
   nn::SyntheticSpec dspec;
   dspec.classes = 6;
-  dspec.train = 768;
-  dspec.test = 192;
+  dspec.train = smoke ? 192 : 768;
+  dspec.test = smoke ? 96 : 192;
   const nn::SyntheticImageDataset data(dspec);
   nn::TrainConfig tcfg;
-  tcfg.epochs = 5;
-  tcfg.steps_per_epoch = 20;
+  tcfg.epochs = smoke ? 1 : 5;
+  tcfg.steps_per_epoch = smoke ? 4 : 20;
   tcfg.batch = 16;
   nn::Trainer trainer(*model, data, tcfg);
   trainer.set_progress_callback([](const nn::EpochStats& s) {
@@ -69,7 +76,7 @@ int main(int argc, char** argv) {
   pcfg.alpha_init = 0.2F;
   pcfg.alpha_step = 0.2F;
   pcfg.target_accuracy = trained - 0.05;  // β: allow a 5-point drop
-  pcfg.finetune_epochs = 2;
+  pcfg.finetune_epochs = smoke ? 1 : 2;
   pcfg.finetune_lr = 0.01F;
   const core::BcmPruner pruner(pcfg);
   std::printf("\npruning (beta = %.1f%%)...\n",

@@ -13,6 +13,7 @@
 #include "numeric/stats.hpp"
 #include "models/model_zoo.hpp"
 #include "nn/trainer.hpp"
+#include "obs/cli.hpp"
 
 using namespace rpbcm;
 
@@ -73,6 +74,7 @@ void diagnose(const char* label, nn::Sequential& model) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   const std::size_t bs = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
   std::printf("== rank_doctor: BCM vs hadaBCM rank condition (BS=%zu) ==\n",
               bs);
@@ -84,5 +86,6 @@ int main(int argc, char** argv) {
   std::printf("\naccuracy: BCM %.1f%%  |  hadaBCM %.1f%%  (same deployed "
               "parameter count)\n",
               acc_plain * 100.0, acc_hada * 100.0);
+  obs::dump_outputs(obs_opts);
   return 0;
 }

@@ -23,6 +23,8 @@
 #include "hw/buffer_check.hpp"
 #include "hw/report_io.hpp"
 #include "models/model_zoo.hpp"
+#include "obs/cli.hpp"
+#include "obs/log.hpp"
 
 using namespace rpbcm;
 
@@ -33,14 +35,16 @@ core::NetworkShape pick_network(const std::string& name) {
   if (name == "resnet50") return models::resnet50_imagenet_shape();
   if (name == "vgg16") return models::vgg16_cifar_shape();
   if (name == "vgg19") return models::vgg19_cifar_shape();
-  std::fprintf(stderr, "unknown network '%s' (want resnet18|resnet50|vgg16|vgg19)\n",
-               name.c_str());
+  RPBCM_LOG_ERROR("whatif", "unknown network '" << name
+                                              << "' (want resnet18|resnet50|"
+                                                 "vgg16|vgg19)");
   std::exit(1);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
   const std::string name = argc > 1 ? argv[1] : "resnet18";
   const std::size_t bs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
   const double alpha = argc > 3 ? std::strtod(argv[3], nullptr) : 0.5;
@@ -103,5 +107,6 @@ int main(int argc, char** argv) {
     hw::write_layer_csv(r, csv);
     std::printf("\nper-layer cycle breakdown written to %s\n", csv);
   }
+  obs::dump_outputs(obs_opts);
   return 0;
 }

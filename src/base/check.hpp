@@ -32,6 +32,20 @@ namespace detail {
     if (!(cond)) ::rpbcm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
   } while (0)
 
+/// Debug-only check: identical to RPBCM_CHECK when NDEBUG is undefined,
+/// a no-op (argument type-checked but unevaluated) in release builds. For
+/// hot-path preconditions where the release behaviour is a documented
+/// degradation rather than corruption (e.g. histograms drop-and-count NaN
+/// samples instead of throwing).
+#ifdef NDEBUG
+#define RPBCM_DCHECK(cond)  \
+  do {                      \
+    (void)sizeof((cond));   \
+  } while (0)
+#else
+#define RPBCM_DCHECK(cond) RPBCM_CHECK(cond)
+#endif
+
 #define RPBCM_CHECK_MSG(cond, msg)                                     \
   do {                                                                 \
     if (!(cond)) {                                                     \

@@ -1,6 +1,7 @@
 #include "base/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -42,6 +43,9 @@ struct ForContext {
   std::vector<ChunkRange> chunks;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  // Resolved once per parallel_for call; per-chunk recording into the
+  // bucketed histogram is lock-free, so workers never serialize on it.
+  RPBCM_OBS_ONLY(::rpbcm::obs::Histogram* chunk_hist = nullptr;)
 
   std::mutex mu;
   std::condition_variable cv;
@@ -55,6 +59,8 @@ struct ForContext {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= total) return;
+      RPBCM_OBS_ONLY(const auto chunk_start =
+                         std::chrono::steady_clock::now();)
       try {
         (*fn)(i, chunks[i].begin, chunks[i].end);
       } catch (...) {
@@ -71,6 +77,10 @@ struct ForContext {
       } else {
         RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_stolen", 1);
       }
+      RPBCM_OBS_ONLY(if (chunk_hist != nullptr) chunk_hist->record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        chunk_start)
+              .count());)
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
         // Lock pairing with the caller's wait: either the caller has not
         // checked the predicate yet (it will observe done==total), or it is
@@ -228,6 +238,8 @@ void parallel_for_chunks(
   auto ctx = std::make_shared<ForContext>();
   ctx->fn = &fn;
   ctx->chunks = std::move(chunks);
+  RPBCM_OBS_ONLY(ctx->chunk_hist = &::rpbcm::obs::Registry::global().histogram(
+                     "rpbcm.base.pool.chunk_seconds");)
   const std::size_t total = ctx->chunks.size();
 
   pool.ensure_started();

@@ -220,6 +220,8 @@ void BcmConv2d::maybe_refresh_weight_spectra() {
     RPBCM_OBS_COUNT("rpbcm.core.wspec.cache_hits", 1);
     return;
   }
+  RPBCM_OBS_TIMED_SCOPE("core", "wspec_refresh",
+                        "rpbcm.core.wspec.refresh_seconds");
   const std::size_t blocks = layout_.total_blocks();
   const std::size_t bs = layout_.block_size;
   const std::size_t hb = numeric::half_bins(bs);

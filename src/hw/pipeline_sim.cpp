@@ -4,6 +4,7 @@
 
 #include "base/check.hpp"
 #include "base/parallel.hpp"
+#include "obs/macros.hpp"
 
 namespace rpbcm::hw {
 
@@ -12,6 +13,9 @@ std::uint64_t simulate_tile_pipeline(const std::vector<TileStreamCosts>& tiles,
   if (trace) *trace = PipelineTrace{};
   if (tiles.empty()) return 0;
   const std::size_t n = tiles.size();
+  RPBCM_OBS_TIMED_SCOPE("hw", "tile_pipeline",
+                        "rpbcm.hw.pipeline.sim_seconds");
+  RPBCM_OBS_COUNT("rpbcm.hw.pipeline.tiles", n);
   // finish[s][i]: completion cycle of stream s on tile i.
   std::array<std::vector<std::uint64_t>, kPipelineStreams> finish;
   for (auto& f : finish) f.assign(n, 0);

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/log.hpp"
 #include "obs/macros.hpp"
 
 namespace rpbcm::nn {
@@ -69,11 +70,15 @@ std::vector<EpochStats> Trainer::train() {
     RPBCM_OBS_OBSERVE("rpbcm.train.eval_seconds", s.eval_seconds);
     RPBCM_OBS_GAUGE("rpbcm.train.last_loss", s.mean_loss);
     RPBCM_OBS_GAUGE("rpbcm.train.last_top1", s.test_top1);
-    if (cfg_.verbose)
-      std::printf("  epoch %2zu  lr %.4f  loss %.4f  top1 %.3f  "
-                  "(%.2fs train, %.2fs eval)\n",
-                  e, s.lr, s.mean_loss, s.test_top1, s.train_seconds,
-                  s.eval_seconds);
+    if (cfg_.verbose) {
+      char line[112];
+      std::snprintf(line, sizeof line,
+                    "epoch %2zu  lr %.4f  loss %.4f  top1 %.3f  "
+                    "(%.2fs train, %.2fs eval)",
+                    e, s.lr, s.mean_loss, s.test_top1, s.train_seconds,
+                    s.eval_seconds);
+      RPBCM_LOG_INFO("train", line);
+    }
     if (progress_) progress_(s);
     stats.push_back(s);
   }

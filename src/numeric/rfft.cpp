@@ -97,6 +97,8 @@ void rfft_batch_soa(std::span<const float> x, std::size_t n,
   const std::size_t hb = half_bins(n);
   RPBCM_CHECK(re.size() >= count * hb && im.size() >= count * hb);
   const TwiddleRom& rom = twiddle_rom(n);
+  RPBCM_OBS_TIMED_SCOPE("numeric", "rfft_batch",
+                        "rpbcm.numeric.rfft.batch_seconds");
   base::parallel_for(0, count, kBatchGrain,
                      [&](std::size_t b, std::size_t e) {
     std::vector<cfloat> scratch(rfft_scratch_size(n));
@@ -116,6 +118,8 @@ void irfft_batch_soa(std::span<const float> re, std::span<const float> im,
   const std::size_t hb = half_bins(n);
   RPBCM_CHECK(re.size() >= count * hb && im.size() >= count * hb);
   const TwiddleRom& rom = twiddle_rom(n);
+  RPBCM_OBS_TIMED_SCOPE("numeric", "irfft_batch",
+                        "rpbcm.numeric.irfft.batch_seconds");
   base::parallel_for(0, count, kBatchGrain,
                      [&](std::size_t b, std::size_t e) {
     std::vector<cfloat> scratch(rfft_scratch_size(n));

@@ -5,29 +5,48 @@
 namespace rpbcm::obs {
 
 /// Observability flags shared by examples and benches:
-///   --trace-out=<file>.json    Chrome trace_event timeline
-///   --metrics-out=<file>.json  registry snapshot
-///   --metrics-md=<file>.md     registry snapshot as markdown
+///   --trace-out=<file>.json     Chrome trace_event timeline
+///   --metrics-out=<file>.json   registry snapshot at exit
+///   --metrics-md=<file>.md      registry snapshot as markdown at exit
+///   --metrics-jsonl=<file>      background Exporter: appended JSONL time
+///                               series, one snapshot line per period
+///   --metrics-prom=<file>       background Exporter: Prometheus text
+///                               exposition file, rewritten per period
+///   --metrics-period-ms=<n>     Exporter cadence (default 250)
+///   --log-out=<file>            structured logs as JSON lines instead of
+///                               human-readable stderr
 struct CliOptions {
   std::string trace_out;
   std::string metrics_out;
   std::string metrics_md;
+  std::string metrics_jsonl;
+  std::string metrics_prom;
+  std::string log_out;
+  int metrics_period_ms = 250;
 
   bool any() const {
-    return !trace_out.empty() || !metrics_out.empty() || !metrics_md.empty();
+    return !trace_out.empty() || !metrics_out.empty() ||
+           !metrics_md.empty() || !metrics_jsonl.empty() ||
+           !metrics_prom.empty() || !log_out.empty();
+  }
+  bool wants_exporter() const {
+    return !metrics_jsonl.empty() || !metrics_prom.empty();
   }
 };
 
 /// Extracts the observability flags from argv, compacting argv in place so
 /// downstream parsers (e.g. google-benchmark) never see them; argc is
-/// decremented accordingly. Enables the global TraceSession when
-/// --trace-out is present, so instrumented code starts emitting
-/// immediately.
+/// decremented accordingly. Side effects so instrumented code starts
+/// emitting immediately: enables the global TraceSession when --trace-out
+/// is present, starts the global Exporter when --metrics-jsonl or
+/// --metrics-prom is present, and redirects the global Logger when
+/// --log-out is present.
 CliOptions parse_cli(int& argc, char** argv);
 
-/// Writes the requested outputs (global TraceSession / global Registry
-/// snapshot) and prints one line per file written. No-op when no flag was
-/// given.
+/// Finalizes the run: stops the global Exporter (one last flush), writes
+/// the requested one-shot outputs from the global TraceSession / Registry,
+/// closes the log sink, and prints one line per file written. No-op when
+/// no flag was given.
 void dump_outputs(const CliOptions& opts);
 
 }  // namespace rpbcm::obs

@@ -1,0 +1,131 @@
+#include "obs/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/check.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace rpbcm::obs {
+
+namespace {
+
+std::int64_t unix_millis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Exporter& Exporter::global() {
+  static Exporter instance;  // destructor joins the thread at exit
+  return instance;
+}
+
+Exporter::~Exporter() { stop(); }
+
+Registry& Exporter::registry() const {
+  return options_.registry != nullptr ? *options_.registry
+                                      : Registry::global();
+}
+
+void Exporter::start(ExporterOptions options) {
+  RPBCM_CHECK_MSG(!options.jsonl_path.empty() || !options.prom_path.empty(),
+                  "Exporter::start needs a jsonl_path or prom_path");
+  RPBCM_CHECK_MSG(options.period.count() > 0,
+                  "Exporter::start needs a positive period");
+  std::lock_guard<std::mutex> lock(mu_);
+  RPBCM_CHECK_MSG(!thread_.joinable(), "Exporter already running");
+  {
+    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    options_ = std::move(options);
+    flush_count_ = 0;
+  }
+  stop_requested_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void Exporter::stop() {
+  std::thread worker;
+  {
+    // Claiming the thread under the lock makes concurrent stop() calls
+    // (e.g. dump_outputs racing process exit) safe: exactly one joins.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    worker = std::move(thread_);
+  }
+  cv_.notify_all();
+  worker.join();
+  flush();  // end-of-run state always reaches the files
+}
+
+bool Exporter::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable();
+}
+
+std::uint64_t Exporter::flushes() const {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  return flush_count_;
+}
+
+void Exporter::thread_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, options_.period, [this] { return stop_requested_; });
+    if (stop_requested_) return;  // stop() flushes after the join
+    lock.unlock();
+    flush();
+    lock.lock();
+  }
+}
+
+void Exporter::flush() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  Registry& reg = registry();
+  const double t0_us = TraceSession::now_us();
+  const RegistrySnapshot snap = reg.snapshot();
+  bool ok = true;
+
+  if (!options_.jsonl_path.empty()) {
+    // Open-append-close per flush: each completed line is durable, and a
+    // crash can lose at most the line being written.
+    std::ofstream os(options_.jsonl_path, std::ios::app);
+    if (os.is_open()) {
+      snap.write_jsonl(os, unix_millis());
+      os << '\n';
+      os.flush();
+      ok = ok && os.good();
+    } else {
+      ok = false;
+    }
+  }
+
+  if (!options_.prom_path.empty()) {
+    // Write-then-rename: a scraper never observes a half-written file.
+    const std::string tmp = options_.prom_path + ".tmp";
+    {
+      std::ofstream os(tmp, std::ios::trunc);
+      if (os.is_open()) {
+        snap.write_prometheus(os);
+        os.flush();
+        ok = ok && os.good();
+      } else {
+        ok = false;
+      }
+    }
+    if (ok && std::rename(tmp.c_str(), options_.prom_path.c_str()) != 0)
+      ok = false;
+  }
+
+  ++flush_count_;
+  reg.counter("rpbcm.obs.exporter.flushes").add(1);
+  if (!ok) reg.counter("rpbcm.obs.exporter.write_errors").add(1);
+  reg.histogram("rpbcm.obs.exporter.flush_seconds")
+      .record((TraceSession::now_us() - t0_us) * 1e-6);
+}
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rpbcm::obs {
+
+class Registry;
+
+/// Where and how often the Exporter publishes registry snapshots. At least
+/// one of jsonl_path / prom_path must be set.
+struct ExporterOptions {
+  /// Append one `{"ts_ms": ..., "metrics": [...]}` line per flush — a
+  /// timestamped time series of the whole registry. The file is opened in
+  /// append mode per flush and closed again, so every completed flush is
+  /// durable even if the process dies mid-run.
+  std::string jsonl_path;
+  /// Rewrite a Prometheus text exposition file per flush (write to
+  /// `<path>.tmp`, then rename), for file-based scraping — no sockets.
+  std::string prom_path;
+  /// Snapshot cadence of the background thread.
+  std::chrono::milliseconds period{250};
+  /// Registry to snapshot; nullptr means Registry::global(). Self-metrics
+  /// (rpbcm.obs.exporter.*) are recorded into the same registry, so they
+  /// ride along in the next flush.
+  Registry* registry = nullptr;
+};
+
+/// Background metrics publisher: a single thread that snapshots a Registry
+/// every `period` and writes JSONL / Prometheus files.
+///
+/// Lifecycle: start() spawns the thread (CheckError if already running);
+/// stop() wakes it, joins it, and performs one final flush so the files
+/// always contain the end-of-run state — stop() is idempotent and also
+/// runs from the destructor, so an Exporter can never leak its thread.
+/// flush() may be called manually at any time, including while the
+/// background thread is running (writes are serialized internally).
+///
+/// Self-metrics:
+///   rpbcm.obs.exporter.flushes        counter, completed flushes
+///   rpbcm.obs.exporter.flush_seconds  histogram, per-flush wall time
+///   rpbcm.obs.exporter.write_errors   counter, failed file writes
+class Exporter {
+ public:
+  /// Process-wide exporter driven by obs::parse_cli / dump_outputs.
+  /// A function-local static (not leaked): its destructor joins the
+  /// thread at exit even if dump_outputs never ran.
+  static Exporter& global();
+
+  Exporter() = default;
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Starts the background thread. Requires: not running, options name at
+  /// least one output file, period > 0.
+  void start(ExporterOptions options);
+
+  /// Stops the background thread (if running) and flushes once more. Safe
+  /// to call repeatedly or without a prior start().
+  void stop();
+
+  bool running() const;
+
+  /// Snapshot + write immediately. Valid after start() until the next
+  /// start(); concurrent with the background thread.
+  void flush();
+
+  /// Completed flushes since start(). One extra flush is counted by
+  /// stop()'s final write.
+  std::uint64_t flushes() const;
+
+ private:
+  void thread_main();
+  Registry& registry() const;
+
+  mutable std::mutex mu_;           // lifecycle: thread_, stop_requested_
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+
+  mutable std::mutex flush_mu_;     // serializes file writes
+  ExporterOptions options_;
+  std::uint64_t flush_count_ = 0;   // guarded by flush_mu_
+};
+
+}  // namespace rpbcm::obs

@@ -1,0 +1,88 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/check.hpp"
+
+namespace rpbcm::obs {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+void ExactHistogram::record(double v) {
+  if (std::isnan(v)) {
+    RPBCM_DCHECK(false && "NaN recorded into ExactHistogram");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++rejected_;
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_.push_back(v);
+  sum_ += v;
+}
+
+std::uint64_t ExactHistogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_.size();
+}
+
+double ExactHistogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double ExactHistogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return kNaN;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double ExactHistogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (samples_.empty()) return kNaN;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double ExactHistogram::percentile_sorted(const std::vector<double>& sorted,
+                                         double p) {
+  if (sorted.empty()) return kNaN;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least p% of the mass at or
+  // below it.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  if (rank > 0) --rank;
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double ExactHistogram::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
+}
+
+HistogramStats ExactHistogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats s;
+  s.count = samples_.size();
+  s.rejected = rejected_;
+  s.sum = sum_;
+  if (samples_.empty()) {
+    s.min = s.max = s.p50 = s.p90 = s.p99 = kNaN;
+    return s;
+  }
+  auto sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = percentile_sorted(sorted, 50.0);
+  s.p90 = percentile_sorted(sorted, 90.0);
+  s.p99 = percentile_sorted(sorted, 99.0);
+  return s;
+}
+
+}  // namespace rpbcm::obs

@@ -5,51 +5,11 @@
 #include <cstdio>
 #include <ostream>
 
+#include "base/check.hpp"
+#include "obs/bucket_histogram.hpp"
 #include "obs/json.hpp"
 
 namespace rpbcm::obs {
-
-void Histogram::record(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
-  samples_.push_back(v);
-  sum_ += v;
-}
-
-std::uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return samples_.size();
-}
-
-double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return sum_;
-}
-
-double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
-
-double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
-double Histogram::percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (samples_.empty()) return 0.0;
-  p = std::clamp(p, 0.0, 100.0);
-  auto sorted = samples_;
-  std::sort(sorted.begin(), sorted.end());
-  // Nearest-rank: the smallest sample with at least p% of the mass at or
-  // below it.
-  const auto n = static_cast<double>(sorted.size());
-  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
-  if (rank > 0) --rank;
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
 
 const MetricSnapshot* RegistrySnapshot::find(std::string_view name) const {
   for (const auto& m : metrics)
@@ -71,34 +31,116 @@ const char* kind_name(MetricKind k) {
   return "unknown";
 }
 
+void write_metric_object(std::ostream& os, const MetricSnapshot& m) {
+  os << "{\"name\": ";
+  write_json_string(os, m.name);
+  os << ", \"kind\": \"" << kind_name(m.kind) << "\", \"value\": ";
+  write_json_number(os, m.value);
+  if (m.kind == MetricKind::kHistogram) {
+    os << ", \"empty\": " << (m.empty ? "true" : "false")
+       << ", \"count\": " << m.count << ", \"rejected\": " << m.rejected
+       << ", \"sum\": ";
+    write_json_number(os, m.sum);
+    os << ", \"min\": ";
+    write_json_number(os, m.min);
+    os << ", \"max\": ";
+    write_json_number(os, m.max);
+    os << ", \"p50\": ";
+    write_json_number(os, m.p50);
+    os << ", \"p90\": ";
+    write_json_number(os, m.p90);
+    os << ", \"p99\": ";
+    write_json_number(os, m.p99);
+  }
+  os << "}";
+}
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the rpbcm
+/// convention separator) and any other invalid byte become '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+/// Prometheus sample value: plain decimal, with NaN/±Inf spelled the way
+/// the exposition format defines them.
+void write_prometheus_value(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
 }  // namespace
 
 void RegistrySnapshot::write_json(std::ostream& os) const {
   os << "{\"metrics\": [";
   for (std::size_t i = 0; i < metrics.size(); ++i) {
-    const MetricSnapshot& m = metrics[i];
     if (i) os << ", ";
-    os << "\n  {\"name\": ";
-    write_json_string(os, m.name);
-    os << ", \"kind\": \"" << kind_name(m.kind) << "\", \"value\": ";
-    write_json_number(os, m.value);
-    if (m.kind == MetricKind::kHistogram) {
-      os << ", \"count\": " << m.count << ", \"sum\": ";
-      write_json_number(os, m.sum);
-      os << ", \"min\": ";
-      write_json_number(os, m.min);
-      os << ", \"max\": ";
-      write_json_number(os, m.max);
-      os << ", \"p50\": ";
-      write_json_number(os, m.p50);
-      os << ", \"p90\": ";
-      write_json_number(os, m.p90);
-      os << ", \"p99\": ";
-      write_json_number(os, m.p99);
-    }
-    os << "}";
+    os << "\n  ";
+    write_metric_object(os, metrics[i]);
   }
   os << "\n]}\n";
+}
+
+void RegistrySnapshot::write_jsonl(std::ostream& os,
+                                   std::int64_t unix_ms) const {
+  os << "{\"ts_ms\": " << unix_ms << ", \"metrics\": [";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i) os << ", ";
+    write_metric_object(os, metrics[i]);
+  }
+  os << "]}";
+}
+
+void RegistrySnapshot::write_prometheus(std::ostream& os) const {
+  for (const MetricSnapshot& m : metrics) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << " counter\n" << name << ' ';
+        write_prometheus_value(os, m.value);
+        os << '\n';
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << ' ';
+        write_prometheus_value(os, m.value);
+        os << '\n';
+        break;
+      case MetricKind::kHistogram:
+        // Pre-computed quantiles map onto the summary type. Empty
+        // histograms expose only _sum/_count, per the convention that a
+        // summary's quantiles are absent until observations exist.
+        os << "# TYPE " << name << " summary\n";
+        if (!m.empty) {
+          os << name << "{quantile=\"0.5\"} ";
+          write_prometheus_value(os, m.p50);
+          os << '\n' << name << "{quantile=\"0.9\"} ";
+          write_prometheus_value(os, m.p90);
+          os << '\n' << name << "{quantile=\"0.99\"} ";
+          write_prometheus_value(os, m.p99);
+          os << '\n';
+        }
+        os << name << "_sum ";
+        write_prometheus_value(os, m.sum);
+        os << '\n' << name << "_count " << m.count << '\n';
+        break;
+    }
+  }
 }
 
 void RegistrySnapshot::write_markdown(std::ostream& os) const {
@@ -106,7 +148,11 @@ void RegistrySnapshot::write_markdown(std::ostream& os) const {
   os << "|---|---|---|---|---|---|---|---|---|\n";
   char buf[256];
   for (const MetricSnapshot& m : metrics) {
-    if (m.kind == MetricKind::kHistogram) {
+    if (m.kind == MetricKind::kHistogram && m.empty) {
+      std::snprintf(buf, sizeof buf,
+                    "| %s | %s | (empty) | 0 | | | | | |\n", m.name.c_str(),
+                    kind_name(m.kind));
+    } else if (m.kind == MetricKind::kHistogram) {
       std::snprintf(buf, sizeof buf,
                     "| %s | %s | %.6g | %llu | %.6g | %.6g | %.6g | %.6g | "
                     "%.6g |\n",
@@ -144,13 +190,23 @@ Gauge& Registry::gauge(std::string_view name) {
   return *it->second;
 }
 
-Histogram& Registry::histogram(std::string_view name) {
+Histogram& Registry::histogram(std::string_view name, HistogramKind kind) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
-  if (it == histograms_.end())
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
-             .first;
-  return *it->second;
+  if (it == histograms_.end()) {
+    HistogramEntry entry;
+    entry.kind = kind;
+    if (kind == HistogramKind::kBucket)
+      entry.histogram = std::make_unique<BucketHistogram>();
+    else
+      entry.histogram = std::make_unique<ExactHistogram>();
+    it = histograms_.emplace(std::string(name), std::move(entry)).first;
+  }
+  RPBCM_CHECK_MSG(it->second.kind == kind,
+                  "histogram '" << std::string(name)
+                                << "' already registered with a different "
+                                   "HistogramKind");
+  return *it->second.histogram;
 }
 
 RegistrySnapshot Registry::snapshot() const {
@@ -171,18 +227,21 @@ RegistrySnapshot Registry::snapshot() const {
     m.value = g->value();
     snap.metrics.push_back(std::move(m));
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, entry] : histograms_) {
+    const HistogramStats s = entry.histogram->stats();
     MetricSnapshot m;
     m.name = name;
     m.kind = MetricKind::kHistogram;
-    m.count = h->count();
-    m.sum = h->sum();
+    m.empty = s.empty();
+    m.count = s.count;
+    m.rejected = s.rejected;
+    m.sum = s.sum;
     m.value = m.count ? m.sum / static_cast<double>(m.count) : 0.0;
-    m.min = h->min();
-    m.max = h->max();
-    m.p50 = h->percentile(50.0);
-    m.p90 = h->percentile(90.0);
-    m.p99 = h->percentile(99.0);
+    m.min = s.min;
+    m.max = s.max;
+    m.p50 = s.p50;
+    m.p90 = s.p90;
+    m.p99 = s.p99;
     snap.metrics.push_back(std::move(m));
   }
   std::sort(snap.metrics.begin(), snap.metrics.end(),

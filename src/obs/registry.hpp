@@ -10,6 +10,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/histogram.hpp"
+
 namespace rpbcm::obs {
 
 /// Monotonically increasing event count. Lock-free; safe to bump from any
@@ -35,36 +37,24 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-/// Sample-retaining distribution: exact percentiles at snapshot time. The
-/// instrumented paths record at epoch / pruning-round / layer granularity,
-/// so retaining samples is cheap; callers needing bounded memory should
-/// reset between runs.
-class Histogram {
- public:
-  void record(double v);
-
-  std::uint64_t count() const;
-  double sum() const;
-  double min() const;
-  double max() const;
-  /// Nearest-rank percentile, p in [0, 100]. Returns 0 with no samples.
-  double percentile(double p) const;
-
- private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  double sum_ = 0.0;
-};
-
 enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Which Histogram implementation Registry::histogram() hands out.
+/// kBucket (the default) is the bounded lock-free BucketHistogram; kExact
+/// is the raw-sample ExactHistogram for tests and offline analysis.
+enum class HistogramKind { kBucket, kExact };
 
 /// Point-in-time copy of one metric, decoupled from the live registry.
 struct MetricSnapshot {
   std::string name;
   MetricKind kind = MetricKind::kCounter;
-  double value = 0.0;  // counter/gauge value; histogram mean
-  // Histogram-only fields.
+  double value = 0.0;  // counter/gauge value; histogram mean (0 when empty)
+  // Histogram-only fields. `empty` is the explicit no-samples marker: when
+  // true, min/max/p50/p90/p99 are NaN (rendered as JSON null) and must not
+  // be read as data.
+  bool empty = false;
   std::uint64_t count = 0;
+  std::uint64_t rejected = 0;  // NaN samples dropped at record()
   double sum = 0.0;
   double min = 0.0;
   double max = 0.0;
@@ -80,16 +70,26 @@ struct RegistrySnapshot {
   const MetricSnapshot* find(std::string_view name) const;
 
   /// `{"metrics": [{"name": ..., "kind": ..., ...}, ...]}` — one object per
-  /// metric; histogram entries carry count/sum/min/max/percentiles.
+  /// metric; histogram entries carry count/sum/min/max/percentiles plus an
+  /// explicit "empty" flag (percentiles are null when empty).
   void write_json(std::ostream& os) const;
   /// GitHub-flavored markdown table (the EXPERIMENTS.md idiom).
   void write_markdown(std::ostream& os) const;
+  /// One compact JSON object on a single line (no trailing newline):
+  /// `{"ts_ms": <unix_ms>, "metrics": [...]}` — the JSONL time-series
+  /// record appended by obs::Exporter.
+  void write_jsonl(std::ostream& os, std::int64_t unix_ms) const;
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as single samples, histograms as summaries with quantile
+  /// labels plus _sum/_count. Metric names are sanitized to
+  /// [a-zA-Z0-9_:] (dots become underscores).
+  void write_prometheus(std::ostream& os) const;
 };
 
 /// Named metric registry. Metric handles returned by counter()/gauge()/
 /// histogram() are stable for the registry's lifetime, so hot paths may
-/// cache them. Names follow the `rpbcm.<area>.<name>` convention
-/// (docs/observability.md).
+/// cache them. Names follow the `rpbcm.<area>.<name>` convention, enforced
+/// by the rpbcm_lint `metric-name` rule (docs/observability.md).
 class Registry {
  public:
   /// Process-wide registry the RPBCM_OBS_* macros record into.
@@ -97,20 +97,31 @@ class Registry {
 
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  /// Returns the histogram registered under `name`, creating it with the
+  /// requested implementation on first use. Re-requesting an existing name
+  /// with a different kind is a contract violation (CheckError): a metric
+  /// name denotes one distribution.
+  Histogram& histogram(std::string_view name,
+                       HistogramKind kind = HistogramKind::kBucket);
 
   RegistrySnapshot snapshot() const;
   void write_json(std::ostream& os) const;
   void write_markdown(std::ostream& os) const;
 
-  /// Drops every metric (tests / repeated runs in one process).
+  /// Drops every metric (tests / repeated runs in one process). Invalidates
+  /// all outstanding handles.
   void clear();
 
  private:
+  struct HistogramEntry {
+    HistogramKind kind = HistogramKind::kBucket;
+    std::unique_ptr<Histogram> histogram;
+  };
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, HistogramEntry, std::less<>> histograms_;
 };
 
 }  // namespace rpbcm::obs

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/macros.hpp"
 #include "obs/registry.hpp"
 
 namespace rpbcm::base {
@@ -94,6 +95,9 @@ TEST(ParallelPoolTest, WorkerExceptionSurfacesWithOriginalMessage) {
 }
 
 TEST(ParallelPoolTest, ObsCountersTrackExecutionMode) {
+#if !RPBCM_OBS_ENABLED
+  GTEST_SKIP() << "pool counters compile out with RPBCM_OBS=OFF";
+#endif
   ThreadGuard guard;
   auto& inline_c =
       obs::Registry::global().counter("rpbcm.base.pool.tasks_inline");

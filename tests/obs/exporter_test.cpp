@@ -1,0 +1,164 @@
+#include "obs/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "base/check.hpp"
+#include "obs/json_checker.hpp"
+#include "obs/registry.hpp"
+
+namespace rpbcm::obs {
+namespace {
+
+// The JSONL output appends, so scrub any stale file left by a previous run
+// of the same test (ctest restarts the process, resetting the counter).
+std::string unique_path(const char* tag) {
+  static int counter = 0;
+  const std::string p = ::testing::TempDir() + "rpbcm_exporter_test_" + tag +
+                        "_" + std::to_string(++counter);
+  std::remove(p.c_str());
+  return p;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::stringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+TEST(ExporterTest, StartStopLifecycle) {
+  Registry reg;
+  reg.counter("rpbcm.test.value").add(3);
+  Exporter exp;
+  ExporterOptions opts;
+  opts.jsonl_path = unique_path("lifecycle");
+  opts.period = std::chrono::milliseconds(5);
+  opts.registry = &reg;
+  EXPECT_FALSE(exp.running());
+  exp.start(std::move(opts));
+  EXPECT_TRUE(exp.running());
+  exp.stop();
+  EXPECT_FALSE(exp.running());
+  EXPECT_GE(exp.flushes(), 1u);  // stop() always writes the final state
+  exp.stop();                    // idempotent
+}
+
+TEST(ExporterTest, StartWithoutOutputsIsContractViolation) {
+  Exporter exp;
+  EXPECT_THROW(exp.start(ExporterOptions{}), CheckError);
+  ExporterOptions bad_period;
+  bad_period.jsonl_path = unique_path("bad_period");
+  bad_period.period = std::chrono::milliseconds(0);
+  EXPECT_THROW(exp.start(std::move(bad_period)), CheckError);
+}
+
+TEST(ExporterTest, DoubleStartIsContractViolation) {
+  Registry reg;
+  Exporter exp;
+  ExporterOptions opts;
+  opts.jsonl_path = unique_path("double_start");
+  opts.registry = &reg;
+  exp.start(opts);
+  EXPECT_THROW(exp.start(opts), CheckError);
+  exp.stop();
+}
+
+TEST(ExporterTest, JsonlAndPrometheusOutputsParse) {
+  Registry reg;
+  reg.counter("rpbcm.test.count").add(7);
+  reg.gauge("rpbcm.test.gauge").set(-1.5);
+  reg.histogram("rpbcm.test.latency").record(0.25);
+  reg.histogram("rpbcm.test.latency").record(0.5);
+  reg.histogram("rpbcm.test.never");  // empty histogram rides along
+
+  const std::string jsonl = unique_path("combined_jsonl");
+  const std::string prom = unique_path("combined_prom");
+  Exporter exp;
+  ExporterOptions opts;
+  opts.jsonl_path = jsonl;
+  opts.prom_path = prom;
+  opts.period = std::chrono::milliseconds(60000);
+  opts.registry = &reg;
+  exp.start(std::move(opts));
+  exp.flush();
+  exp.stop();
+
+  // Every JSONL line is a standalone document with ts_ms + metrics.
+  std::ifstream is(jsonl);
+  ASSERT_TRUE(is.is_open());
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto doc = testjson::parse(line);
+    EXPECT_TRUE(doc.has("ts_ms"));
+    ASSERT_TRUE(doc.has("metrics"));
+    EXPECT_GE(doc.at("metrics").arr().size(), 4u);
+  }
+  EXPECT_EQ(lines, 2);  // manual flush + stop()'s final flush
+
+  // Prometheus text: sanitized names, HELP/TYPE per metric, summary
+  // quantiles for the non-empty histogram only.
+  const std::string text = slurp(prom);
+  EXPECT_NE(text.find("# TYPE rpbcm_test_count counter"), std::string::npos);
+  EXPECT_NE(text.find("rpbcm_test_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpbcm_test_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpbcm_test_latency summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpbcm_test_latency{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpbcm_test_latency_count 2"), std::string::npos);
+  // The empty histogram exports its _count but no quantile samples.
+  EXPECT_NE(text.find("rpbcm_test_never_count 0"), std::string::npos);
+  EXPECT_EQ(text.find("rpbcm_test_never{quantile"), std::string::npos);
+  // No half-written .tmp left behind after the rename.
+  std::ifstream tmp(prom + ".tmp");
+  EXPECT_FALSE(tmp.is_open());
+}
+
+TEST(ExporterTest, SelfMetricsRecordedIntoSameRegistry) {
+  Registry reg;
+  reg.counter("rpbcm.test.x").add(1);
+  Exporter exp;
+  ExporterOptions opts;
+  opts.jsonl_path = unique_path("selfmetrics");
+  opts.period = std::chrono::milliseconds(60000);
+  opts.registry = &reg;
+  exp.start(std::move(opts));
+  exp.flush();
+  exp.stop();
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* flushes = snap.find("rpbcm.obs.exporter.flushes");
+  ASSERT_NE(flushes, nullptr);
+  EXPECT_GE(flushes->value, 2.0);  // counters report through `value`
+  EXPECT_NE(snap.find("rpbcm.obs.exporter.flush_seconds"), nullptr);
+}
+
+TEST(ExporterTest, PeriodicFlushesHappenWithoutManualCalls) {
+  Registry reg;
+  reg.counter("rpbcm.test.tick").add(1);
+  Exporter exp;
+  ExporterOptions opts;
+  opts.jsonl_path = unique_path("periodic");
+  opts.period = std::chrono::milliseconds(2);
+  opts.registry = &reg;
+  exp.start(std::move(opts));
+  // Wait until the background thread has demonstrably flushed on its own.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (exp.flushes() < 3 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  exp.stop();
+  EXPECT_GE(exp.flushes(), 3u);
+}
+
+}  // namespace
+}  // namespace rpbcm::obs

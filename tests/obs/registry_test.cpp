@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
 
+#include "base/check.hpp"
+#include "obs/bucket_histogram.hpp"
 #include "obs/json_checker.hpp"
 
 namespace rpbcm::obs {
@@ -66,7 +70,7 @@ TEST(RegistryTest, ConcurrentMixedRegistration) {
 
 TEST(RegistryTest, HistogramPercentiles) {
   Registry reg;
-  Histogram& h = reg.histogram("rpbcm.test.latency");
+  Histogram& h = reg.histogram("rpbcm.test.latency", HistogramKind::kExact);
   for (int v = 1; v <= 100; ++v) h.record(static_cast<double>(v));
   EXPECT_EQ(h.count(), 100u);
   EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
@@ -81,13 +85,63 @@ TEST(RegistryTest, HistogramPercentiles) {
 }
 
 TEST(RegistryTest, HistogramSingleSampleAndEmpty) {
-  Histogram h;
+  ExactHistogram h;
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  // Empty-histogram contract: NaN, not a silent 0 (docs/observability.md).
+  EXPECT_TRUE(std::isnan(h.percentile(50.0)));
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(h.stats().empty());
   h.record(3.25);
   EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.25);
   EXPECT_DOUBLE_EQ(h.percentile(50.0), 3.25);
   EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.25);
+  EXPECT_FALSE(h.stats().empty());
+}
+
+TEST(RegistryTest, HistogramKindMismatchIsContractViolation) {
+  Registry reg;
+  reg.histogram("rpbcm.test.kinded", HistogramKind::kBucket);
+  EXPECT_NO_THROW(reg.histogram("rpbcm.test.kinded", HistogramKind::kBucket));
+  EXPECT_THROW(reg.histogram("rpbcm.test.kinded", HistogramKind::kExact),
+               CheckError);
+}
+
+TEST(RegistryTest, HistogramNanRejectedAtRecord) {
+  ExactHistogram h;
+#ifdef NDEBUG
+  // Release: dropped and counted, never poisons the stats.
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(1.0);
+  const HistogramStats s = h.stats();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_DOUBLE_EQ(s.sum, 1.0);
+#else
+  // Debug: the RPBCM_DCHECK fires.
+  EXPECT_THROW(h.record(std::numeric_limits<double>::quiet_NaN()),
+               CheckError);
+#endif
+}
+
+TEST(RegistryTest, EmptyHistogramMarkedInSnapshotAndJson) {
+  Registry reg;
+  reg.histogram("rpbcm.test.never_recorded");
+  const RegistrySnapshot snap = reg.snapshot();
+  const MetricSnapshot* m = snap.find("rpbcm.test.never_recorded");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->empty);
+  EXPECT_EQ(m->count, 0u);
+  EXPECT_TRUE(std::isnan(m->p50));
+
+  std::stringstream ss;
+  snap.write_json(ss);
+  const auto doc = testjson::parse(ss.str());
+  const auto& metric = doc.at("metrics").arr()[0];
+  EXPECT_TRUE(std::get<bool>(metric.at("empty").v));
+  // NaN percentiles render as null, keeping the document valid JSON.
+  EXPECT_TRUE(
+      std::holds_alternative<std::nullptr_t>(metric.at("p50").v));
 }
 
 TEST(RegistryTest, SnapshotSortedAndJsonParses) {
@@ -115,13 +169,18 @@ TEST(RegistryTest, SnapshotSortedAndJsonParses) {
   EXPECT_DOUBLE_EQ(metrics[1].at("value").num(), 7.0);
   EXPECT_EQ(metrics[2].at("kind").str(), "histogram");
   EXPECT_DOUBLE_EQ(metrics[2].at("count").num(), 2.0);
-  EXPECT_DOUBLE_EQ(metrics[2].at("p50").num(), 2.0);
-  EXPECT_DOUBLE_EQ(metrics[2].at("max").num(), 4.0);
+  // Default histograms are bucketed: p50 is accurate to the documented
+  // 1/(2*kSubBuckets) relative bound, not exact.
+  EXPECT_NEAR(metrics[2].at("p50").num(), 2.0,
+              2.0 / (2.0 * BucketHistogram::kSubBuckets));
+  EXPECT_DOUBLE_EQ(metrics[2].at("max").num(), 4.0);  // min/max stay exact
 }
 
 TEST(RegistryTest, JsonEscapesAwkwardNames) {
   Registry reg;
-  reg.counter("rpbcm.weird.\"quoted\",name\\path").add(1);
+  reg.counter(  // rpbcm-lint: allow(metric-name) — escape-handling test
+         "rpbcm.weird.\"quoted\",name\\path")
+      .add(1);
   std::stringstream ss;
   reg.write_json(ss);
   const auto doc = testjson::parse(ss.str());

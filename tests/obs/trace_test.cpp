@@ -85,7 +85,7 @@ TEST(TraceTest, NextPidMonotone) {
 TEST(TraceTest, ScopedTimerEmitsAndRecords) {
   TraceSession session;
   session.enable();
-  Histogram hist;
+  ExactHistogram hist;
   {
     ScopedTimer t("test", "scope", &hist, &session);
     // Trivial busy-wait so elapsed > 0 on any clock resolution.

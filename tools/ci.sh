@@ -14,14 +14,21 @@
 #   6. bench smoke: bench_micro_kernels in minimum-time mode, and the
 #      --kernels-json baseline writer — fails if BENCH_kernels.json is
 #      not produced (catches bit-rot in the benchmark harness itself)
+#   7. observability gate: quickstart --smoke with the background exporter
+#      enabled, output files validated by perf_gate --check-jsonl /
+#      --check-prom, then perf_gate diffs a fresh kernels JSON against the
+#      committed baseline (bench/baselines/BENCH_kernels.json) and fails
+#      on speedup regressions beyond tolerance (docs/observability.md)
 #
 # Every stage exits nonzero on any finding. See docs/static_analysis.md.
 #
 # Env knobs:
-#   JOBS=N          parallelism (default: nproc)
-#   SKIP_TSAN=1     skip stage 3 (e.g. on machines without TSan runtime)
-#   SKIP_ASAN=1     skip stage 2
-#   SKIP_BENCH=1    skip stage 6
+#   JOBS=N            parallelism (default: nproc)
+#   SKIP_TSAN=1       skip stage 3 (e.g. on machines without TSan runtime)
+#   SKIP_ASAN=1       skip stage 2
+#   SKIP_BENCH=1      skip stage 6
+#   SKIP_PERF_GATE=1  skip stage 7 (e.g. on heavily loaded machines where
+#                     kernel timings are too noisy to gate on)
 
 set -euo pipefail
 
@@ -86,6 +93,28 @@ if [[ "${SKIP_BENCH:-0}" != "1" ]]; then
     echo "ci.sh: bench_micro_kernels did not produce $bench_json" >&2
     exit 1
   fi
+fi
+
+if [[ "${SKIP_PERF_GATE:-0}" != "1" ]]; then
+  stage "observability gate (exporter well-formedness + perf regression)"
+  obs_dir="build-strict/obs-gate"
+  rm -rf "$obs_dir"
+  mkdir -p "$obs_dir"
+  build-strict/examples/quickstart --smoke \
+    --metrics-jsonl="$obs_dir/metrics.jsonl" \
+    --metrics-prom="$obs_dir/metrics.prom" \
+    --metrics-period-ms=100 \
+    --log-out="$obs_dir/log.jsonl" > /dev/null
+  build-strict/tools/perf_gate --check-jsonl="$obs_dir/metrics.jsonl"
+  build-strict/tools/perf_gate --check-prom="$obs_dir/metrics.prom"
+  # A fresh kernels run at the committed baseline's thread count (stage
+  # 6's smoke JSON is --threads=1, which would skew the speedup ratios).
+  gate_json="$obs_dir/kernels.json"
+  build-strict/bench/bench_micro_kernels \
+    --benchmark_filter='NONE' --threads=4 \
+    --kernels-json="$gate_json" > /dev/null
+  build-strict/tools/perf_gate \
+    --baseline=bench/baselines/BENCH_kernels.json --current="$gate_json"
 fi
 
 stage "all stages passed"

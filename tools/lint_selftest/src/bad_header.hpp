@@ -10,3 +10,8 @@ inline void fixture_obs_side_effects(int i) {
   RPBCM_OBS_COUNT("rpbcm.fixture.count", i++);
   RPBCM_OBS_GAUGE("rpbcm.fixture.gauge", i += 2);
 }
+
+inline void fixture_bad_metric_names(Registry& reg, int i) {
+  reg.counter("fixture.count").add(1);          // missing the rpbcm. root
+  RPBCM_OBS_OBSERVE("rpbcm.BadArea", 1.0 * i);  // uppercase + two segments
+}

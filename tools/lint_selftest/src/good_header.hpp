@@ -13,3 +13,12 @@ inline void fixture_clean_obs(int i) {
   // Explicitly waived side effect:
   RPBCM_OBS_COUNT("rpbcm.fixture.waived", i++);  // rpbcm-lint: allow(obs-side-effect)
 }
+
+inline void fixture_clean_metric_names(Registry& reg, const std::string& dyn,
+                                       int i) {
+  reg.histogram("rpbcm.fixture.latency_seconds").record(1.0);
+  reg.gauge(dyn).set(1.0);  // dynamically built names are not checked
+  RPBCM_OBS_TIMED_SCOPE("fixture", "scope", "rpbcm.fixture.scope_seconds");
+  // Explicitly waived awkward name:
+  RPBCM_OBS_COUNT("legacy.count", i);  // rpbcm-lint: allow(metric-name)
+}

@@ -14,6 +14,13 @@
 //                    assignment are rejected): with RPBCM_OBS=OFF the macro
 //                    arguments are unevaluated, so a side effect there
 //                    silently changes program behaviour between builds
+//   metric-name      metric-name string literals passed to
+//                    counter()/gauge()/histogram() or the RPBCM_OBS_*
+//                    macros must follow the registry convention
+//                    `rpbcm.<area>.<name>` (lowercase [a-z0-9_] segments),
+//                    so dashboards and the Prometheus export stay
+//                    consistently namespaced. Dynamically built names are
+//                    not checked.
 //
 // A finding may be waived on its line with `// rpbcm-lint: allow(<rule>)`.
 //
@@ -292,6 +299,161 @@ void check_obs_macro_args(const fs::path& file, const std::string& raw,
   }
 }
 
+// --- rule: metric-name -----------------------------------------------------
+
+// rpbcm.<area>.<name>[.<more>]: at least three dot-separated lowercase
+// [a-z0-9_] segments, the first being "rpbcm".
+bool valid_metric_name(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    const std::string_view seg = name.substr(start, dot - start);
+    if (seg.empty()) return false;
+    if (segments == 0) {
+      if (seg != "rpbcm") return false;
+    } else {
+      for (char c : seg)
+        if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+              std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_'))
+          return false;
+    }
+    ++segments;
+    if (dot == name.size()) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+// If the expression starting at code[pos] is a string literal (possibly a
+// juxtaposition of several), returns its raw concatenated content and sets
+// *found=true. The blanked `code` preserves the quote delimiters, so quote
+// positions index into `raw` for the actual content.
+std::string leading_literal(const std::string& raw, const std::string& code,
+                            std::size_t pos, std::size_t end, bool* found) {
+  *found = false;
+  std::string content;
+  while (true) {
+    while (pos < end && std::isspace(static_cast<unsigned char>(code[pos])))
+      ++pos;
+    if (pos >= end || code[pos] != '"') return content;
+    const std::size_t close = code.find('"', pos + 1);
+    if (close == std::string::npos || close >= end) return content;
+    content.append(raw, pos + 1, close - pos - 1);
+    *found = true;
+    pos = close + 1;
+  }
+}
+
+// Splits a balanced-paren argument list (blanked code) at top-level commas,
+// returning the start offset of each argument.
+std::vector<std::size_t> arg_starts(const std::string& code, std::size_t open,
+                                    std::size_t close) {
+  std::vector<std::size_t> starts{open + 1};
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    if (code[i] == '(' || code[i] == '[' || code[i] == '{') ++depth;
+    if (code[i] == ')' || code[i] == ']' || code[i] == '}') --depth;
+    if (code[i] == ',' && depth == 0) starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+void report_metric_name(const fs::path& file, const std::string& raw,
+                        const std::string& code, std::size_t name_pos,
+                        std::size_t arg_begin, std::size_t arg_end) {
+  bool is_literal = false;
+  const std::string name =
+      leading_literal(raw, code, arg_begin, arg_end, &is_literal);
+  if (!is_literal) return;  // dynamically built name: unchecked
+  if (valid_metric_name(name)) return;
+  const std::size_t line = line_of(code, name_pos);
+  if (line_has_waiver(raw, line, "metric-name")) return;
+  report(file, line, "metric-name",
+         "metric name \"" + name +
+             "\" does not follow `rpbcm.<area>.<name>` "
+             "(lowercase [a-z0-9_] segments)");
+}
+
+void check_metric_names(const fs::path& file, const std::string& raw,
+                        const std::string& code) {
+  // Registry member calls: .counter("..."), ->gauge("..."),
+  // .histogram("...") — first argument.
+  static constexpr std::string_view kMembers[] = {"counter", "gauge",
+                                                  "histogram"};
+  for (const std::string_view member : kMembers) {
+    std::size_t pos = 0;
+    while ((pos = code.find(member, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += member.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      // Require a member access so declarations/definitions don't match.
+      std::size_t before = at;
+      while (before > 0 && (code[before - 1] == ' ' || code[before - 1] == '\t'))
+        --before;
+      const bool member_access =
+          (before >= 1 && code[before - 1] == '.') ||
+          (before >= 2 && code[before - 2] == '-' && code[before - 1] == '>');
+      if (!member_access) continue;
+      std::size_t open = pos;
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open])))
+        ++open;
+      if (open >= code.size() || code[open] != '(') continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      if (depth != 0) break;
+      const auto starts = arg_starts(code, open, close);
+      if (!starts.empty())
+        report_metric_name(file, raw, code, at, starts[0],
+                           starts.size() > 1 ? starts[1] - 1 : close);
+    }
+  }
+
+  // Macro calls: the metric argument is the first for COUNT/GAUGE/OBSERVE
+  // and the third for TIMED_SCOPE.
+  struct MacroRule {
+    std::string_view name;
+    std::size_t arg;  // zero-based index of the metric-name argument
+  };
+  static constexpr MacroRule kMacros[] = {{"RPBCM_OBS_COUNT", 0},
+                                          {"RPBCM_OBS_GAUGE", 0},
+                                          {"RPBCM_OBS_OBSERVE", 0},
+                                          {"RPBCM_OBS_TIMED_SCOPE", 2}};
+  for (const MacroRule& macro : kMacros) {
+    std::size_t pos = 0;
+    while ((pos = code.find(macro.name, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += macro.name.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      std::size_t open = pos;
+      while (open < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[open])))
+        ++open;
+      if (open >= code.size() || code[open] != '(') continue;
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      if (depth != 0) break;
+      const auto starts = arg_starts(code, open, close);
+      if (starts.size() <= macro.arg) continue;
+      const std::size_t arg_end =
+          starts.size() > macro.arg + 1 ? starts[macro.arg + 1] - 1 : close;
+      report_metric_name(file, raw, code, at, starts[macro.arg], arg_end);
+    }
+  }
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool has_ext(const fs::path& p, std::string_view a, std::string_view b = "") {
@@ -348,6 +510,7 @@ int main(int argc, char** argv) {
       if (header && scope.pragma_once) check_pragma_once(rel, raw);
       if (scope.no_assert) check_no_raw_assert(rel, raw, code);
       check_obs_macro_args(rel, raw, code);
+      check_metric_names(rel, raw, code);
     }
   }
 
