@@ -1,10 +1,20 @@
-# Raised warning floor for the numeric-heavy libraries.
+# Raised warning floor for the first-party libraries.
 #
 # The FFT / eMAC / block-size arithmetic is where narrowing and sign bugs
 # hide (a silently truncated block index corrupts a whole spectrum), so the
 # targets that own that math compile with -Wconversion -Wshadow
 # -Wdouble-promotion on top of the global -Wall -Wextra. Call
-# rpbcm_strict_warnings(<target>) to opt a target in.
+# rpbcm_strict_warnings(<target>) to opt a target in. Every src/ library
+# target is opted in (PR 2 seeded numeric/core/tensor/hw/obs; base/nn/
+# models joined with the static-guarantees pass).
+#
+# Under Clang the floor additionally includes -Wthread-safety: the
+# RPBCM_GUARDED_BY / RPBCM_REQUIRES annotations (src/base/
+# thread_annotations.hpp) turn the repo's lock discipline into
+# compile-checked contracts. GCC ignores the attributes, so the flag is
+# Clang-only; tools/ci.sh builds one Clang configuration with
+# -Wthread-safety -Werror when a clang++ is available
+# (docs/static_analysis.md).
 #
 # RPBCM_WERROR=ON additionally turns all warnings into errors tree-wide
 # (used by tools/ci.sh; off by default so exploratory builds stay friendly).
@@ -13,6 +23,12 @@ option(RPBCM_WERROR "Treat compiler warnings as errors" OFF)
 
 if(RPBCM_WERROR)
   add_compile_options(-Werror)
+endif()
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  # Tree-wide, not per-target: a guarded field touched from an unannotated
+  # TU is exactly the bug the analysis exists to catch.
+  add_compile_options(-Wthread-safety)
 endif()
 
 function(rpbcm_strict_warnings target)

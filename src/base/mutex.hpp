@@ -1,0 +1,83 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "base/thread_annotations.hpp"
+
+namespace rpbcm::base {
+
+/// std::mutex carrying the Clang `capability` attribute, so
+/// RPBCM_GUARDED_BY / RPBCM_REQUIRES contracts on the data it protects are
+/// compile-checked under -Wthread-safety (base/thread_annotations.hpp).
+/// Drop-in for std::mutex everywhere in src/ — raw std::mutex has no
+/// capability attribute in libstdc++, which would make every annotation
+/// invisible to the analysis.
+class RPBCM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() RPBCM_ACQUIRE() { mu_.lock(); }
+  void unlock() RPBCM_RELEASE() { mu_.unlock(); }
+  bool try_lock() RPBCM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a Mutex (the std::lock_guard idiom, made
+/// visible to the analysis via `scoped_lockable`).
+class RPBCM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) RPBCM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RPBCM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over base::Mutex (std::condition_variable_any —
+/// Mutex satisfies BasicLockable). Waits REQUIRE the mutex, which is how
+/// the analysis proves every predicate read of guarded state is safe.
+/// Callers use explicit `while (!predicate) cv.wait(mu);` loops rather
+/// than predicate-lambda overloads: a lambda cannot carry a
+/// RPBCM_REQUIRES(mu) contract the analysis will honor, an inline loop
+/// checks the guarded fields directly inside the locked scope.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Spurious wakeups happen; always wait in a predicate loop.
+  void wait(Mutex& mu) RPBCM_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      RPBCM_REQUIRES(mu) {
+    return cv_.wait_for(mu, d);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& tp)
+      RPBCM_REQUIRES(mu) {
+    return cv_.wait_until(mu, tp);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace rpbcm::base

@@ -2,16 +2,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "obs/macros.hpp"
 
 namespace rpbcm::base {
@@ -47,10 +47,11 @@ struct ForContext {
   // bucketed histogram is lock-free, so workers never serialize on it.
   RPBCM_OBS_ONLY(::rpbcm::obs::Histogram* chunk_hist = nullptr;)
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::size_t err_chunk = std::numeric_limits<std::size_t>::max();
-  std::exception_ptr err;
+  Mutex mu;
+  CondVar cv;
+  std::size_t err_chunk RPBCM_GUARDED_BY(mu) =
+      std::numeric_limits<std::size_t>::max();
+  std::exception_ptr err RPBCM_GUARDED_BY(mu);
 
   /// Claims and runs chunks until none remain. Returns after contributing
   /// `done` increments for every chunk it ran.
@@ -66,7 +67,7 @@ struct ForContext {
       } catch (...) {
         // Keep the lowest-indexed exception so the surfaced error is
         // deterministic regardless of which thread ran which chunk.
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         if (i < err_chunk) {
           err_chunk = i;
           err = std::current_exception();
@@ -85,7 +86,7 @@ struct ForContext {
         // Lock pairing with the caller's wait: either the caller has not
         // checked the predicate yet (it will observe done==total), or it is
         // inside cv.wait and this notify wakes it.
-        std::lock_guard<std::mutex> lk(mu);
+        MutexLock lk(mu);
         cv.notify_all();
       }
     }
@@ -104,14 +105,14 @@ class Pool {
     return pool;
   }
 
-  std::size_t configured() {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  std::size_t configured() RPBCM_EXCLUDES(lifecycle_mu_) {
+    MutexLock lk(lifecycle_mu_);
     if (configured_ == 0) configured_ = env_default_threads();
     return configured_;
   }
 
-  void set_configured(std::size_t n) {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  void set_configured(std::size_t n) RPBCM_EXCLUDES(lifecycle_mu_) {
+    MutexLock lk(lifecycle_mu_);
     const std::size_t target = n == 0 ? env_default_threads() : n;
     if (target == configured_) return;
     stop_workers_locked();
@@ -119,11 +120,11 @@ class Pool {
   }
 
   /// Spawns configured()-1 workers if the pool is not already running.
-  void ensure_started() {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  void ensure_started() RPBCM_EXCLUDES(lifecycle_mu_, queue_mu_) {
+    MutexLock lk(lifecycle_mu_);
     if (!workers_.empty() || configured_ <= 1) return;
     {
-      std::lock_guard<std::mutex> qlk(queue_mu_);
+      MutexLock qlk(queue_mu_);
       stop_ = false;
     }
     workers_.reserve(configured_ - 1);
@@ -131,30 +132,30 @@ class Pool {
       workers_.emplace_back([this] { worker_main(); });
   }
 
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) RPBCM_EXCLUDES(queue_mu_) {
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(queue_mu_);
       queue_.push_back(std::move(task));
     }
     queue_cv_.notify_one();
     RPBCM_OBS_COUNT("rpbcm.base.pool.tasks_submitted", 1);
   }
 
-  ~Pool() {
-    std::lock_guard<std::mutex> lk(lifecycle_mu_);
+  ~Pool() RPBCM_EXCLUDES(lifecycle_mu_) {
+    MutexLock lk(lifecycle_mu_);
     stop_workers_locked();
   }
 
  private:
   Pool() = default;
 
-  void worker_main() {
+  void worker_main() RPBCM_EXCLUDES(queue_mu_) {
     tl_pool_worker = true;
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lk(queue_mu_);
-        queue_cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lk(queue_mu_);
+        while (!stop_ && queue_.empty()) queue_cv_.wait(queue_mu_);
         // Drain the queue even when stopping: a queued helper must not be
         // dropped while its ForContext is still live (it is a no-op once
         // the context's range is exhausted).
@@ -166,12 +167,13 @@ class Pool {
     }
   }
 
-  // Requires lifecycle_mu_. Joining waits for in-flight tasks; a helper
-  // task drains its whole (finite) chunk range, so this terminates.
-  void stop_workers_locked() {
+  // Joining waits for in-flight tasks; a helper task drains its whole
+  // (finite) chunk range, so this terminates.
+  void stop_workers_locked() RPBCM_REQUIRES(lifecycle_mu_)
+      RPBCM_EXCLUDES(queue_mu_) {
     if (workers_.empty()) return;
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(queue_mu_);
       stop_ = true;
     }
     queue_cv_.notify_all();
@@ -179,14 +181,16 @@ class Pool {
     workers_.clear();
   }
 
-  std::mutex lifecycle_mu_;  // guards configured_ + workers_ lifecycle
-  std::size_t configured_ = 0;
-  std::vector<std::thread> workers_;
+  // Lock order: lifecycle_mu_ before queue_mu_ (ensure_started,
+  // stop_workers_locked); workers never take lifecycle_mu_.
+  Mutex lifecycle_mu_;
+  std::size_t configured_ RPBCM_GUARDED_BY(lifecycle_mu_) = 0;
+  std::vector<std::thread> workers_ RPBCM_GUARDED_BY(lifecycle_mu_);
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex queue_mu_ RPBCM_ACQUIRED_AFTER(lifecycle_mu_);
+  CondVar queue_cv_;
+  std::deque<std::function<void()>> queue_ RPBCM_GUARDED_BY(queue_mu_);
+  bool stop_ RPBCM_GUARDED_BY(queue_mu_) = false;
 };
 
 }  // namespace
@@ -248,13 +252,14 @@ void parallel_for_chunks(
     pool.submit([ctx] { ctx->drain(/*on_caller=*/false); });
 
   ctx->drain(/*on_caller=*/true);
+  std::exception_ptr err;
   {
-    std::unique_lock<std::mutex> lk(ctx->mu);
-    ctx->cv.wait(lk, [&] {
-      return ctx->done.load(std::memory_order_acquire) == total;
-    });
+    MutexLock lk(ctx->mu);
+    while (ctx->done.load(std::memory_order_acquire) != total)
+      ctx->cv.wait(ctx->mu);
+    err = ctx->err;
   }
-  if (ctx->err) std::rethrow_exception(ctx->err);
+  if (err) std::rethrow_exception(err);
 }
 
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,

@@ -1,0 +1,76 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute wrappers (-Wthread-safety).
+//
+// These macros turn the repo's lock-discipline comments ("guarded by
+// mu_", "requires lifecycle_mu_") into compiler-checked contracts: under
+// Clang every annotated mutex acquisition, guarded-field access, and
+// REQUIRES-qualified call is verified at compile time; under GCC (and any
+// compiler without the attributes) they expand to nothing, so the
+// annotations cost zero and cannot change codegen.
+//
+// The annotated capability types live in base/mutex.hpp (base::Mutex,
+// base::MutexLock, base::CondVar) — raw std::mutex carries no capability
+// attribute in libstdc++, so guarded code must use the wrappers for the
+// analysis to see anything. tools/ci.sh builds one Clang configuration
+// with -Wthread-safety -Werror (docs/static_analysis.md).
+//
+// Naming follows the Clang documentation's capability vocabulary
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), prefixed
+// RPBCM_ like every other repo macro.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RPBCM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef RPBCM_THREAD_ANNOTATION
+#define RPBCM_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (lockable): base::Mutex.
+#define RPBCM_CAPABILITY(x) RPBCM_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability: base::MutexLock.
+#define RPBCM_SCOPED_CAPABILITY RPBCM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field/variable may only be read or written while holding `x`.
+#define RPBCM_GUARDED_BY(x) RPBCM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field: the *pointee* may only be accessed while holding `x`.
+#define RPBCM_PT_GUARDED_BY(x) RPBCM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability and does not release it.
+#define RPBCM_ACQUIRE(...) \
+  RPBCM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability.
+#define RPBCM_RELEASE(...) \
+  RPBCM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts the capability; `b` is the success return value.
+#define RPBCM_TRY_ACQUIRE(...) \
+  RPBCM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability on entry (and still holds it on exit).
+#define RPBCM_REQUIRES(...) \
+  RPBCM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function acquires it itself —
+/// annotating this catches self-deadlock at compile time).
+#define RPBCM_EXCLUDES(...) RPBCM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock prevention across mutexes).
+#define RPBCM_ACQUIRED_BEFORE(...) \
+  RPBCM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define RPBCM_ACQUIRED_AFTER(...) \
+  RPBCM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the capability guarding its result.
+#define RPBCM_RETURN_CAPABILITY(x) RPBCM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (use sparingly; every
+/// use needs a comment saying why).
+#define RPBCM_NO_THREAD_SAFETY_ANALYSIS \
+  RPBCM_THREAD_ANNOTATION(no_thread_safety_analysis)

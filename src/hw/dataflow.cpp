@@ -10,7 +10,7 @@
 #include "hw/pipeline_sim.hpp"
 #include "hw/pruned_bcm_pe.hpp"
 #include "obs/macros.hpp"
-#include "obs/pipeline_trace.hpp"
+#include "hw/pipeline_trace.hpp"
 
 namespace rpbcm::hw {
 
@@ -81,7 +81,8 @@ std::uint64_t compose(const std::vector<TileCost>& tiles, DataflowKind kind,
 // in instrumented builds — registry counters plus (when a trace session is
 // live) one synthetic timeline track group per layer.
 std::uint64_t compose_observed(const std::vector<TileCost>& tiles,
-                               const HwConfig& cfg, const std::string& name,
+                               const HwConfig& cfg,
+                               [[maybe_unused]] const std::string& name,
                                CycleBreakdown& out) {
   if (cfg.dataflow != DataflowKind::kFineGrained)
     return compose(tiles, cfg.dataflow);
@@ -89,10 +90,10 @@ std::uint64_t compose_observed(const std::vector<TileCost>& tiles,
   const std::uint64_t total = compose(tiles, cfg.dataflow, &trace);
   out.streams = trace.streams;
   RPBCM_OBS_ONLY({
-    obs::record_pipeline_metrics(trace, "rpbcm.hw.pipeline",
-                                 obs::Registry::global());
+    record_pipeline_metrics(trace, "rpbcm.hw.pipeline",
+                            obs::Registry::global());
     auto& session = obs::TraceSession::global();
-    if (session.enabled()) obs::emit_pipeline_trace(trace, name, session);
+    if (session.enabled()) emit_pipeline_trace(trace, name, session);
   });
   return total;
 }

@@ -1,23 +1,23 @@
-#include "obs/pipeline_trace.hpp"
+#include "hw/pipeline_trace.hpp"
 
 #include <string>
 
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
-namespace rpbcm::obs {
+namespace rpbcm::hw {
 
-std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
+std::uint32_t emit_pipeline_trace(const PipelineTrace& trace,
                                   std::string_view label,
-                                  TraceSession& session) {
+                                  obs::TraceSession& session) {
   if (!session.enabled()) return 0;
   const std::uint32_t pid = session.next_pid();
   session.set_process_name(pid, "pipeline:" + std::string(label));
-  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s)
+  for (std::size_t s = 0; s < kPipelineStreams; ++s)
     session.set_thread_name(pid, static_cast<std::uint32_t>(s),
-                            hw::kStreamNames[s]);
+                            kStreamNames[s]);
 
-  for (const hw::TileStreamEvent& ev : trace.events) {
+  for (const TileStreamEvent& ev : trace.events) {
     const auto ts = static_cast<double>(ev.start);
     const auto dur = static_cast<double>(ev.finish - ev.start);
     // Stall slices precede the busy slice on the same track: the engine
@@ -46,12 +46,12 @@ std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
   return pid;
 }
 
-void record_pipeline_metrics(const hw::PipelineTrace& trace,
-                             std::string_view prefix, Registry& registry) {
+void record_pipeline_metrics(const PipelineTrace& trace,
+                             std::string_view prefix, obs::Registry& registry) {
   const std::string base(prefix);
-  for (std::size_t s = 0; s < hw::kPipelineStreams; ++s) {
-    const std::string stream = base + "." + hw::kStreamNames[s];
-    const hw::StreamStats& st = trace.streams[s];
+  for (std::size_t s = 0; s < kPipelineStreams; ++s) {
+    const std::string stream = base + "." + kStreamNames[s];
+    const StreamStats& st = trace.streams[s];
     registry.counter(stream + ".busy_cycles").add(st.busy);
     registry.counter(stream + ".stall_data_cycles").add(st.stall_data);
     registry.counter(stream + ".stall_buffer_cycles").add(st.stall_buffer);
@@ -61,4 +61,4 @@ void record_pipeline_metrics(const hw::PipelineTrace& trace,
   registry.counter(base + ".runs").add(1);
 }
 
-}  // namespace rpbcm::obs
+}  // namespace rpbcm::hw

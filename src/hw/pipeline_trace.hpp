@@ -6,9 +6,11 @@
 #include "hw/pipeline_sim.hpp"
 
 namespace rpbcm::obs {
-
 class Registry;
 class TraceSession;
+}  // namespace rpbcm::obs
+
+namespace rpbcm::hw {
 
 /// Renders one simulated pipeline schedule as a synthetic Chrome-trace
 /// process: one track (tid) per pipeline stream, one complete event per
@@ -19,9 +21,9 @@ class TraceSession;
 ///
 /// Returns the pid allocated for the track group (0 if the session is
 /// disabled and nothing was emitted).
-std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
+std::uint32_t emit_pipeline_trace(const PipelineTrace& trace,
                                   std::string_view label,
-                                  TraceSession& session);
+                                  obs::TraceSession& session);
 
 /// Accumulates per-stream cycle accounting into `registry`:
 ///   <prefix>.<stream>.busy_cycles          counter
@@ -29,7 +31,7 @@ std::uint32_t emit_pipeline_trace(const hw::PipelineTrace& trace,
 ///   <prefix>.<stream>.stall_buffer_cycles  counter
 ///   <prefix>.<stream>.occupancy            histogram (one sample per run)
 /// plus <prefix>.total_cycles / <prefix>.runs counters.
-void record_pipeline_metrics(const hw::PipelineTrace& trace,
-                             std::string_view prefix, Registry& registry);
+void record_pipeline_metrics(const PipelineTrace& trace,
+                             std::string_view prefix, obs::Registry& registry);
 
-}  // namespace rpbcm::obs
+}  // namespace rpbcm::hw

@@ -35,8 +35,8 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
       for (std::size_t ni = 0; ni < n; ++ni) {
         const float* p = xd + (ni * c + ci) * plane;
         for (std::size_t i = 0; i < plane; ++i) {
-          sum += p[i];
-          sq += static_cast<double>(p[i]) * p[i];
+          sum += static_cast<double>(p[i]);
+          sq += static_cast<double>(p[i]) * static_cast<double>(p[i]);
         }
       }
       const double m = sum / static_cast<double>(count);
@@ -97,16 +97,17 @@ Tensor BatchNorm2d::backward(const Tensor& gy) {
       const float* gp = gyd + (ni * c + ci) * plane;
       const float* xp = xh + (ni * c + ci) * plane;
       for (std::size_t i = 0; i < plane; ++i) {
-        sum_gy += gp[i];
-        sum_gy_xhat += static_cast<double>(gp[i]) * xp[i];
+        sum_gy += static_cast<double>(gp[i]);
+        sum_gy_xhat += static_cast<double>(gp[i]) * static_cast<double>(xp[i]);
       }
     }
     gamma_.grad[ci] += static_cast<float>(sum_gy_xhat);
     beta_.grad[ci] += static_cast<float>(sum_gy);
     const float g = gamma_.value[ci];
     const float inv_std = cached_inv_std_[ci];
-    const auto mg = static_cast<float>(sum_gy / count);
-    const auto mgx = static_cast<float>(sum_gy_xhat / count);
+    const auto mg = static_cast<float>(sum_gy / static_cast<double>(count));
+    const auto mgx =
+        static_cast<float>(sum_gy_xhat / static_cast<double>(count));
     for (std::size_t ni = 0; ni < n; ++ni) {
       const float* gp = gyd + (ni * c + ci) * plane;
       const float* xp = xh + (ni * c + ci) * plane;

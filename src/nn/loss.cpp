@@ -33,7 +33,8 @@ float SoftmaxCrossEntropy::forward(const Tensor& logits,
           const float* row = ld + i * c;
           const float mx = *std::max_element(row, row + c);
           double denom = 0.0;
-          for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - mx);
+          for (std::size_t j = 0; j < c; ++j)
+            denom += static_cast<double>(std::exp(row[j] - mx));
           const auto log_denom = static_cast<float>(std::log(denom));
           float* prow = pd + i * c;
           for (std::size_t j = 0; j < c; ++j)

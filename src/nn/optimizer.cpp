@@ -28,7 +28,7 @@ float CosineAnnealing::lr(std::size_t epoch) const {
                                     static_cast<double>(total_));
   const double cosine =
       0.5 * (1.0 + std::cos(std::numbers::pi * t / static_cast<double>(total_)));
-  return min_ + static_cast<float>((base_ - min_) * cosine);
+  return min_ + static_cast<float>(static_cast<double>(base_ - min_) * cosine);
 }
 
 }  // namespace rpbcm::nn

@@ -41,7 +41,7 @@ float Trainer::run_epoch(float lr) {
     Batch b = data_.train_batch(rng_, cfg_.batch);
     zero_grads(params);
     Tensor logits = model_.forward(b.x, /*train=*/true);
-    total += loss.forward(logits, b.y);
+    total += static_cast<double>(loss.forward(logits, b.y));
     model_.backward(loss.backward());
     opt_.step(params);
     RPBCM_OBS_OBSERVE("rpbcm.train.step_seconds", seconds_since(t0));
@@ -75,7 +75,9 @@ std::vector<EpochStats> Trainer::train() {
       std::snprintf(line, sizeof line,
                     "epoch %2zu  lr %.4f  loss %.4f  top1 %.3f  "
                     "(%.2fs train, %.2fs eval)",
-                    e, s.lr, s.mean_loss, s.test_top1, s.train_seconds,
+                    e, static_cast<double>(s.lr),
+                    static_cast<double>(s.mean_loss), s.test_top1,
+                    s.train_seconds,
                     s.eval_seconds);
       RPBCM_LOG_INFO("train", line);
     }

@@ -3,14 +3,33 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <numbers>
 
 #include "base/check.hpp"
+#include "base/mutex.hpp"
 #include "base/parallel.hpp"
+#include "base/thread_annotations.hpp"
 #include "obs/macros.hpp"
 
 namespace rpbcm::numeric {
+
+namespace {
+
+/// Process-wide twiddle-ROM cache (one lazily built ROM per FFT size).
+/// The map is the only guarded state: a TwiddleRom is immutable after
+/// construction, so handing out references outside the lock is safe.
+struct RomCache {
+  base::Mutex mu;
+  std::map<std::size_t, std::unique_ptr<TwiddleRom>> roms
+      RPBCM_GUARDED_BY(mu);
+};
+
+RomCache& rom_cache() {
+  static RomCache* cache = new RomCache();  // leaked: outlives all users
+  return *cache;
+}
+
+}  // namespace
 
 std::size_t log2_exact(std::size_t n) {
   RPBCM_CHECK_MSG(is_pow2(n), "log2_exact requires a power of two, got " << n);
@@ -87,13 +106,12 @@ void fft_inplace(std::span<cfloat> data, const TwiddleRom& rom, bool inverse) {
 }
 
 const TwiddleRom& twiddle_rom(std::size_t n) {
-  static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<TwiddleRom>> cache;
+  RomCache& cache = rom_cache();
   const TwiddleRom* rom = nullptr;
   bool miss = false;
   {
-    const std::lock_guard<std::mutex> lock(mu);
-    auto& slot = cache[n];
+    const base::MutexLock lock(cache.mu);
+    auto& slot = cache.roms[n];
     if (!slot) {
       slot = std::make_unique<TwiddleRom>(n);  // throws on non-pow2: slot
       miss = true;                             // stays empty, retried later

@@ -36,15 +36,16 @@ void Exporter::start(ExporterOptions options) {
                   "Exporter::start needs a jsonl_path or prom_path");
   RPBCM_CHECK_MSG(options.period.count() > 0,
                   "Exporter::start needs a positive period");
-  std::lock_guard<std::mutex> lock(mu_);
+  const std::chrono::milliseconds period = options.period;
+  base::MutexLock lock(mu_);
   RPBCM_CHECK_MSG(!thread_.joinable(), "Exporter already running");
   {
-    std::lock_guard<std::mutex> flush_lock(flush_mu_);
+    base::MutexLock flush_lock(flush_mu_);
     options_ = std::move(options);
     flush_count_ = 0;
   }
   stop_requested_ = false;
-  thread_ = std::thread([this] { thread_main(); });
+  thread_ = std::thread([this, period] { thread_main(period); });
 }
 
 void Exporter::stop() {
@@ -52,7 +53,7 @@ void Exporter::stop() {
   {
     // Claiming the thread under the lock makes concurrent stop() calls
     // (e.g. dump_outputs racing process exit) safe: exactly one joins.
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     if (!thread_.joinable()) return;
     stop_requested_ = true;
     worker = std::move(thread_);
@@ -63,28 +64,35 @@ void Exporter::stop() {
 }
 
 bool Exporter::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return thread_.joinable();
 }
 
 std::uint64_t Exporter::flushes() const {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  base::MutexLock lock(flush_mu_);
   return flush_count_;
 }
 
-void Exporter::thread_main() {
-  std::unique_lock<std::mutex> lock(mu_);
+void Exporter::thread_main(std::chrono::milliseconds period) {
   for (;;) {
-    cv_.wait_for(lock, options_.period, [this] { return stop_requested_; });
-    if (stop_requested_) return;  // stop() flushes after the join
-    lock.unlock();
+    {
+      // Deadline-based wait in an explicit predicate loop: the guarded
+      // stop_requested_ reads stay inside the locked scope, which is what
+      // -Wthread-safety verifies (a predicate lambda cannot carry the
+      // RPBCM_REQUIRES(mu_) contract).
+      base::MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() + period;
+      while (!stop_requested_) {
+        if (cv_.wait_until(mu_, deadline) == std::cv_status::timeout) break;
+      }
+      if (stop_requested_) return;  // stop() flushes after the join
+    }
     flush();
-    lock.lock();
   }
 }
 
 void Exporter::flush() {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  base::MutexLock lock(flush_mu_);
   Registry& reg = registry();
   const double t0_us = TraceSession::now_us();
   const RegistrySnapshot snap = reg.snapshot();

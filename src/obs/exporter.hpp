@@ -1,11 +1,12 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace rpbcm::obs {
 
@@ -59,34 +60,42 @@ class Exporter {
 
   /// Starts the background thread. Requires: not running, options name at
   /// least one output file, period > 0.
-  void start(ExporterOptions options);
+  void start(ExporterOptions options) RPBCM_EXCLUDES(mu_, flush_mu_);
 
   /// Stops the background thread (if running) and flushes once more. Safe
   /// to call repeatedly or without a prior start().
-  void stop();
+  void stop() RPBCM_EXCLUDES(mu_, flush_mu_);
 
-  bool running() const;
+  bool running() const RPBCM_EXCLUDES(mu_);
 
   /// Snapshot + write immediately. Valid after start() until the next
   /// start(); concurrent with the background thread.
-  void flush();
+  void flush() RPBCM_EXCLUDES(flush_mu_);
 
   /// Completed flushes since start(). One extra flush is counted by
   /// stop()'s final write.
-  std::uint64_t flushes() const;
+  std::uint64_t flushes() const RPBCM_EXCLUDES(flush_mu_);
 
  private:
-  void thread_main();
-  Registry& registry() const;
+  /// Body of the background thread. The snapshot period is pinned at
+  /// start() and passed by value: options_ is flush_mu_ state, and the
+  /// wait loop must never touch flush_mu_ (lock-ordering: a flush may be
+  /// in progress while the waiter times out).
+  void thread_main(std::chrono::milliseconds period) RPBCM_EXCLUDES(mu_);
+  Registry& registry() const RPBCM_REQUIRES(flush_mu_);
 
-  mutable std::mutex mu_;           // lifecycle: thread_, stop_requested_
-  std::condition_variable cv_;
-  std::thread thread_;
-  bool stop_requested_ = false;
+  // Lifecycle lock. Never held while writing files; stop() claims the
+  // thread handle under mu_, joins outside it, then flushes.
+  mutable base::Mutex mu_;
+  base::CondVar cv_;
+  std::thread thread_ RPBCM_GUARDED_BY(mu_);
+  bool stop_requested_ RPBCM_GUARDED_BY(mu_) = false;
 
-  mutable std::mutex flush_mu_;     // serializes file writes
-  ExporterOptions options_;
-  std::uint64_t flush_count_ = 0;   // guarded by flush_mu_
+  // Write lock: serializes snapshot+file output between the background
+  // thread, manual flush() callers, and stop()'s final flush.
+  mutable base::Mutex flush_mu_ RPBCM_ACQUIRED_AFTER(mu_);
+  ExporterOptions options_ RPBCM_GUARDED_BY(flush_mu_);
+  std::uint64_t flush_count_ RPBCM_GUARDED_BY(flush_mu_) = 0;
 };
 
 }  // namespace rpbcm::obs

@@ -15,33 +15,33 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 void ExactHistogram::record(double v) {
   if (std::isnan(v)) {
     RPBCM_DCHECK(false && "NaN recorded into ExactHistogram");
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(mu_);
     ++rejected_;
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   samples_.push_back(v);
   sum_ += v;
 }
 
 std::uint64_t ExactHistogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return samples_.size();
 }
 
 double ExactHistogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return sum_;
 }
 
 double ExactHistogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (samples_.empty()) return kNaN;
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double ExactHistogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   if (samples_.empty()) return kNaN;
   return *std::max_element(samples_.begin(), samples_.end());
 }
@@ -59,14 +59,14 @@ double ExactHistogram::percentile_sorted(const std::vector<double>& sorted,
 }
 
 double ExactHistogram::percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   auto sorted = samples_;
   std::sort(sorted.begin(), sorted.end());
   return percentile_sorted(sorted, p);
 }
 
 HistogramStats ExactHistogram::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   HistogramStats s;
   s.count = samples_.size();
   s.rejected = rejected_;

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace rpbcm::obs {
 
@@ -80,13 +82,14 @@ class ExactHistogram final : public Histogram {
   HistogramStats stats() const override;
 
  private:
-  /// Requires mu_. Nearest-rank percentile over `sorted`.
+  /// Nearest-rank percentile over `sorted` (callers pass samples_ while
+  /// holding mu_; the copy itself carries no capability).
   static double percentile_sorted(const std::vector<double>& sorted, double p);
 
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
-  double sum_ = 0.0;
-  std::uint64_t rejected_ = 0;
+  mutable base::Mutex mu_;
+  std::vector<double> samples_ RPBCM_GUARDED_BY(mu_);
+  double sum_ RPBCM_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t rejected_ RPBCM_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rpbcm::obs

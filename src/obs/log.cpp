@@ -59,7 +59,7 @@ std::uint32_t Logger::max_per_second() const {
 }
 
 void Logger::set_json_sink(const std::string& path) {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  base::MutexLock lock(sink_mu_);
   if (json_sink_.is_open()) json_sink_.close();
   json_path_.clear();
   if (path.empty()) return;
@@ -69,7 +69,7 @@ void Logger::set_json_sink(const std::string& path) {
 }
 
 void Logger::close_sink() {
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  base::MutexLock lock(sink_mu_);
   if (json_sink_.is_open()) {
     json_sink_.flush();
     json_sink_.close();
@@ -110,7 +110,7 @@ void Logger::write(LogLevel level, std::string_view area,
   lines_.fetch_add(1, std::memory_order_relaxed);
   Registry::global().counter("rpbcm.obs.log.lines").add(1);
 
-  std::lock_guard<std::mutex> lock(sink_mu_);
+  base::MutexLock lock(sink_mu_);
   if (json_sink_.is_open()) {
     json_sink_ << "{\"ts_ms\": " << unix_millis() << ", \"level\": \""
                << log_level_name(level) << "\", \"area\": ";

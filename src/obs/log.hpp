@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace rpbcm::obs {
 
@@ -53,9 +55,9 @@ class Logger {
 
   /// Routes output to a JSON-lines file (append). Empty path restores the
   /// stderr sink. CheckError if the file cannot be opened.
-  void set_json_sink(const std::string& path);
+  void set_json_sink(const std::string& path) RPBCM_EXCLUDES(sink_mu_);
   /// Flushes and closes a JSON sink, restoring stderr. No-op otherwise.
-  void close_sink();
+  void close_sink() RPBCM_EXCLUDES(sink_mu_);
 
   /// Lines written to the active sink since process start.
   std::uint64_t lines_written() const;
@@ -66,7 +68,7 @@ class Logger {
 
   /// Formats and emits one record. Called via the macros after should_log.
   void write(LogLevel level, std::string_view area, std::string_view msg,
-             LogSite& site);
+             LogSite& site) RPBCM_EXCLUDES(sink_mu_);
 
  private:
   Logger() = default;
@@ -75,9 +77,9 @@ class Logger {
   std::atomic<std::uint32_t> max_per_second_{50};
   std::atomic<std::uint64_t> lines_{0};
 
-  std::mutex sink_mu_;
-  std::ofstream json_sink_;  // open => JSONL mode
-  std::string json_path_;
+  base::Mutex sink_mu_;
+  std::ofstream json_sink_ RPBCM_GUARDED_BY(sink_mu_);  // open => JSONL mode
+  std::string json_path_ RPBCM_GUARDED_BY(sink_mu_);
 };
 
 }  // namespace rpbcm::obs

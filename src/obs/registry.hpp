@@ -5,11 +5,12 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 #include "obs/histogram.hpp"
 
 namespace rpbcm::obs {
@@ -95,22 +96,23 @@ class Registry {
   /// Process-wide registry the RPBCM_OBS_* macros record into.
   static Registry& global();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) RPBCM_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) RPBCM_EXCLUDES(mu_);
   /// Returns the histogram registered under `name`, creating it with the
   /// requested implementation on first use. Re-requesting an existing name
   /// with a different kind is a contract violation (CheckError): a metric
   /// name denotes one distribution.
   Histogram& histogram(std::string_view name,
-                       HistogramKind kind = HistogramKind::kBucket);
+                       HistogramKind kind = HistogramKind::kBucket)
+      RPBCM_EXCLUDES(mu_);
 
-  RegistrySnapshot snapshot() const;
+  RegistrySnapshot snapshot() const RPBCM_EXCLUDES(mu_);
   void write_json(std::ostream& os) const;
   void write_markdown(std::ostream& os) const;
 
   /// Drops every metric (tests / repeated runs in one process). Invalidates
   /// all outstanding handles.
-  void clear();
+  void clear() RPBCM_EXCLUDES(mu_);
 
  private:
   struct HistogramEntry {
@@ -118,10 +120,13 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, HistogramEntry, std::less<>> histograms_;
+  mutable base::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      RPBCM_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      RPBCM_GUARDED_BY(mu_);
+  std::map<std::string, HistogramEntry, std::less<>> histograms_
+      RPBCM_GUARDED_BY(mu_);
 };
 
 }  // namespace rpbcm::obs

@@ -28,7 +28,7 @@ std::uint32_t TraceSession::next_pid() {
 
 void TraceSession::push(TraceEvent ev) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   events_.push_back(std::move(ev));
 }
 
@@ -72,17 +72,17 @@ void TraceSession::set_thread_name(std::uint32_t pid, std::uint32_t tid,
 }
 
 std::size_t TraceSession::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   return events_.size();
 }
 
 void TraceSession::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   events_.clear();
 }
 
 void TraceSession::write_json(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(mu_);
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   for (std::size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& ev = events_[i];

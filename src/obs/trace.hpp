@@ -3,10 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
 
 namespace rpbcm::obs {
 
@@ -56,19 +58,19 @@ class TraceSession {
   void set_thread_name(std::uint32_t pid, std::uint32_t tid,
                        std::string_view name);
 
-  std::size_t event_count() const;
-  void clear();
+  std::size_t event_count() const RPBCM_EXCLUDES(mu_);
+  void clear() RPBCM_EXCLUDES(mu_);
 
-  void write_json(std::ostream& os) const;
-  void write_json_file(const std::string& path) const;
+  void write_json(std::ostream& os) const RPBCM_EXCLUDES(mu_);
+  void write_json_file(const std::string& path) const RPBCM_EXCLUDES(mu_);
 
  private:
-  void push(TraceEvent ev);
+  void push(TraceEvent ev) RPBCM_EXCLUDES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint32_t> next_pid_{2};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable base::Mutex mu_;
+  std::vector<TraceEvent> events_ RPBCM_GUARDED_BY(mu_);
 };
 
 /// RAII wall-clock scope: on destruction emits a complete event into the

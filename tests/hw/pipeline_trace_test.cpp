@@ -1,4 +1,4 @@
-#include "obs/pipeline_trace.hpp"
+#include "hw/pipeline_trace.hpp"
 
 #include <gtest/gtest.h>
 
@@ -12,7 +12,7 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
-namespace rpbcm::obs {
+namespace rpbcm::hw {
 namespace {
 
 std::vector<hw::TileStreamCosts> random_tiles(std::size_t n,
@@ -135,7 +135,7 @@ TEST(PipelineTraceTest, EmitProducesChromeTracks) {
   hw::PipelineTrace trace;
   hw::simulate_tile_pipeline(tiles, &trace);
 
-  TraceSession session;
+  obs::TraceSession session;
   session.enable();
   const auto pid = emit_pipeline_trace(trace, "conv1", session);
   ASSERT_GT(pid, 0u);
@@ -172,7 +172,7 @@ TEST(PipelineTraceTest, EmitDisabledSessionIsNoop) {
   const auto tiles = random_tiles(5, 9);
   hw::PipelineTrace trace;
   hw::simulate_tile_pipeline(tiles, &trace);
-  TraceSession session;  // never enabled
+  obs::TraceSession session;  // never enabled
   EXPECT_EQ(emit_pipeline_trace(trace, "x", session), 0u);
   EXPECT_EQ(session.event_count(), 0u);
 }
@@ -182,7 +182,7 @@ TEST(PipelineTraceTest, RecordMetricsAccumulates) {
   hw::PipelineTrace trace;
   hw::simulate_tile_pipeline(tiles, &trace);
 
-  Registry reg;
+  obs::Registry reg;
   record_pipeline_metrics(trace, "rpbcm.test.pipe", reg);
   record_pipeline_metrics(trace, "rpbcm.test.pipe", reg);
 
@@ -195,4 +195,4 @@ TEST(PipelineTraceTest, RecordMetricsAccumulates) {
 }
 
 }  // namespace
-}  // namespace rpbcm::obs
+}  // namespace rpbcm::hw

@@ -41,10 +41,11 @@ TEST(BucketHistogramTest, BucketIndexMonotoneAndContiguous) {
        i < BucketHistogram::kOverflowBucket; ++i) {
     const double lo = BucketHistogram::bucket_lower(i);
     EXPECT_EQ(BucketHistogram::bucket_index(lo), i) << "lower of " << i;
-    if (i + 1 < BucketHistogram::kOverflowBucket)
+    if (i + 1 < BucketHistogram::kOverflowBucket) {
       EXPECT_DOUBLE_EQ(BucketHistogram::bucket_upper(i),
                        BucketHistogram::bucket_lower(i + 1))
           << "seam at " << i;
+    }
   }
 }
 

@@ -9,12 +9,17 @@
 #   3. ASan+UBSan build, `ctest -L san` (full suite — every test is
 #      labeled `san` when RPBCM_SANITIZE is set)
 #   4. TSan build, `ctest -L san`
-#   5. clang-tidy over the compile database (skipped with a notice when
+#   5. static architecture & concurrency guarantees: rpbcm_deps checks the
+#      include graph against the declared layer DAG (and refreshes the
+#      committed docs/include_graph.dot), then run_thread_safety.sh builds
+#      the tree with Clang so -Wthread-safety verifies the lock
+#      annotations (skipped with a notice when clang++ is not installed)
+#   6. clang-tidy over the compile database (skipped with a notice when
 #      clang-tidy is not installed; any finding is fatal)
-#   6. bench smoke: bench_micro_kernels in minimum-time mode, and the
+#   7. bench smoke: bench_micro_kernels in minimum-time mode, and the
 #      --kernels-json baseline writer — fails if BENCH_kernels.json is
 #      not produced (catches bit-rot in the benchmark harness itself)
-#   7. observability gate: quickstart --smoke with the background exporter
+#   8. observability gate: quickstart --smoke with the background exporter
 #      enabled, output files validated by perf_gate --check-jsonl /
 #      --check-prom, then perf_gate diffs a fresh kernels JSON against the
 #      committed baseline (bench/baselines/BENCH_kernels.json) and fails
@@ -24,10 +29,11 @@
 #
 # Env knobs:
 #   JOBS=N            parallelism (default: nproc)
-#   SKIP_TSAN=1       skip stage 3 (e.g. on machines without TSan runtime)
-#   SKIP_ASAN=1       skip stage 2
-#   SKIP_BENCH=1      skip stage 6
-#   SKIP_PERF_GATE=1  skip stage 7 (e.g. on heavily loaded machines where
+#   SKIP_TSAN=1       skip stage 4 (e.g. on machines without TSan runtime)
+#   SKIP_ASAN=1       skip stage 3
+#   SKIP_STATIC=1     skip stage 5 (layering + thread-safety build)
+#   SKIP_BENCH=1      skip stage 7
+#   SKIP_PERF_GATE=1  skip stage 8 (e.g. on heavily loaded machines where
 #                     kernel timings are too noisy to gate on)
 
 set -euo pipefail
@@ -65,6 +71,26 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build build-tsan -j "$JOBS"
   TSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/tsan.supp:halt_on_error=1" \
     ctest --test-dir build-tsan -L san --output-on-failure -j "$JOBS"
+fi
+
+if [[ "${SKIP_STATIC:-0}" != "1" ]]; then
+  stage "static architecture (rpbcm_deps layering) + Clang thread-safety"
+  # Layering: the analyzer was built by stage 1; zero violations required.
+  # The DOT snapshot in docs/ is refreshed in place so drift shows up as a
+  # dirty git tree in CI.
+  build-strict/tools/rpbcm_deps "$ROOT" --verbose \
+    --dot="$ROOT/docs/include_graph.dot"
+  # Thread-safety: the annotations only analyze under Clang; exit 3 means
+  # "no clang++ on this machine", which is a skip, not a failure.
+  set +e
+  tools/run_thread_safety.sh "$ROOT/build-tsafety"
+  tsafety_status=$?
+  set -e
+  if [[ $tsafety_status -eq 3 ]]; then
+    echo "ci.sh: clang++ unavailable — thread-safety stage skipped"
+  elif [[ $tsafety_status -ne 0 ]]; then
+    exit "$tsafety_status"
+  fi
 fi
 
 stage "clang-tidy"

@@ -1,0 +1,7 @@
+#pragma once
+
+// deps_selftest fixture: lowest-layer header with no repo includes.
+
+namespace deps_fixture {
+inline int tick() { return 1; }
+}  // namespace deps_fixture

@@ -1,0 +1,8 @@
+// deps_selftest fixture: hw may reach numeric and obs (cross-cutting).
+
+#include "numeric/accum.hpp"
+#include "obs/sink.hpp"
+
+namespace deps_fixture {
+int engine() { return accum() + sink(); }
+}  // namespace deps_fixture

@@ -1,0 +1,11 @@
+#pragma once
+
+// deps_selftest fixture: numeric → base is an allowed downward edge.
+// The commented include below must be ignored by the scanner:
+// #include "hw/engine.hpp"
+
+#include "base/tick.hpp"
+
+namespace deps_fixture {
+inline int accum() { return tick() + 1; }
+}  // namespace deps_fixture

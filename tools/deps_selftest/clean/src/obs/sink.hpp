@@ -1,0 +1,9 @@
+#pragma once
+
+// deps_selftest fixture: obs → base is the one downward edge obs may take.
+
+#include "base/tick.hpp"
+
+namespace deps_fixture {
+inline int sink() { return tick(); }
+}  // namespace deps_fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+// deps_selftest fixture: half of a deliberate two-header include cycle.
+
+#include "base/pong.hpp"
+
+namespace deps_fixture {
+inline int ping();
+}  // namespace deps_fixture

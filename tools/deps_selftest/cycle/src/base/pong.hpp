@@ -1,0 +1,11 @@
+#pragma once
+
+// deps_selftest fixture: the other half of the deliberate include cycle.
+// Both edges stay inside the `base` layer, so only the file-level cycle
+// check — not the layer DAG — can catch this.
+
+#include "base/ping.hpp"
+
+namespace deps_fixture {
+inline int pong();
+}  // namespace deps_fixture

@@ -1,0 +1,7 @@
+#pragma once
+
+// deps_selftest fixture: top-layer header the obs fixture wrongly includes.
+
+namespace deps_fixture {
+inline int engine() { return 7; }
+}  // namespace deps_fixture

@@ -1,0 +1,12 @@
+#pragma once
+
+// deps_selftest fixture: obs → hw is a deliberate layering violation —
+// obs is a cross-cutting sink and may only include base. This mirrors the
+// real bug this analyzer was built to catch (the pipeline-trace adapter
+// once lived in src/obs while including src/hw headers).
+
+#include "hw/engine.hpp"
+
+namespace deps_fixture {
+inline int probe() { return engine(); }
+}  // namespace deps_fixture

@@ -1,0 +1,49 @@
+// Fixture for the lint selftest: the determinism rules. The deliberate
+// violations below are part of the finding count the rpbcm_lint_selftest
+// CTest asserts; the "allowed patterns" section must produce no findings.
+
+#include <cstdlib>
+#include <ctime>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+inline int fixture_nondet_sources() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // 2x no-rand
+  std::random_device entropy;                             // no-rand (argless)
+  return std::rand() + static_cast<int>(entropy());       // no-rand
+}
+
+inline int fixture_unordered_iteration(
+    const std::unordered_map<int, int>& table) {
+  int sum = 0;
+  for (const auto& [k, v] : table) sum += v;  // unordered-iter (range-for)
+  auto it = table.begin();                    // unordered-iter (.begin())
+  return sum + it->second;
+}
+
+inline double fixture_unordered_reduce(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end());  // no-std-reduce
+}
+
+inline int fixture_stale_waiver(int x) {
+  return x + 1;  // rpbcm-lint: allow(no-rand) — suppresses nothing: stale
+}
+
+// --- allowed patterns: none of these may be reported ------------------------
+
+inline int fixture_allowed_patterns(unsigned long long seed,
+                                    const std::unordered_map<int, int>& lut) {
+  std::mt19937_64 rng{seed};                   // caller-provided seed
+  std::random_device tagged("/dev/urandom");   // explicit source token
+  const bool hit = lut.count(3) != 0;          // keyed lookup, no iteration
+  int n = 0;                                   // waived, thus consumed:
+  for (const auto& kv : lut) n += kv.second;   // rpbcm-lint: allow(unordered-iter)
+  return static_cast<int>(rng()) + static_cast<int>(tagged()) + n +
+         (hit ? 1 : 0);
+}
+
+}  // namespace fixture

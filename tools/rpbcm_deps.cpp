@@ -1,0 +1,387 @@
+// rpbcm_deps — include-graph layering analyzer.
+//
+// Parses every `#include "..."` edge under <repo-root>/src and checks the
+// result against the declared layer DAG:
+//
+//   base → numeric → tensor → nn → core → {hw, models}
+//
+// with `obs` as a cross-cutting sink: every layer may include obs, but obs
+// itself may only reach base (and obs). A lower layer including a higher
+// one is a layering violation; any file-level include cycle is a cycle
+// violation (the layer DAG alone cannot see cycles inside the mutually
+// reachable base/obs pair, so acyclicity is checked on the file graph).
+//
+// Diagnostics are file:line so they are clickable in editors and CI logs:
+//
+//   src/obs/pipeline_trace.hpp:12: [layering] obs → hw not allowed ...
+//   src/base/x.hpp:3: [cycle] include cycle: base/x.hpp → base/y.hpp → ...
+//
+// `--dot=<path>` additionally emits a Graphviz digraph of the observed
+// layer-level edges (violating edges in red) — the committed copy lives at
+// docs/include_graph.dot and is refreshed by the tools/ci.sh static stage.
+//
+// Usage: rpbcm_deps <repo-root> [--dot=<path>] [--verbose]
+// Exits 0 when the tree is clean, 1 on violations/cycles, 2 on usage/IO
+// errors. The analyzed tree is <repo-root>/src, so the selftest fixtures
+// under tools/deps_selftest/<case>/ are passed as miniature repo roots.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// --- declared architecture -------------------------------------------------
+
+// kAllowed[i] lists every layer that layer kAllowed[i].name may include
+// (its own layer is always allowed and not listed). Order is the intended
+// stack, bottom → top.
+struct LayerRule {
+  std::string_view name;
+  std::vector<std::string_view> may_include;
+};
+
+const std::vector<LayerRule>& allowed_layers() {
+  static const std::vector<LayerRule> kAllowed = {
+      {"base", {"obs"}},
+      {"obs", {"base"}},
+      {"numeric", {"base", "obs"}},
+      {"tensor", {"base", "numeric", "obs"}},
+      {"nn", {"base", "numeric", "tensor", "obs"}},
+      {"core", {"base", "numeric", "tensor", "nn", "obs"}},
+      {"hw", {"base", "numeric", "tensor", "nn", "core", "obs"}},
+      {"models", {"base", "numeric", "tensor", "nn", "core", "obs"}},
+  };
+  return kAllowed;
+}
+
+const LayerRule* find_layer(std::string_view name) {
+  for (const LayerRule& rule : allowed_layers())
+    if (rule.name == name) return &rule;
+  return nullptr;
+}
+
+// --- scanning --------------------------------------------------------------
+
+struct Edge {
+  std::string from;  // src-relative path of the including file
+  std::size_t line = 0;
+  std::string to;  // src-relative path of the included file
+};
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string kind;
+  std::string message;
+};
+
+std::vector<Violation> g_violations;
+
+void report(std::string file, std::size_t line, std::string kind,
+            std::string message) {
+  g_violations.push_back(
+      {std::move(file), line, std::move(kind), std::move(message)});
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::cerr << "rpbcm_deps: cannot read " << p << '\n';
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Blanks comment text (line and block) while preserving newlines and all
+// non-comment code — string contents stay intact because the include paths
+// this tool parses live inside string literals.
+std::string strip_comments(const std::string& src) {
+  std::string out = src;
+  enum class St { kCode, kLine, kBlock, kStr, kChr };
+  St st = St::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'') {
+          st = St::kChr;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n')
+          st = St::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          st = St::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+        if (c == '\\' && next != '\0')
+          ++i;
+        else if (c == '"')
+          st = St::kCode;
+        break;
+      case St::kChr:
+        if (c == '\\' && next != '\0')
+          ++i;
+        else if (c == '\'')
+          st = St::kCode;
+        break;
+    }
+  }
+  return out;
+}
+
+// Parses `#include "path"` from one comment-stripped line; returns the
+// quoted path or empty. Angle-bracket includes (system / third-party) are
+// intentionally ignored — the layer contract covers repo headers only.
+std::string parse_quoted_include(std::string_view line) {
+  std::size_t i = line.find_first_not_of(" \t");
+  if (i == std::string_view::npos || line[i] != '#') return {};
+  i = line.find_first_not_of(" \t", i + 1);
+  if (i == std::string_view::npos ||
+      line.compare(i, 7, "include") != 0)
+    return {};
+  i = line.find_first_not_of(" \t", i + 7);
+  if (i == std::string_view::npos || line[i] != '"') return {};
+  const std::size_t close = line.find('"', i + 1);
+  if (close == std::string_view::npos) return {};
+  return std::string(line.substr(i + 1, close - i - 1));
+}
+
+bool has_source_ext(const fs::path& p) {
+  const std::string e = p.extension().string();
+  return e == ".hpp" || e == ".h" || e == ".cpp" || e == ".cc";
+}
+
+std::string layer_of(std::string_view src_rel) {
+  const std::size_t slash = src_rel.find('/');
+  return slash == std::string_view::npos ? std::string()
+                                         : std::string(src_rel.substr(0, slash));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: rpbcm_deps <repo-root> [--dot=<path>] [--verbose]\n";
+    return 2;
+  }
+  const fs::path root = argv[1];
+  std::string dot_path;
+  bool verbose = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--dot=", 0) == 0)
+      dot_path = arg.substr(6);
+    else if (arg == "--verbose")
+      verbose = true;
+    else {
+      std::cerr << "rpbcm_deps: unknown argument " << arg << '\n';
+      return 2;
+    }
+  }
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "rpbcm_deps: not a directory: " << src << '\n';
+    return 2;
+  }
+
+  // Pass 1: collect files and include edges (src-relative paths).
+  std::set<std::string> files;
+  std::vector<Edge> edges;
+  std::size_t scanned = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file() || !has_source_ext(entry.path())) continue;
+    const std::string rel =
+        fs::relative(entry.path(), src).generic_string();
+    files.insert(rel);
+    ++scanned;
+    const std::string code = strip_comments(read_file(entry.path()));
+    std::istringstream in(code);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::string target = parse_quoted_include(line);
+      if (target.empty()) continue;
+      // Repo convention: quoted includes are rooted at src/. Fall back to
+      // the including file's own directory for robustness.
+      if (fs::is_regular_file(src / target)) {
+        edges.push_back({rel, lineno, target});
+      } else {
+        const fs::path sibling =
+            fs::path(rel).parent_path() / target;
+        const fs::path norm = sibling.lexically_normal();
+        if (fs::is_regular_file(src / norm)) {
+          edges.push_back({rel, lineno, norm.generic_string()});
+        } else {
+          report(("src" / fs::path(rel)).generic_string(), lineno,
+                 "unresolved-include",
+                 "quoted include \"" + target +
+                     "\" does not resolve under src/ — repo headers must be "
+                     "included by src-relative path");
+        }
+      }
+    }
+  }
+
+  // Pass 2: layer checks.
+  std::map<std::pair<std::string, std::string>, std::size_t> layer_edges;
+  std::set<std::pair<std::string, std::string>> bad_layer_edges;
+  for (const Edge& e : edges) {
+    const std::string from = layer_of(e.from);
+    const std::string to = layer_of(e.to);
+    if (!from.empty() && !to.empty() && from != to)
+      ++layer_edges[{from, to}];
+    const std::string file = ("src" / fs::path(e.from)).generic_string();
+    if (from.empty() || find_layer(from) == nullptr) {
+      report(file, e.line, "unknown-layer",
+             "file is in undeclared layer '" + from +
+                 "' — add it to the layer table in tools/rpbcm_deps.cpp or "
+                 "move the file");
+      continue;
+    }
+    if (to.empty() || find_layer(to) == nullptr) {
+      report(file, e.line, "unknown-layer",
+             "include target src/" + e.to + " is in undeclared layer '" + to +
+                 "'");
+      continue;
+    }
+    if (from == to) continue;
+    const LayerRule* rule = find_layer(from);
+    const bool ok = std::find(rule->may_include.begin(),
+                              rule->may_include.end(),
+                              to) != rule->may_include.end();
+    if (!ok) {
+      bad_layer_edges.insert({from, to});
+      report(file, e.line, "layering",
+             from + " → " + to + " is not an allowed layer edge (declared "
+             "DAG: base → numeric → tensor → nn → core → {hw, models}; obs "
+             "reachable from all) — include src/" + e.to + " violates it");
+    }
+  }
+
+  // Pass 3: file-level cycle detection (DFS, three colors). The layer DAG
+  // cannot see cycles inside one layer or across the base/obs pair, so
+  // acyclicity is enforced on the file graph itself.
+  std::map<std::string, std::vector<const Edge*>> adj;
+  for (const Edge& e : edges) adj[e.from].push_back(&e);
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const std::string& f : files) color[f] = Color::kWhite;
+  std::vector<const Edge*> path;  // DFS edge stack for cycle reconstruction
+  std::size_t cycles = 0;
+
+  // Iterative DFS so deep include chains cannot overflow the stack.
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;  // next adjacency index to visit
+  };
+  for (const std::string& start : files) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<Frame> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto it = adj.find(frame.node);
+      const std::size_t degree = it == adj.end() ? 0 : it->second.size();
+      if (frame.next >= degree) {
+        color[frame.node] = Color::kBlack;
+        stack.pop_back();
+        if (!path.empty()) path.pop_back();
+        continue;
+      }
+      const Edge* e = it->second[frame.next++];
+      const Color tc = color.count(e->to) ? color[e->to] : Color::kBlack;
+      if (tc == Color::kGray) {
+        // Back edge: reconstruct the cycle from the edge path.
+        ++cycles;
+        std::string desc = e->to;
+        std::size_t begin = 0;
+        for (std::size_t i = 0; i < path.size(); ++i)
+          if (path[i]->from == e->to) begin = i;
+        for (std::size_t i = begin; i < path.size(); ++i)
+          desc += " → " + path[i]->to;
+        desc += " → " + e->to;
+        report(("src" / fs::path(e->from)).generic_string(), e->line, "cycle",
+               "include cycle: " + desc);
+      } else if (tc == Color::kWhite) {
+        color[e->to] = Color::kGray;
+        path.push_back(e);
+        stack.push_back({e->to, 0});
+      }
+    }
+  }
+
+  // DOT emission: layer-level digraph, violations in red.
+  if (!dot_path.empty()) {
+    std::ofstream dot(dot_path);
+    if (!dot) {
+      std::cerr << "rpbcm_deps: cannot write " << dot_path << '\n';
+      return 2;
+    }
+    dot << "// Generated by tools/rpbcm_deps — do not edit by hand.\n"
+        << "// Regenerate: rpbcm_deps <repo-root> --dot=docs/include_graph.dot\n"
+        << "digraph rpbcm_layers {\n"
+        << "  rankdir=BT;\n"
+        << "  node [shape=box, fontname=\"Helvetica\"];\n";
+    std::set<std::string> seen_layers;
+    for (const auto& [edge, count] : layer_edges) {
+      seen_layers.insert(edge.first);
+      seen_layers.insert(edge.second);
+    }
+    for (const std::string& layer : seen_layers)
+      dot << "  \"" << layer << "\";\n";
+    for (const auto& [edge, count] : layer_edges) {
+      dot << "  \"" << edge.first << "\" -> \"" << edge.second
+          << "\" [label=\"" << count << "\"";
+      if (bad_layer_edges.count(edge))
+        dot << ", color=red, fontcolor=red, penwidth=2";
+      else if (edge.second == "obs" || edge.first == "obs")
+        dot << ", style=dashed";  // cross-cutting observability edges
+      dot << "];\n";
+    }
+    dot << "}\n";
+  }
+
+  for (const Violation& v : g_violations)
+    std::cerr << v.file << ':' << v.line << ": [" << v.kind << "] "
+              << v.message << '\n';
+  if (verbose || !g_violations.empty())
+    std::cerr << "rpbcm_deps: " << scanned << " files, " << edges.size()
+              << " edges, " << cycles << " cycle(s), " << g_violations.size()
+              << " violation(s)\n";
+  return g_violations.empty() ? 0 : 1;
+}

@@ -21,8 +21,27 @@
 //                    so dashboards and the Prometheus export stay
 //                    consistently namespaced. Dynamically built names are
 //                    not checked.
+//   no-rand          no rand()/srand()/time() calls and no
+//                    std::random_device without an explicit constructor
+//                    argument anywhere in src/ — every stochastic kernel
+//                    must take a caller-provided seed (numeric/random.hpp)
+//                    so runs are reproducible bit-for-bit
+//   unordered-iter   no iteration (range-for, .begin()/.end() family) over
+//                    std::unordered_map / std::unordered_set variables in
+//                    src/core, src/numeric, src/nn — iteration order is
+//                    unspecified and varies across libstdc++ versions, so
+//                    any FP accumulation or output ordering built on it
+//                    breaks the determinism contract (docs/parallelism.md).
+//                    Keyed lookup is fine; iterate a sorted key vector or
+//                    use std::map when order matters.
+//   no-std-reduce    no std::reduce / std::transform_reduce /
+//                    std::execution in src/ — unordered reductions produce
+//                    run-to-run FP differences; kernel reductions must use
+//                    the fixed chunk tree in base/parallel.hpp
 //
 // A finding may be waived on its line with `// rpbcm-lint: allow(<rule>)`.
+// Waivers are themselves checked: a waiver that suppresses nothing is
+// reported as `stale-waiver` so dead annotations cannot accumulate.
 //
 // Usage: rpbcm_lint <repo-root> [--verbose]
 // Exits 0 when the tree is clean, 1 on findings, 2 on usage/IO errors.
@@ -170,20 +189,48 @@ std::size_t line_of(const std::string& src, std::size_t pos) {
   return line;
 }
 
-bool line_has_waiver(const std::string& raw, std::size_t line,
-                     std::string_view rule) {
+// Waivers are collected up front per file so that, after all checks ran,
+// any waiver that never suppressed a finding can be reported as stale.
+struct Waiver {
+  std::size_t line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+std::vector<Waiver> g_waivers;  // waivers of the file currently being checked
+
+void collect_waivers(const std::string& raw) {
+  g_waivers.clear();
+  static constexpr std::string_view kTag = "rpbcm-lint: allow(";
+  std::size_t lineno = 1;
   std::size_t start = 0;
-  for (std::size_t l = 1; l < line; ++l) {
-    start = raw.find('\n', start);
-    if (start == std::string::npos) return false;
-    ++start;
+  while (start <= raw.size()) {
+    std::size_t end = raw.find('\n', start);
+    if (end == std::string::npos) end = raw.size();
+    const std::string_view text(raw.data() + start, end - start);
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string_view::npos) {
+      pos += kTag.size();
+      const std::size_t close = text.find(')', pos);
+      if (close == std::string_view::npos) break;
+      g_waivers.push_back({lineno, std::string(text.substr(pos, close - pos))});
+      pos = close + 1;
+    }
+    if (end == raw.size()) break;
+    start = end + 1;
+    ++lineno;
   }
-  const std::size_t end = raw.find('\n', start);
-  const std::string_view text(raw.data() + start,
-                              (end == std::string::npos ? raw.size() : end) -
-                                  start);
-  const std::string tag = "rpbcm-lint: allow(" + std::string(rule) + ")";
-  return text.find(tag) != std::string_view::npos;
+}
+
+// Consumes (marks used) a matching waiver on the given line.
+bool line_has_waiver(std::size_t line, std::string_view rule) {
+  bool found = false;
+  for (Waiver& w : g_waivers)
+    if (w.line == line && w.rule == rule) {
+      w.used = true;
+      found = true;
+    }
+  return found;
 }
 
 // --- rule: pragma-once -----------------------------------------------------
@@ -209,8 +256,7 @@ void check_pragma_once(const fs::path& file, const std::string& raw) {
 
 // --- rule: no-raw-assert ---------------------------------------------------
 
-void check_no_raw_assert(const fs::path& file, const std::string& raw,
-                         const std::string& code) {
+void check_no_raw_assert(const fs::path& file, const std::string& code) {
   std::size_t pos = 0;
   while ((pos = code.find("assert", pos)) != std::string::npos) {
     const std::size_t at = pos;
@@ -222,7 +268,7 @@ void check_no_raw_assert(const fs::path& file, const std::string& raw,
       ++after;
     if (after >= code.size() || code[after] != '(') continue;
     const std::size_t line = line_of(code, at);
-    if (line_has_waiver(raw, line, "no-raw-assert")) continue;
+    if (line_has_waiver(line, "no-raw-assert")) continue;
     report(file, line, "no-raw-assert",
            "raw assert() in library code — use RPBCM_CHECK / RPBCM_CHECK_MSG "
            "(throws CheckError, survives NDEBUG)");
@@ -258,8 +304,7 @@ std::string find_side_effect(std::string_view args) {
   return {};
 }
 
-void check_obs_macro_args(const fs::path& file, const std::string& raw,
-                          const std::string& code) {
+void check_obs_macro_args(const fs::path& file, const std::string& code) {
   static constexpr std::string_view kPrefix = "RPBCM_OBS_";
   std::size_t pos = 0;
   while ((pos = code.find(kPrefix, pos)) != std::string::npos) {
@@ -291,7 +336,7 @@ void check_obs_macro_args(const fs::path& file, const std::string& raw,
     const std::string effect = find_side_effect(args);
     if (effect.empty()) continue;
     const std::size_t line = line_of(code, at);
-    if (line_has_waiver(raw, line, "obs-side-effect")) continue;
+    if (line_has_waiver(line, "obs-side-effect")) continue;
     report(file, line, "obs-side-effect",
            "RPBCM_OBS_* argument contains " + effect +
                " — macro arguments are unevaluated when RPBCM_OBS=OFF, so "
@@ -369,7 +414,7 @@ void report_metric_name(const fs::path& file, const std::string& raw,
   if (!is_literal) return;  // dynamically built name: unchecked
   if (valid_metric_name(name)) return;
   const std::size_t line = line_of(code, name_pos);
-  if (line_has_waiver(raw, line, "metric-name")) return;
+  if (line_has_waiver(line, "metric-name")) return;
   report(file, line, "metric-name",
          "metric name \"" + name +
              "\" does not follow `rpbcm.<area>.<name>` "
@@ -454,6 +499,210 @@ void check_metric_names(const fs::path& file, const std::string& raw,
   }
 }
 
+// --- rule: no-rand ---------------------------------------------------------
+
+// True when the identifier at `at` is a member access (`x.time(...)`,
+// `p->rand(...)`) rather than the libc free function (or `std::`-qualified
+// call, which stays flagged).
+bool is_member_access(const std::string& code, std::size_t at) {
+  std::size_t before = at;
+  while (before > 0 && (code[before - 1] == ' ' || code[before - 1] == '\t'))
+    --before;
+  return (before >= 1 && code[before - 1] == '.') ||
+         (before >= 2 && code[before - 2] == '-' && code[before - 1] == '>');
+}
+
+void check_no_rand(const fs::path& file, const std::string& code) {
+  static constexpr std::string_view kCalls[] = {"rand", "srand", "time"};
+  for (const std::string_view fn : kCalls) {
+    std::size_t pos = 0;
+    while ((pos = code.find(fn, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += fn.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      if (is_member_access(code, at)) continue;
+      std::size_t open = pos;
+      while (open < code.size() &&
+             (code[open] == ' ' || code[open] == '\t'))
+        ++open;
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t line = line_of(code, at);
+      if (line_has_waiver(line, "no-rand")) continue;
+      report(file, line, "no-rand",
+             std::string(fn) + "() is nondeterministic (or wall-clock "
+             "seeded) — kernels must take an explicit seed via "
+             "numeric/random.hpp so runs reproduce bit-for-bit");
+    }
+  }
+
+  // std::random_device without an explicit constructor token (e.g. a
+  // device path) draws entropy from the environment — the one thing a
+  // reproducible experiment must never do silently.
+  static constexpr std::string_view kRd = "random_device";
+  std::size_t pos = 0;
+  while ((pos = code.find(kRd, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += kRd.size();
+    if (at > 0 && is_ident_char(code[at - 1])) continue;
+    if (pos < code.size() && is_ident_char(code[pos])) continue;
+    // Skip whitespace, then an optional variable name, then look for a
+    // constructor argument list. Anything without a non-empty (...)/{...}
+    // — `rd;`, `rd{}`, `rd()`, a bare temporary — is argless.
+    std::size_t i = pos;
+    auto skip_ws = [&] {
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])))
+        ++i;
+    };
+    skip_ws();
+    while (i < code.size() && is_ident_char(code[i])) ++i;  // var name
+    skip_ws();
+    bool has_arg = false;
+    if (i < code.size() && (code[i] == '(' || code[i] == '{')) {
+      const char open_c = code[i];
+      const char close_c = open_c == '(' ? ')' : '}';
+      int depth = 0;
+      for (std::size_t j = i; j < code.size(); ++j) {
+        if (code[j] == open_c) {
+          ++depth;
+        } else if (code[j] == close_c) {
+          if (--depth == 0) break;
+        } else if (!std::isspace(static_cast<unsigned char>(code[j]))) {
+          has_arg = true;
+        }
+      }
+    }
+    if (has_arg) continue;
+    const std::size_t line = line_of(code, at);
+    if (line_has_waiver(line, "no-rand")) continue;
+    report(file, line, "no-rand",
+           "argless std::random_device draws nondeterministic entropy — "
+           "kernels must take an explicit seed via numeric/random.hpp");
+  }
+}
+
+// --- rule: unordered-iter --------------------------------------------------
+
+// Names declared in this file as std::unordered_{map,set,multimap,multiset}
+// variables or members (the declaration's template argument list is skipped
+// to find the declared name).
+std::vector<std::string> unordered_container_names(const std::string& code) {
+  std::vector<std::string> names;
+  static constexpr std::string_view kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const std::string_view type : kTypes) {
+    std::size_t pos = 0;
+    while ((pos = code.find(type, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += type.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      std::size_t i = pos;
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])))
+        ++i;
+      if (i >= code.size() || code[i] != '<') continue;  // include line etc.
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              code[i] == '&' || code[i] == '*'))
+        ++i;
+      const std::size_t begin = i;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      if (i > begin) names.push_back(code.substr(begin, i - begin));
+    }
+  }
+  return names;
+}
+
+void check_unordered_iteration(const fs::path& file, const std::string& code) {
+  static constexpr std::string_view kIterMembers[] = {
+      "begin", "cbegin", "rbegin", "crbegin", "end", "cend", "rend", "crend"};
+  for (const std::string& name : unordered_container_names(code)) {
+    std::size_t pos = 0;
+    while ((pos = code.find(name, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += name.size();
+      if (at > 0 && is_ident_char(code[at - 1])) continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      bool iterates = false;
+      std::string how;
+      // `name.begin()` family (explicit iterator loops, algorithms).
+      std::size_t i = pos;
+      while (i < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[i])))
+        ++i;
+      if (i < code.size() && code[i] == '.') {
+        ++i;
+        const std::size_t mb = i;
+        while (i < code.size() && is_ident_char(code[i])) ++i;
+        const std::string_view member(code.data() + mb, i - mb);
+        for (const std::string_view it : kIterMembers)
+          if (member == it) {
+            iterates = true;
+            how = "." + std::string(member) + "()";
+          }
+      }
+      // `for (... : name)` range-for. The previous non-space char being a
+      // single ':' (not '::') and the next being ')' identifies the
+      // range-expression position.
+      if (!iterates) {
+        std::size_t before = at;
+        while (before > 0 &&
+               std::isspace(static_cast<unsigned char>(code[before - 1])))
+          --before;
+        const bool after_colon = before >= 1 && code[before - 1] == ':' &&
+                                 (before < 2 || code[before - 2] != ':');
+        if (after_colon && i < code.size() && code[i] == ')') {
+          iterates = true;
+          how = "range-for";
+        }
+      }
+      if (!iterates) continue;
+      const std::size_t line = line_of(code, at);
+      if (line_has_waiver(line, "unordered-iter")) continue;
+      report(file, line, "unordered-iter",
+             "iteration (" + how + ") over unordered container '" + name +
+                 "' — iteration order is unspecified, which breaks the "
+                 "determinism contract; iterate a sorted key vector or use "
+                 "std::map");
+    }
+  }
+}
+
+// --- rule: no-std-reduce ---------------------------------------------------
+
+void check_no_std_reduce(const fs::path& file, const std::string& code) {
+  static constexpr std::string_view kBanned[] = {
+      "std::reduce", "std::transform_reduce", "std::execution"};
+  for (const std::string_view token : kBanned) {
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += token.size();
+      if (at > 0 && (is_ident_char(code[at - 1]) || code[at - 1] == ':'))
+        continue;
+      if (pos < code.size() && is_ident_char(code[pos])) continue;
+      const std::size_t line = line_of(code, at);
+      if (line_has_waiver(line, "no-std-reduce")) continue;
+      report(file, line, "no-std-reduce",
+             std::string(token) +
+                 " reduces in unspecified order (run-to-run FP drift) — "
+                 "kernel reductions must use the fixed chunk tree in "
+                 "base/parallel.hpp");
+    }
+  }
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool has_ext(const fs::path& p, std::string_view a, std::string_view b = "") {
@@ -497,20 +746,42 @@ int main(int argc, char** argv) {
       const bool header = has_ext(p, ".hpp", ".h");
       if (!header && !has_ext(p, ".cpp", ".cc")) continue;
       const fs::path rel = fs::relative(p, root);
-      // The macro definitions themselves legitimately contain the tokens the
-      // scanner looks for.
+      // The macro definitions and the linter itself legitimately contain
+      // the tokens the scanner looks for (including the waiver syntax in
+      // documentation).
       if (rel == fs::path("src") / "obs" / "macros.hpp") continue;
-      // Self-test fixtures contain deliberate violations (the LintSelfTest
-      // CTest runs the linter on that tree and expects the findings).
-      if (rel.generic_string().find("lint_selftest") != std::string::npos)
+      if (rel == fs::path("tools") / "rpbcm_lint.cpp") continue;
+      // Self-test fixtures contain deliberate violations (the selftest
+      // CTests run the tools on those trees and expect the findings).
+      const std::string rel_str = rel.generic_string();
+      if (rel_str.find("lint_selftest") != std::string::npos ||
+          rel_str.find("deps_selftest") != std::string::npos)
         continue;
       ++scanned;
       const std::string raw = read_file(p);
       const std::string code = strip_literals_and_comments(raw);
+      collect_waivers(raw);
       if (header && scope.pragma_once) check_pragma_once(rel, raw);
-      if (scope.no_assert) check_no_raw_assert(rel, raw, code);
-      check_obs_macro_args(rel, raw, code);
+      if (scope.no_assert) check_no_raw_assert(rel, code);
+      check_obs_macro_args(rel, code);
       check_metric_names(rel, raw, code);
+      // Determinism rules: library code only. Random sources are banned
+      // across all of src/; the unordered-iteration rule covers the layers
+      // whose outputs feed FP accumulations or serialized artifacts.
+      if (std::string_view(scope.dir) == "src") {
+        check_no_rand(rel, code);
+        check_no_std_reduce(rel, code);
+        if (rel_str.starts_with("src/core/") ||
+            rel_str.starts_with("src/numeric/") ||
+            rel_str.starts_with("src/nn/"))
+          check_unordered_iteration(rel, code);
+      }
+      for (const Waiver& w : g_waivers)
+        if (!w.used)
+          report(rel, w.line, "stale-waiver",
+                 "waiver `allow(" + w.rule +
+                     ")` suppressed nothing — remove it (or fix the rule "
+                     "name)");
     }
   }
 
