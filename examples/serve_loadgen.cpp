@@ -1,0 +1,231 @@
+// serve_loadgen — closed-loop load generator for the batched inference
+// engine (docs/serving.md). N client threads each keep one request in
+// flight against a serve::Engine wrapping a BcmLinear head; the run prints
+// throughput, latency percentiles measured at the client, the micro-batch
+// sizes the policy actually formed, and a status breakdown.
+//
+// Flags (in addition to the shared obs flags, see obs/cli.hpp):
+//   --smoke            tiny deterministic run for CI (implies small counts)
+//   --requests=N       total requests across all clients   [default 4000]
+//   --clients=N        closed-loop client threads          [default 16]
+//   --batch=N          batcher max_batch_size              [default 8]
+//   --linger-us=N      batcher max_linger in microseconds  [default 200]
+//   --queue-depth=N    batcher max_queue_depth             [default 64]
+//   --deadline-ms=N    per-request dispatch deadline (0 = none) [default 0]
+//   --threads=N        base::set_num_threads before serving
+//
+// Exit status: 0 when every admitted request was answered and at least one
+// completed kOk; 1 otherwise.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/parallel.hpp"
+#include "core/bcm_linear.hpp"
+#include "numeric/random.hpp"
+#include "obs/cli.hpp"
+#include "obs/log.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
+#include "tensor/init.hpp"
+
+using namespace rpbcm;
+
+namespace {
+
+constexpr std::size_t kIn = 256;
+constexpr std::size_t kOut = 256;
+constexpr std::size_t kBs = 8;
+
+struct Options {
+  bool smoke = false;
+  std::size_t requests = 4000;
+  std::size_t clients = 16;
+  std::size_t batch = 8;
+  std::size_t linger_us = 200;
+  std::size_t queue_depth = 64;
+  std::size_t deadline_ms = 0;
+  std::size_t threads = 0;
+};
+
+bool parse_size(const std::string& arg, const char* prefix, std::size_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(arg.c_str() + std::strlen(prefix),
+                                       &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "serve_loadgen: bad value in %s\n", arg.c_str());
+    std::exit(2);
+  }
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool parse_flags(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+      continue;
+    }
+    if (parse_size(arg, "--requests=", &opt.requests) ||
+        parse_size(arg, "--clients=", &opt.clients) ||
+        parse_size(arg, "--batch=", &opt.batch) ||
+        parse_size(arg, "--linger-us=", &opt.linger_us) ||
+        parse_size(arg, "--queue-depth=", &opt.queue_depth) ||
+        parse_size(arg, "--deadline-ms=", &opt.deadline_ms) ||
+        parse_size(arg, "--threads=", &opt.threads))
+      continue;
+    std::fprintf(stderr, "serve_loadgen: unknown flag %s\n", arg.c_str());
+    return false;
+  }
+  if (opt.smoke) {
+    opt.requests = std::min<std::size_t>(opt.requests, 200);
+    opt.clients = std::min<std::size_t>(opt.clients, 4);
+  }
+  if (opt.clients == 0 || opt.requests == 0 || opt.batch == 0) {
+    std::fprintf(stderr, "serve_loadgen: requests/clients/batch must be >0\n");
+    return false;
+  }
+  return true;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+struct ClientStats {
+  std::vector<double> latency_ms;   // client-observed round trip
+  std::vector<double> batch_sizes;  // of kOk responses
+  std::size_t ok = 0, rejected = 0, missed = 0, shutdown = 0;
+  std::size_t unanswered = 0;
+};
+
+void run_client(serve::Engine& engine, std::size_t requests,
+                std::size_t deadline_ms, std::uint64_t seed,
+                ClientStats& stats) {
+  numeric::Rng rng(seed);
+  tensor::Tensor input({kIn});
+  stats.latency_ms.reserve(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    tensor::fill_gaussian(input, rng);
+    serve::Request req;
+    req.input = input;
+    req.priority = static_cast<std::size_t>(rng.randint(0, 3));
+    if (deadline_ms != 0) {
+      req.deadline = serve::Clock::now() +
+                     std::chrono::milliseconds(deadline_ms);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    std::future<serve::Response> fut = engine.submit(std::move(req));
+    const serve::Response r = fut.get();
+    const auto t1 = std::chrono::steady_clock::now();
+    stats.latency_ms.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+    switch (r.status) {
+      case serve::Status::kOk:
+        ++stats.ok;
+        stats.batch_sizes.push_back(static_cast<double>(r.batch_size));
+        break;
+      case serve::Status::kRejected:
+        ++stats.rejected;
+        break;
+      case serve::Status::kDeadlineMiss:
+        ++stats.missed;
+        break;
+      case serve::Status::kShutdown:
+        ++stats.shutdown;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
+  Options opt;
+  if (!parse_flags(argc, argv, opt)) return 2;
+  if (opt.threads != 0) base::set_num_threads(opt.threads);
+
+  numeric::Rng rng(42);
+  core::BcmLinear layer(kIn, kOut, kBs, /*hadamard=*/true, rng);
+  auto model = serve::make_staged(layer);
+  serve::EngineOptions eopts;
+  eopts.batcher.max_batch_size = opt.batch;
+  eopts.batcher.max_linger = std::chrono::microseconds(opt.linger_us);
+  eopts.batcher.max_queue_depth = opt.queue_depth;
+  serve::Engine engine(*model, eopts);
+
+  std::printf(
+      "serve_loadgen: %zu requests, %zu clients, batch<=%zu, linger %zuus, "
+      "%zu pool thread(s)\n",
+      opt.requests, opt.clients, opt.batch, opt.linger_us,
+      base::num_threads());
+
+  std::vector<ClientStats> stats(opt.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(opt.clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    const std::size_t share = opt.requests / opt.clients +
+                              (c < opt.requests % opt.clients ? 1 : 0);
+    clients.emplace_back([&, c, share] {
+      run_client(engine, share, opt.deadline_ms, /*seed=*/1000 + c, stats[c]);
+    });
+  }
+  for (auto& th : clients) th.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  engine.stop(/*drain=*/true);
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.ok += s.ok;
+    total.rejected += s.rejected;
+    total.missed += s.missed;
+    total.shutdown += s.shutdown;
+    total.latency_ms.insert(total.latency_ms.end(), s.latency_ms.begin(),
+                            s.latency_ms.end());
+    total.batch_sizes.insert(total.batch_sizes.end(), s.batch_sizes.begin(),
+                             s.batch_sizes.end());
+  }
+  std::sort(total.latency_ms.begin(), total.latency_ms.end());
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const double rps =
+      wall_s > 0.0 ? static_cast<double>(total.ok) / wall_s : 0.0;
+  double mean_batch = 0.0;
+  for (const double b : total.batch_sizes) mean_batch += b;
+  if (!total.batch_sizes.empty())
+    mean_batch /= static_cast<double>(total.batch_sizes.size());
+
+  std::printf("  wall %.3fs, %.0f req/s (kOk only)\n", wall_s, rps);
+  std::printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
+              percentile(total.latency_ms, 0.50),
+              percentile(total.latency_ms, 0.95),
+              percentile(total.latency_ms, 0.99));
+  std::printf("  mean dispatched batch %.2f (cap %zu)\n", mean_batch,
+              opt.batch);
+  std::printf("  status: ok=%zu rejected=%zu deadline_miss=%zu shutdown=%zu\n",
+              total.ok, total.rejected, total.missed, total.shutdown);
+
+  obs::dump_outputs(obs_opts);
+  const std::size_t answered =
+      total.ok + total.rejected + total.missed + total.shutdown;
+  if (answered != opt.requests || total.ok == 0) {
+    RPBCM_LOG_ERROR("serve_loadgen", "lost requests or zero completions");
+    return 1;
+  }
+  return 0;
+}

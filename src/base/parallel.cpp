@@ -22,6 +22,9 @@ namespace {
 /// detect it and run inline — the pool never deadlocks on itself.
 thread_local bool tl_pool_worker = false;
 
+/// Nesting depth of SerialSection scopes on this thread.
+thread_local std::size_t tl_serial_depth = 0;
+
 std::size_t env_default_threads() {
   if (const char* env = std::getenv("RPBCM_THREADS")) {
     char* endp = nullptr;
@@ -230,7 +233,8 @@ void parallel_for_chunks(
 
   Pool& pool = Pool::instance();
   const std::size_t threads = pool.configured();
-  if (chunks.size() == 1 || threads <= 1 || tl_pool_worker) {
+  if (chunks.size() == 1 || threads <= 1 || tl_pool_worker ||
+      tl_serial_depth != 0) {
     // Serial reference path: same chunk boundaries, ascending order.
     for (std::size_t c = 0; c < chunks.size(); ++c) {
       fn(c, chunks[c].begin, chunks[c].end);
@@ -268,6 +272,12 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                       [&fn](std::size_t /*chunk*/, std::size_t b,
                             std::size_t e) { fn(b, e); });
 }
+
+SerialSection::SerialSection() { ++tl_serial_depth; }
+
+SerialSection::~SerialSection() { --tl_serial_depth; }
+
+bool in_serial_section() { return tl_serial_depth != 0; }
 
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt) {
   // SplitMix64 finalizer over base + golden-ratio-spaced salt.

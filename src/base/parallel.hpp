@@ -87,4 +87,21 @@ T parallel_sum(std::size_t begin, std::size_t end, std::size_t grain,
 /// chunk of a parallel region its own deterministic RNG stream.
 std::uint64_t mix_seed(std::uint64_t base, std::uint64_t salt);
 
+/// While alive, parallel_for calls from the constructing thread take the
+/// serial reference path: identical chunk boundaries, ascending order, no
+/// pool fan-out — so results stay bitwise identical to the parallel run.
+/// For work items far smaller than a pool wakeup (the serve engine's
+/// micro-batch stages, which already overlap across pipeline threads),
+/// skipping the fan-out is the cheaper schedule. Nestable; thread-local.
+class SerialSection {
+ public:
+  SerialSection();
+  ~SerialSection();
+  SerialSection(const SerialSection&) = delete;
+  SerialSection& operator=(const SerialSection&) = delete;
+};
+
+/// True while the calling thread is inside a SerialSection.
+bool in_serial_section();
+
 }  // namespace rpbcm::base

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+namespace rpbcm::base {
+
+/// Bounded blocking handoff channel between pipeline stages — the software
+/// double buffer. A producer stage push()es its completed work item and a
+/// consumer stage pop()s it; with capacity 1 the producer computes item N+1
+/// while the consumer processes item N, which is exactly the paper's
+/// double-buffering of C_fft against C_emac, lifted to host threads
+/// (serve::Engine overlaps batch N+1's rFFT with batch N's eMAC this way).
+///
+/// Shutdown contract: close() wakes every blocked thread. After close(),
+/// push() refuses new items (returns false, item destroyed) while pop()
+/// keeps draining whatever was already enqueued and only then starts
+/// returning nullopt — so a producer that observes push() == false can stop
+/// immediately, and a consumer loop `while (auto item = ch.pop())` always
+/// processes every handed-off item before exiting.
+template <typename T>
+class StageChannel {
+ public:
+  explicit StageChannel(std::size_t capacity) : capacity_(capacity) {
+    RPBCM_CHECK_MSG(capacity_ >= 1, "StageChannel capacity must be >= 1");
+  }
+
+  StageChannel(const StageChannel&) = delete;
+  StageChannel& operator=(const StageChannel&) = delete;
+
+  /// Blocks while the channel is full; returns false iff the channel was
+  /// closed before the item could be enqueued.
+  bool push(T item) RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the channel is empty and open. Returns nullopt once the
+  /// channel is closed AND fully drained.
+  std::optional<T> pop() RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) not_empty_.wait(mu_);
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> item(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Wakes all blocked producers and consumers.
+  void close() RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ RPBCM_GUARDED_BY(mu_);
+  bool closed_ RPBCM_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace rpbcm::base

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rpbcm::core {
+
+/// Half spectra of a batch of activations — the intermediate buffer between
+/// the rFFT stage and the eMAC+IrFFT stage of the staged inference path
+/// (BcmLinear/BcmConv2d::infer_rfft → infer_emac_irfft). The serving engine
+/// hands one of these per micro-batch across its stage boundary, which is
+/// the host-side analogue of the ping-pong buffer between the paper's C_fft
+/// and C_emac pipeline computations.
+///
+/// Layout matches the layers' internal caches: SoA re/im, half_bins(BS)
+/// bins per (sample, [pixel,] in-block), samples-major.
+struct ActivationSpectra {
+  std::vector<float> re;
+  std::vector<float> im;
+  std::size_t samples = 0;  // batch dimension N
+  std::size_t height = 0;   // input spatial dims (1x1 for BcmLinear)
+  std::size_t width = 0;
+};
+
+}  // namespace rpbcm::core

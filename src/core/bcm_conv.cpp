@@ -243,32 +243,16 @@ void BcmConv2d::maybe_refresh_weight_spectra() {
   RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
 }
 
-nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
-  RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec_.in_channels,
-                  "BCM conv input must be NCHW with Cin="
-                      << spec_.in_channels);
-  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const std::size_t ho = spec_.out_dim(h), wo = spec_.out_dim(w);
+void BcmConv2d::rfft_stage(const float* xd, std::size_t n, std::size_t h,
+                           std::size_t w, float* re, float* im) const {
   const std::size_t bs = layout_.block_size;
-  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
-  const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
-
-  cached_input_ = x;
-  cached_n_ = n;
-  cached_h_ = h;
-  cached_w_ = w;
-  maybe_refresh_weight_spectra();
-
   const std::size_t hb = numeric::half_bins(bs);
+  const std::size_t nbi = layout_.in_blocks();
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
-
   // Input half spectra for every in-bounds pixel and channel block ("FFT"
   // stage). Every (sample, pixel, in-block) spectrum is independent. NCHW
   // channels are strided, so each block is gathered into a contiguous
   // buffer before the packed rFFT.
-  xspec_re_.assign(n * h * w * nbi * hb, 0.0F);
-  xspec_im_.assign(n * h * w * nbi * hb, 0.0F);
-  const float* xd = x.data();
   base::parallel_for(0, n * h * w, kSpectrumGrain,
                      [&](std::size_t pb, std::size_t pe) {
     std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
@@ -282,20 +266,27 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
         for (std::size_t c = 0; c < bs; ++c)
           gather[c] =
               xd[((ni * spec_.in_channels + bi * bs + c) * h + ih) * w + iw];
-        numeric::rfft_soa(gather.data(), xspec_re_.data() + base,
-                          xspec_im_.data() + base, rom, scratch);
+        numeric::rfft_soa(gather.data(), re + base, im + base, rom, scratch);
       }
     }
   });
+}
 
+void BcmConv2d::emac_irfft_stage(std::size_t n, std::size_t h, std::size_t w,
+                                 const float* xr_base, const float* xi_base,
+                                 float* yd) const {
+  const std::size_t ho = spec_.out_dim(h), wo = spec_.out_dim(w);
+  const std::size_t bs = layout_.block_size;
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+  const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
+  const std::size_t hb = numeric::half_bins(bs);
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   // eMAC stage: frequency-domain accumulation over all surviving blocks,
   // then one inverse rFFT per output pixel per out-block. Output pixels are
   // independent; each task owns its accumulators, and the in-accumulator
   // addition order matches the serial nest. Only the BS/2+1 non-redundant
   // bins are multiplied — the halved MAC count of the eMAC PE
   // (Section IV-B).
-  nn::Tensor y({n, spec_.out_channels, ho, wo});
-  float* yd = y.data();
   base::parallel_for(0, n * ho * wo, kPixelGrain,
                      [&](std::size_t qb, std::size_t qe) {
     std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
@@ -321,8 +312,8 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
                  nbi) *
                 hb;
             for (std::size_t bi = 0; bi < nbi; ++bi) {
-              const float* xr = xspec_re_.data() + pix_base + bi * hb;
-              const float* xi = xspec_im_.data() + pix_base + bi * hb;
+              const float* xr = xr_base + pix_base + bi * hb;
+              const float* xi = xi_base + pix_base + bi * hb;
               const std::size_t row =
                   ((kh * k + kw) * nbi + bi) * nbo;
               for (std::size_t bo = 0; bo < nbo; ++bo) {
@@ -351,6 +342,60 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
       }
     }
   });
+}
+
+nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
+  RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec_.in_channels,
+                  "BCM conv input must be NCHW with Cin="
+                      << spec_.in_channels);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t ho = spec_.out_dim(h), wo = spec_.out_dim(w);
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+
+  cached_input_ = x;
+  cached_n_ = n;
+  cached_h_ = h;
+  cached_w_ = w;
+  maybe_refresh_weight_spectra();
+
+  xspec_re_.assign(n * h * w * nbi * hb, 0.0F);
+  xspec_im_.assign(n * h * w * nbi * hb, 0.0F);
+  rfft_stage(x.data(), n, h, w, xspec_re_.data(), xspec_im_.data());
+
+  nn::Tensor y({n, spec_.out_channels, ho, wo});
+  emac_irfft_stage(n, h, w, xspec_re_.data(), xspec_im_.data(), y.data());
+  return y;
+}
+
+void BcmConv2d::infer_rfft(const nn::Tensor& x,
+                           ActivationSpectra& spec) const {
+  RPBCM_CHECK_MSG(x.rank() == 4 && x.dim(1) == spec_.in_channels,
+                  "BCM conv input must be NCHW with Cin="
+                      << spec_.in_channels);
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+  spec.re.assign(n * h * w * nbi * hb, 0.0F);
+  spec.im.assign(n * h * w * nbi * hb, 0.0F);
+  spec.samples = n;
+  spec.height = h;
+  spec.width = w;
+  rfft_stage(x.data(), n, h, w, spec.re.data(), spec.im.data());
+}
+
+nn::Tensor BcmConv2d::infer_emac_irfft(const ActivationSpectra& spec) const {
+  RPBCM_CHECK_MSG(wspec_valid_ && wspec_state_ == weight_state(),
+                  "stale weight spectra — call prepare_inference() after "
+                  "any parameter or mask update");
+  const std::size_t n = spec.samples, h = spec.height, w = spec.width;
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+  RPBCM_CHECK_MSG(spec.re.size() == n * h * w * nbi * hb &&
+                      spec.im.size() == n * h * w * nbi * hb,
+                  "ActivationSpectra size does not match this layer");
+  nn::Tensor y({n, spec_.out_channels, spec_.out_dim(h), spec_.out_dim(w)});
+  emac_irfft_stage(n, h, w, spec.re.data(), spec.im.data(), y.data());
   return y;
 }
 

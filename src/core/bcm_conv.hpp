@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/activation_spectra.hpp"
 #include "core/bcm_layout.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
@@ -64,6 +65,37 @@ class BcmConv2d : public nn::Layer {
   /// Dense BS x BS realization of a block (for the rank analysis).
   tensor::Tensor dense_block(std::size_t block) const;
 
+  // --- staged batched inference (the serve::Engine entry points) ---
+
+  /// Refreshes the cached weight half-spectra if parameters or the pruning
+  /// mask changed. Must be called before the const staged entry points
+  /// below; the staged calls never mutate the layer, so once prepared any
+  /// number of threads may run them concurrently.
+  void prepare_inference() { maybe_refresh_weight_spectra(); }
+
+  /// Stage 1 (C_fft): per-pixel channel-block rFFTs of an NCHW batch into
+  /// `spec`. Each (sample, pixel, in-block) spectrum depends only on that
+  /// sample's data, so a sample's spectra are bitwise identical at any
+  /// batch size and any thread count.
+  void infer_rfft(const nn::Tensor& x, ActivationSpectra& spec) const;
+
+  /// Stages 2+3 (C_emac + C_ifft): frequency-domain accumulation over the
+  /// surviving blocks plus one inverse rFFT per output pixel per out-block;
+  /// returns [N, Cout, Ho, Wo]. Requires fresh weight spectra
+  /// (prepare_inference) — checked. Per-sample accumulation order is the
+  /// fixed serial nest, so outputs are bitwise identical whether a sample
+  /// ran solo or inside any batch.
+  nn::Tensor infer_emac_irfft(const ActivationSpectra& spec) const;
+
+  /// Convenience: all three stages back to back — the solo reference path.
+  /// Unlike forward(), does not cache the input for backward.
+  nn::Tensor infer(const nn::Tensor& x) {
+    prepare_inference();
+    ActivationSpectra spec;
+    infer_rfft(x, spec);
+    return infer_emac_irfft(spec);
+  }
+
   /// Full dense OIHW weight tensor equivalent to the current parameters —
   /// ground truth for equivalence tests against nn::conv2d_reference.
   tensor::Tensor dense_weights() const;
@@ -103,6 +135,13 @@ class BcmConv2d : public nn::Layer {
   /// Re-FFTs the weight half-spectra iff the parameters or the skip index
   /// changed since the cached spectra were built (see weight_state()).
   void maybe_refresh_weight_spectra();
+  /// Shared stage bodies: forward() runs them against the member caches,
+  /// the staged inference path against caller-owned buffers. Both read the
+  /// cached weight spectra, which must be fresh.
+  void rfft_stage(const float* x, std::size_t n, std::size_t h,
+                  std::size_t w, float* re, float* im) const;
+  void emac_irfft_stage(std::size_t n, std::size_t h, std::size_t w,
+                        const float* xr, const float* xi, float* y) const;
   /// Monotone fingerprint of everything the weight spectra depend on.
   std::uint64_t weight_state() const {
     return a_.version + b_.version + w_.version + mask_version_;

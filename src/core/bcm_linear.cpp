@@ -142,43 +142,37 @@ void BcmLinear::maybe_refresh_weight_spectra() {
   RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
 }
 
-nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
-  RPBCM_CHECK_MSG(x.rank() == 2 && x.dim(1) == layout_.in_channels,
-                  "BcmLinear input must be [N," << layout_.in_channels
-                                                << "]");
-  const std::size_t n = x.dim(0);
+void BcmLinear::rfft_stage(const float* x, std::size_t n, float* re,
+                           float* im) const {
   const std::size_t bs = layout_.block_size;
   const std::size_t hb = numeric::half_bins(bs);
-  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
-  cached_input_ = x;
-  maybe_refresh_weight_spectra();
-
+  const std::size_t nbi = layout_.in_blocks();
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
-
   // rFFT stage: every (sample, in-block) half spectrum is independent. The
   // input rows are contiguous per block, so the packed kernel reads the
   // activations in place.
-  xspec_re_.assign(n * nbi * hb, 0.0F);
-  xspec_im_.assign(n * nbi * hb, 0.0F);
-  const float* xd = x.data();
   base::parallel_for(0, n * nbi, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
     std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbi, bi = t % nbi;
-      numeric::rfft_soa(xd + ni * layout_.in_channels + bi * bs,
-                        xspec_re_.data() + t * hb, xspec_im_.data() + t * hb,
-                        rom, scratch);
+      numeric::rfft_soa(x + ni * layout_.in_channels + bi * bs, re + t * hb,
+                        im + t * hb, rom, scratch);
     }
   });
+}
 
+void BcmLinear::emac_irfft_stage(std::size_t n, const float* xr_base,
+                                 const float* xi_base, float* y) const {
+  const std::size_t bs = layout_.block_size;
+  const std::size_t hb = numeric::half_bins(bs);
+  const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
+  const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   // eMAC + IrFFT stage: every (sample, out-block) accumulator is
   // independent; the bi accumulation order inside one accumulator is the
   // serial order, so results are bit-exact at any thread count. Only the
   // BS/2+1 non-redundant bins are multiplied — the eMAC PE's halved MAC
   // count (Section IV-B).
-  nn::Tensor y({n, layout_.out_channels});
-  float* yd = y.data();
   base::parallel_for(0, n * nbo, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
     std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
@@ -192,18 +186,65 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
         if (skip_[blk] == 0) continue;
         const float* wr = wspec_re_.data() + blk * hb;
         const float* wi = wspec_im_.data() + blk * hb;
-        const float* xr = xspec_re_.data() + (ni * nbi + bi) * hb;
-        const float* xi = xspec_im_.data() + (ni * nbi + bi) * hb;
+        const float* xr = xr_base + (ni * nbi + bi) * hb;
+        const float* xi = xi_base + (ni * nbi + bi) * hb;
         for (std::size_t k = 0; k < hb; ++k) {
           acc_re[k] += wr[k] * xr[k] - wi[k] * xi[k];
           acc_im[k] += wr[k] * xi[k] + wi[k] * xr[k];
         }
       }
       numeric::irfft_soa(acc_re.data(), acc_im.data(),
-                         yd + ni * layout_.out_channels + bo * bs, rom,
+                         y + ni * layout_.out_channels + bo * bs, rom,
                          scratch);
     }
   });
+}
+
+nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
+  RPBCM_CHECK_MSG(x.rank() == 2 && x.dim(1) == layout_.in_channels,
+                  "BcmLinear input must be [N," << layout_.in_channels
+                                                << "]");
+  const std::size_t n = x.dim(0);
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+  cached_input_ = x;
+  maybe_refresh_weight_spectra();
+
+  xspec_re_.assign(n * nbi * hb, 0.0F);
+  xspec_im_.assign(n * nbi * hb, 0.0F);
+  rfft_stage(x.data(), n, xspec_re_.data(), xspec_im_.data());
+
+  nn::Tensor y({n, layout_.out_channels});
+  emac_irfft_stage(n, xspec_re_.data(), xspec_im_.data(), y.data());
+  return y;
+}
+
+void BcmLinear::infer_rfft(const nn::Tensor& x, ActivationSpectra& spec) const {
+  RPBCM_CHECK_MSG(x.rank() == 2 && x.dim(1) == layout_.in_channels,
+                  "BcmLinear input must be [N," << layout_.in_channels
+                                                << "]");
+  const std::size_t n = x.dim(0);
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+  spec.re.assign(n * nbi * hb, 0.0F);
+  spec.im.assign(n * nbi * hb, 0.0F);
+  spec.samples = n;
+  spec.height = spec.width = 1;
+  rfft_stage(x.data(), n, spec.re.data(), spec.im.data());
+}
+
+nn::Tensor BcmLinear::infer_emac_irfft(const ActivationSpectra& spec) const {
+  RPBCM_CHECK_MSG(wspec_valid_ && wspec_state_ == weight_state(),
+                  "stale weight spectra — call prepare_inference() after "
+                  "any parameter or mask update");
+  const std::size_t hb = numeric::half_bins(layout_.block_size);
+  const std::size_t nbi = layout_.in_blocks();
+  const std::size_t n = spec.samples;
+  RPBCM_CHECK_MSG(spec.re.size() == n * nbi * hb &&
+                      spec.im.size() == n * nbi * hb,
+                  "ActivationSpectra size does not match this layer");
+  nn::Tensor y({n, layout_.out_channels});
+  emac_irfft_stage(n, spec.re.data(), spec.im.data(), y.data());
   return y;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "core/activation_spectra.hpp"
 #include "core/bcm_layout.hpp"
 #include "nn/layer.hpp"
 #include "numeric/random.hpp"
@@ -30,6 +31,38 @@ class BcmLinear : public nn::Layer {
   std::vector<float> effective_defining(std::size_t block) const;
   std::vector<double> block_norms() const;
   tensor::Tensor dense_weights() const;  // [out, in]
+
+  // --- staged batched inference (the serve::Engine entry points) ---
+
+  /// Refreshes the cached weight half-spectra if parameters or the pruning
+  /// mask changed. Must be called before the const staged entry points
+  /// below; the staged calls never mutate the layer, so once prepared any
+  /// number of threads may run them concurrently (the engine's pipelined
+  /// stages rely on this).
+  void prepare_inference() { maybe_refresh_weight_spectra(); }
+
+  /// Stage 1 (C_fft): batched rFFT of [N, in] activations into `spec`.
+  /// Each (sample, in-block) spectrum depends only on that sample's data,
+  /// so a sample's spectra are bitwise identical at any batch size and any
+  /// thread count.
+  void infer_rfft(const nn::Tensor& x, ActivationSpectra& spec) const;
+
+  /// Stages 2+3 (C_emac + C_ifft): half-spectrum eMAC against the cached
+  /// weight spectra, then batched inverse rFFT; returns [N, out]. Requires
+  /// fresh weight spectra (prepare_inference) — checked. Per-sample
+  /// accumulation order is the fixed serial nest, so outputs are bitwise
+  /// identical whether a sample ran solo or inside any batch.
+  nn::Tensor infer_emac_irfft(const ActivationSpectra& spec) const;
+
+  /// Convenience: all three stages back to back — the solo reference path
+  /// the serving determinism contract is stated against. Unlike forward(),
+  /// does not cache the input for backward.
+  nn::Tensor infer(const nn::Tensor& x) {
+    prepare_inference();
+    ActivationSpectra spec;
+    infer_rfft(x, spec);
+    return infer_emac_irfft(spec);
+  }
 
   void prune_block(std::size_t block);
   bool is_pruned(std::size_t block) const {
@@ -63,6 +96,12 @@ class BcmLinear : public nn::Layer {
   /// Re-FFTs the weight half-spectra iff the parameters or the skip index
   /// changed since the cached spectra were built (see weight_state()).
   void maybe_refresh_weight_spectra();
+  /// Shared stage bodies: forward() runs them against the member caches,
+  /// the staged inference path against caller-owned buffers. Both read the
+  /// cached weight spectra, which must be fresh.
+  void rfft_stage(const float* x, std::size_t n, float* re, float* im) const;
+  void emac_irfft_stage(std::size_t n, const float* xr, const float* xi,
+                        float* y) const;
   /// Monotone fingerprint of everything the weight spectra depend on.
   std::uint64_t weight_state() const {
     return a_.version + b_.version + w_.version + mask_version_;

@@ -1,0 +1,153 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/check.hpp"
+#include "obs/macros.hpp"
+
+namespace rpbcm::serve {
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+Response refusal(Status status) {
+  Response r;
+  r.status = status;
+  return r;
+}
+
+}  // namespace
+
+Batcher::Batcher(BatcherOptions opts) : opts_(opts) {
+  RPBCM_CHECK_MSG(opts_.max_batch_size > 0, "max_batch_size must be > 0");
+  RPBCM_CHECK_MSG(opts_.max_queue_depth > 0, "max_queue_depth must be > 0");
+}
+
+Batcher::~Batcher() { close(/*drain=*/false); }
+
+std::future<Response> Batcher::submit(Request req) {
+  std::promise<Response> promise;
+  std::future<Response> fut = promise.get_future();
+  const Clock::time_point now = Clock::now();
+
+  Status refused = Status::kOk;
+  {
+    base::MutexLock lock(mu_);
+    if (closed_) {
+      refused = Status::kShutdown;
+    } else if (depth_locked() >= opts_.max_queue_depth) {
+      refused = Status::kRejected;
+    } else {
+      Pending p;
+      p.request = std::move(req);
+      p.request.priority =
+          std::min(p.request.priority, kPriorityLevels - 1);
+      p.promise = std::move(promise);
+      p.arrival = now;
+      p.seq = next_seq_++;
+      queues_[p.request.priority].push_back(std::move(p));
+      const double depth = static_cast<double>(depth_locked());
+      RPBCM_OBS_GAUGE("rpbcm.serve.queue_depth", depth);
+      ready_.notify_all();
+      return fut;
+    }
+  }
+
+  if (refused == Status::kRejected) {
+    RPBCM_OBS_COUNT("rpbcm.serve.rejected", 1);
+  }
+  promise.set_value(refusal(refused));
+  return fut;
+}
+
+bool Batcher::pop_batch(std::vector<Pending>& out) {
+  out.clear();
+  base::MutexLock lock(mu_);
+  for (;;) {
+    sweep_expired_locked(Clock::now());
+    const std::size_t depth = depth_locked();
+    if (depth == 0) {
+      if (closed_) return false;
+      ready_.wait(mu_);
+      continue;
+    }
+    if (depth >= opts_.max_batch_size || closed_) break;
+    // The linger window is anchored at the oldest pending arrival: no
+    // admitted request waits for batch-mates longer than max_linger.
+    Clock::time_point oldest = kNoDeadline;
+    for (const auto& q : queues_) {
+      if (!q.empty()) oldest = std::min(oldest, q.front().arrival);
+    }
+    const Clock::time_point cutoff = oldest + opts_.max_linger;
+    if (Clock::now() >= cutoff) break;
+    ready_.wait_until(mu_, cutoff);
+    // Loop: re-sweep deadlines and re-evaluate the dispatch condition.
+  }
+
+  for (std::size_t level = kPriorityLevels; level-- > 0;) {
+    auto& q = queues_[level];
+    while (!q.empty() && out.size() < opts_.max_batch_size) {
+      out.push_back(std::move(q.front()));
+      q.pop_front();
+    }
+    if (out.size() == opts_.max_batch_size) break;
+  }
+  const double depth = static_cast<double>(depth_locked());
+  RPBCM_OBS_GAUGE("rpbcm.serve.queue_depth", depth);
+  return true;
+}
+
+void Batcher::close(bool drain) {
+  std::vector<Pending> dropped;
+  {
+    base::MutexLock lock(mu_);
+    closed_ = true;
+    if (!drain) {
+      for (auto& q : queues_) {
+        for (auto& p : q) dropped.push_back(std::move(p));
+        q.clear();
+      }
+      RPBCM_OBS_GAUGE("rpbcm.serve.queue_depth", 0.0);
+    }
+    ready_.notify_all();
+  }
+  // Promises complete outside the lock: waiters may re-enter the batcher.
+  for (auto& p : dropped) p.promise.set_value(refusal(Status::kShutdown));
+}
+
+std::size_t Batcher::depth() const {
+  base::MutexLock lock(mu_);
+  return depth_locked();
+}
+
+bool Batcher::closed() const {
+  base::MutexLock lock(mu_);
+  return closed_;
+}
+
+std::size_t Batcher::depth_locked() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+void Batcher::sweep_expired_locked(Clock::time_point now) {
+  for (auto& q : queues_) {
+    for (auto it = q.begin(); it != q.end();) {
+      if (it->request.deadline <= now) {
+        Response r = refusal(Status::kDeadlineMiss);
+        r.queue_wait_seconds = seconds_between(it->arrival, now);
+        it->promise.set_value(std::move(r));
+        RPBCM_OBS_COUNT("rpbcm.serve.deadline_misses", 1);
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace rpbcm::serve

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+#include "serve/request.hpp"
+
+namespace rpbcm::serve {
+
+/// Micro-batching policy of the request queue.
+struct BatcherOptions {
+  /// Hard cap on the size of a dispatched micro-batch.
+  std::size_t max_batch_size = 8;
+  /// How long the oldest queued request may wait for the batch to fill
+  /// before the batcher dispatches whatever it has. 0 dispatches
+  /// immediately (the single-request reference policy).
+  std::chrono::microseconds max_linger{200};
+  /// Admission cap (backpressure): a submit() that would push the queue
+  /// past this depth is answered immediately with Status::kRejected.
+  std::size_t max_queue_depth = 64;
+};
+
+/// One admitted request plus its completion promise — the unit the batcher
+/// hands to the engine's pipeline.
+struct Pending {
+  Request request;
+  std::promise<Response> promise;
+  Clock::time_point arrival{};
+  /// Admission order; the FIFO key within a priority level.
+  std::uint64_t seq = 0;
+};
+
+/// Thread-safe request queue that coalesces single-sample requests into
+/// micro-batches under a max-batch-size / max-linger policy with
+/// backpressure and per-request deadlines.
+///
+/// Dispatch policy (pop_batch): a batch is released as soon as
+/// max_batch_size requests are queued, or once the oldest queued request
+/// has lingered max_linger, whichever comes first. Batches drain strictly
+/// by priority level (higher level first) and FIFO within a level.
+/// Requests whose deadline passes while still queued are answered with
+/// Status::kDeadlineMiss at the next dispatch opportunity and never occupy
+/// a batch slot.
+///
+/// Every admitted request is answered exactly once: with kOk by the
+/// executor, kDeadlineMiss by the expiry sweep, or kShutdown by
+/// close(drain=false). Refused requests (queue full, closed) get their
+/// terminal response before submit() returns.
+///
+/// Metrics: rpbcm.serve.queue_depth (gauge), rpbcm.serve.rejected and
+/// rpbcm.serve.deadline_misses (counters).
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions opts);
+  /// Equivalent to close(/*drain=*/false): still-queued requests are
+  /// answered with kShutdown, never silently dropped.
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues one request; never blocks. The returned future always
+  /// receives exactly one Response (possibly immediately, on refusal).
+  std::future<Response> submit(Request req) RPBCM_EXCLUDES(mu_);
+
+  /// Blocks until a micro-batch is due per the policy above and moves it
+  /// into `out` (cleared first). Returns false once the batcher is closed
+  /// and — in drain mode — the queue is empty; `out` is then empty.
+  bool pop_batch(std::vector<Pending>& out) RPBCM_EXCLUDES(mu_);
+
+  /// Stops admission (subsequent submits are answered kShutdown). With
+  /// drain=true, already-queued requests still dispatch through
+  /// pop_batch(); with drain=false they are answered kShutdown right here.
+  /// Idempotent; drain=false wins if called both ways.
+  void close(bool drain) RPBCM_EXCLUDES(mu_);
+
+  std::size_t depth() const RPBCM_EXCLUDES(mu_);
+  bool closed() const RPBCM_EXCLUDES(mu_);
+  const BatcherOptions& options() const { return opts_; }
+
+ private:
+  std::size_t depth_locked() const RPBCM_REQUIRES(mu_);
+  /// Answers every queued request whose deadline has passed with
+  /// kDeadlineMiss and removes it from its queue.
+  void sweep_expired_locked(Clock::time_point now) RPBCM_REQUIRES(mu_);
+
+  const BatcherOptions opts_;
+  mutable base::Mutex mu_;
+  base::CondVar ready_;
+  std::array<std::deque<Pending>, kPriorityLevels> queues_
+      RPBCM_GUARDED_BY(mu_);
+  bool closed_ RPBCM_GUARDED_BY(mu_) = false;
+  std::uint64_t next_seq_ RPBCM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace rpbcm::serve

@@ -1,0 +1,141 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "base/check.hpp"
+#include "base/parallel.hpp"
+#include "obs/macros.hpp"
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::serve {
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::size_t shape_elems(const std::vector<std::size_t>& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+Engine::Engine(StagedModel& model, EngineOptions opts)
+    : model_(model),
+      batcher_(opts.batcher),
+      channel_(/*capacity=*/1),  // the C_fft/C_emac ping-pong pair
+      inline_stage_batch_(opts.inline_stage_batch),
+      sample_shape_(model.sample_shape()),
+      sample_elems_(shape_elems(sample_shape_)) {
+  RPBCM_CHECK_MSG(sample_elems_ > 0, "served model has an empty sample shape");
+  model_.prepare();
+  fft_thread_ = std::thread([this] { fft_thread_main(); });
+  emac_thread_ = std::thread([this] { emac_thread_main(); });
+}
+
+Engine::~Engine() { stop(/*drain=*/false); }
+
+std::future<Response> Engine::submit(Request req) {
+  if (req.input.shape() != sample_shape_) {
+    RPBCM_OBS_COUNT("rpbcm.serve.rejected", 1);
+    std::promise<Response> promise;
+    Response r;
+    r.status = Status::kRejected;
+    promise.set_value(std::move(r));
+    return promise.get_future();
+  }
+  return batcher_.submit(std::move(req));
+}
+
+void Engine::stop(bool drain) {
+  base::MutexLock lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  batcher_.close(drain);
+  // fft thread: pop_batch() returns false once the (possibly draining)
+  // queue is exhausted; it then closes the channel, which lets the emac
+  // thread finish whatever is still in flight and exit.
+  if (fft_thread_.joinable()) fft_thread_.join();
+  if (emac_thread_.joinable()) emac_thread_.join();
+}
+
+void Engine::fft_thread_main() {
+  std::vector<Pending> batch;
+  std::uint64_t next_batch_seq = 0;
+  while (batcher_.pop_batch(batch)) {
+    InFlight fl;
+    fl.batch = std::move(batch);
+    batch.clear();
+    fl.dispatch = Clock::now();
+    fl.batch_seq = next_batch_seq++;
+
+    const std::size_t n = fl.batch.size();
+    std::vector<std::size_t> shape;
+    shape.reserve(sample_shape_.size() + 1);
+    shape.push_back(n);
+    shape.insert(shape.end(), sample_shape_.begin(), sample_shape_.end());
+    tensor::Tensor stacked(std::move(shape));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const float> src = fl.batch[i].request.input.span();
+      std::copy(src.begin(), src.end(), stacked.data() + i * sample_elems_);
+    }
+
+    if (n <= inline_stage_batch_) {
+      const base::SerialSection inline_stage;
+      model_.stage_rfft(stacked, fl.spec);
+    } else {
+      model_.stage_rfft(stacked, fl.spec);
+    }
+    // push() blocking is the pipeline's backpressure: at capacity 1 this
+    // thread stalls only while BOTH buffers are occupied. Only this thread
+    // closes the channel, so the push cannot be refused.
+    const bool pushed = channel_.push(std::move(fl));
+    RPBCM_CHECK_MSG(pushed, "stage channel closed under the producer");
+  }
+  channel_.close();
+}
+
+void Engine::emac_thread_main() {
+  while (std::optional<InFlight> fl = channel_.pop()) {
+    tensor::Tensor y;
+    if (fl->batch.size() <= inline_stage_batch_) {
+      const base::SerialSection inline_stage;
+      y = model_.stage_emac_irfft(fl->spec);
+    } else {
+      y = model_.stage_emac_irfft(fl->spec);
+    }
+    const Clock::time_point done = Clock::now();
+    const double exec = seconds_between(fl->dispatch, done);
+
+    const std::size_t n = fl->batch.size();
+    RPBCM_CHECK_MSG(n > 0 && y.size() % n == 0,
+                    "batch output not divisible into samples");
+    const std::size_t out_elems = y.size() / n;
+    const std::vector<std::size_t> out_shape = model_.output_sample_shape();
+    for (std::size_t i = 0; i < n; ++i) {
+      Pending& p = fl->batch[i];
+      Response r;
+      r.status = Status::kOk;
+      r.output = tensor::Tensor(out_shape);
+      const float* src = y.data() + i * out_elems;
+      std::copy(src, src + out_elems, r.output.data());
+      r.queue_wait_seconds = seconds_between(p.arrival, fl->dispatch);
+      r.exec_seconds = exec;
+      r.batch_size = n;
+      r.batch_seq = fl->batch_seq;
+      RPBCM_OBS_OBSERVE("rpbcm.serve.queue_wait_seconds",
+                        r.queue_wait_seconds);
+      p.promise.set_value(std::move(r));
+    }
+    RPBCM_OBS_OBSERVE("rpbcm.serve.batch_size", static_cast<double>(n));
+    RPBCM_OBS_OBSERVE("rpbcm.serve.exec_seconds", exec);
+    RPBCM_OBS_COUNT("rpbcm.serve.completed", n);
+  }
+}
+
+}  // namespace rpbcm::serve

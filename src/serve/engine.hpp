@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "base/mutex.hpp"
+#include "base/stage_channel.hpp"
+#include "base/thread_annotations.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model.hpp"
+#include "serve/request.hpp"
+
+namespace rpbcm::serve {
+
+struct EngineOptions {
+  BatcherOptions batcher;
+  /// Batches of at most this many requests run their stage compute inline
+  /// on the stage thread (base::SerialSection) instead of fanning out to
+  /// the pool: a micro-batch stage is a handful of microseconds of work,
+  /// far below the cost of a pool wakeup, and the engine already overlaps
+  /// the two stages across its pipeline threads. Chunk boundaries are
+  /// unchanged, so outputs stay bitwise identical either way. Batches
+  /// larger than this use the pool. 0 disables inlining entirely.
+  std::size_t inline_stage_batch = 8;
+};
+
+/// Pipelined micro-batch inference engine. Two stage threads run the
+/// FFT–eMAC–IFFT computation split at the paper's C_fft / C_emac buffer
+/// boundary:
+///
+///   fft thread:  pop_batch -> stack samples -> stage_rfft  -> channel
+///   emac thread: channel   -> stage_emac_irfft -> complete promises
+///
+/// The capacity-1 StageChannel between them is the software double buffer:
+/// batch N+1's rFFT overlaps batch N's eMAC+IFFT, each side running its
+/// stage on the deterministic pool (base::parallel_for).
+///
+/// Determinism contract: a request's output is bitwise identical whether it
+/// runs solo or inside any micro-batch, at any RPBCM_THREADS — per-sample
+/// stage work is sample-local with a fixed serial accumulation order, and
+/// dispatch timing only ever affects latency/status, never kOk payloads.
+///
+/// Metrics (through the PR 5 exporter): rpbcm.serve.queue_depth gauge;
+/// rpbcm.serve.batch_size, rpbcm.serve.queue_wait_seconds and
+/// rpbcm.serve.exec_seconds histograms; rpbcm.serve.deadline_misses,
+/// rpbcm.serve.rejected and rpbcm.serve.completed counters.
+class Engine {
+ public:
+  /// Calls model.prepare() and starts the two stage threads. The model must
+  /// outlive the engine.
+  explicit Engine(StagedModel& model, EngineOptions opts = {});
+  /// Equivalent to stop(/*drain=*/false).
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Submits one sample shaped model.sample_shape(); never blocks. A
+  /// mis-shaped input is answered kRejected immediately; otherwise the
+  /// future resolves per the Batcher contract.
+  std::future<Response> submit(Request req);
+
+  /// Stops admission and joins the pipeline. drain=true answers every
+  /// already-queued request (kOk/kDeadlineMiss) before returning;
+  /// drain=false answers queued requests kShutdown but still completes
+  /// batches already inside the pipeline. Idempotent; only the first call's
+  /// drain mode takes effect.
+  void stop(bool drain);
+
+  std::size_t queue_depth() const { return batcher_.depth(); }
+  const BatcherOptions& options() const { return batcher_.options(); }
+
+ private:
+  /// One micro-batch in flight between the stage threads: requests plus
+  /// their activation spectra (the C_fft output buffer).
+  struct InFlight {
+    std::vector<Pending> batch;
+    core::ActivationSpectra spec;
+    Clock::time_point dispatch{};
+    std::uint64_t batch_seq = 0;
+  };
+
+  void fft_thread_main();
+  void emac_thread_main();
+
+  StagedModel& model_;
+  Batcher batcher_;
+  base::StageChannel<InFlight> channel_;
+  const std::size_t inline_stage_batch_;
+  const std::vector<std::size_t> sample_shape_;
+  const std::size_t sample_elems_;
+
+  base::Mutex stop_mu_;
+  bool stopped_ RPBCM_GUARDED_BY(stop_mu_) = false;
+
+  std::thread fft_thread_;
+  std::thread emac_thread_;
+};
+
+}  // namespace rpbcm::serve

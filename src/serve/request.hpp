@@ -1,0 +1,74 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "tensor/tensor.hpp"
+
+namespace rpbcm::serve {
+
+/// Monotonic clock of the serving layer: arrivals, deadlines, linger
+/// windows and latency measurements all use one time base.
+using Clock = std::chrono::steady_clock;
+
+/// Number of request priority levels. Higher value = more urgent; the
+/// batcher dispatches strictly FIFO within a level and drains higher levels
+/// first when forming a micro-batch.
+inline constexpr std::size_t kPriorityLevels = 4;
+
+/// "No deadline" sentinel for Request::deadline.
+inline constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+/// One inference request: a single sample shaped like the served model's
+/// sample_shape() (e.g. [features] is submitted as a rank-1 [in] tensor for
+/// a linear head, [C, H, W] for a conv layer).
+struct Request {
+  tensor::Tensor input;
+  /// Clamped to kPriorityLevels - 1 at admission.
+  std::size_t priority = 0;
+  /// The request must be *dispatched* (picked into a micro-batch) by this
+  /// instant; a request still queued past it is answered with
+  /// Status::kDeadlineMiss. Once dispatched, it always completes kOk —
+  /// which keeps outputs a pure function of the input, never of timing.
+  Clock::time_point deadline = kNoDeadline;
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Refused at admission: queue at max_queue_depth (backpressure) or the
+  /// input shape does not match the served model.
+  kRejected,
+  /// Deadline passed while the request was still queued.
+  kDeadlineMiss,
+  /// The engine/batcher was stopped before the request was dispatched.
+  kShutdown,
+};
+
+constexpr std::string_view status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kDeadlineMiss: return "deadline_miss";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+/// Completion record delivered through the future returned by submit().
+struct Response {
+  Status status = Status::kOk;
+  /// Output sample (model.output_sample_shape()); empty unless kOk.
+  tensor::Tensor output;
+  /// Admission → dispatch (micro-batch formation) wall time.
+  double queue_wait_seconds = 0.0;
+  /// Dispatch → completion wall time of the whole micro-batch.
+  double exec_seconds = 0.0;
+  /// Size of the micro-batch this request was coalesced into (1 = solo).
+  std::size_t batch_size = 0;
+  /// Dispatch order of that micro-batch (0-based).
+  std::uint64_t batch_seq = 0;
+};
+
+}  // namespace rpbcm::serve

@@ -57,6 +57,34 @@ TEST(ParallelPoolTest, SubGrainRangeIsOneChunk) {
   EXPECT_EQ(calls.load(), 1);
 }
 
+TEST(ParallelPoolTest, SerialSectionForcesInlineWithSameChunks) {
+  ThreadGuard guard;
+  set_num_threads(8);
+  EXPECT_FALSE(in_serial_section());
+
+  // Record the (chunk, thread) schedule inside a SerialSection: every chunk
+  // must run on the calling thread, in ascending order, with the same
+  // boundaries compute_chunks() reports — the serial reference path.
+  const auto expected = compute_chunks(0, 100, 8);
+  std::vector<ChunkRange> seen;
+  {
+    const SerialSection section;
+    EXPECT_TRUE(in_serial_section());
+    {
+      const SerialSection nested;  // nestable: depth-counted
+      EXPECT_TRUE(in_serial_section());
+    }
+    EXPECT_TRUE(in_serial_section());
+    const std::thread::id caller = std::this_thread::get_id();
+    parallel_for(0, 100, 8, [&](std::size_t b, std::size_t e) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      seen.push_back(ChunkRange{b, e});  // safe: single-threaded by contract
+    });
+  }
+  EXPECT_FALSE(in_serial_section());
+  EXPECT_EQ(seen, expected);
+}
+
 TEST(ParallelPoolTest, NestedParallelForCompletes) {
   ThreadGuard guard;
   set_num_threads(4);

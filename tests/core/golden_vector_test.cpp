@@ -1,0 +1,157 @@
+// Golden-vector regression: fixed-seed activation spectra and logits for
+// one BcmLinear and one BcmConv2d, committed as exact float bit patterns
+// (8-hex-digit words) under tests/data/golden/. Any bit drift in the
+// FFT–eMAC–IFFT kernels — reordered accumulation, a changed twiddle path,
+// an accidental fast-math flag — fails here even when the result is still
+// "numerically close".
+//
+// Regeneration (after an INTENDED numeric change, see docs/testing.md):
+//   RPBCM_GOLDEN_REGEN=1 ./core_golden_vector_test
+// rewrites the files in the source tree; commit them with the change.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/activation_spectra.hpp"
+#include "core/bcm_conv.hpp"
+#include "core/bcm_linear.hpp"
+#include "numeric/random.hpp"
+#include "test_util.hpp"
+
+#ifndef RPBCM_GOLDEN_DIR
+#error "RPBCM_GOLDEN_DIR must point at tests/data/golden"
+#endif
+
+namespace rpbcm {
+namespace {
+
+std::string hex_word(float f) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof bits);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", bits);
+  return buf;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(RPBCM_GOLDEN_DIR) + "/" + name;
+}
+
+bool regen_requested() {
+  return std::getenv("RPBCM_GOLDEN_REGEN") != nullptr;
+}
+
+void save_golden(const std::string& name, std::span<const float> values) {
+  std::ofstream out(golden_path(name));
+  ASSERT_TRUE(out) << "cannot write " << golden_path(name);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out << hex_word(values[i]) << (i % 8 == 7 ? '\n' : ' ');
+  if (values.size() % 8 != 0) out << '\n';
+}
+
+std::vector<std::uint32_t> load_golden(const std::string& name) {
+  std::ifstream in(golden_path(name));
+  EXPECT_TRUE(in) << "missing golden file " << golden_path(name)
+                  << " — regenerate with RPBCM_GOLDEN_REGEN=1 "
+                     "(docs/testing.md)";
+  std::vector<std::uint32_t> words;
+  std::string w;
+  while (in >> w)
+    words.push_back(
+        static_cast<std::uint32_t>(std::strtoul(w.c_str(), nullptr, 16)));
+  return words;
+}
+
+// Compares actual float bits against the committed golden words; with
+// RPBCM_GOLDEN_REGEN set, rewrites the file instead.
+void check_golden(const std::string& name, std::span<const float> actual) {
+  if (regen_requested()) {
+    save_golden(name, actual);
+    return;
+  }
+  const std::vector<std::uint32_t> expect = load_golden(name);
+  ASSERT_EQ(expect.size(), actual.size()) << name << " size drift";
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    std::uint32_t bits = 0;
+    std::memcpy(&bits, &actual[i], sizeof bits);
+    if (bits != expect[i] && ++mismatches <= 4) {
+      char want[16];
+      std::snprintf(want, sizeof want, "%08x", expect[i]);
+      ADD_FAILURE() << name << "[" << i << "]: got " << hex_word(actual[i])
+                    << " want " << want
+                    << " — bit drift in the kernel output; if intended, "
+                       "regenerate per docs/testing.md";
+    }
+  }
+  EXPECT_EQ(mismatches, 0U) << name << ": " << mismatches << " of "
+                            << actual.size() << " words drifted";
+}
+
+TEST(GoldenVectors, BcmLinearSpectraAndLogits) {
+  numeric::Rng rng(42);
+  core::BcmLinear layer(32, 32, /*block_size=*/8, /*hadamard=*/true, rng);
+  layer.prune_block(1);
+  layer.prune_block(6);
+
+  const tensor::Tensor x = testutil::random_tensor({2, 32}, /*seed=*/7);
+  layer.prepare_inference();
+  core::ActivationSpectra spec;
+  layer.infer_rfft(x, spec);
+  const tensor::Tensor y = layer.infer_emac_irfft(spec);
+
+  check_golden("linear_spec_re.hex", spec.re);
+  check_golden("linear_spec_im.hex", spec.im);
+  check_golden("linear_logits.hex", y.span());
+}
+
+TEST(GoldenVectors, BcmConv2dSpectraAndLogits) {
+  numeric::Rng rng(43);
+  nn::ConvSpec cs;
+  cs.in_channels = 16;
+  cs.out_channels = 16;
+  cs.kernel = 3;
+  cs.stride = 1;
+  cs.pad = 1;
+  core::BcmConv2d layer(cs, /*block_size=*/8,
+                        core::BcmParameterization::kHadamard, rng);
+  layer.prune_block(2);
+  layer.prune_block(9);
+
+  const tensor::Tensor x = testutil::random_tensor({1, 16, 6, 6}, /*seed=*/9);
+  layer.prepare_inference();
+  core::ActivationSpectra spec;
+  layer.infer_rfft(x, spec);
+  const tensor::Tensor y = layer.infer_emac_irfft(spec);
+
+  check_golden("conv_spec_re.hex", spec.re);
+  check_golden("conv_spec_im.hex", spec.im);
+  check_golden("conv_logits.hex", y.span());
+}
+
+// The staged path and the training forward() must produce identical bits —
+// the goldens pin both at once.
+TEST(GoldenVectors, StagedPathMatchesForward) {
+  numeric::Rng rng(42);
+  core::BcmLinear layer(32, 32, /*block_size=*/8, /*hadamard=*/true, rng);
+  layer.prune_block(1);
+  layer.prune_block(6);
+  const tensor::Tensor x = testutil::random_tensor({2, 32}, /*seed=*/7);
+  const tensor::Tensor staged = layer.infer(x);
+  const tensor::Tensor fwd = layer.forward(x, /*train=*/false);
+  ASSERT_TRUE(staged.same_shape(fwd));
+  EXPECT_EQ(std::memcmp(staged.data(), fwd.data(),
+                        staged.size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace rpbcm

@@ -1,0 +1,338 @@
+// Property tests for the serving layer's batching semantics and its
+// determinism contract: randomized (fixed-seed) arrival schedules must
+// leave every admitted request answered exactly once, priority/FIFO order
+// intact, no batch over the cap, and every kOk payload bitwise identical
+// to the same sample's solo serial execution — at every thread count.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "base/parallel.hpp"
+#include "core/bcm_linear.hpp"
+#include "numeric/random.hpp"
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm {
+namespace {
+
+using serve::Batcher;
+using serve::BatcherOptions;
+using serve::Clock;
+using serve::Engine;
+using serve::EngineOptions;
+using serve::Pending;
+using serve::Request;
+using serve::Response;
+using serve::Status;
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+constexpr std::size_t kIn = 32;
+constexpr std::size_t kOut = 32;
+constexpr std::size_t kBs = 8;
+
+core::BcmLinear make_layer(std::uint64_t seed = 42) {
+  numeric::Rng rng(seed);
+  core::BcmLinear layer(kIn, kOut, kBs, /*hadamard=*/true, rng);
+  layer.prune_block(1);  // exercise the skip index in the served path
+  return layer;
+}
+
+std::vector<tensor::Tensor> make_inputs(std::size_t count) {
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    inputs.push_back(testutil::random_tensor({kIn}, /*seed=*/1000 + i));
+  return inputs;
+}
+
+// --- Batcher-level properties (no pipeline) --------------------------------
+
+TEST(BatcherProperty, BatchNeverExceedsCapAndAllAnswered) {
+  BatcherOptions opts;
+  opts.max_batch_size = 5;
+  opts.max_linger = std::chrono::microseconds(0);
+  opts.max_queue_depth = 1000;
+  Batcher batcher(opts);
+
+  constexpr std::size_t kRequests = 64;
+  std::vector<std::future<Response>> futures;
+  numeric::Rng rng(7);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Request req;
+    req.input = tensor::Tensor({kIn});
+    req.priority = static_cast<std::size_t>(rng.randint(0, 3));
+    futures.push_back(batcher.submit(std::move(req)));
+  }
+
+  std::size_t popped = 0;
+  std::vector<Pending> batch;
+  while (batcher.depth() > 0) {
+    ASSERT_TRUE(batcher.pop_batch(batch));
+    ASSERT_LE(batch.size(), opts.max_batch_size);
+    ASSERT_FALSE(batch.empty());
+    popped += batch.size();
+    for (Pending& p : batch) {
+      Response r;
+      r.status = Status::kOk;
+      p.promise.set_value(std::move(r));
+    }
+  }
+  EXPECT_EQ(popped, kRequests);
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::kOk);
+}
+
+TEST(BatcherProperty, PriorityOrderAndFifoWithinLevel) {
+  BatcherOptions opts;
+  opts.max_batch_size = 100;
+  opts.max_linger = std::chrono::microseconds(0);
+  opts.max_queue_depth = 1000;
+  Batcher batcher(opts);
+
+  numeric::Rng rng(11);
+  constexpr std::size_t kRequests = 40;
+  std::vector<std::size_t> priorities;
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Request req;
+    req.input = tensor::Tensor({kIn});
+    req.priority = static_cast<std::size_t>(rng.randint(0, 3));
+    priorities.push_back(req.priority);
+    futures.push_back(batcher.submit(std::move(req)));
+  }
+
+  std::vector<Pending> batch;
+  ASSERT_TRUE(batcher.pop_batch(batch));
+  ASSERT_EQ(batch.size(), kRequests);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    const Pending& prev = batch[i - 1];
+    const Pending& cur = batch[i];
+    // Strictly non-increasing priority; admission order within a level.
+    EXPECT_GE(prev.request.priority, cur.request.priority);
+    if (prev.request.priority == cur.request.priority) {
+      EXPECT_LT(prev.seq, cur.seq);
+    }
+  }
+  for (Pending& p : batch) p.promise.set_value(Response{});
+  for (auto& f : futures) f.get();
+}
+
+TEST(BatcherProperty, ExpiredDeadlinesAreSweptNotDispatched) {
+  BatcherOptions opts;
+  opts.max_batch_size = 8;
+  opts.max_linger = std::chrono::microseconds(0);
+  Batcher batcher(opts);
+
+  Request expired;
+  expired.input = tensor::Tensor({kIn});
+  expired.deadline = Clock::now() - std::chrono::milliseconds(1);
+  auto miss = batcher.submit(std::move(expired));
+
+  Request live;
+  live.input = tensor::Tensor({kIn});
+  auto ok = batcher.submit(std::move(live));
+
+  std::vector<Pending> batch;
+  ASSERT_TRUE(batcher.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 1U);  // the expired request never occupies a slot
+  batch[0].promise.set_value(Response{});
+  EXPECT_EQ(miss.get().status, Status::kDeadlineMiss);
+  EXPECT_EQ(ok.get().status, Status::kOk);
+}
+
+TEST(BatcherProperty, BackpressureRejectsBeyondQueueDepth) {
+  BatcherOptions opts;
+  opts.max_batch_size = 4;
+  opts.max_linger = std::chrono::milliseconds(50);
+  opts.max_queue_depth = 6;
+  Batcher batcher(opts);
+
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < 10; ++i) {
+    Request req;
+    req.input = tensor::Tensor({kIn});
+    futures.push_back(batcher.submit(std::move(req)));
+  }
+  // No consumer ran: exactly max_queue_depth admitted, the rest rejected
+  // synchronously.
+  std::size_t rejected = 0;
+  for (std::size_t i = opts.max_queue_depth; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    EXPECT_EQ(futures[i].get().status, Status::kRejected);
+    ++rejected;
+  }
+  EXPECT_EQ(rejected, futures.size() - opts.max_queue_depth);
+  batcher.close(/*drain=*/false);
+  for (std::size_t i = 0; i < opts.max_queue_depth; ++i)
+    EXPECT_EQ(futures[i].get().status, Status::kShutdown);
+}
+
+TEST(BatcherProperty, CloseWithoutDrainAnswersShutdownExactlyOnce) {
+  Batcher batcher(BatcherOptions{});
+  Request req;
+  req.input = tensor::Tensor({kIn});
+  auto f = batcher.submit(std::move(req));
+  batcher.close(/*drain=*/false);
+  EXPECT_EQ(f.get().status, Status::kShutdown);
+
+  Request late;
+  late.input = tensor::Tensor({kIn});
+  EXPECT_EQ(batcher.submit(std::move(late)).get().status, Status::kShutdown);
+
+  std::vector<Pending> batch;
+  EXPECT_FALSE(batcher.pop_batch(batch));
+  EXPECT_TRUE(batch.empty());
+}
+
+// --- Engine-level properties: the determinism contract ---------------------
+
+// Every request's kOk output must be bitwise identical to the solo serial
+// reference — regardless of which micro-batch it landed in, the batcher
+// policy, or the pool's thread count.
+TEST(EngineDeterminism, BatchedOutputsBitwiseEqualSoloAcrossThreadCounts) {
+  constexpr std::size_t kRequests = 24;
+  auto inputs = make_inputs(kRequests);
+
+  // Solo serial reference.
+  base::set_num_threads(1);
+  auto ref_layer = make_layer();
+  std::vector<tensor::Tensor> reference;
+  reference.reserve(kRequests);
+  for (const auto& x : inputs) {
+    tensor::Tensor batch1({1, kIn});
+    std::memcpy(batch1.data(), x.data(), kIn * sizeof(float));
+    reference.push_back(ref_layer.infer(batch1).reshaped({kOut}));
+  }
+
+  for (const std::size_t threads : {1U, 2U, 4U, 8U}) {
+    base::set_num_threads(threads);
+    for (const std::size_t max_batch : {1U, 4U, 8U}) {
+      auto layer = make_layer();
+      auto model = serve::make_staged(layer);
+      EngineOptions opts;
+      opts.batcher.max_batch_size = max_batch;
+      opts.batcher.max_linger = std::chrono::microseconds(200);
+      opts.batcher.max_queue_depth = kRequests;
+      Engine engine(*model, opts);
+
+      std::vector<std::future<Response>> futures;
+      for (const auto& x : inputs) {
+        Request req;
+        req.input = x;
+        futures.push_back(engine.submit(std::move(req)));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        Response r = futures[i].get();
+        ASSERT_EQ(r.status, Status::kOk);
+        ASSERT_LE(r.batch_size, max_batch);
+        EXPECT_TRUE(bitwise_equal(r.output, reference[i]))
+            << "threads=" << threads << " max_batch=" << max_batch
+            << " request=" << i;
+      }
+      engine.stop(/*drain=*/true);
+    }
+  }
+  base::set_num_threads(0);
+}
+
+// Randomized fixed-seed arrival schedule: mixed priorities, pauses, a few
+// pre-expired deadlines. Every admitted request is answered exactly once
+// and kOk payloads stay bitwise correct.
+TEST(EngineDeterminism, RandomArrivalScheduleEveryRequestAnsweredOnce) {
+  constexpr std::size_t kRequests = 60;
+  auto inputs = make_inputs(kRequests);
+
+  base::set_num_threads(1);
+  auto ref_layer = make_layer();
+  std::vector<tensor::Tensor> reference;
+  for (const auto& x : inputs) {
+    tensor::Tensor batch1({1, kIn});
+    std::memcpy(batch1.data(), x.data(), kIn * sizeof(float));
+    reference.push_back(ref_layer.infer(batch1).reshaped({kOut}));
+  }
+  base::set_num_threads(4);
+
+  auto layer = make_layer();
+  auto model = serve::make_staged(layer);
+  EngineOptions opts;
+  opts.batcher.max_batch_size = 6;
+  opts.batcher.max_linger = std::chrono::microseconds(300);
+  opts.batcher.max_queue_depth = 16;
+  Engine engine(*model, opts);
+
+  numeric::Rng rng(2024);
+  std::vector<std::future<Response>> futures;
+  std::vector<bool> pre_expired;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Request req;
+    req.input = inputs[i];
+    req.priority = static_cast<std::size_t>(rng.randint(0, 3));
+    const bool expired = rng.bernoulli(0.1);
+    if (expired) req.deadline = Clock::now() - std::chrono::milliseconds(1);
+    pre_expired.push_back(expired);
+    futures.push_back(engine.submit(std::move(req)));
+    if (rng.bernoulli(0.2)) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(rng.randint(10, 400)));
+    }
+  }
+  engine.stop(/*drain=*/true);
+
+  std::size_t ok = 0, missed = 0, rejected = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << i << " left unanswered";
+    Response r = futures[i].get();
+    switch (r.status) {
+      case Status::kOk:
+        ++ok;
+        EXPECT_TRUE(bitwise_equal(r.output, reference[i])) << "request " << i;
+        EXPECT_GE(r.batch_size, 1U);
+        break;
+      case Status::kDeadlineMiss:
+        ++missed;
+        break;
+      case Status::kRejected:  // backpressure under the burst
+        ++rejected;
+        break;
+      default:
+        FAIL() << "unexpected status " << serve::status_name(r.status)
+               << " for request " << i;
+    }
+    if (pre_expired[i]) {
+      EXPECT_NE(r.status, Status::kOk) << "request " << i;
+    }
+  }
+  EXPECT_EQ(ok + missed + rejected, kRequests);
+  EXPECT_GT(ok, 0U);
+  base::set_num_threads(0);
+}
+
+// Mis-shaped inputs are refused before they can poison a batch.
+TEST(EngineDeterminism, ShapeMismatchRejectedImmediately) {
+  auto layer = make_layer();
+  auto model = serve::make_staged(layer);
+  Engine engine(*model);
+  Request req;
+  req.input = tensor::Tensor({kIn + 1});
+  auto f = engine.submit(std::move(req));
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get().status, Status::kRejected);
+  engine.stop(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace rpbcm

@@ -24,6 +24,11 @@
 #      --check-prom, then perf_gate diffs a fresh kernels JSON against the
 #      committed baseline (bench/baselines/BENCH_kernels.json) and fails
 #      on speedup regressions beyond tolerance (docs/observability.md)
+#   9. serving gate: serve_loadgen --smoke under the background exporter
+#      (outputs validated like stage 8), then bench_serve_throughput
+#      writes a fresh serve JSON and perf_gate enforces both the relative
+#      baseline ratio and the absolute batched >= 2x single-request
+#      deployment floor (docs/serving.md)
 #
 # Every stage exits nonzero on any finding. See docs/static_analysis.md.
 #
@@ -35,6 +40,7 @@
 #   SKIP_BENCH=1      skip stage 7
 #   SKIP_PERF_GATE=1  skip stage 8 (e.g. on heavily loaded machines where
 #                     kernel timings are too noisy to gate on)
+#   SKIP_SERVE=1      skip stage 9 (serving smoke + throughput gate)
 
 set -euo pipefail
 
@@ -140,7 +146,32 @@ if [[ "${SKIP_PERF_GATE:-0}" != "1" ]]; then
     --benchmark_filter='NONE' --threads=4 \
     --kernels-json="$gate_json" > /dev/null
   build-strict/tools/perf_gate \
-    --baseline=bench/baselines/BENCH_kernels.json --current="$gate_json"
+    --baseline=bench/baselines/BENCH_kernels.json --current="$gate_json" \
+    --section=kernels --section=half_spectrum
+fi
+
+if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
+  stage "serving gate (loadgen smoke + batched-throughput floor)"
+  serve_dir="build-strict/serve-gate"
+  rm -rf "$serve_dir"
+  mkdir -p "$serve_dir"
+  # Deterministic smoke run of the batched engine under the exporter; the
+  # loadgen exits nonzero if any request is lost or nothing completes.
+  build-strict/examples/serve_loadgen --smoke --threads=4 \
+    --metrics-jsonl="$serve_dir/metrics.jsonl" \
+    --metrics-prom="$serve_dir/metrics.prom" \
+    --metrics-period-ms=50 > /dev/null
+  build-strict/tools/perf_gate --check-jsonl="$serve_dir/metrics.jsonl"
+  build-strict/tools/perf_gate --check-prom="$serve_dir/metrics.prom"
+  # Throughput: fresh serve JSON at the baseline's thread count, gated on
+  # the relative ratio AND the absolute 2x deployment floor (docs/serving.md:
+  # batched >= 2x single-request at batch 8 on 4 threads).
+  serve_json="$serve_dir/serve.json"
+  build-strict/bench/bench_serve_throughput --threads=4 --requests=2000 \
+    --json="$serve_json" > /dev/null
+  build-strict/tools/perf_gate \
+    --baseline=bench/baselines/BENCH_kernels.json --current="$serve_json" \
+    --section=serve_throughput --min-speedup=2.0
 fi
 
 stage "all stages passed"

@@ -17,6 +17,8 @@ inline void fixture_clean_obs(int i) {
 inline void fixture_clean_metric_names(Registry& reg, const std::string& dyn,
                                        int i) {
   reg.histogram("rpbcm.fixture.latency_seconds").record(1.0);
+  reg.gauge("rpbcm.serve.queue_depth").set(1.0 * i);  // serving-layer style
+  RPBCM_OBS_OBSERVE("rpbcm.serve.batch_size", 8.0);
   reg.gauge(dyn).set(1.0);  // dynamically built names are not checked
   RPBCM_OBS_TIMED_SCOPE("fixture", "scope", "rpbcm.fixture.scope_seconds");
   // Explicitly waived awkward name:

@@ -3,17 +3,25 @@
 // Modes (exactly one):
 //
 //   perf_gate --baseline=OLD.json --current=NEW.json [--tolerance=0.25]
-//             [--strict-ms]
-//     Diffs two BENCH_kernels.json files (written by
-//     `bench_micro_kernels --kernels-json`). The gate compares *speedup
-//     ratios* (serial/threaded and full/half spectrum), which are stable
-//     across machines, and fails when a current ratio drops more than
-//     `tolerance` (fraction, default 0.25) below its baseline. A kernel
-//     present in the baseline but missing from the current file is a
-//     coverage regression and also fails. Absolute millisecond times are
-//     machine-dependent, so they are only gated under --strict-ms
-//     (current_ms <= baseline_ms * (1 + tolerance)) — intended for runs
-//     where both files came from the same host, e.g. a bisect.
+//             [--strict-ms] [--section=NAME ...] [--min-speedup=X]
+//     Diffs two benchmark JSON files (written by `bench_micro_kernels
+//     --kernels-json` or `bench_serve_throughput --json`). The gate
+//     compares *speedup ratios* (serial/threaded, full/half spectrum,
+//     single-request/batched), which are stable across machines, and
+//     fails when a current ratio drops more than `tolerance` (fraction,
+//     default 0.25) below its baseline. A kernel present in the baseline
+//     but missing from the current file is a coverage regression and also
+//     fails. Absolute millisecond times are machine-dependent, so they
+//     are only gated under --strict-ms (current_ms <= baseline_ms *
+//     (1 + tolerance)) — intended for runs where both files came from the
+//     same host, e.g. a bisect.
+//
+//     --section=NAME (repeatable) restricts the gate to the named
+//     section(s); known sections are kernels, half_spectrum and
+//     serve_throughput. --min-speedup=X additionally requires every gated
+//     row's *current* speedup to be at least X — an absolute deployment
+//     floor on top of the relative ratio gate (the serve stage of
+//     tools/ci.sh uses it to enforce batched >= 2x single-request).
 //
 //   perf_gate --check-jsonl=FILE
 //     Validates an Exporter JSONL time series: every line must parse as a
@@ -33,6 +41,7 @@
 // docs/observability.md ("Perf-regression gate") documents the CI
 // workflow around this tool.
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -75,8 +84,21 @@ struct Row {
   double ms = 0.0;  // the optimized-path absolute time
 };
 
-/// Pulls the named array ("kernels" or "half_spectrum") out of a
-/// BENCH_kernels.json document as name -> {speedup, optimized ms}.
+/// The gateable benchmark sections: JSON array name plus the key holding
+/// the optimized-path absolute time inside each row.
+struct Section {
+  const char* name;
+  const char* ms_key;
+};
+
+constexpr Section kSections[] = {
+    {"kernels", "threaded_ms"},
+    {"half_spectrum", "half_spectrum_ms"},
+    {"serve_throughput", "batched_ms"},
+};
+
+/// Pulls the named array (see kSections) out of a benchmark JSON document
+/// as name -> {speedup, optimized ms}.
 std::map<std::string, Row> collect_rows(const Value& doc,
                                         const std::string& section,
                                         const char* ms_key) {
@@ -105,7 +127,7 @@ struct GateState {
 void gate_section(GateState& gate, const std::string& section,
                   const std::map<std::string, Row>& base,
                   const std::map<std::string, Row>& cur, double tolerance,
-                  bool strict_ms) {
+                  bool strict_ms, double min_speedup) {
   for (const auto& [name, b] : base) {
     ++gate.checked;
     const auto it = cur.find(name);
@@ -124,6 +146,13 @@ void gate_section(GateState& gate, const std::string& section,
                     "%s: speedup %.2fx < %.2fx (baseline %.2fx - %.0f%%)",
                     label.c_str(), c.speedup, floor, b.speedup,
                     tolerance * 100.0);
+      gate.fail(buf);
+      continue;
+    }
+    if (min_speedup > 0.0 && !(c.speedup >= min_speedup)) {
+      std::snprintf(buf, sizeof buf,
+                    "%s: speedup %.2fx < required absolute floor %.2fx",
+                    label.c_str(), c.speedup, min_speedup);
       gate.fail(buf);
       continue;
     }
@@ -146,20 +175,23 @@ void gate_section(GateState& gate, const std::string& section,
 }
 
 int run_gate(const std::string& baseline_path, const std::string& current_path,
-             double tolerance, bool strict_ms) {
+             double tolerance, bool strict_ms,
+             const std::vector<std::string>& sections, double min_speedup) {
   const Value base = parse_file(baseline_path);
   const Value cur = parse_file(current_path);
   GateState gate;
-  gate_section(gate, "kernels", collect_rows(base, "kernels", "threaded_ms"),
-               collect_rows(cur, "kernels", "threaded_ms"), tolerance,
-               strict_ms);
-  gate_section(gate, "half_spectrum",
-               collect_rows(base, "half_spectrum", "half_spectrum_ms"),
-               collect_rows(cur, "half_spectrum", "half_spectrum_ms"),
-               tolerance, strict_ms);
+  for (const Section& s : kSections) {
+    if (!sections.empty() &&
+        std::find(sections.begin(), sections.end(), s.name) == sections.end())
+      continue;
+    gate_section(gate, s.name, collect_rows(base, s.name, s.ms_key),
+                 collect_rows(cur, s.name, s.ms_key), tolerance, strict_ms,
+                 min_speedup);
+  }
   if (gate.checked == 0) {
-    std::fprintf(stderr, "perf_gate: baseline %s has no kernel rows\n",
-                 baseline_path.c_str());
+    std::fprintf(stderr, "perf_gate: baseline %s has no gateable rows%s\n",
+                 baseline_path.c_str(),
+                 sections.empty() ? "" : " in the selected section(s)");
     return 2;
   }
   std::printf("perf_gate: %d checked, %d failed (tolerance %.0f%%%s)\n",
@@ -309,6 +341,7 @@ int usage() {
       stderr,
       "usage: perf_gate --baseline=F --current=F [--tolerance=0.25] "
       "[--strict-ms]\n"
+      "                 [--section=NAME ...] [--min-speedup=X]\n"
       "       perf_gate --check-jsonl=F | --check-prom=F | "
       "--check-metrics=F\n");
   return 2;
@@ -318,7 +351,9 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::string baseline, current, jsonl, prom, metrics;
+  std::vector<std::string> sections;
   double tolerance = 0.25;
+  double min_speedup = 0.0;
   bool strict_ms = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -333,6 +368,29 @@ int main(int argc, char** argv) {
       continue;
     if (arg == "--strict-ms") {
       strict_ms = true;
+      continue;
+    }
+    std::string section;
+    if (take("--section=", &section)) {
+      bool known = false;
+      for (const Section& s : kSections) known = known || section == s.name;
+      if (!known) {
+        std::fprintf(stderr, "perf_gate: unknown --section: %s\n",
+                     section.c_str());
+        return 2;
+      }
+      sections.push_back(section);
+      continue;
+    }
+    std::string floor_arg;
+    if (take("--min-speedup=", &floor_arg)) {
+      char* end = nullptr;
+      min_speedup = std::strtod(floor_arg.c_str(), &end);
+      if (end == floor_arg.c_str() || *end != '\0' || !(min_speedup > 0.0)) {
+        std::fprintf(stderr, "perf_gate: bad --min-speedup (want > 0): %s\n",
+                     floor_arg.c_str());
+        return 2;
+      }
       continue;
     }
     std::string tol;
@@ -357,5 +415,6 @@ int main(int argc, char** argv) {
   if (!prom.empty()) return check_prom(prom);
   if (!metrics.empty()) return check_metrics(metrics);
   if (baseline.empty() || current.empty()) return usage();
-  return run_gate(baseline, current, tolerance, strict_ms);
+  return run_gate(baseline, current, tolerance, strict_ms, sections,
+                  min_speedup);
 }

@@ -3,7 +3,7 @@
 // Parses every `#include "..."` edge under <repo-root>/src and checks the
 // result against the declared layer DAG:
 //
-//   base → numeric → tensor → nn → core → {hw, models}
+//   base → numeric → tensor → nn → core → {serve, hw, models}
 //
 // with `obs` as a cross-cutting sink: every layer may include obs, but obs
 // itself may only reach base (and obs). A lower layer including a higher
@@ -59,6 +59,7 @@ const std::vector<LayerRule>& allowed_layers() {
       {"tensor", {"base", "numeric", "obs"}},
       {"nn", {"base", "numeric", "tensor", "obs"}},
       {"core", {"base", "numeric", "tensor", "nn", "obs"}},
+      {"serve", {"base", "numeric", "tensor", "nn", "core", "obs"}},
       {"hw", {"base", "numeric", "tensor", "nn", "core", "obs"}},
       {"models", {"base", "numeric", "tensor", "nn", "core", "obs"}},
   };

@@ -649,7 +649,11 @@ void check_unordered_iteration(const fs::path& file, const std::string& code) {
         for (const std::string_view it : kIterMembers)
           if (member == it) {
             iterates = true;
-            how = "." + std::string(member) + "()";
+            // std::string(...) rather than assigning the literal: works
+            // around the gcc 12 -Wrestrict false positive on short-literal
+            // operator= (PR105329) under -O2 -Werror.
+            how = std::string(".");
+            how.append(member).append("()");
           }
       }
       // `for (... : name)` range-for. The previous non-space char being a
@@ -670,11 +674,17 @@ void check_unordered_iteration(const fs::path& file, const std::string& code) {
       if (!iterates) continue;
       const std::size_t line = line_of(code, at);
       if (line_has_waiver(line, "unordered-iter")) continue;
-      report(file, line, "unordered-iter",
-             "iteration (" + how + ") over unordered container '" + name +
-                 "' — iteration order is unspecified, which breaks the "
-                 "determinism contract; iterate a sorted key vector or use "
-                 "std::map");
+      // Built with append, not operator+ chains: gcc 12's -Wrestrict
+      // false-positives on `const char* + std::string&&` (PR 105329)
+      // under -O2 -Werror.
+      std::string msg = "iteration (";
+      msg.append(how)
+          .append(") over unordered container '")
+          .append(name)
+          .append("' — iteration order is unspecified, which breaks the "
+                  "determinism contract; iterate a sorted key vector or use "
+                  "std::map");
+      report(file, line, "unordered-iter", msg);
     }
   }
 }
