@@ -28,6 +28,8 @@
 #include "hw/emac_pe.hpp"
 #include "hw/fft_pe.hpp"
 #include "nn/conv2d.hpp"
+#include "numeric/aligned.hpp"
+#include "numeric/emac.hpp"
 #include "numeric/fft.hpp"
 #include "numeric/random.hpp"
 #include "numeric/rfft.hpp"
@@ -289,6 +291,16 @@ struct HalfSpectrumRow {
   double half_ms = 0.0;
 };
 
+// Row of the emac_simd section: a baseline vs an optimized path plus an
+// optional self-declared absolute speedup floor the perf gate enforces
+// (written only when the host can realize the win — see below).
+struct EmacSimdRow {
+  std::string name;
+  double baseline_ms = 0.0;
+  double optimized_ms = 0.0;
+  double min_speedup = 0.0;  // 0 = no floor
+};
+
 // Pre-rewrite reference: full-spectrum FFT–eMAC–IFFT conv forward exactly
 // as the layers computed it before the packed-rfft path (serial, BS bins
 // per block, complex FFT with a zero imaginary lane). Kept here only to
@@ -468,6 +480,102 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
     });
     half_rows.push_back(r);
   }
+  // SIMD-vectorized eMAC + compacted pruned-block schedules, all serial.
+  //
+  // Row 1: the raw dispatched kernel vs the scalar reference over the
+  // layers' real call shape (hb-bin rows, one call per surviving block).
+  // The 1.5x floor is declared only when the dispatcher actually picked
+  // AVX2 — on scalar-only hosts both sides run the same kernel.
+  //
+  // Rows 2-3: dense vs pruned infer_emac_irfft at α=0.5 / α=0.84 — the
+  // compacted schedule must turn the skip index into wall-clock the way
+  // the accelerator's skip datapath turns it into cycles. The α=0.84 row
+  // carries the paper-motivated 2x floor unconditionally: schedule
+  // compaction does not depend on SIMD.
+  std::vector<EmacSimdRow> emac_rows;
+  // Kernel rows at three block sizes. BS=16 (9-bin rows — one 8-wide
+  // vector plus a scalar tail) is the layers' common shape but leaves the
+  // AVX2 path little headroom over the compiler's SSE auto-vectorization
+  // of the scalar kernel, so it and BS=64 ship without floors; BS=128
+  // (65 bins) is compute-rich enough that the 8-wide path must deliver
+  // >= 1.5x on any host whose dispatcher picked AVX2. Working sets are
+  // L1-resident so the comparison is compute-bound — the layers' schedule
+  // walks spectra that were just FFT'd, so hot rows are the realistic case.
+  const auto kernel_row = [&](const std::string& name, std::size_t bs,
+                              double floor_if_avx2) {
+    EmacSimdRow r;
+    r.name = name;
+    const std::size_t hb = numeric::half_bins(bs);
+    const std::size_t pairs = 4096 / hb;
+    numeric::Rng erng(9 + bs);
+    numeric::AlignedVec<float> wr(pairs * hb), wi(pairs * hb);
+    numeric::AlignedVec<float> xr(pairs * hb), xi(pairs * hb);
+    for (std::size_t i = 0; i < wr.size(); ++i) {
+      wr[i] = erng.gaussian();
+      wi[i] = erng.gaussian();
+      xr[i] = erng.gaussian();
+      xi[i] = erng.gaussian();
+    }
+    numeric::AlignedVec<float> ar(hb), ai(hb);
+    const auto run = [&](numeric::emac::MulAccFn fn) {
+      std::fill(ar.begin(), ar.end(), 0.0F);
+      std::fill(ai.begin(), ai.end(), 0.0F);
+      for (std::size_t p = 0; p < pairs; ++p)
+        fn(ar.data(), ai.data(), wr.data() + p * hb, wi.data() + p * hb,
+           xr.data() + p * hb, xi.data() + p * hb, hb);
+      benchmark::DoNotOptimize(ar.data());
+      benchmark::DoNotOptimize(ai.data());
+    };
+    run(numeric::emac::mul_acc_fn());  // warm-up resolves the dispatch
+    r.baseline_ms = best_ms(2000, [&] { run(numeric::emac::mul_acc_scalar); });
+    r.optimized_ms = best_ms(2000, [&] { run(numeric::emac::mul_acc_fn()); });
+    if (numeric::emac::active_path() == numeric::emac::Path::kAvx2)
+      r.min_speedup = floor_if_avx2;
+    return r;
+  };
+  emac_rows.push_back(kernel_row("emac_mul_acc_kernel_bs16", 16, 0.0));
+  emac_rows.push_back(kernel_row("emac_mul_acc_kernel_bs64", 64, 0.0));
+  emac_rows.push_back(kernel_row("emac_mul_acc_kernel_bs128", 128, 1.5));
+  {
+    // 256 channels / BS=16: 16x16 block grid, so the eMAC stage dominates
+    // the per-pixel IFFTs the way it does in the paper's VGG-scale layers
+    // and the schedule win is visible in wall-clock.
+    numeric::Rng prng(10);
+    core::BcmConv2d pconv(conv_spec(256), 16,
+                          core::BcmParameterization::kHadamard, prng);
+    tensor::Tensor px({1, 256, 7, 7});
+    tensor::fill_gaussian(px, prng);
+    pconv.prepare_inference();
+    core::ActivationSpectra spec;
+    pconv.infer_rfft(px, spec);
+    const auto dense_ms = best_ms(20, [&] {
+      auto y = pconv.infer_emac_irfft(spec);
+      benchmark::DoNotOptimize(y.data());
+    });
+    const auto pruned_ms = [&](std::size_t keep_mod, std::size_t keep_lim) {
+      std::vector<std::uint8_t> skip(pconv.layout().total_blocks());
+      for (std::size_t b = 0; b < skip.size(); ++b)
+        skip[b] = (b % keep_mod) < keep_lim ? 1 : 0;
+      pconv.set_skip_index(std::move(skip));
+      pconv.prepare_inference();
+      return best_ms(20, [&] {
+        auto y = pconv.infer_emac_irfft(spec);
+        benchmark::DoNotOptimize(y.data());
+      });
+    };
+    EmacSimdRow r50;
+    r50.name = "emac_irfft_pruned_alpha50";
+    r50.baseline_ms = dense_ms;
+    r50.optimized_ms = pruned_ms(2, 1);  // keep every other block
+    emac_rows.push_back(r50);
+    EmacSimdRow r84;
+    r84.name = "emac_irfft_pruned_alpha84";
+    r84.baseline_ms = dense_ms;
+    r84.optimized_ms = pruned_ms(25, 4);  // keep 4/25 = 16% of blocks
+    r84.min_speedup = 2.0;
+    emac_rows.push_back(r84);
+    pconv.reset_pruning();
+  }
   base::set_num_threads(threads);
 
   std::ofstream os(path);
@@ -498,6 +606,24 @@ void write_kernels_json(const std::string& path, std::size_t threads) {
     os << ", \"speedup\": ";
     obs::write_json_number(os, r.half_ms > 0.0 ? r.full_ms / r.half_ms : 0.0);
     os << "}" << (i + 1 < half_rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"emac_simd\": [\n";
+  for (std::size_t i = 0; i < emac_rows.size(); ++i) {
+    const auto& r = emac_rows[i];
+    os << "    {\"name\": ";
+    obs::write_json_string(os, r.name);
+    os << ", \"baseline_ms\": ";
+    obs::write_json_number(os, r.baseline_ms);
+    os << ", \"optimized_ms\": ";
+    obs::write_json_number(os, r.optimized_ms);
+    os << ", \"speedup\": ";
+    obs::write_json_number(
+        os, r.optimized_ms > 0.0 ? r.baseline_ms / r.optimized_ms : 0.0);
+    if (r.min_speedup > 0.0) {
+      os << ", \"min_speedup\": ";
+      obs::write_json_number(os, r.min_speedup);
+    }
+    os << "}" << (i + 1 < emac_rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

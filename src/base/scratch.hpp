@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/check.hpp"
+
+namespace rpbcm::base {
+
+/// Number of independent scratch buffers per (thread, element type).
+inline constexpr std::size_t kScratchSlots = 8;
+
+/// Grow-only thread-local scratch for parallel_for chunk bodies.
+///
+/// The layer hot loops need a handful of small per-chunk buffers (rFFT
+/// scratch words, gather rows, eMAC accumulators). Allocating them inside
+/// the chunk lambda costs a heap round-trip on every chunk of every call;
+/// this helper reuses one buffer per (thread, T, slot), so after the first
+/// chunk on a pool thread the allocation disappears while the buffers stay
+/// as private to the chunk as the old locals were.
+///
+/// Returns the calling thread's slot buffer resized to exactly n elements
+/// (capacity is kept, so repeat calls do not reallocate). Contents are
+/// unspecified on entry — callers that need zeros must fill. Buffers that
+/// are live at the same time must use distinct slots. Do not hold the
+/// reference across a nested parallel_for: nested chunks run inline on the
+/// calling thread and a nested tls_scratch of the same (T, slot) would
+/// alias — keep nested regions on their own slots.
+template <typename T>
+std::vector<T>& tls_scratch(std::size_t slot, std::size_t n) {
+  RPBCM_DCHECK(slot < kScratchSlots);
+  thread_local std::vector<T> buffers[kScratchSlots];
+  std::vector<T>& buf = buffers[slot];
+  buf.resize(n);
+  return buf;
+}
+
+}  // namespace rpbcm::base

@@ -1,7 +1,8 @@
 #pragma once
 
 #include <cstddef>
-#include <vector>
+
+#include "numeric/aligned.hpp"
 
 namespace rpbcm::core {
 
@@ -13,10 +14,11 @@ namespace rpbcm::core {
 /// and C_emac pipeline computations.
 ///
 /// Layout matches the layers' internal caches: SoA re/im, half_bins(BS)
-/// bins per (sample, [pixel,] in-block), samples-major.
+/// bins per (sample, [pixel,] in-block), samples-major. Both planes are
+/// 32-byte aligned so the SIMD eMAC kernels get aligned unit-stride rows.
 struct ActivationSpectra {
-  std::vector<float> re;
-  std::vector<float> im;
+  numeric::AlignedVec<float> re;
+  numeric::AlignedVec<float> im;
   std::size_t samples = 0;  // batch dimension N
   std::size_t height = 0;   // input spatial dims (1x1 for BcmLinear)
   std::size_t width = 0;

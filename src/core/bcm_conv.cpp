@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "base/parallel.hpp"
+#include "base/scratch.hpp"
 #include "core/circulant.hpp"
+#include "numeric/emac.hpp"
 #include "numeric/rfft.hpp"
 #include "obs/macros.hpp"
 #include "tensor/init.hpp"
@@ -165,11 +167,21 @@ void BcmConv2d::prune_block(std::size_t block) {
   }
 }
 
-std::size_t BcmConv2d::pruned_count() const {
+std::size_t BcmConv2d::count_pruned_scan() const {
   std::size_t n = 0;
   for (auto s : skip_)
     if (s == 0) ++n;
   return n;
+}
+
+std::size_t BcmConv2d::pruned_count() const {
+  if (!pruned_count_valid_ || pruned_count_state_ != mask_version_) {
+    pruned_count_cache_ = count_pruned_scan();
+    pruned_count_state_ = mask_version_;
+    pruned_count_valid_ = true;
+  }
+  RPBCM_DCHECK(pruned_count_cache_ == count_pruned_scan());
+  return pruned_count_cache_;
 }
 
 void BcmConv2d::reset_pruning() {
@@ -225,22 +237,36 @@ void BcmConv2d::maybe_refresh_weight_spectra() {
   const std::size_t blocks = layout_.total_blocks();
   const std::size_t bs = layout_.block_size;
   const std::size_t hb = numeric::half_bins(bs);
-  wspec_re_.assign(blocks * hb, 0.0F);
-  wspec_im_.assign(blocks * hb, 0.0F);
+  wspec_im_off_ = numeric::aligned_floats(blocks * hb);
+  wspec_.assign(wspec_im_off_ + blocks * hb, 0.0F);
+  float* wre = wspec_.data();
+  float* wim = wspec_.data() + wspec_im_off_;
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
       const auto def = effective_defining(blk);
-      numeric::rfft_soa(def.data(), wspec_re_.data() + blk * hb,
-                        wspec_im_.data() + blk * hb, rom, scratch);
+      numeric::rfft_soa(def.data(), wre + blk * hb, wim + blk * hb, rom,
+                        scratch);
     }
   });
   wspec_state_ = state;
   wspec_valid_ = true;
   RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
+}
+
+void BcmConv2d::maybe_refresh_block_schedule() {
+  if (sched_valid_ && sched_state_ == mask_version_) {
+    RPBCM_OBS_COUNT("rpbcm.core.sched.cache_hits", 1);
+    return;
+  }
+  sched_rows_ = conv_row_schedule(layout_, skip_);
+  sched_state_ = mask_version_;
+  sched_valid_ = true;
+  RPBCM_OBS_COUNT("rpbcm.core.sched.rebuilds", 1);
 }
 
 void BcmConv2d::rfft_stage(const float* xd, std::size_t n, std::size_t h,
@@ -255,8 +281,9 @@ void BcmConv2d::rfft_stage(const float* xd, std::size_t n, std::size_t h,
   // buffer before the packed rFFT.
   base::parallel_for(0, n * h * w, kSpectrumGrain,
                      [&](std::size_t pb, std::size_t pe) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> gather(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& gather = base::tls_scratch<float>(0, bs);
     for (std::size_t p = pb; p < pe; ++p) {
       const std::size_t ni = p / (h * w);
       const std::size_t ih = (p / w) % h;
@@ -281,16 +308,23 @@ void BcmConv2d::emac_irfft_stage(std::size_t n, std::size_t h, std::size_t w,
   const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
   const std::size_t hb = numeric::half_bins(bs);
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
-  // eMAC stage: frequency-domain accumulation over all surviving blocks,
-  // then one inverse rFFT per output pixel per out-block. Output pixels are
-  // independent; each task owns its accumulators, and the in-accumulator
-  // addition order matches the serial nest. Only the BS/2+1 non-redundant
-  // bins are multiplied — the halved MAC count of the eMAC PE
+  // eMAC stage: frequency-domain accumulation over the surviving blocks of
+  // each (kh, kw, bi) row via the compacted schedule — no skip branch in
+  // the inner loop, cost scales with 1-α — then one inverse rFFT per output
+  // pixel per out-block. Output pixels are independent; each task owns its
+  // accumulators, and the schedule's ascending bo order keeps the
+  // in-accumulator addition order of the serial nest. Only the BS/2+1
+  // non-redundant bins are multiplied — the halved MAC count of the eMAC PE
   // (Section IV-B).
+  const auto mul = numeric::emac::mul_acc_fn();
   base::parallel_for(0, n * ho * wo, kPixelGrain,
                      [&](std::size_t qb, std::size_t qe) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> acc_re(nbo * hb), acc_im(nbo * hb), out(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& acc_re = base::tls_scratch<float>(0, nbo * hb);
+    auto& acc_im = base::tls_scratch<float>(1, nbo * hb);
+    auto& out = base::tls_scratch<float>(2, bs);
+    std::size_t bins = 0;
     for (std::size_t q = qb; q < qe; ++q) {
       const std::size_t ni = q / (ho * wo);
       const std::size_t oh = (q / wo) % ho;
@@ -314,20 +348,14 @@ void BcmConv2d::emac_irfft_stage(std::size_t n, std::size_t h, std::size_t w,
             for (std::size_t bi = 0; bi < nbi; ++bi) {
               const float* xr = xr_base + pix_base + bi * hb;
               const float* xi = xi_base + pix_base + bi * hb;
-              const std::size_t row =
-                  ((kh * k + kw) * nbi + bi) * nbo;
-              for (std::size_t bo = 0; bo < nbo; ++bo) {
-                const std::size_t blk = row + bo;
-                if (skip_[blk] == 0) continue;  // skip-index scheme
-                const float* wr = wspec_re_.data() + blk * hb;
-                const float* wi = wspec_im_.data() + blk * hb;
-                float* ar = acc_re.data() + bo * hb;
-                float* ai = acc_im.data() + bo * hb;
-                for (std::size_t kk = 0; kk < hb; ++kk) {
-                  ar[kk] += wr[kk] * xr[kk] - wi[kk] * xi[kk];
-                  ai[kk] += wr[kk] * xi[kk] + wi[kk] * xr[kk];
-                }
+              const std::size_t row = (kh * k + kw) * nbi + bi;
+              for (const auto* it = sched_rows_.begin(row);
+                   it != sched_rows_.end(row); ++it) {
+                mul(acc_re.data() + it->pos * hb, acc_im.data() + it->pos * hb,
+                    wspec_re() + it->blk * hb, wspec_im() + it->blk * hb, xr,
+                    xi, hb);
               }
+              bins += hb * sched_rows_.group_size(row);
             }
           }
         }
@@ -341,6 +369,7 @@ void BcmConv2d::emac_irfft_stage(std::size_t n, std::size_t h, std::size_t w,
         }
       }
     }
+    numeric::emac::note_bins(bins);
   });
 }
 
@@ -358,13 +387,15 @@ nn::Tensor BcmConv2d::forward(const nn::Tensor& x, bool /*train*/) {
   cached_h_ = h;
   cached_w_ = w;
   maybe_refresh_weight_spectra();
+  maybe_refresh_block_schedule();
 
-  xspec_re_.assign(n * h * w * nbi * hb, 0.0F);
-  xspec_im_.assign(n * h * w * nbi * hb, 0.0F);
-  rfft_stage(x.data(), n, h, w, xspec_re_.data(), xspec_im_.data());
+  xspec_im_off_ = numeric::aligned_floats(n * h * w * nbi * hb);
+  xspec_.assign(xspec_im_off_ + n * h * w * nbi * hb, 0.0F);
+  rfft_stage(x.data(), n, h, w, xspec_.data(), xspec_.data() + xspec_im_off_);
 
   nn::Tensor y({n, spec_.out_channels, ho, wo});
-  emac_irfft_stage(n, h, w, xspec_re_.data(), xspec_im_.data(), y.data());
+  emac_irfft_stage(n, h, w, xspec_.data(), xspec_.data() + xspec_im_off_,
+                   y.data());
   return y;
 }
 
@@ -388,6 +419,9 @@ nn::Tensor BcmConv2d::infer_emac_irfft(const ActivationSpectra& spec) const {
   RPBCM_CHECK_MSG(wspec_valid_ && wspec_state_ == weight_state(),
                   "stale weight spectra — call prepare_inference() after "
                   "any parameter or mask update");
+  RPBCM_CHECK_MSG(sched_valid_ && sched_state_ == mask_version_,
+                  "stale block schedule — call prepare_inference() after "
+                  "any mask update");
   const std::size_t n = spec.samples, h = spec.height, w = spec.width;
   const std::size_t hb = numeric::half_bins(layout_.block_size);
   const std::size_t nbi = layout_.in_blocks();
@@ -411,17 +445,19 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   const std::size_t k = spec_.kernel, stride = spec_.stride, pad = spec_.pad;
 
   const std::size_t hb = numeric::half_bins(bs);
+  maybe_refresh_block_schedule();
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
   // Half spectra of the output gradient blocks. Each flattened output pixel
   // owns its own gspec slice, so pixels are independent.
-  std::vector<float> gspec_re(n * ho * wo * nbo * hb);
-  std::vector<float> gspec_im(n * ho * wo * nbo * hb, 0.0F);
+  numeric::AlignedVec<float> gspec_re(n * ho * wo * nbo * hb);
+  numeric::AlignedVec<float> gspec_im(n * ho * wo * nbo * hb, 0.0F);
   const float* gyd = gy.data();
   base::parallel_for(0, n * ho * wo, kSpectrumGrain,
                      [&](std::size_t q0, std::size_t q1) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> gather(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& gather = base::tls_scratch<float>(0, bs);
     for (std::size_t q = q0; q < q1; ++q) {
       const std::size_t ni = q / (ho * wo);
       const std::size_t oh = (q / wo) % ho;
@@ -441,18 +477,22 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   // Frequency-domain accumulators for grad-input and grad-weight. Both
   // conj(W)*G and conj(X)*G are products of real-signal spectra, hence
   // Hermitian — the BS/2+1 bins carry the full gradient.
-  std::vector<float> gx_re(n * h * w * nbi * hb, 0.0F);
-  std::vector<float> gx_im(n * h * w * nbi * hb, 0.0F);
+  numeric::AlignedVec<float> gx_re(n * h * w * nbi * hb, 0.0F);
+  numeric::AlignedVec<float> gx_im(n * h * w * nbi * hb, 0.0F);
   const std::size_t blocks = layout_.total_blocks();
-  std::vector<float> gw_re(blocks * hb, 0.0F);
-  std::vector<float> gw_im(blocks * hb, 0.0F);
+  numeric::AlignedVec<float> gw_re(blocks * hb, 0.0F);
+  numeric::AlignedVec<float> gw_im(blocks * hb, 0.0F);
 
   // Partitioned by input block: every gx slice (keyed by (pixel, bi)) and
   // every weight block blk = ((kh*k+kw)*nbi+bi)*nbo+bo belongs to exactly
-  // one bi, so the bi-outer loop is race-free. Within a bi the contribution
-  // order into each accumulator matches the original ni/oh/ow/kh/kw/bo nest,
-  // so the result is bitwise identical to the serial code.
+  // one bi, so the bi-outer loop is race-free. Within a bi the schedule
+  // iterates the surviving bo of each row in ascending order, so the
+  // contribution order into each accumulator matches the original
+  // ni/oh/ow/kh/kw/bo nest — bitwise identical to the serial code, with no
+  // skip branch in the inner loop (gX += conj(W)·G ; gW += conj(X)·G).
+  const auto grad = numeric::emac::grad_acc_fn();
   base::parallel_for(0, nbi, 1, [&](std::size_t bi0, std::size_t bi1) {
+    std::size_t bins = 0;
     for (std::size_t bi = bi0; bi < bi1; ++bi) {
       for (std::size_t ni = 0; ni < n; ++ni) {
         for (std::size_t oh = 0; oh < ho; ++oh) {
@@ -472,34 +512,28 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
                       static_cast<std::size_t>(iw)) *
                      nbi) *
                     hb;
-                const std::size_t row = ((kh * k + kw) * nbi + bi) * nbo;
-                const float* xr = xspec_re_.data() + pix_base + bi * hb;
-                const float* xi = xspec_im_.data() + pix_base + bi * hb;
+                const std::size_t row = (kh * k + kw) * nbi + bi;
+                const float* xr = xspec_.data() + pix_base + bi * hb;
+                const float* xi =
+                    xspec_.data() + xspec_im_off_ + pix_base + bi * hb;
                 float* gxr = gx_re.data() + pix_base + bi * hb;
                 float* gxi = gx_im.data() + pix_base + bi * hb;
-                for (std::size_t bo = 0; bo < nbo; ++bo) {
-                  const std::size_t blk = row + bo;
-                  if (skip_[blk] == 0) continue;  // pruned: no grad, no compute
-                  const float* wr = wspec_re_.data() + blk * hb;
-                  const float* wi = wspec_im_.data() + blk * hb;
-                  const float* gr = gspec_re.data() + g_base + bo * hb;
-                  const float* gi = gspec_im.data() + g_base + bo * hb;
-                  float* gwr = gw_re.data() + blk * hb;
-                  float* gwi = gw_im.data() + blk * hb;
-                  for (std::size_t kk = 0; kk < hb; ++kk) {
-                    // gX += conj(W) * G ; gW += conj(X) * G
-                    gxr[kk] += wr[kk] * gr[kk] + wi[kk] * gi[kk];
-                    gxi[kk] += wr[kk] * gi[kk] - wi[kk] * gr[kk];
-                    gwr[kk] += xr[kk] * gr[kk] + xi[kk] * gi[kk];
-                    gwi[kk] += xr[kk] * gi[kk] - xi[kk] * gr[kk];
-                  }
+                for (const auto* it = sched_rows_.begin(row);
+                     it != sched_rows_.end(row); ++it) {
+                  grad(gxr, gxi, gw_re.data() + it->blk * hb,
+                       gw_im.data() + it->blk * hb, wspec_re() + it->blk * hb,
+                       wspec_im() + it->blk * hb, xr, xi,
+                       gspec_re.data() + g_base + it->pos * hb,
+                       gspec_im.data() + g_base + it->pos * hb, hb);
                 }
+                bins += hb * sched_rows_.group_size(row);
               }
             }
           }
         }
       }
     }
+    numeric::emac::note_bins(bins);
   });
 
   // Grad-input back to the time domain; each flattened input pixel is
@@ -508,8 +542,9 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   float* gxd = gx.data();
   base::parallel_for(0, n * h * w, kSpectrumGrain,
                      [&](std::size_t p0, std::size_t p1) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> block(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& block = base::tls_scratch<float>(0, bs);
     for (std::size_t p = p0; p < p1; ++p) {
       const std::size_t ni = p / (h * w);
       const std::size_t ih = (p / w) % h;
@@ -529,8 +564,9 @@ nn::Tensor BcmConv2d::backward(const nn::Tensor& gy) {
   // (Eq. (1): dL/dA = dL/dW ⊙ B, dL/dB = dL/dW ⊙ A). Blocks are disjoint.
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b0, std::size_t b1) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> gw(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& gw = base::tls_scratch<float>(0, bs);
     for (std::size_t blk = b0; blk < b1; ++blk) {
       if (skip_[blk] == 0) continue;
       numeric::irfft_soa(gw_re.data() + blk * hb, gw_im.data() + blk * hb,

@@ -5,8 +5,10 @@
 
 #include "core/activation_spectra.hpp"
 #include "core/bcm_layout.hpp"
+#include "core/block_schedule.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/layer.hpp"
+#include "numeric/aligned.hpp"
 #include "numeric/random.hpp"
 
 namespace rpbcm::core {
@@ -67,11 +69,15 @@ class BcmConv2d : public nn::Layer {
 
   // --- staged batched inference (the serve::Engine entry points) ---
 
-  /// Refreshes the cached weight half-spectra if parameters or the pruning
-  /// mask changed. Must be called before the const staged entry points
-  /// below; the staged calls never mutate the layer, so once prepared any
-  /// number of threads may run them concurrently.
-  void prepare_inference() { maybe_refresh_weight_spectra(); }
+  /// Refreshes the cached weight half-spectra and the compacted surviving-
+  /// block schedule if parameters or the pruning mask changed. Must be
+  /// called before the const staged entry points below; the staged calls
+  /// never mutate the layer, so once prepared any number of threads may run
+  /// them concurrently.
+  void prepare_inference() {
+    maybe_refresh_weight_spectra();
+    maybe_refresh_block_schedule();
+  }
 
   /// Stage 1 (C_fft): per-pixel channel-block rFFTs of an NCHW batch into
   /// `spec`. Each (sample, pixel, in-block) spectrum depends only on that
@@ -135,6 +141,12 @@ class BcmConv2d : public nn::Layer {
   /// Re-FFTs the weight half-spectra iff the parameters or the skip index
   /// changed since the cached spectra were built (see weight_state()).
   void maybe_refresh_weight_spectra();
+  /// Rebuilds the compacted surviving-block schedule iff the pruning mask
+  /// changed since it was built (keyed on mask_version_ alone — pure
+  /// parameter updates leave the schedule untouched).
+  void maybe_refresh_block_schedule();
+  /// O(blocks) rescan of skip_ — the pruned_count() cache's ground truth.
+  std::size_t count_pruned_scan() const;
   /// Shared stage bodies: forward() runs them against the member caches,
   /// the staged inference path against caller-owned buffers. Both read the
   /// cached weight spectra, which must be fresh.
@@ -158,13 +170,34 @@ class BcmConv2d : public nn::Layer {
   std::uint64_t mask_version_ = 0;  // bumped by prune/restore/skip writes
 
   // forward caches — half spectra: only the BS/2+1 non-redundant bins of
-  // each real-signal DFT are stored (SoA re/im).
+  // each real-signal DFT are stored, as split-complex SoA planes. Each
+  // cache is ONE 32-byte-aligned allocation holding the re plane followed
+  // by the im plane at an 8-float-aligned offset, so every bin row the eMAC
+  // kernels touch is unit-stride.
   tensor::Tensor cached_input_;
-  std::vector<float> wspec_re_, wspec_im_;      // [blocks*(BS/2+1)]
-  std::vector<float> xspec_re_, xspec_im_;      // [N*H*W*in_blocks*(BS/2+1)]
+  numeric::AlignedVec<float> wspec_;  // planes of [blocks*(BS/2+1)]
+  std::size_t wspec_im_off_ = 0;
+  numeric::AlignedVec<float> xspec_;  // planes of [N*H*W*in_blocks*(BS/2+1)]
+  std::size_t xspec_im_off_ = 0;
   std::size_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
   std::uint64_t wspec_state_ = 0;
   bool wspec_valid_ = false;
+
+  const float* wspec_re() const { return wspec_.data(); }
+  const float* wspec_im() const { return wspec_.data() + wspec_im_off_; }
+
+  // Compacted surviving-block schedule (see block_schedule.hpp), rebuilt
+  // lazily off mask_version_. One row per (kh, kw, bi); forward and
+  // backward share it.
+  BlockSchedule sched_rows_;
+  std::uint64_t sched_state_ = 0;
+  bool sched_valid_ = false;
+
+  // pruned_count() cache, also keyed off mask_version_ (mutable: the count
+  // is observable state derived from skip_, refreshed on const reads).
+  mutable std::size_t pruned_count_cache_ = 0;
+  mutable std::uint64_t pruned_count_state_ = 0;
+  mutable bool pruned_count_valid_ = false;
 };
 
 }  // namespace rpbcm::core

@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "base/parallel.hpp"
+#include "base/scratch.hpp"
 #include "core/circulant.hpp"
+#include "numeric/emac.hpp"
 #include "numeric/rfft.hpp"
 #include "obs/macros.hpp"
 #include "tensor/init.hpp"
@@ -97,11 +99,21 @@ void BcmLinear::prune_block(std::size_t block) {
   }
 }
 
-std::size_t BcmLinear::pruned_count() const {
+std::size_t BcmLinear::count_pruned_scan() const {
   std::size_t n = 0;
   for (auto s : skip_)
     if (s == 0) ++n;
   return n;
+}
+
+std::size_t BcmLinear::pruned_count() const {
+  if (!pruned_count_valid_ || pruned_count_state_ != mask_version_) {
+    pruned_count_cache_ = count_pruned_scan();
+    pruned_count_state_ = mask_version_;
+    pruned_count_valid_ = true;
+  }
+  RPBCM_DCHECK(pruned_count_cache_ == count_pruned_scan());
+  return pruned_count_cache_;
 }
 
 std::size_t BcmLinear::deployed_param_count() {
@@ -124,22 +136,37 @@ void BcmLinear::maybe_refresh_weight_spectra() {
   const std::size_t blocks = layout_.total_blocks();
   const std::size_t bs = layout_.block_size;
   const std::size_t hb = numeric::half_bins(bs);
-  wspec_re_.assign(blocks * hb, 0.0F);
-  wspec_im_.assign(blocks * hb, 0.0F);
+  wspec_im_off_ = numeric::aligned_floats(blocks * hb);
+  wspec_.assign(wspec_im_off_ + blocks * hb, 0.0F);
+  float* wre = wspec_.data();
+  float* wim = wspec_.data() + wspec_im_off_;
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
       const auto def = effective_defining(blk);
-      numeric::rfft_soa(def.data(), wspec_re_.data() + blk * hb,
-                        wspec_im_.data() + blk * hb, rom, scratch);
+      numeric::rfft_soa(def.data(), wre + blk * hb, wim + blk * hb, rom,
+                        scratch);
     }
   });
   wspec_state_ = state;
   wspec_valid_ = true;
   RPBCM_OBS_COUNT("rpbcm.core.wspec.refreshes", 1);
+}
+
+void BcmLinear::maybe_refresh_block_schedule() {
+  if (sched_valid_ && sched_state_ == mask_version_) {
+    RPBCM_OBS_COUNT("rpbcm.core.sched.cache_hits", 1);
+    return;
+  }
+  sched_fwd_ = linear_forward_schedule(layout_, skip_);
+  sched_bwd_ = linear_backward_schedule(layout_, skip_);
+  sched_state_ = mask_version_;
+  sched_valid_ = true;
+  RPBCM_OBS_COUNT("rpbcm.core.sched.rebuilds", 1);
 }
 
 void BcmLinear::rfft_stage(const float* x, std::size_t n, float* re,
@@ -153,7 +180,8 @@ void BcmLinear::rfft_stage(const float* x, std::size_t n, float* re,
   // activations in place.
   base::parallel_for(0, n * nbi, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbi, bi = t % nbi;
       numeric::rfft_soa(x + ni * layout_.in_channels + bi * bs, re + t * hb,
@@ -169,34 +197,35 @@ void BcmLinear::emac_irfft_stage(std::size_t n, const float* xr_base,
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
   // eMAC + IrFFT stage: every (sample, out-block) accumulator is
-  // independent; the bi accumulation order inside one accumulator is the
-  // serial order, so results are bit-exact at any thread count. Only the
+  // independent; the compacted schedule iterates the surviving bi in
+  // ascending (serial) order, so results are bit-exact at any thread count
+  // and any pruning level — with no skip branch in the inner loop. Only the
   // BS/2+1 non-redundant bins are multiplied — the eMAC PE's halved MAC
   // count (Section IV-B).
+  const auto mul = numeric::emac::mul_acc_fn();
   base::parallel_for(0, n * nbo, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> acc_re(hb), acc_im(hb);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& acc_re = base::tls_scratch<float>(0, hb);
+    auto& acc_im = base::tls_scratch<float>(1, hb);
+    std::size_t bins = 0;
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbo, bo = t % nbo;
       std::fill(acc_re.begin(), acc_re.end(), 0.0F);
       std::fill(acc_im.begin(), acc_im.end(), 0.0F);
-      for (std::size_t bi = 0; bi < nbi; ++bi) {
-        const std::size_t blk = layout_.block_id(0, 0, bi, bo);
-        if (skip_[blk] == 0) continue;
-        const float* wr = wspec_re_.data() + blk * hb;
-        const float* wi = wspec_im_.data() + blk * hb;
-        const float* xr = xr_base + (ni * nbi + bi) * hb;
-        const float* xi = xi_base + (ni * nbi + bi) * hb;
-        for (std::size_t k = 0; k < hb; ++k) {
-          acc_re[k] += wr[k] * xr[k] - wi[k] * xi[k];
-          acc_im[k] += wr[k] * xi[k] + wi[k] * xr[k];
-        }
+      for (const auto* it = sched_fwd_.begin(bo); it != sched_fwd_.end(bo);
+           ++it) {
+        mul(acc_re.data(), acc_im.data(), wspec_re() + it->blk * hb,
+            wspec_im() + it->blk * hb, xr_base + (ni * nbi + it->pos) * hb,
+            xi_base + (ni * nbi + it->pos) * hb, hb);
       }
+      bins += hb * sched_fwd_.group_size(bo);
       numeric::irfft_soa(acc_re.data(), acc_im.data(),
                          y + ni * layout_.out_channels + bo * bs, rom,
                          scratch);
     }
+    numeric::emac::note_bins(bins);
   });
 }
 
@@ -209,13 +238,14 @@ nn::Tensor BcmLinear::forward(const nn::Tensor& x, bool /*train*/) {
   const std::size_t nbi = layout_.in_blocks();
   cached_input_ = x;
   maybe_refresh_weight_spectra();
+  maybe_refresh_block_schedule();
 
-  xspec_re_.assign(n * nbi * hb, 0.0F);
-  xspec_im_.assign(n * nbi * hb, 0.0F);
-  rfft_stage(x.data(), n, xspec_re_.data(), xspec_im_.data());
+  xspec_im_off_ = numeric::aligned_floats(n * nbi * hb);
+  xspec_.assign(xspec_im_off_ + n * nbi * hb, 0.0F);
+  rfft_stage(x.data(), n, xspec_.data(), xspec_.data() + xspec_im_off_);
 
   nn::Tensor y({n, layout_.out_channels});
-  emac_irfft_stage(n, xspec_re_.data(), xspec_im_.data(), y.data());
+  emac_irfft_stage(n, xspec_.data(), xspec_.data() + xspec_im_off_, y.data());
   return y;
 }
 
@@ -237,6 +267,9 @@ nn::Tensor BcmLinear::infer_emac_irfft(const ActivationSpectra& spec) const {
   RPBCM_CHECK_MSG(wspec_valid_ && wspec_state_ == weight_state(),
                   "stale weight spectra — call prepare_inference() after "
                   "any parameter or mask update");
+  RPBCM_CHECK_MSG(sched_valid_ && sched_state_ == mask_version_,
+                  "stale block schedule — call prepare_inference() after "
+                  "any mask update");
   const std::size_t hb = numeric::half_bins(layout_.block_size);
   const std::size_t nbi = layout_.in_blocks();
   const std::size_t n = spec.samples;
@@ -257,13 +290,16 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
   const std::size_t hb = numeric::half_bins(bs);
   const std::size_t nbi = layout_.in_blocks(), nbo = layout_.out_blocks();
 
+  maybe_refresh_block_schedule();
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(bs);
 
-  std::vector<float> gspec_re(n * nbo * hb), gspec_im(n * nbo * hb, 0.0F);
+  numeric::AlignedVec<float> gspec_re(n * nbo * hb), gspec_im(n * nbo * hb,
+                                                             0.0F);
   const float* gyd = gy.data();
   base::parallel_for(0, n * nbo, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbo, bo = t % nbo;
       numeric::rfft_soa(gyd + ni * layout_.out_channels + bo * bs,
@@ -272,46 +308,48 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
     }
   });
 
-  std::vector<float> gx_re(n * nbi * hb, 0.0F), gx_im(n * nbi * hb, 0.0F);
+  numeric::AlignedVec<float> gx_re(n * nbi * hb, 0.0F),
+      gx_im(n * nbi * hb, 0.0F);
   const std::size_t blocks = layout_.total_blocks();
-  std::vector<float> gw_re(blocks * hb, 0.0F), gw_im(blocks * hb, 0.0F);
+  numeric::AlignedVec<float> gw_re(blocks * hb, 0.0F),
+      gw_im(blocks * hb, 0.0F);
 
   // Accumulation stage, partitioned by input block: every gx slice belongs
   // to one (sample, bi) and every weight block belongs to one bi, so the bi
-  // partition is race-free. The per-accumulator addition order (samples
-  // ascending, then bo ascending) matches the serial nest exactly. Both
-  // conj(W)*G and conj(X)*G are products of real-signal spectra, hence
+  // partition is race-free. The backward schedule iterates surviving bo in
+  // ascending order inside each bi — the per-accumulator addition order
+  // (samples ascending, then bo ascending) of the serial nest, branch-free.
+  // Both conj(W)*G and conj(X)*G are products of real-signal spectra, hence
   // Hermitian — the BS/2+1 bins carry the full gradient.
+  const auto grad = numeric::emac::grad_acc_fn();
   base::parallel_for(0, nbi, 1, [&](std::size_t bb, std::size_t be) {
-    for (std::size_t bi = bb; bi < be; ++bi)
-      for (std::size_t ni = 0; ni < n; ++ni)
-        for (std::size_t bo = 0; bo < nbo; ++bo) {
-          const std::size_t blk = layout_.block_id(0, 0, bi, bo);
-          if (skip_[blk] == 0) continue;
-          const float* wr = wspec_re_.data() + blk * hb;
-          const float* wi = wspec_im_.data() + blk * hb;
-          const float* xr = xspec_re_.data() + (ni * nbi + bi) * hb;
-          const float* xi = xspec_im_.data() + (ni * nbi + bi) * hb;
-          const float* gr = gspec_re.data() + (ni * nbo + bo) * hb;
-          const float* gi = gspec_im.data() + (ni * nbo + bo) * hb;
-          float* gxr = gx_re.data() + (ni * nbi + bi) * hb;
-          float* gxi = gx_im.data() + (ni * nbi + bi) * hb;
-          float* gwr = gw_re.data() + blk * hb;
-          float* gwi = gw_im.data() + blk * hb;
-          for (std::size_t k = 0; k < hb; ++k) {
-            gxr[k] += wr[k] * gr[k] + wi[k] * gi[k];
-            gxi[k] += wr[k] * gi[k] - wi[k] * gr[k];
-            gwr[k] += xr[k] * gr[k] + xi[k] * gi[k];
-            gwi[k] += xr[k] * gi[k] - xi[k] * gr[k];
-          }
+    std::size_t bins = 0;
+    for (std::size_t bi = bb; bi < be; ++bi) {
+      for (std::size_t ni = 0; ni < n; ++ni) {
+        const float* xr = xspec_.data() + (ni * nbi + bi) * hb;
+        const float* xi = xspec_.data() + xspec_im_off_ + (ni * nbi + bi) * hb;
+        float* gxr = gx_re.data() + (ni * nbi + bi) * hb;
+        float* gxi = gx_im.data() + (ni * nbi + bi) * hb;
+        for (const auto* it = sched_bwd_.begin(bi); it != sched_bwd_.end(bi);
+             ++it) {
+          grad(gxr, gxi, gw_re.data() + it->blk * hb,
+               gw_im.data() + it->blk * hb, wspec_re() + it->blk * hb,
+               wspec_im() + it->blk * hb, xr, xi,
+               gspec_re.data() + (ni * nbo + it->pos) * hb,
+               gspec_im.data() + (ni * nbo + it->pos) * hb, hb);
         }
+        bins += hb * sched_bwd_.group_size(bi);
+      }
+    }
+    numeric::emac::note_bins(bins);
   });
 
   nn::Tensor gx({n, layout_.in_channels});
   float* gxd = gx.data();
   base::parallel_for(0, n * nbi, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
     for (std::size_t t = b; t < e; ++t) {
       const std::size_t ni = t / nbi, bi = t % nbi;
       numeric::irfft_soa(gx_re.data() + t * hb, gx_im.data() + t * hb,
@@ -322,8 +360,9 @@ nn::Tensor BcmLinear::backward(const nn::Tensor& gy) {
 
   base::parallel_for(0, blocks, kSpectrumGrain,
                      [&](std::size_t b, std::size_t e) {
-    std::vector<numeric::cfloat> scratch(numeric::rfft_scratch_size(bs));
-    std::vector<float> gw(bs);
+    auto& scratch =
+        base::tls_scratch<numeric::cfloat>(0, numeric::rfft_scratch_size(bs));
+    auto& gw = base::tls_scratch<float>(0, bs);
     for (std::size_t blk = b; blk < e; ++blk) {
       if (skip_[blk] == 0) continue;
       numeric::irfft_soa(gw_re.data() + blk * hb, gw_im.data() + blk * hb,

@@ -5,7 +5,9 @@
 
 #include "core/activation_spectra.hpp"
 #include "core/bcm_layout.hpp"
+#include "core/block_schedule.hpp"
 #include "nn/layer.hpp"
+#include "numeric/aligned.hpp"
 #include "numeric/random.hpp"
 
 namespace rpbcm::core {
@@ -34,12 +36,15 @@ class BcmLinear : public nn::Layer {
 
   // --- staged batched inference (the serve::Engine entry points) ---
 
-  /// Refreshes the cached weight half-spectra if parameters or the pruning
-  /// mask changed. Must be called before the const staged entry points
-  /// below; the staged calls never mutate the layer, so once prepared any
-  /// number of threads may run them concurrently (the engine's pipelined
-  /// stages rely on this).
-  void prepare_inference() { maybe_refresh_weight_spectra(); }
+  /// Refreshes the cached weight half-spectra and the compacted surviving-
+  /// block schedules if parameters or the pruning mask changed. Must be
+  /// called before the const staged entry points below; the staged calls
+  /// never mutate the layer, so once prepared any number of threads may run
+  /// them concurrently (the engine's pipelined stages rely on this).
+  void prepare_inference() {
+    maybe_refresh_weight_spectra();
+    maybe_refresh_block_schedule();
+  }
 
   /// Stage 1 (C_fft): batched rFFT of [N, in] activations into `spec`.
   /// Each (sample, in-block) spectrum depends only on that sample's data,
@@ -96,6 +101,12 @@ class BcmLinear : public nn::Layer {
   /// Re-FFTs the weight half-spectra iff the parameters or the skip index
   /// changed since the cached spectra were built (see weight_state()).
   void maybe_refresh_weight_spectra();
+  /// Rebuilds the compacted surviving-block schedules iff the pruning mask
+  /// changed since they were built (keyed on mask_version_ alone — pure
+  /// parameter updates leave the schedules untouched).
+  void maybe_refresh_block_schedule();
+  /// O(blocks) rescan of skip_ — the pruned_count() cache's ground truth.
+  std::size_t count_pruned_scan() const;
   /// Shared stage bodies: forward() runs them against the member caches,
   /// the staged inference path against caller-owned buffers. Both read the
   /// cached weight spectra, which must be fresh.
@@ -114,11 +125,31 @@ class BcmLinear : public nn::Layer {
   std::uint64_t mask_version_ = 0;  // bumped by prune/restore/skip writes
 
   tensor::Tensor cached_input_;
-  // Cached half spectra: blocks x (BS/2+1) non-redundant bins, SoA.
-  std::vector<float> wspec_re_, wspec_im_;
-  std::vector<float> xspec_re_, xspec_im_;
+  // Cached half spectra: blocks x (BS/2+1) non-redundant bins, split-complex
+  // SoA. Each cache is ONE 32-byte-aligned allocation holding the re plane
+  // followed by the im plane at an 8-float-aligned offset, so every bin row
+  // the eMAC kernels touch is unit-stride.
+  numeric::AlignedVec<float> wspec_;
+  std::size_t wspec_im_off_ = 0;
+  numeric::AlignedVec<float> xspec_;
+  std::size_t xspec_im_off_ = 0;
   std::uint64_t wspec_state_ = 0;
   bool wspec_valid_ = false;
+
+  const float* wspec_re() const { return wspec_.data(); }
+  const float* wspec_im() const { return wspec_.data() + wspec_im_off_; }
+
+  // Compacted surviving-block schedules (see block_schedule.hpp), rebuilt
+  // lazily off mask_version_.
+  BlockSchedule sched_fwd_, sched_bwd_;
+  std::uint64_t sched_state_ = 0;
+  bool sched_valid_ = false;
+
+  // pruned_count() cache, also keyed off mask_version_ (mutable: the count
+  // is observable state derived from skip_, refreshed on const reads).
+  mutable std::size_t pruned_count_cache_ = 0;
+  mutable std::uint64_t pruned_count_state_ = 0;
+  mutable bool pruned_count_valid_ = false;
 };
 
 }  // namespace rpbcm::core

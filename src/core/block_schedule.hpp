@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bcm_layout.hpp"
+
+namespace rpbcm::core {
+
+/// Compacted surviving-block schedule: for each group of an eMAC loop nest,
+/// the ascending list of surviving blocks, stored CSR-style. The hot loops
+/// iterate exactly the live entries — no skip_[] branch in the inner loop —
+/// so compute cost scales with 1-α the way the accelerator's skip-index
+/// datapath does (Section IV-B), while the entries' ascending order keeps
+/// every per-bin accumulation chain identical to the dense serial nest
+/// (bitwise — the golden vectors do not move when blocks are pruned in a
+/// different order).
+///
+/// Layers rebuild their schedules lazily off mask_version_, alongside the
+/// weight-spectrum cache (rpbcm.core.sched.{rebuilds,cache_hits}).
+struct BlockSchedule {
+  /// One surviving block. `pos` is the group-local coordinate the loop
+  /// needs (bi for the linear forward schedule, bo for the linear backward
+  /// and conv schedules); `blk` is the flat block id into the weight
+  /// planes.
+  struct Entry {
+    std::uint32_t pos = 0;
+    std::uint32_t blk = 0;
+  };
+
+  std::vector<std::uint32_t> offsets;  // [groups+1] CSR row offsets
+  std::vector<Entry> entries;          // [surviving], ascending per group
+
+  std::size_t groups() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t surviving() const { return entries.size(); }
+  std::size_t group_size(std::size_t g) const {
+    return offsets[g + 1] - offsets[g];
+  }
+
+  const Entry* begin(std::size_t g) const {
+    return entries.data() + offsets[g];
+  }
+  const Entry* end(std::size_t g) const {
+    return entries.data() + offsets[g + 1];
+  }
+};
+
+/// Linear forward schedule: group = out-block bo, entries (pos=bi, blk)
+/// ascending in bi — the accumulation order of the forward eMAC.
+BlockSchedule linear_forward_schedule(const BcmLayout& layout,
+                                      const std::vector<std::uint8_t>& skip);
+
+/// Linear backward schedule: group = in-block bi, entries (pos=bo, blk)
+/// ascending in bo — the bi-partitioned gradient nest.
+BlockSchedule linear_backward_schedule(const BcmLayout& layout,
+                                       const std::vector<std::uint8_t>& skip);
+
+/// Conv schedule: group = (kh*K+kw)*in_blocks+bi (one "row" of the weight
+/// plane), entries (pos=bo, blk) ascending in bo. The forward and backward
+/// conv nests share this row-major order.
+BlockSchedule conv_row_schedule(const BcmLayout& layout,
+                                const std::vector<std::uint8_t>& skip);
+
+}  // namespace rpbcm::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/check.hpp"
+#include "numeric/aligned.hpp"
+#include "numeric/emac.hpp"
 #include "numeric/rfft.hpp"
 
 namespace rpbcm::core {
@@ -48,17 +50,14 @@ std::vector<float> Circulant::matvec_fft(std::span<const float> x) const {
   const std::size_t hb = numeric::half_bins(n);
   const numeric::TwiddleRom& rom = numeric::twiddle_rom(n);
   std::vector<cfloat> scratch(numeric::rfft_scratch_size(n));
-  std::vector<float> wr(hb), wi(hb), xr(hb), xi(hb);
+  numeric::AlignedVec<float> wr(hb), wi(hb), xr(hb), xi(hb);
+  numeric::AlignedVec<float> acc_re(hb, 0.0F), acc_im(hb, 0.0F);
   numeric::rfft_soa(w_.data(), wr.data(), wi.data(), rom, scratch);
   numeric::rfft_soa(x.data(), xr.data(), xi.data(), rom, scratch);
-  for (std::size_t k = 0; k < hb; ++k) {
-    const float re = wr[k] * xr[k] - wi[k] * xi[k];
-    const float im = wr[k] * xi[k] + wi[k] * xr[k];
-    xr[k] = re;
-    xi[k] = im;
-  }
+  emac_accumulate(wr.data(), wi.data(), xr.data(), xi.data(), acc_re.data(),
+                  acc_im.data(), hb);
   std::vector<float> y(n);
-  numeric::irfft_soa(xr.data(), xi.data(), y.data(), rom, scratch);
+  numeric::irfft_soa(acc_re.data(), acc_im.data(), y.data(), rom, scratch);
   return y;
 }
 
@@ -111,6 +110,13 @@ void emac_accumulate(std::span<const cfloat> w_spec,
                      std::span<const cfloat> x_spec, std::span<cfloat> acc) {
   RPBCM_CHECK(w_spec.size() == x_spec.size() && acc.size() == w_spec.size());
   for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += w_spec[k] * x_spec[k];
+}
+
+void emac_accumulate(const float* w_re, const float* w_im, const float* x_re,
+                     const float* x_im, float* acc_re, float* acc_im,
+                     std::size_t n) {
+  numeric::emac::mul_acc_fn()(acc_re, acc_im, w_re, w_im, x_re, x_im, n);
+  numeric::emac::note_bins(n);
 }
 
 }  // namespace rpbcm::core

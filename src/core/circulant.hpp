@@ -68,4 +68,11 @@ class Circulant {
 void emac_accumulate(std::span<const cfloat> w_spec,
                      std::span<const cfloat> x_spec, std::span<cfloat> acc);
 
+/// Split-complex SoA variant routed through the runtime-dispatched SIMD
+/// eMAC kernel (numeric::emac): acc[k] += w[k] * x[k] over n unit-stride
+/// bins. Bitwise identical across scalar and AVX2 paths.
+void emac_accumulate(const float* w_re, const float* w_im, const float* x_re,
+                     const float* x_im, float* acc_re, float* acc_im,
+                     std::size_t n);
+
 }  // namespace rpbcm::core

@@ -26,12 +26,13 @@ FrequencyQuantStats quantize_frequency_weights(FrequencyLayerWeights& fw,
   st.bits = bits;
 
   // Layer-wide symmetric range from the largest component magnitude.
+  // Pruned blocks are all-zero rows in the planes, so scanning everything is
+  // equivalent to scanning only the surviving spectra.
   double max_abs = 0.0;
-  for (const auto& spec : fw.half_spectra)
-    for (const auto& c : spec) {
-      max_abs = std::max(max_abs, std::abs(static_cast<double>(c.real())));
-      max_abs = std::max(max_abs, std::abs(static_cast<double>(c.imag())));
-    }
+  for (float v : fw.spec_re)
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(v)));
+  for (float v : fw.spec_im)
+    max_abs = std::max(max_abs, std::abs(static_cast<double>(v)));
   if (max_abs == 0.0) return st;  // fully pruned layer: nothing to quantize
 
   const double qmax = static_cast<double>((1LL << (bits - 1)) - 1);
@@ -39,20 +40,19 @@ FrequencyQuantStats quantize_frequency_weights(FrequencyLayerWeights& fw,
   const double inv_scale = 1.0 / st.scale;
 
   double sig = 0.0, noise = 0.0;
-  for (auto& spec : fw.half_spectra) {
-    for (auto& c : spec) {
-      const float re = quantize_component(c.real(), st.scale, inv_scale, qmax);
-      const float im = quantize_component(c.imag(), st.scale, inv_scale, qmax);
-      const double er =
-          static_cast<double>(c.real()) - static_cast<double>(re);
-      const double ei =
-          static_cast<double>(c.imag()) - static_cast<double>(im);
-      st.max_abs_err = std::max({st.max_abs_err, std::abs(er), std::abs(ei)});
-      sig += static_cast<double>(c.real()) * static_cast<double>(c.real()) +
-             static_cast<double>(c.imag()) * static_cast<double>(c.imag());
-      noise += er * er + ei * ei;
-      c = cfloat(re, im);
-    }
+  for (std::size_t k = 0; k < fw.spec_re.size(); ++k) {
+    float& cre = fw.spec_re[k];
+    float& cim = fw.spec_im[k];
+    const float re = quantize_component(cre, st.scale, inv_scale, qmax);
+    const float im = quantize_component(cim, st.scale, inv_scale, qmax);
+    const double er = static_cast<double>(cre) - static_cast<double>(re);
+    const double ei = static_cast<double>(cim) - static_cast<double>(im);
+    st.max_abs_err = std::max({st.max_abs_err, std::abs(er), std::abs(ei)});
+    sig += static_cast<double>(cre) * static_cast<double>(cre) +
+           static_cast<double>(cim) * static_cast<double>(cim);
+    noise += er * er + ei * ei;
+    cre = re;
+    cim = im;
   }
   st.snr_db = 10.0 * std::log10(sig / std::max(noise, 1e-30));
   return st;
@@ -70,7 +70,7 @@ std::vector<FrequencyQuantStats> quantize_model_frequency_weights(
     const std::size_t bs = conv->layout().block_size;
     for (std::size_t b = 0; b < fw.layout.total_blocks(); ++b) {
       if (!fw.skip_index[b]) continue;
-      const auto w = numeric::irfft(fw.half_spectra[b], bs);
+      const auto w = numeric::irfft(fw.block_spectrum(b), bs);
       conv->load_defining(b, w);
     }
   }

@@ -235,13 +235,17 @@ void save_frequency_weights(const FrequencyLayerWeights& fw,
   RPBCM_CHECK(fw.skip_index.size() == fw.layout.total_blocks());
   w.raw(fw.skip_index.data(), fw.skip_index.size());
   const std::size_t half = fw.layout.block_size / 2 + 1;
+  RPBCM_CHECK_MSG(
+      fw.spec_re.size() == fw.layout.total_blocks() * half &&
+          fw.spec_im.size() == fw.layout.total_blocks() * half,
+      "frequency-weight planes not sized to total_blocks * half_bins");
   for (std::size_t b = 0; b < fw.skip_index.size(); ++b) {
     if (!fw.skip_index[b]) continue;
-    RPBCM_CHECK_MSG(fw.half_spectra[b].size() == half,
-                    "surviving block missing its spectrum");
-    for (const auto& c : fw.half_spectra[b]) {
-      w.f32(c.real());
-      w.f32(c.imag());
+    const float* re = fw.block_re(b);
+    const float* im = fw.block_im(b);
+    for (std::size_t k = 0; k < half; ++k) {
+      w.f32(re[k]);
+      w.f32(im[k]);
     }
   }
   w.finish();
@@ -262,14 +266,15 @@ FrequencyLayerWeights load_frequency_weights(std::istream& is) {
   fw.skip_index.resize(fw.layout.total_blocks());
   r.raw(fw.skip_index.data(), fw.skip_index.size());
   const std::size_t half = bs / 2 + 1;
-  fw.half_spectra.resize(fw.layout.total_blocks());
+  fw.spec_re.assign(fw.layout.total_blocks() * half, 0.0F);
+  fw.spec_im.assign(fw.layout.total_blocks() * half, 0.0F);
   for (std::size_t b = 0; b < fw.skip_index.size(); ++b) {
     if (!fw.skip_index[b]) continue;
-    fw.half_spectra[b].resize(half);
-    for (auto& c : fw.half_spectra[b]) {
-      const float re = r.f32();
-      const float im = r.f32();
-      c = cfloat(re, im);
+    float* re = fw.block_re(b);
+    float* im = fw.block_im(b);
+    for (std::size_t k = 0; k < half; ++k) {
+      re[k] = r.f32();
+      im[k] = r.f32();
     }
   }
   r.verify_checksum();

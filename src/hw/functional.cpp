@@ -24,13 +24,15 @@ tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
   // Quantize the deployed half-spectrum weights once (they live in the
   // weight buffer in Q7.8).
   std::vector<std::vector<CFix16>> wq(lay.total_blocks());
+  RPBCM_CHECK(fw.spec_re.size() == lay.total_blocks() * half &&
+              fw.spec_im.size() == lay.total_blocks() * half);
   for (std::size_t b = 0; b < wq.size(); ++b) {
     if (!fw.skip_index[b]) continue;
-    RPBCM_CHECK(fw.half_spectra[b].size() == half);
+    const float* wre = fw.block_re(b);
+    const float* wim = fw.block_im(b);
     wq[b].resize(half);
     for (std::size_t k = 0; k < half; ++k)
-      wq[b][k] = CFix16::from_floats(fw.half_spectra[b][k].real(),
-                                     fw.half_spectra[b][k].imag());
+      wq[b][k] = CFix16::from_floats(wre[k], wim[k]);
   }
 
   // FFT stage: spectra of every input pixel / channel block (half packing).

@@ -27,8 +27,16 @@ TEST(FrequencyWeightsTest, ExportShapeAndSkipIndex) {
   EXPECT_EQ(fw.skip_index.size(), 9u);
   EXPECT_EQ(fw.skip_index[2], 0);
   EXPECT_EQ(fw.surviving_blocks(), 8u);
-  EXPECT_TRUE(fw.half_spectra[2].empty());
-  EXPECT_EQ(fw.half_spectra[0].size(), 5u);  // BS/2+1
+  EXPECT_TRUE(fw.block_spectrum(2).empty());
+  EXPECT_EQ(fw.block_spectrum(0).size(), 5u);  // BS/2+1
+  EXPECT_EQ(fw.half_bins(), 5u);
+  // The SoA planes cover every block (pruned rows are zero-filled).
+  EXPECT_EQ(fw.spec_re.size(), 9u * 5u);
+  EXPECT_EQ(fw.spec_im.size(), 9u * 5u);
+  for (std::size_t k = 0; k < fw.half_bins(); ++k) {
+    EXPECT_EQ(fw.block_re(2)[k], 0.0F);
+    EXPECT_EQ(fw.block_im(2)[k], 0.0F);
+  }
 }
 
 TEST(FrequencyWeightsTest, SpectraMatchHadamardMergedDefiningVectors) {
@@ -39,10 +47,10 @@ TEST(FrequencyWeightsTest, SpectraMatchHadamardMergedDefiningVectors) {
   for (std::size_t b = 0; b < fw.layout.total_blocks(); ++b) {
     const auto expect = Circulant::from_first_column(
                             layer.effective_defining(b)).half_spectrum();
-    ASSERT_EQ(fw.half_spectra[b].size(), expect.size());
+    ASSERT_EQ(fw.half_bins(), expect.size());
     for (std::size_t k = 0; k < expect.size(); ++k) {
-      EXPECT_NEAR(fw.half_spectra[b][k].real(), expect[k].real(), 1e-6);
-      EXPECT_NEAR(fw.half_spectra[b][k].imag(), expect[k].imag(), 1e-6);
+      EXPECT_NEAR(fw.block_re(b)[k], expect[k].real(), 1e-6);
+      EXPECT_NEAR(fw.block_im(b)[k], expect[k].imag(), 1e-6);
     }
   }
 }

@@ -109,14 +109,11 @@ TEST(FrequencyWeightsIoTest, RoundTrip) {
   EXPECT_EQ(loaded.layout.total_blocks(), fw.layout.total_blocks());
   EXPECT_EQ(loaded.layout.block_size, fw.layout.block_size);
   EXPECT_EQ(loaded.skip_index, fw.skip_index);
-  for (std::size_t b = 0; b < fw.layout.total_blocks(); ++b) {
-    ASSERT_EQ(loaded.half_spectra[b].size(), fw.half_spectra[b].size());
-    for (std::size_t k = 0; k < fw.half_spectra[b].size(); ++k) {
-      EXPECT_EQ(loaded.half_spectra[b][k].real(),
-                fw.half_spectra[b][k].real());
-      EXPECT_EQ(loaded.half_spectra[b][k].imag(),
-                fw.half_spectra[b][k].imag());
-    }
+  ASSERT_EQ(loaded.spec_re.size(), fw.spec_re.size());
+  ASSERT_EQ(loaded.spec_im.size(), fw.spec_im.size());
+  for (std::size_t k = 0; k < fw.spec_re.size(); ++k) {
+    EXPECT_EQ(loaded.spec_re[k], fw.spec_re[k]);
+    EXPECT_EQ(loaded.spec_im[k], fw.spec_im[k]);
   }
 }
 

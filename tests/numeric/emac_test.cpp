@@ -1,0 +1,160 @@
+// eMAC kernel tests: the scalar kernels against a std::complex reference,
+// and — on AVX2 hosts — the AVX2 kernels bitwise against the scalar ones
+// over randomized shapes (including every tail length 0..8). Bitwise
+// equality is the load-bearing property: the dispatcher may hand either
+// kernel to the layers, and the committed golden vectors must not move.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "numeric/aligned.hpp"
+#include "numeric/emac.hpp"
+#include "obs/macros.hpp"
+#include "obs/registry.hpp"
+
+namespace rpbcm::numeric::emac {
+namespace {
+
+std::vector<float> random_floats(std::mt19937& gen, std::size_t n) {
+  // Mixed magnitudes so products exercise different exponents.
+  std::uniform_real_distribution<float> mag(-2.0F, 2.0F);
+  std::uniform_int_distribution<int> scale(-8, 8);
+  std::vector<float> v(n);
+  for (auto& x : v) x = std::ldexp(mag(gen), scale(gen));
+  return v;
+}
+
+TEST(EmacScalarTest, MulAccMatchesComplexReference) {
+  std::mt19937 gen(7);
+  for (std::size_t n : {1u, 2u, 5u, 9u, 17u, 33u}) {
+    const auto wr = random_floats(gen, n), wi = random_floats(gen, n);
+    const auto xr = random_floats(gen, n), xi = random_floats(gen, n);
+    auto ar = random_floats(gen, n), ai = random_floats(gen, n);
+    const auto ar0 = ar, ai0 = ai;
+    mul_acc_scalar(ar.data(), ai.data(), wr.data(), wi.data(), xr.data(),
+                   xi.data(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::complex<float> p =
+          std::complex<float>(wr[k], wi[k]) * std::complex<float>(xr[k], xi[k]);
+      EXPECT_FLOAT_EQ(ar[k], ar0[k] + p.real()) << "n=" << n << " k=" << k;
+      EXPECT_FLOAT_EQ(ai[k], ai0[k] + p.imag()) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(EmacScalarTest, GradAccMatchesComplexReference) {
+  std::mt19937 gen(11);
+  const std::size_t n = 17;
+  const auto wr = random_floats(gen, n), wi = random_floats(gen, n);
+  const auto xr = random_floats(gen, n), xi = random_floats(gen, n);
+  const auto gr = random_floats(gen, n), gi = random_floats(gen, n);
+  std::vector<float> gxr(n, 0.0F), gxi(n, 0.0F), gwr(n, 0.0F), gwi(n, 0.0F);
+  grad_acc_scalar(gxr.data(), gxi.data(), gwr.data(), gwi.data(), wr.data(),
+                  wi.data(), xr.data(), xi.data(), gr.data(), gi.data(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<float> w(wr[k], wi[k]), x(xr[k], xi[k]), g(gr[k], gi[k]);
+    const auto gx = std::conj(w) * g;
+    const auto gw = std::conj(x) * g;
+    EXPECT_NEAR(gxr[k], gx.real(), 1e-4) << k;
+    EXPECT_NEAR(gxi[k], gx.imag(), 1e-4) << k;
+    EXPECT_NEAR(gwr[k], gw.real(), 1e-4) << k;
+    EXPECT_NEAR(gwi[k], gw.imag(), 1e-4) << k;
+  }
+}
+
+class EmacAvx2Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!avx2_compiled())
+      GTEST_SKIP() << "AVX2 kernels compiled out (RPBCM_SIMD=OFF)";
+    if (!avx2_supported()) GTEST_SKIP() << "host CPU lacks AVX2+FMA";
+  }
+};
+
+// Property: for every length (full vectors, every tail 0..8, and random
+// sizes) and random data, the AVX2 kernels produce bit-identical output to
+// the scalar kernels — accumulators included.
+TEST_F(EmacAvx2Test, MulAccBitwiseEqualsScalar) {
+  std::mt19937 gen(13);
+  std::uniform_int_distribution<std::size_t> len(1, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n =
+        trial < 32 ? static_cast<std::size_t>(trial) : len(gen);
+    AlignedVec<float> wr(n), wi(n), xr(n), xi(n);
+    const auto a = random_floats(gen, n), b = random_floats(gen, n);
+    const auto c = random_floats(gen, n), d = random_floats(gen, n);
+    std::copy(a.begin(), a.end(), wr.begin());
+    std::copy(b.begin(), b.end(), wi.begin());
+    std::copy(c.begin(), c.end(), xr.begin());
+    std::copy(d.begin(), d.end(), xi.begin());
+    const auto seed_re = random_floats(gen, n), seed_im = random_floats(gen, n);
+    AlignedVec<float> s_re(n), s_im(n), v_re(n), v_im(n);
+    std::copy(seed_re.begin(), seed_re.end(), s_re.begin());
+    std::copy(seed_im.begin(), seed_im.end(), s_im.begin());
+    v_re = s_re;
+    v_im = s_im;
+    mul_acc_scalar(s_re.data(), s_im.data(), wr.data(), wi.data(), xr.data(),
+                   xi.data(), n);
+    mul_acc_avx2(v_re.data(), v_im.data(), wr.data(), wi.data(), xr.data(),
+                 xi.data(), n);
+    ASSERT_EQ(0, std::memcmp(s_re.data(), v_re.data(), n * sizeof(float)))
+        << "re mismatch at n=" << n;
+    ASSERT_EQ(0, std::memcmp(s_im.data(), v_im.data(), n * sizeof(float)))
+        << "im mismatch at n=" << n;
+  }
+}
+
+TEST_F(EmacAvx2Test, GradAccBitwiseEqualsScalar) {
+  std::mt19937 gen(17);
+  std::uniform_int_distribution<std::size_t> len(1, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n =
+        trial < 32 ? static_cast<std::size_t>(trial) : len(gen);
+    const auto wr = random_floats(gen, n), wi = random_floats(gen, n);
+    const auto xr = random_floats(gen, n), xi = random_floats(gen, n);
+    const auto gr = random_floats(gen, n), gi = random_floats(gen, n);
+    const auto s0 = random_floats(gen, n), s1 = random_floats(gen, n);
+    const auto s2 = random_floats(gen, n), s3 = random_floats(gen, n);
+    std::vector<float> sa(s0), sb(s1), sc(s2), sd(s3);
+    std::vector<float> va(s0), vb(s1), vc(s2), vd(s3);
+    grad_acc_scalar(sa.data(), sb.data(), sc.data(), sd.data(), wr.data(),
+                    wi.data(), xr.data(), xi.data(), gr.data(), gi.data(), n);
+    grad_acc_avx2(va.data(), vb.data(), vc.data(), vd.data(), wr.data(),
+                  wi.data(), xr.data(), xi.data(), gr.data(), gi.data(), n);
+    ASSERT_EQ(0, std::memcmp(sa.data(), va.data(), n * sizeof(float))) << n;
+    ASSERT_EQ(0, std::memcmp(sb.data(), vb.data(), n * sizeof(float))) << n;
+    ASSERT_EQ(0, std::memcmp(sc.data(), vc.data(), n * sizeof(float))) << n;
+    ASSERT_EQ(0, std::memcmp(sd.data(), vd.data(), n * sizeof(float))) << n;
+  }
+}
+
+TEST(EmacDispatchTest, ActivePathIsConsistent) {
+  const Path p = active_path();
+  if (p == Path::kAvx2) {
+    EXPECT_TRUE(avx2_compiled());
+    EXPECT_TRUE(avx2_supported());
+    EXPECT_EQ(mul_acc_fn(), &mul_acc_avx2);
+    EXPECT_EQ(grad_acc_fn(), &grad_acc_avx2);
+    EXPECT_STREQ(path_name(p), "avx2");
+  } else {
+    EXPECT_EQ(mul_acc_fn(), &mul_acc_scalar);
+    EXPECT_EQ(grad_acc_fn(), &grad_acc_scalar);
+    EXPECT_STREQ(path_name(p), "scalar");
+  }
+}
+
+TEST(EmacDispatchTest, NoteBinsFeedsCounter) {
+#if !RPBCM_OBS_ENABLED
+  GTEST_SKIP() << "obs counters compile out with RPBCM_OBS=OFF";
+#endif
+  auto& c = obs::Registry::global().counter("rpbcm.numeric.emac.bins");
+  const std::uint64_t before = c.value();
+  note_bins(41);
+  EXPECT_EQ(c.value() - before, 41u);
+}
+
+}  // namespace
+}  // namespace rpbcm::numeric::emac

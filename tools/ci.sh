@@ -6,6 +6,9 @@
 #   2. the same suite again with RPBCM_THREADS=4, so every test also runs
 #      with the parallel runtime forked (the bitwise-equivalence contract
 #      of src/base/parallel.hpp — see docs/parallelism.md)
+#   2b. a -DRPBCM_SIMD=OFF build + the full suite: the portable-scalar
+#      eMAC configuration must stay a first-class build, and the golden
+#      vectors must stay bit-exact without the AVX2 TU (docs/simd.md)
 #   3. ASan+UBSan build, `ctest -L san` (full suite — every test is
 #      labeled `san` when RPBCM_SANITIZE is set)
 #   4. TSan build, `ctest -L san`
@@ -36,6 +39,7 @@
 #   JOBS=N            parallelism (default: nproc)
 #   SKIP_TSAN=1       skip stage 4 (e.g. on machines without TSan runtime)
 #   SKIP_ASAN=1       skip stage 3
+#   SKIP_SIMD_OFF=1   skip stage 2b (the -DRPBCM_SIMD=OFF build + suite)
 #   SKIP_STATIC=1     skip stage 5 (layering + thread-safety build)
 #   SKIP_BENCH=1      skip stage 7
 #   SKIP_PERF_GATE=1  skip stage 8 (e.g. on heavily loaded machines where
@@ -58,6 +62,14 @@ ctest --test-dir build-strict --output-on-failure -j "$JOBS"
 
 stage "full test suite with RPBCM_THREADS=4 (forked parallel runtime)"
 RPBCM_THREADS=4 ctest --test-dir build-strict --output-on-failure -j "$JOBS"
+
+if [[ "${SKIP_SIMD_OFF:-0}" != "1" ]]; then
+  stage "portable-scalar build (-DRPBCM_SIMD=OFF) + full test suite"
+  cmake -B build-nosimd -S . -DCMAKE_BUILD_TYPE=Release -DRPBCM_WERROR=ON \
+        -DRPBCM_SIMD=OFF > /dev/null
+  cmake --build build-nosimd -j "$JOBS"
+  ctest --test-dir build-nosimd --output-on-failure -j "$JOBS"
+fi
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   stage "ASan+UBSan build + ctest -L san"
@@ -147,7 +159,7 @@ if [[ "${SKIP_PERF_GATE:-0}" != "1" ]]; then
     --kernels-json="$gate_json" > /dev/null
   build-strict/tools/perf_gate \
     --baseline=bench/baselines/BENCH_kernels.json --current="$gate_json" \
-    --section=kernels --section=half_spectrum
+    --section=kernels --section=half_spectrum --section=emac_simd
 fi
 
 if [[ "${SKIP_SERVE:-0}" != "1" ]]; then

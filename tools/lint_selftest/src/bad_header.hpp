@@ -15,4 +15,5 @@ inline void fixture_bad_metric_names(Registry& reg, int i) {
   reg.counter("fixture.count").add(1);          // missing the rpbcm. root
   RPBCM_OBS_OBSERVE("rpbcm.BadArea", 1.0 * i);  // uppercase + two segments
   RPBCM_OBS_GAUGE("rpbcm.serve", 1.0 * i);      // serve area, missing name
+  RPBCM_OBS_COUNT("rpbcm.numeric.eMAC.bins", i);  // uppercase mid-segment
 }

@@ -20,6 +20,10 @@ inline void fixture_clean_metric_names(Registry& reg, const std::string& dyn,
   reg.gauge("rpbcm.serve.queue_depth").set(1.0 * i);  // serving-layer style
   RPBCM_OBS_OBSERVE("rpbcm.serve.batch_size", 8.0);
   reg.gauge(dyn).set(1.0);  // dynamically built names are not checked
+  // Four-segment kernel-dispatch family (rpbcm.numeric.emac.*): deeper
+  // nesting than rpbcm.<area>.<name> is legal.
+  reg.gauge("rpbcm.numeric.emac.dispatch").set(1.0);
+  RPBCM_OBS_COUNT("rpbcm.numeric.emac.bins", i + 9);
   RPBCM_OBS_TIMED_SCOPE("fixture", "scope", "rpbcm.fixture.scope_seconds");
   // Explicitly waived awkward name:
   RPBCM_OBS_COUNT("legacy.count", i);  // rpbcm-lint: allow(metric-name)

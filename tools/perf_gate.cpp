@@ -17,11 +17,15 @@
 //     same host, e.g. a bisect.
 //
 //     --section=NAME (repeatable) restricts the gate to the named
-//     section(s); known sections are kernels, half_spectrum and
+//     section(s); known sections are kernels, half_spectrum, emac_simd and
 //     serve_throughput. --min-speedup=X additionally requires every gated
 //     row's *current* speedup to be at least X — an absolute deployment
 //     floor on top of the relative ratio gate (the serve stage of
 //     tools/ci.sh uses it to enforce batched >= 2x single-request).
+//     Rows may also carry their own "min_speedup" field (written by the
+//     bench, e.g. 1.5x for the dispatched eMAC kernel on AVX2 hosts, 0 /
+//     absent on hosts where no win is possible); a current row below its
+//     self-declared floor fails regardless of the CLI flags.
 //
 //   perf_gate --check-jsonl=FILE
 //     Validates an Exporter JSONL time series: every line must parse as a
@@ -81,7 +85,8 @@ Value parse_file(const std::string& path) {
 
 struct Row {
   double speedup = 0.0;
-  double ms = 0.0;  // the optimized-path absolute time
+  double ms = 0.0;           // the optimized-path absolute time
+  double min_speedup = 0.0;  // self-declared absolute floor (0 = none)
 };
 
 /// The gateable benchmark sections: JSON array name plus the key holding
@@ -94,6 +99,7 @@ struct Section {
 constexpr Section kSections[] = {
     {"kernels", "threaded_ms"},
     {"half_spectrum", "half_spectrum_ms"},
+    {"emac_simd", "optimized_ms"},
     {"serve_throughput", "batched_ms"},
 };
 
@@ -108,6 +114,7 @@ std::map<std::string, Row> collect_rows(const Value& doc,
     Row r;
     r.speedup = item.at("speedup").num();
     r.ms = item.at(ms_key).num();
+    if (item.has("min_speedup")) r.min_speedup = item.at("min_speedup").num();
     rows[item.at("name").str()] = r;
   }
   return rows;
@@ -153,6 +160,15 @@ void gate_section(GateState& gate, const std::string& section,
       std::snprintf(buf, sizeof buf,
                     "%s: speedup %.2fx < required absolute floor %.2fx",
                     label.c_str(), c.speedup, min_speedup);
+      gate.fail(buf);
+      continue;
+    }
+    // Self-declared floor carried in the current row (the bench writes it
+    // only when the host can actually realize the win, e.g. AVX2 present).
+    if (c.min_speedup > 0.0 && !(c.speedup >= c.min_speedup)) {
+      std::snprintf(buf, sizeof buf,
+                    "%s: speedup %.2fx < self-declared floor %.2fx",
+                    label.c_str(), c.speedup, c.min_speedup);
       gate.fail(buf);
       continue;
     }
