@@ -8,8 +8,17 @@
 // This is the software equivalent of the HLS co-simulation step a real
 // deployment would run before committing a bitstream.
 
+// With --seu-prob=P (and optionally --seu-seed=S) each layer is re-run
+// under the hw SEU model: every stored Q7.8 weight word takes a single-bit
+// upset with probability P, and the table reports the surviving SNR plus
+// the number of injected flips — the dense-vs-pruned accuracy-under-upset
+// comparison of docs/robustness.md (pruned blocks are never stored, so a
+// highly pruned schedule exposes fewer vulnerable words).
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "core/frequency_weights.hpp"
 #include "core/pruning.hpp"
@@ -23,7 +32,20 @@ using namespace rpbcm;
 
 int main(int argc, char** argv) {
   const obs::CliOptions obs_opts = obs::parse_cli(argc, argv);
+  hw::SeuOptions seu;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--seu-prob=", 11) == 0)
+      seu.word_flip_prob = std::atof(arg + 11);
+    else if (std::strncmp(arg, "--seu-seed=", 11) == 0)
+      seu.seed = static_cast<std::uint64_t>(std::atoll(arg + 11));
+  }
+  const bool with_seu = seu.word_flip_prob > 0.0;
   std::printf("== deploy_check: float vs 16-bit fixed-point datapath ==\n\n");
+  if (with_seu)
+    std::printf("SEU mode: word flip prob %.4g, seed %llu\n",
+                seu.word_flip_prob,
+                static_cast<unsigned long long>(seu.seed));
 
   // Train a small hadaBCM model and prune a third of its blocks so the
   // skip path is exercised too.
@@ -52,8 +74,12 @@ int main(int argc, char** argv) {
   std::printf("pruned %zu/%zu blocks (alpha=0.33)\n\n", set.pruned_blocks(),
               set.total_blocks());
 
-  std::printf("%-6s %10s %12s %12s %10s %10s\n", "layer", "blocks",
-              "pruned", "max |err|", "SNR (dB)", "verdict");
+  if (with_seu)
+    std::printf("%-6s %10s %12s %12s %10s %10s %12s %8s\n", "layer", "blocks",
+                "pruned", "max |err|", "SNR (dB)", "verdict", "SEU SNR", "flips");
+  else
+    std::printf("%-6s %10s %12s %12s %10s %10s\n", "layer", "blocks",
+                "pruned", "max |err|", "SNR (dB)", "verdict");
   numeric::Rng rng(99);
   std::size_t idx = 0;
   bool all_ok = true;
@@ -77,9 +103,29 @@ int main(int argc, char** argv) {
     const double snr = 10.0 * std::log10(sig / std::max(noise, 1e-20));
     const bool ok = snr > 25.0;  // >25 dB: quantization-dominated error
     all_ok &= ok;
-    std::printf("%-6zu %10zu %12zu %12.4f %10.1f %10s\n", idx++,
-                conv->layout().total_blocks(), conv->pruned_count(),
-                max_err, snr, ok ? "OK" : "CHECK");
+    if (with_seu) {
+      // Same input through the upset weight buffer: how much SNR survives.
+      hw::SeuOptions layer_seu = seu;
+      std::uint64_t flips = 0;
+      layer_seu.flips = &flips;
+      const auto y_seu = hw::bcm_conv_fixed_point(x, fw, conv->spec(),
+                                                  layer_seu);
+      double seu_noise = 0.0;
+      for (std::size_t i = 0; i < y_float.size(); ++i) {
+        const double e = static_cast<double>(y_seu[i]) - y_float[i];
+        seu_noise += e * e;
+      }
+      const double seu_snr =
+          10.0 * std::log10(sig / std::max(seu_noise, 1e-20));
+      std::printf("%-6zu %10zu %12zu %12.4f %10.1f %10s %12.1f %8llu\n",
+                  idx++, conv->layout().total_blocks(), conv->pruned_count(),
+                  max_err, snr, ok ? "OK" : "CHECK", seu_snr,
+                  static_cast<unsigned long long>(flips));
+    } else {
+      std::printf("%-6zu %10zu %12zu %12.4f %10.1f %10s\n", idx++,
+                  conv->layout().total_blocks(), conv->pruned_count(),
+                  max_err, snr, ok ? "OK" : "CHECK");
+    }
   }
   std::printf("\n%s\n", all_ok
                             ? "all layers match the fixed-point datapath "

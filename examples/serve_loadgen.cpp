@@ -13,11 +13,26 @@
 //   --queue-depth=N    batcher max_queue_depth             [default 64]
 //   --deadline-ms=N    per-request dispatch deadline (0 = none) [default 0]
 //   --threads=N        base::set_num_threads before serving
+//   --stall-ms=N       engine watchdog stall timeout (0 = off) [default 0]
+//   --recover          call Engine::recover() when a response reports
+//                      kInternal — the chaos-stage self-healing drill
+//                      (tools/ci.sh runs this with RPBCM_FAULTS armed,
+//                      see docs/robustness.md)
 //
-// Exit status: 0 when every admitted request was answered and at least one
-// completed kOk; 1 otherwise.
+// Requests ride through serve::submit_with_retry, so transient kRejected
+// backpressure is retried with bounded backoff; the summary reports the
+// retry count. The final `status:` line is a single greppable record:
+//   status: ok=... rejected=... deadline_miss=... shutdown=... internal=...
+//           retries=... recoveries=...
+//
+// Exit status: 0 when every request got a final answer and at least one
+// completed kOk; 1 otherwise. Under an armed fault (chaos mode) kInternal
+// answers are expected and counted — the run still requires answered ==
+// requests and ok > 0 (with --recover the engine must heal mid-run for
+// later requests to complete).
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +61,7 @@ constexpr std::size_t kBs = 8;
 
 struct Options {
   bool smoke = false;
+  bool recover = false;
   std::size_t requests = 4000;
   std::size_t clients = 16;
   std::size_t batch = 8;
@@ -53,6 +69,7 @@ struct Options {
   std::size_t queue_depth = 64;
   std::size_t deadline_ms = 0;
   std::size_t threads = 0;
+  std::size_t stall_ms = 0;
 };
 
 bool parse_size(const std::string& arg, const char* prefix, std::size_t* out) {
@@ -75,13 +92,18 @@ bool parse_flags(int argc, char** argv, Options& opt) {
       opt.smoke = true;
       continue;
     }
+    if (arg == "--recover") {
+      opt.recover = true;
+      continue;
+    }
     if (parse_size(arg, "--requests=", &opt.requests) ||
         parse_size(arg, "--clients=", &opt.clients) ||
         parse_size(arg, "--batch=", &opt.batch) ||
         parse_size(arg, "--linger-us=", &opt.linger_us) ||
         parse_size(arg, "--queue-depth=", &opt.queue_depth) ||
         parse_size(arg, "--deadline-ms=", &opt.deadline_ms) ||
-        parse_size(arg, "--threads=", &opt.threads))
+        parse_size(arg, "--threads=", &opt.threads) ||
+        parse_size(arg, "--stall-ms=", &opt.stall_ms))
       continue;
     std::fprintf(stderr, "serve_loadgen: unknown flag %s\n", arg.c_str());
     return false;
@@ -106,19 +128,24 @@ double percentile(std::vector<double>& sorted, double p) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+constexpr std::size_t kStatusCount = 5;  // kOk..kInternal
+
 struct ClientStats {
-  std::vector<double> latency_ms;   // client-observed round trip
+  // Per-final-status latency samples, indexed by Status; the aggregate
+  // view is the concatenation.
+  std::array<std::vector<double>, kStatusCount> latency_ms;
   std::vector<double> batch_sizes;  // of kOk responses
-  std::size_t ok = 0, rejected = 0, missed = 0, shutdown = 0;
-  std::size_t unanswered = 0;
+  std::array<std::size_t, kStatusCount> counts{};
+  std::size_t retries = 0;     // kRejected attempts absorbed by the policy
+  std::size_t recoveries = 0;  // successful Engine::recover() calls
 };
 
 void run_client(serve::Engine& engine, std::size_t requests,
-                std::size_t deadline_ms, std::uint64_t seed,
+                std::size_t deadline_ms, bool recover, std::uint64_t seed,
                 ClientStats& stats) {
   numeric::Rng rng(seed);
   tensor::Tensor input({kIn});
-  stats.latency_ms.reserve(requests);
+  serve::RetryPolicy policy;  // bounded backoff over transient backpressure
   for (std::size_t i = 0; i < requests; ++i) {
     tensor::fill_gaussian(input, rng);
     serve::Request req;
@@ -129,25 +156,29 @@ void run_client(serve::Engine& engine, std::size_t requests,
                      std::chrono::milliseconds(deadline_ms);
     }
     const auto t0 = std::chrono::steady_clock::now();
-    std::future<serve::Response> fut = engine.submit(std::move(req));
+    std::size_t tries = 0;
+    std::future<serve::Response> fut =
+        serve::submit_with_retry(engine, std::move(req), policy, &tries);
     const serve::Response r = fut.get();
     const auto t1 = std::chrono::steady_clock::now();
-    stats.latency_ms.push_back(
+    stats.retries += tries;
+    const auto s = static_cast<std::size_t>(r.status);
+    ++stats.counts[s];
+    stats.latency_ms[s].push_back(
         std::chrono::duration<double, std::milli>(t1 - t0).count());
-    switch (r.status) {
-      case serve::Status::kOk:
-        ++stats.ok;
-        stats.batch_sizes.push_back(static_cast<double>(r.batch_size));
-        break;
-      case serve::Status::kRejected:
-        ++stats.rejected;
-        break;
-      case serve::Status::kDeadlineMiss:
-        ++stats.missed;
-        break;
-      case serve::Status::kShutdown:
-        ++stats.shutdown;
-        break;
+    if (r.status == serve::Status::kOk)
+      stats.batch_sizes.push_back(static_cast<double>(r.batch_size));
+    if (r.status == serve::Status::kInternal && recover) {
+      // Self-healing drill: the failed stage thread needs a moment to
+      // exit before recover() can restart the pipeline. Concurrent calls
+      // from several clients are safe (recover() is idempotent).
+      for (int attempt = 0; attempt < 200; ++attempt) {
+        if (engine.recover()) {
+          ++stats.recoveries;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
     }
   }
 }
@@ -167,6 +198,7 @@ int main(int argc, char** argv) {
   eopts.batcher.max_batch_size = opt.batch;
   eopts.batcher.max_linger = std::chrono::microseconds(opt.linger_us);
   eopts.batcher.max_queue_depth = opt.queue_depth;
+  eopts.stall_timeout = std::chrono::milliseconds(opt.stall_ms);
   serve::Engine engine(*model, eopts);
 
   std::printf(
@@ -183,7 +215,8 @@ int main(int argc, char** argv) {
     const std::size_t share = opt.requests / opt.clients +
                               (c < opt.requests % opt.clients ? 1 : 0);
     clients.emplace_back([&, c, share] {
-      run_client(engine, share, opt.deadline_ms, /*seed=*/1000 + c, stats[c]);
+      run_client(engine, share, opt.deadline_ms, opt.recover,
+                 /*seed=*/1000 + c, stats[c]);
     });
   }
   for (auto& th : clients) th.join();
@@ -191,20 +224,27 @@ int main(int argc, char** argv) {
   engine.stop(/*drain=*/true);
 
   ClientStats total;
+  std::vector<double> all_latency;
   for (const ClientStats& s : stats) {
-    total.ok += s.ok;
-    total.rejected += s.rejected;
-    total.missed += s.missed;
-    total.shutdown += s.shutdown;
-    total.latency_ms.insert(total.latency_ms.end(), s.latency_ms.begin(),
-                            s.latency_ms.end());
+    for (std::size_t i = 0; i < kStatusCount; ++i) {
+      total.counts[i] += s.counts[i];
+      total.latency_ms[i].insert(total.latency_ms[i].end(),
+                                 s.latency_ms[i].begin(),
+                                 s.latency_ms[i].end());
+    }
+    total.retries += s.retries;
+    total.recoveries += s.recoveries;
     total.batch_sizes.insert(total.batch_sizes.end(), s.batch_sizes.begin(),
                              s.batch_sizes.end());
   }
-  std::sort(total.latency_ms.begin(), total.latency_ms.end());
+  for (auto& lat : total.latency_ms) {
+    std::sort(lat.begin(), lat.end());
+    all_latency.insert(all_latency.end(), lat.begin(), lat.end());
+  }
+  std::sort(all_latency.begin(), all_latency.end());
+  const std::size_t ok = total.counts[0];
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
-  const double rps =
-      wall_s > 0.0 ? static_cast<double>(total.ok) / wall_s : 0.0;
+  const double rps = wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
   double mean_batch = 0.0;
   for (const double b : total.batch_sizes) mean_batch += b;
   if (!total.batch_sizes.empty())
@@ -212,18 +252,28 @@ int main(int argc, char** argv) {
 
   std::printf("  wall %.3fs, %.0f req/s (kOk only)\n", wall_s, rps);
   std::printf("  latency p50 %.3fms  p95 %.3fms  p99 %.3fms\n",
-              percentile(total.latency_ms, 0.50),
-              percentile(total.latency_ms, 0.95),
-              percentile(total.latency_ms, 0.99));
+              percentile(all_latency, 0.50), percentile(all_latency, 0.95),
+              percentile(all_latency, 0.99));
+  for (std::size_t i = 0; i < kStatusCount; ++i) {
+    auto& lat = total.latency_ms[i];
+    if (lat.empty()) continue;
+    const std::string name(serve::status_name(static_cast<serve::Status>(i)));
+    std::printf("    %-13s n=%-6zu p50 %8.3fms  p95 %8.3fms\n", name.c_str(),
+                lat.size(), percentile(lat, 0.50), percentile(lat, 0.95));
+  }
   std::printf("  mean dispatched batch %.2f (cap %zu)\n", mean_batch,
               opt.batch);
-  std::printf("  status: ok=%zu rejected=%zu deadline_miss=%zu shutdown=%zu\n",
-              total.ok, total.rejected, total.missed, total.shutdown);
+  // One greppable record — the chaos stage (tools/ci.sh) parses this line.
+  std::printf(
+      "  status: ok=%zu rejected=%zu deadline_miss=%zu shutdown=%zu "
+      "internal=%zu retries=%zu recoveries=%zu\n",
+      ok, total.counts[1], total.counts[2], total.counts[3], total.counts[4],
+      total.retries, total.recoveries);
 
   obs::dump_outputs(obs_opts);
-  const std::size_t answered =
-      total.ok + total.rejected + total.missed + total.shutdown;
-  if (answered != opt.requests || total.ok == 0) {
+  std::size_t answered = 0;
+  for (const std::size_t c : total.counts) answered += c;
+  if (answered != opt.requests || ok == 0) {
     RPBCM_LOG_ERROR("serve_loadgen", "lost requests or zero completions");
     return 1;
   }

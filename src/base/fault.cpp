@@ -1,0 +1,230 @@
+#include "base/fault.hpp"
+
+#include <cstdlib>
+
+#include "base/check.hpp"
+#include "base/parallel.hpp"  // mix_seed
+#include "obs/registry.hpp"
+
+namespace rpbcm::base {
+
+namespace {
+
+// Explicit Registry API rather than the RPBCM_OBS_* macros: fault metrics
+// must stay observable even in -DRPBCM_OBS=OFF builds (the registry classes
+// are always compiled), because chaos runs are exactly where telemetry is
+// read back by tests and the ci.sh chaos stage.
+void count_fired() {
+  obs::Registry::global().counter("rpbcm.base.fault.fired").add(1);
+}
+
+double unit_draw(std::uint64_t seed, std::uint64_t hit) {
+  // 53 high bits of a SplitMix64 output, mapped to [0, 1).
+  return static_cast<double>(mix_seed(seed, hit) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  RPBCM_CHECK_MSG(!text.empty(), "RPBCM_FAULTS: empty " << what);
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    RPBCM_CHECK_MSG(c >= '0' && c <= '9',
+                    "RPBCM_FAULTS: bad " << what << " '" << text << "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+double parse_prob(std::string_view text) {
+  RPBCM_CHECK_MSG(!text.empty(), "RPBCM_FAULTS: empty prob");
+  const std::string s(text);
+  char* end = nullptr;
+  const double p = std::strtod(s.c_str(), &end);
+  RPBCM_CHECK_MSG(end != nullptr && *end == '\0' && p >= 0.0 && p <= 1.0,
+                  "RPBCM_FAULTS: prob '" << s << "' not in [0, 1]");
+  return p;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry* instance = [] {
+    auto* reg = new FaultRegistry();  // leaked: outlives static destructors
+    if (const char* env = std::getenv("RPBCM_FAULTS");
+        env != nullptr && env[0] != '\0') {
+      reg->arm_from_string(env);
+    }
+    return reg;
+  }();
+  return *instance;
+}
+
+bool FaultRegistry::valid_site_name(std::string_view site) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (start <= site.size()) {
+    std::size_t dot = site.find('.', start);
+    if (dot == std::string_view::npos) dot = site.size();
+    const std::string_view seg = site.substr(start, dot - start);
+    if (seg.empty()) return false;
+    for (const char c : seg)
+      if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_'))
+        return false;
+    ++segments;
+    if (dot == site.size()) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+void FaultRegistry::arm(std::string_view site, FaultSpec spec) {
+  RPBCM_CHECK_MSG(valid_site_name(site),
+                  "fault site '" << std::string(site)
+                                 << "' does not follow area.component.event");
+  if (spec.trigger != FaultSpec::Trigger::kProb) {
+    RPBCM_CHECK_MSG(spec.n >= 1, "fault trigger needs n >= 1");
+  } else {
+    RPBCM_CHECK_MSG(spec.p >= 0.0 && spec.p <= 1.0,
+                    "fault probability must be in [0, 1]");
+  }
+  MutexLock lock(mu_);
+  Site& s = sites_[std::string(site)];
+  if (!s.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  s.spec = spec;
+  s.armed = true;
+  s.hits = 0;
+  s.fires = 0;
+  publish_armed_metric_locked();
+}
+
+void FaultRegistry::arm_from_string(std::string_view config) {
+  std::size_t start = 0;
+  while (start <= config.size()) {
+    std::size_t end = config.find(';', start);
+    if (end == std::string_view::npos) end = config.size();
+    const std::string_view entry = config.substr(start, end - start);
+    if (!entry.empty()) {
+      const std::size_t colon = entry.find(':');
+      RPBCM_CHECK_MSG(colon != std::string_view::npos,
+                      "RPBCM_FAULTS entry '" << std::string(entry)
+                                             << "' is missing ':trigger'");
+      const std::string_view site = entry.substr(0, colon);
+      std::string_view rest = entry.substr(colon + 1);
+      FaultSpec spec;
+      bool have_trigger = false;
+      while (!rest.empty()) {
+        std::size_t comma = rest.find(',');
+        if (comma == std::string_view::npos) comma = rest.size();
+        const std::string_view field = rest.substr(0, comma);
+        const std::size_t eq = field.find('=');
+        RPBCM_CHECK_MSG(eq != std::string_view::npos,
+                        "RPBCM_FAULTS field '" << std::string(field)
+                                               << "' is not key=value");
+        const std::string_view key = field.substr(0, eq);
+        const std::string_view value = field.substr(eq + 1);
+        if (key == "every") {
+          spec.trigger = FaultSpec::Trigger::kEvery;
+          spec.n = parse_u64(value, "every period");
+          have_trigger = true;
+        } else if (key == "once") {
+          spec.trigger = FaultSpec::Trigger::kOnce;
+          spec.n = parse_u64(value, "once hit index");
+          have_trigger = true;
+        } else if (key == "prob") {
+          spec.trigger = FaultSpec::Trigger::kProb;
+          spec.p = parse_prob(value);
+          have_trigger = true;
+        } else if (key == "seed") {
+          spec.seed = parse_u64(value, "seed");
+        } else {
+          RPBCM_CHECK_MSG(false, "RPBCM_FAULTS: unknown key '"
+                                     << std::string(key) << "'");
+        }
+        if (comma == rest.size()) break;
+        rest.remove_prefix(comma + 1);
+      }
+      RPBCM_CHECK_MSG(have_trigger, "RPBCM_FAULTS entry for '"
+                                        << std::string(site)
+                                        << "' has no every/once/prob trigger");
+      arm(site, spec);
+    }
+    if (end == config.size()) break;
+    start = end + 1;
+  }
+}
+
+bool FaultRegistry::disarm(std::string_view site) {
+  MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second.armed) return false;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  publish_armed_metric_locked();
+  return true;
+}
+
+void FaultRegistry::reset() {
+  MutexLock lock(mu_);
+  std::size_t armed = 0;
+  for (const auto& [name, site] : sites_)
+    if (site.armed) ++armed;
+  armed_count_.fetch_sub(armed, std::memory_order_relaxed);
+  sites_.clear();
+  publish_armed_metric_locked();
+}
+
+bool FaultRegistry::armed(std::string_view site) const {
+  MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() && it->second.armed;
+}
+
+std::uint64_t FaultRegistry::hits(std::string_view site) const {
+  MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultRegistry::fires(std::string_view site) const {
+  MutexLock lock(mu_);
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+bool FaultRegistry::should_fire(std::string_view site) {
+  bool fire = false;
+  {
+    MutexLock lock(mu_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return false;
+    Site& s = it->second;
+    ++s.hits;
+    switch (s.spec.trigger) {
+      case FaultSpec::Trigger::kEvery:
+        fire = s.hits % s.spec.n == 0;
+        break;
+      case FaultSpec::Trigger::kOnce:
+        fire = s.hits == s.spec.n;
+        if (fire) {
+          // One-shot: disarm so the hot-path gate goes quiet again.
+          s.armed = false;
+          armed_count_.fetch_sub(1, std::memory_order_relaxed);
+          publish_armed_metric_locked();
+        }
+        break;
+      case FaultSpec::Trigger::kProb:
+        fire = unit_draw(s.spec.seed, s.hits) < s.spec.p;
+        break;
+    }
+    if (fire) ++s.fires;
+  }
+  if (fire) count_fired();
+  return fire;
+}
+
+void FaultRegistry::publish_armed_metric_locked() {
+  obs::Registry::global()
+      .gauge("rpbcm.base.fault.armed")
+      .set(static_cast<double>(armed_count_.load(std::memory_order_relaxed)));
+}
+
+}  // namespace rpbcm::base

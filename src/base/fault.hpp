@@ -1,0 +1,152 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "base/mutex.hpp"
+#include "base/thread_annotations.hpp"
+
+/// Deterministic fault injection (docs/robustness.md).
+///
+/// Library code marks recoverable failure seams with named injection sites:
+///
+///   RPBCM_FAULT_POINT("core.ckpt.write", os.setstate(std::ios::badbit));
+///   RPBCM_FAULT_POINT("serve.engine.emac",
+///                     throw std::runtime_error("injected emac fault"));
+///
+/// A site is inert (one relaxed atomic load, branch not taken) until armed,
+/// either programmatically via base::FaultRegistry or through the
+/// RPBCM_FAULTS environment variable:
+///
+///   RPBCM_FAULTS = entry (';' entry)*
+///   entry        = site ':' trigger (',' option)*
+///   trigger      = 'every=' N   fire on every Nth hit (N >= 1)
+///                | 'once=' K    fire exactly once, on the Kth hit (K >= 1)
+///                | 'prob=' P    fire each hit with probability P in [0, 1]
+///   option       = 'seed=' S    seed of the prob-mode stream (default 0)
+///
+/// e.g. RPBCM_FAULTS="core.ckpt.rename:once=1;serve.engine.emac:prob=0.1,seed=7"
+///
+/// All triggers are deterministic: every/once count hits, and prob draws
+/// from a SplitMix64 stream keyed on (seed, hit index), so a run with the
+/// same RPBCM_FAULTS value fires at exactly the same hits every time.
+///
+/// Site names follow the `area.component.event` grammar (three or more
+/// lowercase [a-z0-9_] segments), enforced at arm time and by the
+/// rpbcm_lint `fault-site` rule on literal macro arguments.
+///
+/// Configuring -DRPBCM_FAULTS=OFF compiles every RPBCM_FAULT_POINT to a
+/// no-op branch: the site name is only type-checked and the action is not
+/// compiled, so production builds carry zero overhead and cannot be armed.
+///
+/// Metrics: rpbcm.base.fault.armed (gauge, currently armed sites) and
+/// rpbcm.base.fault.fired (counter, total injected faults).
+
+namespace rpbcm::base {
+
+/// When (relative to its per-site hit counter) an armed site fires.
+struct FaultSpec {
+  enum class Trigger : std::uint8_t { kEvery, kOnce, kProb };
+  Trigger trigger = Trigger::kOnce;
+  /// kEvery: the period N; kOnce: the 1-based hit index K. Must be >= 1.
+  std::uint64_t n = 1;
+  /// kProb: per-hit fire probability in [0, 1].
+  double p = 0.0;
+  /// kProb: stream seed — same seed, same fire pattern.
+  std::uint64_t seed = 0;
+};
+
+/// Thread-safe registry of named fault-injection sites. The process-wide
+/// instance (global()) parses RPBCM_FAULTS once on first access; tests may
+/// also construct private registries. Disarming keeps a site's hit/fire
+/// counters readable until reset().
+class FaultRegistry {
+ public:
+  /// Process-wide registry the RPBCM_FAULT_POINT macro consults. Parses the
+  /// RPBCM_FAULTS environment variable on first use (a malformed value
+  /// throws CheckError from that first access — chaos configs fail fast).
+  static FaultRegistry& global();
+
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Arms `site` with `spec`. The site name must satisfy valid_site_name
+  /// and the spec must be well-formed (CheckError otherwise). Re-arming an
+  /// armed site replaces its spec and resets its counters.
+  void arm(std::string_view site, FaultSpec spec) RPBCM_EXCLUDES(mu_);
+
+  /// Parses one RPBCM_FAULTS-grammar string and arms every entry.
+  void arm_from_string(std::string_view config) RPBCM_EXCLUDES(mu_);
+
+  /// Disarms `site`; returns false if it was not armed. Counters survive.
+  bool disarm(std::string_view site) RPBCM_EXCLUDES(mu_);
+
+  /// Disarms every site and forgets all counters.
+  void reset() RPBCM_EXCLUDES(mu_);
+
+  bool armed(std::string_view site) const RPBCM_EXCLUDES(mu_);
+  /// Hits recorded while armed (should_fire calls).
+  std::uint64_t hits(std::string_view site) const RPBCM_EXCLUDES(mu_);
+  /// Times the site actually fired.
+  std::uint64_t fires(std::string_view site) const RPBCM_EXCLUDES(mu_);
+
+  /// Fast gate for the macro: true iff at least one site is armed. One
+  /// relaxed atomic load — the entire cost of an inert fault point.
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Records a hit at `site` and returns true when its armed spec says this
+  /// hit fires. Unarmed sites return false without recording.
+  bool should_fire(std::string_view site) RPBCM_EXCLUDES(mu_);
+
+  /// `area.component.event`: three or more non-empty dot-separated segments
+  /// of lowercase [a-z0-9_].
+  static bool valid_site_name(std::string_view site);
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    bool armed = false;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  void publish_armed_metric_locked() RPBCM_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, Site, std::less<>> sites_ RPBCM_GUARDED_BY(mu_);
+  std::atomic<std::size_t> armed_count_{0};
+};
+
+}  // namespace rpbcm::base
+
+#ifndef RPBCM_FAULTS_ENABLED
+#define RPBCM_FAULTS_ENABLED 1
+#endif
+
+#if RPBCM_FAULTS_ENABLED
+
+/// Named injection site: executes the action statement(s) when the armed
+/// trigger for `site` fires on this hit. Inert sites cost one relaxed
+/// atomic load.
+#define RPBCM_FAULT_POINT(site, ...)                                \
+  do {                                                              \
+    if (::rpbcm::base::FaultRegistry::global().any_armed() &&       \
+        ::rpbcm::base::FaultRegistry::global().should_fire(site)) { \
+      __VA_ARGS__;                                                  \
+    }                                                               \
+  } while (0)
+
+#else  // RPBCM_FAULTS_ENABLED == 0: type-check the site, compile no action.
+
+#define RPBCM_FAULT_POINT(site, ...) \
+  do {                               \
+    (void)sizeof(site);              \
+  } while (0)
+
+#endif  // RPBCM_FAULTS_ENABLED

@@ -65,6 +65,18 @@ class StageChannel {
     not_full_.notify_all();
   }
 
+  /// Failure-recovery reset: discards any still-enqueued items and reopens
+  /// the channel for a fresh producer/consumer pair. Only valid once the
+  /// previous producer and consumer have exited — the caller owns that
+  /// ordering (serve::Engine::recover() joins its stage threads first).
+  /// Dropped items must carry no completion obligations of their own (the
+  /// engine keeps promises in its in-flight table, never in the channel).
+  void reopen() RPBCM_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    items_.clear();
+    closed_ = false;
+  }
+
   bool closed() const RPBCM_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return closed_;

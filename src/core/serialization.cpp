@@ -1,9 +1,17 @@
 #include "core/serialization.hpp"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "base/fault.hpp"
 #include "core/bcm_linear.hpp"
 #include "core/pruning.hpp"
 #include "nn/batchnorm.hpp"
@@ -12,8 +20,17 @@ namespace rpbcm::core {
 
 namespace {
 
+using Kind = SerializationError::Kind;
+
 constexpr char kCheckpointMagic[8] = {'R', 'P', 'B', 'C', 'M', 'C', 'K', '1'};
 constexpr char kWeightsMagic[8] = {'R', 'P', 'B', 'C', 'M', 'F', 'W', '1'};
+
+[[noreturn]] void fail(Kind kind, std::uint64_t offset, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (kind=" << serialization_error_kind_name(kind)
+     << ", byte offset " << offset << ')';
+  throw SerializationError(kind, offset, os.str());
+}
 
 // Streaming FNV-1a over everything written/read, so truncation and bit rot
 // are caught on load.
@@ -32,13 +49,24 @@ class Fnv1a {
   std::uint64_t hash_ = 0xcbf29ce484222325ULL;
 };
 
+// Checked writer: every stream operation is verified and failures surface
+// as SerializationError{kIo} with the offset of the failing field. The
+// fault site ("core.ckpt.write" / "core.fweights.write") lets chaos runs
+// simulate an EIO mid-stream at a deterministic byte.
 class Writer {
  public:
-  explicit Writer(std::ostream& os) : os_(os) {}
+  Writer(std::ostream& os, const char* fault_site)
+      : os_(os), fault_site_(fault_site) {}
 
   void raw(const void* data, std::size_t n) {
-    os_.write(static_cast<const char*>(data), static_cast<long>(n));
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    RPBCM_FAULT_POINT(fault_site_, os_.setstate(std::ios::badbit));
+    if (!os_.good())
+      fail(Kind::kIo, offset_,
+           "stream write of " + std::to_string(n) + " bytes failed");
     fnv_.update(data, n);
+    offset_ += n;
   }
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
@@ -50,23 +78,36 @@ class Writer {
   void finish() {
     const std::uint64_t sum = fnv_.value();
     os_.write(reinterpret_cast<const char*>(&sum), sizeof sum);
-    RPBCM_CHECK_MSG(os_.good(), "write failed");
+    RPBCM_FAULT_POINT(fault_site_, os_.setstate(std::ios::badbit));
+    if (!os_.good()) fail(Kind::kIo, offset_, "checksum write failed");
   }
 
  private:
   std::ostream& os_;
+  const char* fault_site_;
   Fnv1a fnv_;
+  std::uint64_t offset_ = 0;
 };
 
+// Checked reader: short reads distinguish stream errors (kIo) from clean
+// truncation (kTruncated), and every error carries the offset of the first
+// byte of the field being read.
 class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
 
+  std::uint64_t offset() const { return offset_; }
+
   void raw(void* data, std::size_t n) {
-    is_.read(static_cast<char*>(data), static_cast<long>(n));
-    RPBCM_CHECK_MSG(is_.gcount() == static_cast<long>(n),
-                    "unexpected end of stream");
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (is_.gcount() != static_cast<std::streamsize>(n)) {
+      if (is_.bad()) fail(Kind::kIo, offset_, "stream read error");
+      fail(Kind::kTruncated, offset_,
+           "unexpected end of stream: wanted " + std::to_string(n) +
+               " bytes, got " + std::to_string(is_.gcount()));
+    }
     fnv_.update(data, n);
+    offset_ += n;
   }
   std::uint32_t u32() {
     std::uint32_t v = 0;
@@ -84,8 +125,11 @@ class Reader {
     return v;
   }
   std::string str() {
+    const auto at = offset_;
     const auto n = u32();
-    RPBCM_CHECK_MSG(n < (1u << 20), "implausible string length");
+    if (n >= (1u << 20))
+      fail(Kind::kFormat, at,
+           "implausible string length " + std::to_string(n));
     std::string s(n, '\0');
     raw(s.data(), n);
     return s;
@@ -94,13 +138,19 @@ class Reader {
     const std::uint64_t expect = fnv_.value();
     std::uint64_t stored = 0;
     is_.read(reinterpret_cast<char*>(&stored), sizeof stored);
-    RPBCM_CHECK_MSG(is_.gcount() == sizeof stored, "missing checksum");
-    RPBCM_CHECK_MSG(stored == expect, "checksum mismatch — corrupt file");
+    if (is_.gcount() != static_cast<std::streamsize>(sizeof stored)) {
+      if (is_.bad()) fail(Kind::kIo, offset_, "stream read error");
+      fail(Kind::kTruncated, offset_, "missing checksum");
+    }
+    if (stored != expect)
+      fail(Kind::kChecksumMismatch, offset_,
+           "checksum mismatch — corrupt file");
   }
 
  private:
   std::istream& is_;
   Fnv1a fnv_;
+  std::uint64_t offset_ = 0;
 };
 
 // Persistent non-parameter state (BatchNorm running statistics), in
@@ -144,10 +194,88 @@ void restore_masks(nn::Sequential& model,
   RPBCM_CHECK_MSG(i == masks.size(), "checkpoint has too many skip masks");
 }
 
+#if defined(__unix__) || defined(__APPLE__)
+// Push file contents to stable storage; the crash-atomicity of the
+// tmp-then-rename protocol depends on the data hitting the platter before
+// the rename does.
+void sync_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(Kind::kIo, 0, "cannot reopen " + path + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) fail(Kind::kIo, 0, "fsync of " + path + " failed");
+}
+
+// Persist the rename itself (directory entry). Best effort: some
+// filesystems reject directory fsync, and the data is already durable.
+void sync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+#else
+void sync_file(const std::string&) {}
+void sync_parent_dir(const std::string&) {}
+#endif
+
+// Crash-atomic file write: stream `body` into `<path>.tmp`, flush + fsync,
+// then atomically rename over `path`. Any failure before the rename leaves
+// the previous `path` untouched; the injected-crash site (`rename_site`,
+// fired between durability and rename) additionally leaves the tmp file on
+// disk, exactly like a real crash at that instant.
+template <typename Body>
+void atomic_save(const std::string& path, const char* rename_site,
+                 Body&& body) {
+  const std::string tmp = path + ".tmp";
+  try {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.is_open())
+      fail(Kind::kIo, 0, "cannot open " + tmp + " for writing");
+    body(os);
+    os.flush();
+    if (!os.good()) fail(Kind::kIo, 0, "flush of " + tmp + " failed");
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  sync_file(tmp);
+  RPBCM_FAULT_POINT(
+      rename_site,
+      fail(Kind::kIo, 0,
+           std::string("injected crash before rename of ") + tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(Kind::kIo, 0, "rename " + tmp + " -> " + path + " failed");
+  }
+  sync_parent_dir(path);
+}
+
 }  // namespace
 
+const char* serialization_error_kind_name(SerializationError::Kind kind) {
+  switch (kind) {
+    case Kind::kIo:
+      return "io";
+    case Kind::kBadMagic:
+      return "bad_magic";
+    case Kind::kTruncated:
+      return "truncated";
+    case Kind::kChecksumMismatch:
+      return "checksum_mismatch";
+    case Kind::kFormat:
+      return "format";
+    case Kind::kArchMismatch:
+      return "arch_mismatch";
+  }
+  return "unknown";
+}
+
 void save_checkpoint(nn::Sequential& model, std::ostream& os) {
-  Writer w(os);
+  Writer w(os, "core.ckpt.write");
   w.raw(kCheckpointMagic, sizeof kCheckpointMagic);
   const auto params = model.params();
   w.u64(params.size());
@@ -177,56 +305,115 @@ void load_checkpoint(nn::Sequential& model, std::istream& is) {
   Reader r(is);
   char magic[8];
   r.raw(magic, sizeof magic);
-  RPBCM_CHECK_MSG(std::memcmp(magic, kCheckpointMagic, 8) == 0,
-                  "not an RP-BCM checkpoint");
+  if (std::memcmp(magic, kCheckpointMagic, 8) != 0)
+    fail(Kind::kBadMagic, 0, "not an RP-BCM checkpoint");
+
+  // Stage everything into temporaries: no Param/buffer/mask byte of the
+  // live model is touched until the whole record (including its checksum)
+  // has been read and validated. Counts and sizes are checked against the
+  // live architecture BEFORE the matching allocation, so a corrupt header
+  // cannot trigger an implausible allocation either.
   const auto params = model.params();
-  RPBCM_CHECK_MSG(r.u64() == params.size(),
-                  "parameter count mismatch — different architecture");
+  {
+    const auto at = r.offset();
+    const auto param_count = r.u64();
+    if (param_count != params.size())
+      fail(Kind::kArchMismatch, at,
+           "parameter count mismatch: model has " +
+               std::to_string(params.size()) + ", file has " +
+               std::to_string(param_count));
+  }
+  std::vector<std::vector<float>> values;
+  values.reserve(params.size());
   for (auto* p : params) {
+    auto at = r.offset();
     const auto name = r.str();
-    RPBCM_CHECK_MSG(name == p->name, "parameter name mismatch: expected '"
-                                         << p->name << "', file has '"
-                                         << name << "'");
+    if (name != p->name)
+      fail(Kind::kArchMismatch, at,
+           "parameter name mismatch: expected '" + p->name +
+               "', file has '" + name + "'");
+    at = r.offset();
     const auto rank = r.u32();
-    RPBCM_CHECK_MSG(rank == p->value.rank(), "parameter rank mismatch");
-    for (std::size_t d = 0; d < rank; ++d)
-      RPBCM_CHECK_MSG(r.u64() == p->value.dim(d),
-                      "parameter shape mismatch for " << p->name);
-    r.raw(p->value.data(), p->value.size() * sizeof(float));
-    p->mark_updated();  // raw write bypasses the layer: bump the version
+    if (rank != p->value.rank())
+      fail(Kind::kArchMismatch, at, "parameter rank mismatch for " + p->name);
+    for (std::size_t d = 0; d < rank; ++d) {
+      at = r.offset();
+      if (r.u64() != p->value.dim(d))
+        fail(Kind::kArchMismatch, at,
+             "parameter shape mismatch for " + p->name);
+    }
+    std::vector<float> v(p->value.size());
+    r.raw(v.data(), v.size() * sizeof(float));
+    values.push_back(std::move(v));
   }
+
   const auto buffers = collect_buffers(model);
-  RPBCM_CHECK_MSG(r.u64() == buffers.size(),
-                  "buffer count mismatch — different architecture");
-  for (auto* b : buffers) {
-    RPBCM_CHECK_MSG(r.u64() == b->size(), "buffer size mismatch");
-    r.raw(b->data(), b->size() * sizeof(float));
+  {
+    const auto at = r.offset();
+    const auto buffer_count = r.u64();
+    if (buffer_count != buffers.size())
+      fail(Kind::kArchMismatch, at,
+           "buffer count mismatch — different architecture");
   }
-  const auto mask_count = r.u64();
-  std::vector<std::vector<std::uint8_t>> masks(mask_count);
-  for (auto& m : masks) {
-    m.resize(r.u64());
+  std::vector<std::vector<float>> buffer_values;
+  buffer_values.reserve(buffers.size());
+  for (auto* b : buffers) {
+    const auto at = r.offset();
+    if (r.u64() != b->size())
+      fail(Kind::kArchMismatch, at, "buffer size mismatch");
+    std::vector<float> v(b->size());
+    r.raw(v.data(), v.size() * sizeof(float));
+    buffer_values.push_back(std::move(v));
+  }
+
+  const auto expected_masks = collect_masks(model);
+  {
+    const auto at = r.offset();
+    const auto mask_count = r.u64();
+    if (mask_count != expected_masks.size())
+      fail(Kind::kArchMismatch, at,
+           "skip-mask count mismatch — different architecture");
+  }
+  std::vector<std::vector<std::uint8_t>> masks;
+  masks.reserve(expected_masks.size());
+  for (const auto& expected : expected_masks) {
+    const auto at = r.offset();
+    const auto size = r.u64();
+    if (size != expected.size())
+      fail(Kind::kArchMismatch, at, "skip-mask size mismatch");
+    std::vector<std::uint8_t> m(size);
     r.raw(m.data(), m.size());
+    masks.push_back(std::move(m));
   }
   r.verify_checksum();
+
+  // Commit — nothing below can fail for data reasons.
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::memcpy(params[i]->value.data(), values[i].data(),
+                values[i].size() * sizeof(float));
+    params[i]->mark_updated();  // raw write bypasses the layer: bump version
+  }
+  for (std::size_t i = 0; i < buffers.size(); ++i)
+    std::memcpy(buffers[i]->data(), buffer_values[i].data(),
+                buffer_values[i].size() * sizeof(float));
   restore_masks(model, std::move(masks));
 }
 
 void save_checkpoint(nn::Sequential& model, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
-  save_checkpoint(model, os);
+  atomic_save(path, "core.ckpt.rename",
+              [&model](std::ostream& os) { save_checkpoint(model, os); });
 }
 
 void load_checkpoint(nn::Sequential& model, const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  RPBCM_CHECK_MSG(is.is_open(), "cannot open " << path);
+  if (!is.is_open())
+    fail(Kind::kIo, 0, "cannot open " + path);
   load_checkpoint(model, is);
 }
 
 void save_frequency_weights(const FrequencyLayerWeights& fw,
                             std::ostream& os) {
-  Writer w(os);
+  Writer w(os, "core.fweights.write");
   w.raw(kWeightsMagic, sizeof kWeightsMagic);
   w.u64(fw.layout.kernel);
   w.u64(fw.layout.in_channels);
@@ -255,17 +442,38 @@ FrequencyLayerWeights load_frequency_weights(std::istream& is) {
   Reader r(is);
   char magic[8];
   r.raw(magic, sizeof magic);
-  RPBCM_CHECK_MSG(std::memcmp(magic, kWeightsMagic, 8) == 0,
-                  "not an RP-BCM frequency-weight blob");
+  if (std::memcmp(magic, kWeightsMagic, 8) != 0)
+    fail(Kind::kBadMagic, 0, "not an RP-BCM frequency-weight blob");
+  const auto header_at = r.offset();
   const auto kernel = r.u64();
   const auto cin = r.u64();
   const auto cout = r.u64();
   const auto bs = r.u64();
+  // Plausibility caps before any allocation: a corrupt header must fail
+  // fast with kFormat, not attempt a multi-gigabyte resize.
+  constexpr std::uint64_t kMaxBlockSize = 1u << 16;
+  constexpr std::uint64_t kMaxPlaneFloats = 1u << 28;  // 1 GiB of f32
+  if (kernel == 0 || cin == 0 || cout == 0 || bs < 2 || bs > kMaxBlockSize)
+    fail(Kind::kFormat, header_at,
+         "implausible frequency-weight header: kernel=" +
+             std::to_string(kernel) + " cin=" + std::to_string(cin) +
+             " cout=" + std::to_string(cout) + " bs=" + std::to_string(bs));
   FrequencyLayerWeights fw;
-  fw.layout = BcmLayout(kernel, cin, cout, bs);
+  try {
+    fw.layout = BcmLayout(kernel, cin, cout, bs);
+  } catch (const SerializationError&) {
+    throw;
+  } catch (const CheckError& e) {
+    fail(Kind::kFormat, header_at,
+         std::string("invalid frequency-weight layout: ") + e.what());
+  }
+  const std::size_t half = bs / 2 + 1;
+  if (fw.layout.total_blocks() > kMaxPlaneFloats / half)
+    fail(Kind::kFormat, header_at,
+         "implausible frequency-weight header: " +
+             std::to_string(fw.layout.total_blocks()) + " blocks");
   fw.skip_index.resize(fw.layout.total_blocks());
   r.raw(fw.skip_index.data(), fw.skip_index.size());
-  const std::size_t half = bs / 2 + 1;
   fw.spec_re.assign(fw.layout.total_blocks() * half, 0.0F);
   fw.spec_im.assign(fw.layout.total_blocks() * half, 0.0F);
   for (std::size_t b = 0; b < fw.skip_index.size(); ++b) {
@@ -283,14 +491,15 @@ FrequencyLayerWeights load_frequency_weights(std::istream& is) {
 
 void save_frequency_weights(const FrequencyLayerWeights& fw,
                             const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path << " for writing");
-  save_frequency_weights(fw, os);
+  atomic_save(path, "core.fweights.rename", [&fw](std::ostream& os) {
+    save_frequency_weights(fw, os);
+  });
 }
 
 FrequencyLayerWeights load_frequency_weights(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
-  RPBCM_CHECK_MSG(is.is_open(), "cannot open " << path);
+  if (!is.is_open())
+    fail(Kind::kIo, 0, "cannot open " + path);
   return load_frequency_weights(is);
 }
 

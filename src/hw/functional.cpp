@@ -1,13 +1,52 @@
 #include "hw/functional.hpp"
 
+#include "base/parallel.hpp"
 #include "hw/emac_pe.hpp"
 #include "hw/fft_pe.hpp"
+#include "obs/macros.hpp"
 
 namespace rpbcm::hw {
+namespace {
+
+// Upsets the quantized weight buffer in place. Each stored Q7.8 word —
+// only surviving blocks are ever stored — draws once from a SplitMix64
+// stream keyed on (seed, word index) and on a hit flips the bit selected
+// by the same draw. Deterministic across runs and block orderings.
+std::uint64_t apply_seu(std::vector<std::vector<CFix16>>& wq,
+                        std::size_t half, const SeuOptions& seu) {
+  std::uint64_t flips = 0;
+  for (std::size_t b = 0; b < wq.size(); ++b) {
+    if (wq[b].empty()) continue;  // pruned: no BRAM words to upset
+    for (std::size_t k = 0; k < half; ++k) {
+      for (std::size_t comp = 0; comp < 2; ++comp) {
+        const std::uint64_t word_index =
+            (static_cast<std::uint64_t>(b) * half + k) * 2 + comp;
+        const std::uint64_t h = base::mix_seed(seu.seed, word_index);
+        const double draw = static_cast<double>(h >> 11) * 0x1.0p-53;
+        if (draw >= seu.word_flip_prob) continue;
+        const auto bit = static_cast<unsigned>(h % 16);
+        Fix16& word = comp == 0 ? wq[b][k].re : wq[b][k].im;
+        word = Fix16::from_raw(static_cast<Fix16::storage_t>(
+            static_cast<std::uint16_t>(word.raw()) ^ (1u << bit)));
+        ++flips;
+      }
+    }
+  }
+  return flips;
+}
+
+}  // namespace
 
 tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
                                     const core::FrequencyLayerWeights& fw,
                                     const nn::ConvSpec& spec) {
+  return bcm_conv_fixed_point(x, fw, spec, SeuOptions{});
+}
+
+tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
+                                    const core::FrequencyLayerWeights& fw,
+                                    const nn::ConvSpec& spec,
+                                    const SeuOptions& seu) {
   const auto& lay = fw.layout;
   RPBCM_CHECK(x.rank() == 4 && x.dim(1) == spec.in_channels);
   RPBCM_CHECK(lay.in_channels == spec.in_channels &&
@@ -33,6 +72,15 @@ tensor::Tensor bcm_conv_fixed_point(const tensor::Tensor& x,
     wq[b].resize(half);
     for (std::size_t k = 0; k < half; ++k)
       wq[b][k] = CFix16::from_floats(wre[k], wim[k]);
+  }
+  if (seu.word_flip_prob > 0.0) {
+    RPBCM_CHECK_MSG(seu.word_flip_prob <= 1.0,
+                    "SEU word_flip_prob must be in [0, 1]");
+    const std::uint64_t flips = apply_seu(wq, half, seu);
+    if (flips > 0) RPBCM_OBS_COUNT("rpbcm.hw.seu.flips", flips);
+    if (seu.flips != nullptr) *seu.flips = flips;
+  } else if (seu.flips != nullptr) {
+    *seu.flips = 0;
   }
 
   // FFT stage: spectra of every input pixel / channel block (half packing).

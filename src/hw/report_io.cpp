@@ -101,6 +101,8 @@ void write_layer_csv(const AcceleratorReport& report,
   std::ofstream os(path);
   RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
   write_layer_csv(report, os);
+  os.flush();
+  RPBCM_CHECK_MSG(os.good(), "flush of " << path << " failed");
 }
 
 void write_summary_markdown(const AcceleratorReport& report,
@@ -108,6 +110,8 @@ void write_summary_markdown(const AcceleratorReport& report,
   std::ofstream os(path);
   RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
   write_summary_markdown(report, os);
+  os.flush();
+  RPBCM_CHECK_MSG(os.good(), "flush of " << path << " failed");
 }
 
 void write_metrics_json(const obs::RegistrySnapshot& snapshot,
@@ -115,6 +119,8 @@ void write_metrics_json(const obs::RegistrySnapshot& snapshot,
   std::ofstream os(path);
   RPBCM_CHECK_MSG(os.is_open(), "cannot open " << path);
   write_metrics_json(snapshot, os);
+  os.flush();
+  RPBCM_CHECK_MSG(os.good(), "flush of " << path << " failed");
 }
 
 }  // namespace rpbcm::hw

@@ -118,6 +118,28 @@ void Batcher::close(bool drain) {
   for (auto& p : dropped) p.promise.set_value(refusal(Status::kShutdown));
 }
 
+void Batcher::abort(Status status) {
+  std::vector<Pending> dropped;
+  {
+    base::MutexLock lock(mu_);
+    closed_ = true;
+    for (auto& q : queues_) {
+      for (auto& p : q) dropped.push_back(std::move(p));
+      q.clear();
+    }
+    RPBCM_OBS_GAUGE("rpbcm.serve.queue_depth", 0.0);
+    ready_.notify_all();
+  }
+  for (auto& p : dropped) p.promise.set_value(refusal(status));
+}
+
+void Batcher::reopen() {
+  base::MutexLock lock(mu_);
+  RPBCM_CHECK_MSG(depth_locked() == 0,
+                  "Batcher::reopen with requests still queued");
+  closed_ = false;
+}
+
 std::size_t Batcher::depth() const {
   base::MutexLock lock(mu_);
   return depth_locked();

@@ -81,6 +81,17 @@ class Batcher {
   /// Idempotent; drain=false wins if called both ways.
   void close(bool drain) RPBCM_EXCLUDES(mu_);
 
+  /// Failure-path close: stops admission and answers every queued request
+  /// with `status` (the engine uses kInternal when a stage dies). Like
+  /// close(drain=false) but with a caller-chosen terminal status.
+  /// Idempotent, and safe after close().
+  void abort(Status status) RPBCM_EXCLUDES(mu_);
+
+  /// Re-admits after close()/abort(): the queue must be empty (CheckError
+  /// otherwise — every admitted request must already have its answer).
+  /// Part of the Engine::recover() protocol; see docs/robustness.md.
+  void reopen() RPBCM_EXCLUDES(mu_);
+
   std::size_t depth() const RPBCM_EXCLUDES(mu_);
   bool closed() const RPBCM_EXCLUDES(mu_);
   const BatcherOptions& options() const { return opts_; }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
 #include "base/check.hpp"
+#include "base/fault.hpp"
 #include "base/parallel.hpp"
 #include "obs/macros.hpp"
 #include "tensor/tensor.hpp"
@@ -23,6 +25,19 @@ std::size_t shape_elems(const std::vector<std::size_t>& shape) {
   return n;
 }
 
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+Response internal_response(double queue_wait_seconds = 0.0) {
+  Response r;
+  r.status = Status::kInternal;
+  r.queue_wait_seconds = queue_wait_seconds;
+  return r;
+}
+
 }  // namespace
 
 Engine::Engine(StagedModel& model, EngineOptions opts)
@@ -30,17 +45,41 @@ Engine::Engine(StagedModel& model, EngineOptions opts)
       batcher_(opts.batcher),
       channel_(/*capacity=*/1),  // the C_fft/C_emac ping-pong pair
       inline_stage_batch_(opts.inline_stage_batch),
+      stall_timeout_(opts.stall_timeout),
+      watchdog_poll_(opts.watchdog_poll),
       sample_shape_(model.sample_shape()),
       sample_elems_(shape_elems(sample_shape_)) {
   RPBCM_CHECK_MSG(sample_elems_ > 0, "served model has an empty sample shape");
   model_.prepare();
-  fft_thread_ = std::thread([this] { fft_thread_main(); });
-  emac_thread_ = std::thread([this] { emac_thread_main(); });
+  base::MutexLock lock(stop_mu_);
+  start_threads();
+  if (stall_timeout_.count() > 0) {
+    RPBCM_CHECK_MSG(watchdog_poll_.count() > 0,
+                    "watchdog_poll must be > 0 with a stall_timeout");
+    watchdog_thread_ = std::thread([this] { watchdog_main(); });
+  }
 }
 
 Engine::~Engine() { stop(/*drain=*/false); }
 
+void Engine::start_threads() {
+  fft_state_.busy.store(false, std::memory_order_relaxed);
+  fft_state_.exited.store(false, std::memory_order_relaxed);
+  fft_state_.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+  emac_state_.busy.store(false, std::memory_order_relaxed);
+  emac_state_.exited.store(false, std::memory_order_relaxed);
+  emac_state_.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+  fft_thread_ = std::thread([this] { fft_thread_main(); });
+  emac_thread_ = std::thread([this] { emac_thread_main(); });
+}
+
 std::future<Response> Engine::submit(Request req) {
+  if (failed_.load(std::memory_order_acquire)) {
+    RPBCM_OBS_COUNT("rpbcm.serve.internal_errors", 1);
+    std::promise<Response> promise;
+    promise.set_value(internal_response());
+    return promise.get_future();
+  }
   if (req.input.shape() != sample_shape_) {
     RPBCM_OBS_COUNT("rpbcm.serve.rejected", 1);
     std::promise<Response> promise;
@@ -49,6 +88,8 @@ std::future<Response> Engine::submit(Request req) {
     promise.set_value(std::move(r));
     return promise.get_future();
   }
+  if (req.timeout.count() > 0)
+    req.deadline = std::min(req.deadline, Clock::now() + req.timeout);
   return batcher_.submit(std::move(req));
 }
 
@@ -62,29 +103,111 @@ void Engine::stop(bool drain) {
   // thread finish whatever is still in flight and exit.
   if (fft_thread_.joinable()) fft_thread_.join();
   if (emac_thread_.joinable()) emac_thread_.join();
+  if (watchdog_thread_.joinable()) {
+    {
+      base::MutexLock wlock(watchdog_mu_);
+      watchdog_stop_ = true;
+      watchdog_cv_.notify_all();
+    }
+    watchdog_thread_.join();
+  }
+  // Belt and braces: on a clean shutdown the table is already empty; after
+  // a failure every entry was already resolved by the failure path.
+  fail_all_inflight();
+}
+
+bool Engine::recover() {
+  base::MutexLock lock(stop_mu_);
+  if (stopped_) return false;
+  if (!failed_.load(std::memory_order_acquire)) return true;
+  if (!fft_state_.exited.load(std::memory_order_acquire) ||
+      !emac_state_.exited.load(std::memory_order_acquire)) {
+    // A stage thread is still wedged inside model compute. Its futures
+    // were already resolved kInternal; restarting must wait for it.
+    return false;
+  }
+  if (fft_thread_.joinable()) fft_thread_.join();
+  if (emac_thread_.joinable()) emac_thread_.join();
+  fail_all_inflight();  // always empty here; keeps the invariant obvious
+  channel_.reopen();
+  batcher_.reopen();
+  failed_.store(false, std::memory_order_release);
+  start_threads();
+  RPBCM_OBS_COUNT("rpbcm.serve.recoveries", 1);
+  return true;
 }
 
 void Engine::fft_thread_main() {
+  try {
+    fft_loop();
+  } catch (const std::exception& e) {
+    handle_stage_failure("fft", e.what());
+  } catch (...) {
+    handle_stage_failure("fft", "unknown exception");
+  }
+  channel_.close();
+  fft_state_.busy.store(false, std::memory_order_release);
+  fft_state_.exited.store(true, std::memory_order_release);
+}
+
+void Engine::emac_thread_main() {
+  try {
+    emac_loop();
+  } catch (const std::exception& e) {
+    handle_stage_failure("emac", e.what());
+  } catch (...) {
+    handle_stage_failure("emac", "unknown exception");
+  }
+  emac_state_.busy.store(false, std::memory_order_release);
+  emac_state_.exited.store(true, std::memory_order_release);
+}
+
+void Engine::fft_loop() {
   std::vector<Pending> batch;
   std::uint64_t next_batch_seq = 0;
   while (batcher_.pop_batch(batch)) {
-    InFlight fl;
-    fl.batch = std::move(batch);
-    batch.clear();
-    fl.dispatch = Clock::now();
-    fl.batch_seq = next_batch_seq++;
+    fft_state_.heartbeat_ns.store(now_ns(), std::memory_order_release);
+    fft_state_.busy.store(true, std::memory_order_release);
 
-    const std::size_t n = fl.batch.size();
+    const std::uint64_t seq = next_batch_seq++;
+    const Clock::time_point dispatch = Clock::now();
+    const std::size_t n = batch.size();
+
+    // Promises move into the in-flight table BEFORE any compute: from here
+    // on, the failure path can resolve them even if this thread wedges
+    // inside stage_rfft.
+    {
+      Tracked t;
+      t.promises.reserve(n);
+      t.arrivals.reserve(n);
+      t.dispatch = dispatch;
+      for (Pending& p : batch) {
+        t.promises.push_back(std::move(p.promise));
+        t.arrivals.push_back(p.arrival);
+      }
+      base::MutexLock lock(inflight_mu_);
+      inflight_.emplace(seq, std::move(t));
+    }
+
+    RPBCM_FAULT_POINT(
+        "serve.engine.fft",
+        throw std::runtime_error("injected serve.engine.fft fault"));
+
     std::vector<std::size_t> shape;
     shape.reserve(sample_shape_.size() + 1);
     shape.push_back(n);
     shape.insert(shape.end(), sample_shape_.begin(), sample_shape_.end());
     tensor::Tensor stacked(std::move(shape));
     for (std::size_t i = 0; i < n; ++i) {
-      const std::span<const float> src = fl.batch[i].request.input.span();
+      const std::span<const float> src = batch[i].request.input.span();
       std::copy(src.begin(), src.end(), stacked.data() + i * sample_elems_);
     }
+    batch.clear();
 
+    InFlight fl;
+    fl.batch_size = n;
+    fl.batch_seq = seq;
+    fl.dispatch = dispatch;
     if (n <= inline_stage_batch_) {
       const base::SerialSection inline_stage;
       model_.stage_rfft(stacked, fl.spec);
@@ -92,18 +215,28 @@ void Engine::fft_thread_main() {
       model_.stage_rfft(stacked, fl.spec);
     }
     // push() blocking is the pipeline's backpressure: at capacity 1 this
-    // thread stalls only while BOTH buffers are occupied. Only this thread
-    // closes the channel, so the push cannot be refused.
-    const bool pushed = channel_.push(std::move(fl));
-    RPBCM_CHECK_MSG(pushed, "stage channel closed under the producer");
+    // thread stalls only while BOTH buffers are occupied. A refused push
+    // means the failure path closed the channel under us — resolve this
+    // batch kInternal (if the failure path has not already) and stop.
+    if (!channel_.push(std::move(fl))) {
+      fail_batch(seq);
+      break;
+    }
+    fft_state_.busy.store(false, std::memory_order_release);
   }
-  channel_.close();
 }
 
-void Engine::emac_thread_main() {
+void Engine::emac_loop() {
   while (std::optional<InFlight> fl = channel_.pop()) {
+    emac_state_.heartbeat_ns.store(now_ns(), std::memory_order_release);
+    emac_state_.busy.store(true, std::memory_order_release);
+
+    RPBCM_FAULT_POINT(
+        "serve.engine.emac",
+        throw std::runtime_error("injected serve.engine.emac fault"));
+
     tensor::Tensor y;
-    if (fl->batch.size() <= inline_stage_batch_) {
+    if (fl->batch_size <= inline_stage_batch_) {
       const base::SerialSection inline_stage;
       y = model_.stage_emac_irfft(fl->spec);
     } else {
@@ -112,29 +245,149 @@ void Engine::emac_thread_main() {
     const Clock::time_point done = Clock::now();
     const double exec = seconds_between(fl->dispatch, done);
 
-    const std::size_t n = fl->batch.size();
+    // Claim-by-erase: if the failure path got here first (watchdog stall
+    // declared while we were computing), it already answered kInternal and
+    // this batch's output is dropped — never a double completion.
+    Tracked t = claim(fl->batch_seq);
+    if (t.promises.empty()) {
+      emac_state_.busy.store(false, std::memory_order_release);
+      continue;
+    }
+
+    const std::size_t n = fl->batch_size;
     RPBCM_CHECK_MSG(n > 0 && y.size() % n == 0,
                     "batch output not divisible into samples");
     const std::size_t out_elems = y.size() / n;
     const std::vector<std::size_t> out_shape = model_.output_sample_shape();
     for (std::size_t i = 0; i < n; ++i) {
-      Pending& p = fl->batch[i];
       Response r;
       r.status = Status::kOk;
       r.output = tensor::Tensor(out_shape);
       const float* src = y.data() + i * out_elems;
       std::copy(src, src + out_elems, r.output.data());
-      r.queue_wait_seconds = seconds_between(p.arrival, fl->dispatch);
+      r.queue_wait_seconds = seconds_between(t.arrivals[i], t.dispatch);
       r.exec_seconds = exec;
       r.batch_size = n;
       r.batch_seq = fl->batch_seq;
       RPBCM_OBS_OBSERVE("rpbcm.serve.queue_wait_seconds",
                         r.queue_wait_seconds);
-      p.promise.set_value(std::move(r));
+      t.promises[i].set_value(std::move(r));
     }
     RPBCM_OBS_OBSERVE("rpbcm.serve.batch_size", static_cast<double>(n));
     RPBCM_OBS_OBSERVE("rpbcm.serve.exec_seconds", exec);
     RPBCM_OBS_COUNT("rpbcm.serve.completed", n);
+    emac_state_.busy.store(false, std::memory_order_release);
+  }
+}
+
+void Engine::watchdog_main() {
+  base::MutexLock lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(watchdog_mu_, watchdog_poll_);
+    if (watchdog_stop_) break;
+    const std::int64_t now = now_ns();
+    const auto age_seconds = [now](const StageState& s) {
+      return static_cast<double>(
+                 now - s.heartbeat_ns.load(std::memory_order_acquire)) *
+             1e-9;
+    };
+    const double fft_age = age_seconds(fft_state_);
+    const double emac_age = age_seconds(emac_state_);
+    RPBCM_OBS_GAUGE("rpbcm.serve.fft_heartbeat_seconds", fft_age);
+    RPBCM_OBS_GAUGE("rpbcm.serve.emac_heartbeat_seconds", emac_age);
+    if (failed_.load(std::memory_order_acquire)) continue;
+    const double stall = std::chrono::duration<double>(stall_timeout_).count();
+    if (fft_state_.busy.load(std::memory_order_acquire) && fft_age > stall) {
+      handle_stage_failure("fft", "watchdog: stage stalled past stall_timeout");
+    } else if (emac_state_.busy.load(std::memory_order_acquire) &&
+               emac_age > stall) {
+      handle_stage_failure("emac",
+                           "watchdog: stage stalled past stall_timeout");
+    }
+  }
+}
+
+void Engine::handle_stage_failure(const char* stage, const char* what) {
+  bool expected = false;
+  if (failed_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    RPBCM_OBS_COUNT("rpbcm.serve.stage_failures", 1);
+    (void)stage;
+    (void)what;
+  }
+  // Every step below is idempotent, so concurrent failers are harmless.
+  batcher_.abort(Status::kInternal);  // queued -> kInternal, admission off
+  channel_.close();                   // unblock the peer stage's push/pop
+  fail_all_inflight();                // dispatched -> kInternal
+}
+
+void Engine::fail_all_inflight() {
+  std::map<std::uint64_t, Tracked> failed;
+  {
+    base::MutexLock lock(inflight_mu_);
+    failed.swap(inflight_);
+  }
+  const Clock::time_point now = Clock::now();
+  std::size_t n = 0;
+  for (auto& [seq, t] : failed) {
+    for (std::size_t i = 0; i < t.promises.size(); ++i) {
+      t.promises[i].set_value(
+          internal_response(seconds_between(t.arrivals[i], now)));
+      ++n;
+    }
+  }
+  if (n > 0) RPBCM_OBS_COUNT("rpbcm.serve.internal_errors", n);
+}
+
+void Engine::fail_batch(std::uint64_t batch_seq) {
+  Tracked t = claim(batch_seq);
+  const Clock::time_point now = Clock::now();
+  for (std::size_t i = 0; i < t.promises.size(); ++i)
+    t.promises[i].set_value(
+        internal_response(seconds_between(t.arrivals[i], now)));
+  if (!t.promises.empty())
+    RPBCM_OBS_COUNT("rpbcm.serve.internal_errors", t.promises.size());
+}
+
+Engine::Tracked Engine::claim(std::uint64_t batch_seq) {
+  base::MutexLock lock(inflight_mu_);
+  const auto it = inflight_.find(batch_seq);
+  if (it == inflight_.end()) return {};
+  Tracked t = std::move(it->second);
+  inflight_.erase(it);
+  return t;
+}
+
+std::future<Response> submit_with_retry(Engine& engine, Request req,
+                                        const RetryPolicy& policy,
+                                        std::size_t* retries) {
+  if (retries != nullptr) *retries = 0;
+  const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+  std::chrono::microseconds backoff = policy.initial_backoff;
+  for (std::size_t attempt = 1;; ++attempt) {
+    const bool last = attempt >= max_attempts;
+    std::future<Response> fut;
+    if (last) {
+      fut = engine.submit(std::move(req));
+    } else {
+      Request copy = req;
+      fut = engine.submit(std::move(copy));
+    }
+    // Only an *immediately ready* kRejected (admission backpressure) is
+    // retried; anything pending is a real admission and is returned as-is.
+    if (fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready)
+      return fut;
+    Response r = fut.get();
+    if (r.status != Status::kRejected || last) {
+      std::promise<Response> done;
+      done.set_value(std::move(r));
+      return done.get_future();
+    }
+    RPBCM_OBS_COUNT("rpbcm.serve.retries", 1);
+    if (retries != nullptr) ++(*retries);
+    std::this_thread::sleep_for(backoff);
+    backoff = std::chrono::microseconds(static_cast<std::int64_t>(
+        static_cast<double>(backoff.count()) * policy.backoff_multiplier));
   }
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "tensor/tensor.hpp"
@@ -33,6 +34,11 @@ struct Request {
   /// Status::kDeadlineMiss. Once dispatched, it always completes kOk —
   /// which keeps outputs a pure function of the input, never of timing.
   Clock::time_point deadline = kNoDeadline;
+  /// Relative submit timeout: when nonzero, Engine::submit() tightens
+  /// `deadline` to min(deadline, now + timeout) at admission — the caller
+  /// expresses "answer within T" without reading the clock itself. Zero
+  /// means no per-request timeout.
+  std::chrono::microseconds timeout{0};
 };
 
 enum class Status : std::uint8_t {
@@ -44,6 +50,10 @@ enum class Status : std::uint8_t {
   kDeadlineMiss,
   /// The engine/batcher was stopped before the request was dispatched.
   kShutdown,
+  /// A pipeline stage failed (exception or watchdog-detected stall) while
+  /// this request was queued or in flight. The input was valid and may be
+  /// retried after Engine::recover() — see docs/serving.md.
+  kInternal,
 };
 
 constexpr std::string_view status_name(Status s) {
@@ -52,8 +62,18 @@ constexpr std::string_view status_name(Status s) {
     case Status::kRejected: return "rejected";
     case Status::kDeadlineMiss: return "deadline_miss";
     case Status::kShutdown: return "shutdown";
+    case Status::kInternal: return "internal";
   }
   return "unknown";
+}
+
+/// Inverse of status_name (log/CLI parsing); nullopt for unknown names.
+constexpr std::optional<Status> status_from_name(std::string_view name) {
+  for (const Status s : {Status::kOk, Status::kRejected, Status::kDeadlineMiss,
+                         Status::kShutdown, Status::kInternal}) {
+    if (status_name(s) == name) return s;
+  }
+  return std::nullopt;
 }
 
 /// Completion record delivered through the future returned by submit().

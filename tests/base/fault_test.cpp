@@ -1,0 +1,229 @@
+#include "base/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/check.hpp"
+#include "obs/registry.hpp"
+
+namespace rpbcm::base {
+namespace {
+
+FaultSpec every(std::uint64_t n) {
+  FaultSpec s;
+  s.trigger = FaultSpec::Trigger::kEvery;
+  s.n = n;
+  return s;
+}
+
+FaultSpec once(std::uint64_t k) {
+  FaultSpec s;
+  s.trigger = FaultSpec::Trigger::kOnce;
+  s.n = k;
+  return s;
+}
+
+FaultSpec prob(double p, std::uint64_t seed = 0) {
+  FaultSpec s;
+  s.trigger = FaultSpec::Trigger::kProb;
+  s.p = p;
+  s.seed = seed;
+  return s;
+}
+
+TEST(FaultSiteName, Grammar) {
+  EXPECT_TRUE(FaultRegistry::valid_site_name("core.ckpt.write"));
+  EXPECT_TRUE(FaultRegistry::valid_site_name("serve.engine.emac"));
+  EXPECT_TRUE(FaultRegistry::valid_site_name("a.b2.c_d.e"));  // 4 segments ok
+  EXPECT_FALSE(FaultRegistry::valid_site_name(""));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("two.segments"));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("Upper.case.site"));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("has.empty..segment"));
+  EXPECT_FALSE(FaultRegistry::valid_site_name(".leading.dot.x"));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("trailing.dot.x."));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("bad.sp ace.site"));
+  EXPECT_FALSE(FaultRegistry::valid_site_name("bad.da-sh.site"));
+}
+
+TEST(FaultRegistryTest, UnarmedSitesNeverFireNorRecord) {
+  FaultRegistry reg;
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_FALSE(reg.should_fire("core.test.site"));
+  EXPECT_EQ(reg.hits("core.test.site"), 0u);
+  EXPECT_FALSE(reg.armed("core.test.site"));
+}
+
+TEST(FaultRegistryTest, EveryFiresOnMultiplesOfN) {
+  FaultRegistry reg;
+  reg.arm("core.test.site", every(3));
+  EXPECT_TRUE(reg.any_armed());
+  std::vector<bool> fired;
+  fired.reserve(9);
+  for (int i = 0; i < 9; ++i) fired.push_back(reg.should_fire("core.test.site"));
+  const std::vector<bool> expect = {false, false, true,  false, false,
+                                    true,  false, false, true};
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(reg.hits("core.test.site"), 9u);
+  EXPECT_EQ(reg.fires("core.test.site"), 3u);
+}
+
+TEST(FaultRegistryTest, OnceFiresExactlyOnKthHitThenDisarms) {
+  FaultRegistry reg;
+  reg.arm("core.test.site", once(2));
+  EXPECT_FALSE(reg.should_fire("core.test.site"));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+  // Auto-disarmed: the fast gate goes quiet and hits stop accumulating,
+  // but the counters stay readable.
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_FALSE(reg.should_fire("core.test.site"));
+  EXPECT_EQ(reg.hits("core.test.site"), 2u);
+  EXPECT_EQ(reg.fires("core.test.site"), 1u);
+}
+
+TEST(FaultRegistryTest, ProbIsDeterministicPerSeed) {
+  FaultRegistry a;
+  FaultRegistry b;
+  a.arm("core.test.site", prob(0.3, 7));
+  b.arm("core.test.site", prob(0.3, 7));
+  for (int i = 0; i < 200; ++i)
+    EXPECT_EQ(a.should_fire("core.test.site"), b.should_fire("core.test.site"));
+  EXPECT_EQ(a.fires("core.test.site"), b.fires("core.test.site"));
+  EXPECT_GT(a.fires("core.test.site"), 0u);
+  EXPECT_LT(a.fires("core.test.site"), 200u);
+
+  FaultRegistry c;
+  c.arm("core.test.site", prob(1.0));
+  EXPECT_TRUE(c.should_fire("core.test.site"));
+  FaultRegistry d;
+  d.arm("core.test.site", prob(0.0));
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(d.should_fire("core.test.site"));
+}
+
+TEST(FaultRegistryTest, ConfigStringGrammar) {
+  FaultRegistry reg;
+  reg.arm_from_string(
+      "core.ckpt.rename:once=1;serve.engine.emac:prob=0.5,seed=9;"
+      "core.test.site:every=4");
+  EXPECT_TRUE(reg.armed("core.ckpt.rename"));
+  EXPECT_TRUE(reg.armed("serve.engine.emac"));
+  EXPECT_TRUE(reg.armed("core.test.site"));
+  EXPECT_TRUE(reg.should_fire("core.ckpt.rename"));  // once=1: first hit
+
+  EXPECT_THROW(reg.arm_from_string("no_trigger_entry"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("core.test.site:"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("core.test.site:bogus=1"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("core.test.site:every=abc"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("core.test.site:prob=1.5"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("core.test.site:seed=3"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("BadSite:once=1"), CheckError);
+  EXPECT_THROW(reg.arm_from_string("two.segs:once=1"), CheckError);
+}
+
+TEST(FaultRegistryTest, DisarmAndResetKeepOrClearCounters) {
+  FaultRegistry reg;
+  reg.arm("core.test.site", every(1));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+  EXPECT_TRUE(reg.disarm("core.test.site"));
+  EXPECT_FALSE(reg.disarm("core.test.site"));  // already disarmed
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_EQ(reg.fires("core.test.site"), 1u);  // counters survive disarm
+  reg.reset();
+  EXPECT_EQ(reg.fires("core.test.site"), 0u);
+  EXPECT_FALSE(reg.any_armed());
+}
+
+TEST(FaultRegistryTest, RearmReplacesSpecAndResetsCounters) {
+  FaultRegistry reg;
+  reg.arm("core.test.site", every(1));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+  reg.arm("core.test.site", once(5));
+  EXPECT_EQ(reg.hits("core.test.site"), 0u);
+  EXPECT_EQ(reg.fires("core.test.site"), 0u);
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(reg.should_fire("core.test.site"));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+}
+
+TEST(FaultRegistryTest, MalformedSpecsRejected) {
+  FaultRegistry reg;
+  EXPECT_THROW(reg.arm("not-a-valid-site", once(1)), CheckError);
+  FaultSpec zero = every(0);
+  EXPECT_THROW(reg.arm("core.test.site", zero), CheckError);
+  FaultSpec bad_p = prob(1.5);
+  EXPECT_THROW(reg.arm("core.test.site", bad_p), CheckError);
+}
+
+TEST(FaultRegistryTest, ArmedGaugeTracksArmedSites) {
+  FaultRegistry reg;
+  auto& gauge = obs::Registry::global().gauge("rpbcm.base.fault.armed");
+  reg.arm("core.test.site", every(1));
+  reg.arm("core.test.other", once(1));
+  EXPECT_EQ(gauge.value(), 2.0);
+  reg.disarm("core.test.site");
+  EXPECT_EQ(gauge.value(), 1.0);
+  reg.reset();
+  EXPECT_EQ(gauge.value(), 0.0);
+}
+
+TEST(FaultRegistryTest, FiredCounterIncrementsOnFire) {
+  FaultRegistry reg;
+  auto& counter = obs::Registry::global().counter("rpbcm.base.fault.fired");
+  const std::uint64_t before = counter.value();
+  reg.arm("core.test.site", every(1));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+  EXPECT_TRUE(reg.should_fire("core.test.site"));
+  EXPECT_EQ(counter.value(), before + 2);
+  reg.reset();
+}
+
+TEST(FaultRegistryTest, ConcurrentHitsAreCountedExactly) {
+  FaultRegistry reg;
+  reg.arm("core.test.site", every(2));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  std::atomic<std::uint64_t> fires{0};
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg, &fires] {
+      for (int i = 0; i < kPerThread; ++i)
+        if (reg.should_fire("core.test.site")) fires.fetch_add(1);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.hits("core.test.site"),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(reg.fires("core.test.site"),
+            static_cast<std::uint64_t>(kThreads * kPerThread / 2));
+  EXPECT_EQ(fires.load(), reg.fires("core.test.site"));
+}
+
+TEST(FaultPointMacro, ExecutesActionOnlyWhenArmedAndFiring) {
+  auto& global = FaultRegistry::global();
+  global.reset();
+  int executed = 0;
+  RPBCM_FAULT_POINT("base.test.macro_site", ++executed);
+  EXPECT_EQ(executed, 0);  // nothing armed: inert branch
+
+  global.arm("base.test.macro_site", every(1));
+#if RPBCM_FAULTS_ENABLED
+  RPBCM_FAULT_POINT("base.test.macro_site", ++executed);
+  EXPECT_EQ(executed, 1);
+  // Throwing actions propagate out of the macro.
+  EXPECT_THROW(RPBCM_FAULT_POINT("base.test.macro_site",
+                                 throw std::runtime_error("injected")),
+               std::runtime_error);
+  // Other sites are unaffected.
+  RPBCM_FAULT_POINT("base.test.other_site", ++executed);
+  EXPECT_EQ(executed, 1);
+#else
+  RPBCM_FAULT_POINT("base.test.macro_site", ++executed);
+  EXPECT_EQ(executed, 0);  // compiled out
+#endif
+  global.reset();
+}
+
+}  // namespace
+}  // namespace rpbcm::base

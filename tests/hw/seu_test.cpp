@@ -1,0 +1,129 @@
+// SEU (single-event upset) model of the fixed-point datapath
+// (docs/robustness.md): seeded per-word bit flips in the deployed Q7.8
+// weight spectra. Contracts: prob=0 is bitwise the clean path, the same
+// seed reproduces the same upset pattern, and pruned blocks — never stored
+// in the weight buffer — are immune, so a highly pruned schedule exposes
+// strictly fewer vulnerable words than its dense twin.
+
+#include "hw/functional.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/bcm_conv.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm::hw {
+namespace {
+
+using core::BcmConv2d;
+using core::BcmParameterization;
+
+nn::ConvSpec spec3x3(std::size_t cin, std::size_t cout) {
+  nn::ConvSpec s;
+  s.in_channels = cin;
+  s.out_channels = cout;
+  s.kernel = 3;
+  s.stride = 1;
+  s.pad = 1;
+  return s;
+}
+
+bool bitwise_equal(const tensor::Tensor& a, const tensor::Tensor& b) {
+  return a.same_shape(b) &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(SeuTest, ProbZeroIsBitwiseClean) {
+  numeric::Rng rng(21);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto fw = core::export_frequency_weights(layer);
+  const auto x = testutil::random_tensor({1, 8, 5, 5}, 22, 0.3F);
+  const auto clean = bcm_conv_fixed_point(x, fw, layer.spec());
+
+  SeuOptions seu;
+  seu.word_flip_prob = 0.0;
+  std::uint64_t flips = 123;
+  seu.flips = &flips;
+  const auto y = bcm_conv_fixed_point(x, fw, layer.spec(), seu);
+  EXPECT_TRUE(bitwise_equal(y, clean));
+  EXPECT_EQ(flips, 0u);
+}
+
+TEST(SeuTest, SameSeedReproducesUpsetPattern) {
+  numeric::Rng rng(23);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto fw = core::export_frequency_weights(layer);
+  const auto x = testutil::random_tensor({1, 8, 5, 5}, 24, 0.3F);
+
+  SeuOptions seu;
+  seu.word_flip_prob = 0.2;
+  seu.seed = 7;
+  std::uint64_t flips_a = 0, flips_b = 0;
+  seu.flips = &flips_a;
+  const auto a = bcm_conv_fixed_point(x, fw, layer.spec(), seu);
+  seu.flips = &flips_b;
+  const auto b = bcm_conv_fixed_point(x, fw, layer.spec(), seu);
+  EXPECT_GT(flips_a, 0u);
+  EXPECT_EQ(flips_a, flips_b);
+  EXPECT_TRUE(bitwise_equal(a, b));
+}
+
+TEST(SeuTest, PrunedBlocksAreImmune) {
+  // Dense twin vs a ~5/9-pruned twin under the same SEU stream: the pruned
+  // layer stores fewer words, so it must take strictly fewer flips (the
+  // upset draw is keyed per word index, making the pruned flip set a
+  // subset of the dense one).
+  numeric::Rng rng_d(25);
+  BcmConv2d dense(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng_d);
+  numeric::Rng rng_p(25);
+  BcmConv2d pruned(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng_p);
+  for (const std::size_t b : {0u, 2u, 4u, 6u, 8u}) pruned.prune_block(b);
+
+  const auto fw_dense = core::export_frequency_weights(dense);
+  const auto fw_pruned = core::export_frequency_weights(pruned);
+  const auto x = testutil::random_tensor({1, 8, 5, 5}, 26, 0.3F);
+
+  SeuOptions seu;
+  seu.word_flip_prob = 0.5;
+  seu.seed = 11;
+  std::uint64_t flips_dense = 0, flips_pruned = 0;
+  seu.flips = &flips_dense;
+  (void)bcm_conv_fixed_point(x, fw_dense, dense.spec(), seu);
+  seu.flips = &flips_pruned;
+  (void)bcm_conv_fixed_point(x, fw_pruned, pruned.spec(), seu);
+  EXPECT_GT(flips_dense, 0u);
+  EXPECT_LT(flips_pruned, flips_dense);
+}
+
+TEST(SeuTest, FullyPrunedLayerTakesNoFlips) {
+  numeric::Rng rng(27);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  for (std::size_t b = 0; b < layer.layout().total_blocks(); ++b)
+    layer.prune_block(b);
+  const auto fw = core::export_frequency_weights(layer);
+  const auto x = testutil::random_tensor({1, 8, 5, 5}, 28, 0.3F);
+
+  SeuOptions seu;
+  seu.word_flip_prob = 1.0;
+  std::uint64_t flips = 123;
+  seu.flips = &flips;
+  const auto y = bcm_conv_fixed_point(x, fw, layer.spec(), seu);
+  EXPECT_EQ(flips, 0u);  // nothing stored, nothing to upset
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], 0.0F);
+}
+
+TEST(SeuTest, OutOfRangeProbRejected) {
+  numeric::Rng rng(29);
+  BcmConv2d layer(spec3x3(8, 8), 8, BcmParameterization::kHadamard, rng);
+  const auto fw = core::export_frequency_weights(layer);
+  const auto x = testutil::random_tensor({1, 8, 5, 5}, 30, 0.3F);
+  SeuOptions seu;
+  seu.word_flip_prob = 1.5;
+  EXPECT_THROW(bcm_conv_fixed_point(x, fw, layer.spec(), seu),
+               rpbcm::CheckError);
+}
+
+}  // namespace
+}  // namespace rpbcm::hw

@@ -142,6 +142,26 @@ TEST(ExporterTest, SelfMetricsRecordedIntoSameRegistry) {
   EXPECT_NE(snap.find("rpbcm.obs.exporter.flush_seconds"), nullptr);
 }
 
+// An unwritable output path must not kill the exporter thread: the flush
+// survives, and the failure is visible through the exporter's own
+// write_errors self-metric (the audit hook docs/robustness.md relies on).
+TEST(ExporterTest, WriteFailuresCountedNotFatal) {
+  Registry reg;
+  reg.counter("rpbcm.test.value").add(1);
+  Exporter exp;
+  ExporterOptions opts;
+  const std::string missing_dir =
+      ::testing::TempDir() + "rpbcm_exporter_no_such_dir";
+  opts.jsonl_path = missing_dir + "/metrics.jsonl";
+  opts.prom_path = missing_dir + "/metrics.prom";
+  opts.period = std::chrono::milliseconds(60000);
+  opts.registry = &reg;
+  exp.start(std::move(opts));
+  exp.flush();
+  exp.stop();  // still stoppable: failures never wedge the thread
+  EXPECT_GE(reg.counter("rpbcm.obs.exporter.write_errors").value(), 2u);
+}
+
 TEST(ExporterTest, PeriodicFlushesHappenWithoutManualCalls) {
   Registry reg;
   reg.counter("rpbcm.test.tick").add(1);

@@ -196,6 +196,47 @@ TEST(BatcherProperty, CloseWithoutDrainAnswersShutdownExactlyOnce) {
   EXPECT_TRUE(batch.empty());
 }
 
+// abort() is the engine's failure path: everything queued resolves with
+// the given status, later submits bounce, and reopen() puts the batcher
+// back in service for Engine::recover().
+TEST(BatcherProperty, AbortFailsQueuedAndReopenRestoresService) {
+  BatcherOptions opts;
+  opts.max_batch_size = 8;
+  opts.max_linger = std::chrono::milliseconds(50);
+  opts.max_queue_depth = 16;
+  Batcher batcher(opts);
+
+  std::vector<std::future<Response>> futures;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Request req;
+    req.input = tensor::Tensor({kIn});
+    futures.push_back(batcher.submit(std::move(req)));
+  }
+  batcher.abort(Status::kInternal);
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(f.get().status, Status::kInternal);
+  }
+  EXPECT_EQ(batcher.depth(), 0u);
+
+  // Closed after abort: submits answer kShutdown, pop_batch refuses.
+  Request late;
+  late.input = tensor::Tensor({kIn});
+  EXPECT_EQ(batcher.submit(std::move(late)).get().status, Status::kShutdown);
+  std::vector<Pending> batch;
+  EXPECT_FALSE(batcher.pop_batch(batch));
+
+  batcher.reopen();
+  Request again;
+  again.input = tensor::Tensor({kIn});
+  auto f = batcher.submit(std::move(again));
+  ASSERT_TRUE(batcher.pop_batch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  batch[0].promise.set_value(Response{});
+  EXPECT_EQ(f.get().status, Status::kOk);
+  batcher.close(/*drain=*/false);
+}
+
 // --- Engine-level properties: the determinism contract ---------------------
 
 // Every request's kOk output must be bitwise identical to the solo serial

@@ -1,0 +1,259 @@
+// Self-healing pipeline contract (docs/robustness.md): with a fault
+// injected into a stage thread, every in-flight and queued future resolves
+// with Status::kInternal (no hang), submit() fails fast while the engine is
+// down, and Engine::recover() restores a green end-to-end inference whose
+// output is bitwise identical to a fresh engine. The watchdog variant uses
+// a deliberately wedged model stage to prove futures resolve while the
+// stage thread is still stuck. Labeled `serve;san` so the ASan/TSan
+// gauntlets cover the failure machinery.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "base/fault.hpp"
+#include "base/parallel.hpp"
+#include "core/bcm_linear.hpp"
+#include "numeric/random.hpp"
+#include "serve/engine.hpp"
+#include "serve/model.hpp"
+#include "test_util.hpp"
+
+namespace rpbcm {
+namespace {
+
+using serve::Engine;
+using serve::EngineOptions;
+using serve::Request;
+using serve::Response;
+using serve::RetryPolicy;
+using serve::Status;
+
+constexpr std::size_t kIn = 32;
+
+core::BcmLinear make_layer() {
+  numeric::Rng rng(42);
+  return core::BcmLinear(kIn, kIn, /*block_size=*/8, /*hadamard=*/true, rng);
+}
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { base::FaultRegistry::global().reset(); }
+  void TearDown() override { base::FaultRegistry::global().reset(); }
+};
+
+// Waits for `fut` with a generous bound; the whole point of the failure
+// path is that no future may hang.
+Response must_resolve(std::future<Response>& fut) {
+  EXPECT_EQ(fut.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "future hung past the failure path";
+  return fut.get();
+}
+
+void run_stage_fault_scenario(const char* site) {
+  base::set_num_threads(2);
+  base::FaultRegistry::global().arm_from_string(std::string(site) +
+                                                ":once=1");
+  auto layer = make_layer();
+  auto model = serve::make_staged(layer);
+  EngineOptions opts;
+  opts.batcher.max_batch_size = 4;
+  opts.batcher.max_linger = std::chrono::microseconds(200);
+  opts.batcher.max_queue_depth = 64;
+  Engine engine(*model, opts);
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    Request req;
+    req.input = testutil::random_tensor({kIn}, /*seed=*/100 + i);
+    futures.push_back(engine.submit(std::move(req)));
+  }
+
+  std::size_t internal = 0;
+  for (auto& f : futures) {
+    const Response r = must_resolve(f);
+    // The injected fault fires on the first dispatched batch, so nothing
+    // completes kOk; every answer is a terminal failure-path status.
+    EXPECT_TRUE(r.status == Status::kInternal ||
+                r.status == Status::kRejected ||
+                r.status == Status::kShutdown)
+        << "unexpected status " << status_name(r.status);
+    if (r.status == Status::kInternal) ++internal;
+  }
+  EXPECT_GE(internal, 1u);
+  EXPECT_TRUE(engine.failed());
+
+  // While failed: immediate kInternal, no hang.
+  Request probe;
+  probe.input = testutil::random_tensor({kIn}, 7);
+  auto pf = engine.submit(std::move(probe));
+  ASSERT_EQ(pf.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(pf.get().status, Status::kInternal);
+
+  // recover() goes green once the stage threads have exited (the thrown
+  // fault kills them promptly here — poll briefly).
+  bool recovered = false;
+  for (int i = 0; i < 1000 && !recovered; ++i) {
+    recovered = engine.recover();
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(recovered);
+  EXPECT_FALSE(engine.failed());
+  EXPECT_TRUE(engine.recover());  // idempotent on a green engine
+
+  // Green inference after recovery, bitwise equal to a fresh engine.
+  const auto input = testutil::random_tensor({kIn}, 1234);
+  Request after;
+  after.input = input;
+  auto af = engine.submit(std::move(after));
+  const Response ar = must_resolve(af);
+  ASSERT_EQ(ar.status, Status::kOk);
+
+  auto fresh_layer = make_layer();
+  auto fresh_model = serve::make_staged(fresh_layer);
+  Engine fresh(*fresh_model, opts);
+  Request ref;
+  ref.input = input;
+  auto rf = fresh.submit(std::move(ref));
+  const Response rr = must_resolve(rf);
+  ASSERT_EQ(rr.status, Status::kOk);
+  EXPECT_EQ(testutil::max_abs_diff(ar.output, rr.output), 0.0);
+
+  fresh.stop(/*drain=*/true);
+  engine.stop(/*drain=*/true);
+}
+
+TEST_F(EngineFaultTest, EmacFaultResolvesEverythingAndRecovers) {
+  run_stage_fault_scenario("serve.engine.emac");
+}
+
+TEST_F(EngineFaultTest, FftFaultResolvesEverythingAndRecovers) {
+  run_stage_fault_scenario("serve.engine.fft");
+}
+
+// A model whose eMAC stage wedges (spins) until released — the watchdog
+// must resolve the in-flight future with kInternal while the stage thread
+// is still stuck, and recover() must refuse to restart until the thread
+// comes back.
+class WedgeModel : public serve::StagedModel {
+ public:
+  std::vector<std::size_t> sample_shape() const override { return {4}; }
+  std::vector<std::size_t> output_sample_shape() const override {
+    return {4};
+  }
+  void prepare() override {}
+  void stage_rfft(const tensor::Tensor& batch,
+                  core::ActivationSpectra& spec) const override {
+    spec.samples = batch.dim(0);
+  }
+  tensor::Tensor stage_emac_irfft(
+      const core::ActivationSpectra& spec) const override {
+    if (wedge_once_.exchange(false)) {
+      while (!released_.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return tensor::Tensor({spec.samples, 4});
+  }
+
+  void release() { released_.store(true, std::memory_order_release); }
+
+ private:
+  mutable std::atomic<bool> wedge_once_{true};
+  std::atomic<bool> released_{false};
+};
+
+TEST_F(EngineFaultTest, WatchdogResolvesFuturesBehindWedgedStage) {
+  WedgeModel model;
+  EngineOptions opts;
+  opts.batcher.max_linger = std::chrono::microseconds(0);
+  opts.stall_timeout = std::chrono::milliseconds(100);
+  opts.watchdog_poll = std::chrono::milliseconds(5);
+  Engine engine(model, opts);
+
+  Request req;
+  req.input = tensor::Tensor({4});
+  auto fut = engine.submit(std::move(req));
+  // The emac stage is wedged; only the watchdog can resolve this future.
+  const Response r = must_resolve(fut);
+  EXPECT_EQ(r.status, Status::kInternal);
+  EXPECT_TRUE(engine.failed());
+
+  // The wedged thread has not exited: recover() must refuse, not block.
+  EXPECT_FALSE(engine.recover());
+
+  model.release();
+  bool recovered = false;
+  for (int i = 0; i < 1000 && !recovered; ++i) {
+    recovered = engine.recover();
+    if (!recovered) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(recovered);
+
+  Request after;
+  after.input = tensor::Tensor({4});
+  auto af = engine.submit(std::move(after));
+  EXPECT_EQ(must_resolve(af).status, Status::kOk);
+  engine.stop(/*drain=*/true);
+}
+
+TEST_F(EngineFaultTest, RequestTimeoutTightensDeadline) {
+  auto layer = make_layer();
+  auto model = serve::make_staged(layer);
+  EngineOptions opts;
+  opts.batcher.max_batch_size = 8;
+  opts.batcher.max_linger = std::chrono::milliseconds(50);
+  Engine engine(*model, opts);
+
+  Request req;
+  req.input = testutil::random_tensor({kIn}, 5);
+  req.timeout = std::chrono::microseconds(1);
+  auto fut = engine.submit(std::move(req));
+  // Lingering for batch-mates must not outlive the per-request timeout.
+  EXPECT_EQ(must_resolve(fut).status, Status::kDeadlineMiss);
+  engine.stop(/*drain=*/true);
+}
+
+TEST_F(EngineFaultTest, SubmitWithRetryRidesOutBackpressure) {
+  auto layer = make_layer();
+  auto model = serve::make_staged(layer);
+  EngineOptions opts;
+  opts.batcher.max_batch_size = 8;
+  opts.batcher.max_linger = std::chrono::milliseconds(100);
+  opts.batcher.max_queue_depth = 1;
+  Engine engine(*model, opts);
+
+  // Occupy the single queue slot; it lingers ~100ms before dispatch.
+  Request first;
+  first.input = testutil::random_tensor({kIn}, 1);
+  auto f0 = engine.submit(std::move(first));
+
+  // A plain submit right now bounces off the backpressure cap...
+  Request bounced;
+  bounced.input = testutil::random_tensor({kIn}, 2);
+  auto bf = engine.submit(std::move(bounced));
+  ASSERT_EQ(bf.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  ASSERT_EQ(bf.get().status, Status::kRejected);
+
+  // ...while the bounded-retry submit rides it out.
+  RetryPolicy policy;
+  policy.max_attempts = 200;
+  policy.initial_backoff = std::chrono::milliseconds(5);
+  policy.backoff_multiplier = 1.0;
+  std::size_t retries = 0;
+  Request retried;
+  retried.input = testutil::random_tensor({kIn}, 3);
+  auto rf = submit_with_retry(engine, std::move(retried), policy, &retries);
+  EXPECT_EQ(must_resolve(rf).status, Status::kOk);
+  EXPECT_GE(retries, 1u);
+  EXPECT_EQ(must_resolve(f0).status, Status::kOk);
+  engine.stop(/*drain=*/true);
+}
+
+}  // namespace
+}  // namespace rpbcm

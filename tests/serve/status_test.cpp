@@ -1,0 +1,52 @@
+// Status taxonomy round-trip (docs/serving.md): every Status has a unique
+// wire name and status_from_name() inverts status_name() exhaustively —
+// adding an enumerator without updating both sides fails here.
+
+#include "serve/request.hpp"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+#include <set>
+#include <string>
+
+namespace rpbcm::serve {
+namespace {
+
+constexpr Status kAllStatuses[] = {Status::kOk, Status::kRejected,
+                                   Status::kDeadlineMiss, Status::kShutdown,
+                                   Status::kInternal};
+
+TEST(StatusTest, NamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (const Status s : kAllStatuses) {
+    const std::string name(status_name(s));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllStatuses));
+}
+
+TEST(StatusTest, RoundTripIsExhaustive) {
+  for (const Status s : kAllStatuses) {
+    const auto back = status_from_name(status_name(s));
+    ASSERT_TRUE(back.has_value()) << status_name(s);
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(StatusTest, SpecificWireNames) {
+  EXPECT_EQ(status_name(Status::kOk), "ok");
+  EXPECT_EQ(status_name(Status::kInternal), "internal");
+  EXPECT_EQ(status_from_name("internal"), Status::kInternal);
+}
+
+TEST(StatusTest, UnknownNamesReturnNullopt) {
+  EXPECT_FALSE(status_from_name("").has_value());
+  EXPECT_FALSE(status_from_name("bogus").has_value());
+  EXPECT_FALSE(status_from_name("OK").has_value());  // case-sensitive
+  EXPECT_FALSE(status_from_name("internal ").has_value());
+}
+
+}  // namespace
+}  // namespace rpbcm::serve

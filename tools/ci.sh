@@ -32,6 +32,12 @@
 #      writes a fresh serve JSON and perf_gate enforces both the relative
 #      baseline ratio and the absolute batched >= 2x single-request
 #      deployment floor (docs/serving.md)
+#   10. chaos stage: the fault-injection/recovery kill-tests (fault
+#      registry, corrupt-checkpoint corpus + crash-atomic saves, engine
+#      self-healing, SEU model) re-run under ASan when available, then
+#      serve_loadgen chaos drills with representative RPBCM_FAULTS
+#      configs — an injected stage fault must surface as internal>0 with
+#      recoveries>0 and a clean exit (docs/robustness.md)
 #
 # Every stage exits nonzero on any finding. See docs/static_analysis.md.
 #
@@ -45,6 +51,7 @@
 #   SKIP_PERF_GATE=1  skip stage 8 (e.g. on heavily loaded machines where
 #                     kernel timings are too noisy to gate on)
 #   SKIP_SERVE=1      skip stage 9 (serving smoke + throughput gate)
+#   SKIP_CHAOS=1      skip stage 10 (fault-injection drills)
 
 set -euo pipefail
 
@@ -184,6 +191,43 @@ if [[ "${SKIP_SERVE:-0}" != "1" ]]; then
   build-strict/tools/perf_gate \
     --baseline=bench/baselines/BENCH_kernels.json --current="$serve_json" \
     --section=serve_throughput --min-speedup=2.0
+fi
+
+if [[ "${SKIP_CHAOS:-0}" != "1" ]]; then
+  stage "chaos (fault injection: kill-tests + self-healing loadgen drills)"
+  # Kill-tests under ASan when stage 3 built that tree; otherwise the
+  # strict build still exercises the full failure machinery.
+  chaos_build="build-strict"
+  if [[ "${SKIP_ASAN:-0}" != "1" && -d build-asan ]]; then
+    chaos_build="build-asan"
+  fi
+  ASAN_OPTIONS="detect_leaks=1" \
+  LSAN_OPTIONS="suppressions=$ROOT/tools/sanitizers/lsan.supp" \
+    ctest --test-dir "$chaos_build" --output-on-failure -j "$JOBS" \
+      -R 'FaultSiteName|FaultRegistryTest|FaultPointMacro|CheckpointRecoveryTest|EngineFaultTest|SeuTest'
+
+  # Self-healing drills: representative RPBCM_FAULTS configs through the
+  # real serving binary. Each run must answer every request, recover, and
+  # report the injected failures on the greppable status line.
+  chaos_drill() {
+    local faults="$1"
+    local out
+    echo "ci.sh: chaos drill RPBCM_FAULTS=\"$faults\""
+    out="$(RPBCM_FAULTS="$faults" build-strict/examples/serve_loadgen \
+             --smoke --threads=4 --recover --stall-ms=2000)"
+    echo "$out" | grep ' status: '
+    if ! echo "$out" | grep ' status: ' | grep -qE 'internal=[1-9]'; then
+      echo "ci.sh: chaos drill did not surface any kInternal failure" >&2
+      exit 1
+    fi
+    if ! echo "$out" | grep ' status: ' | grep -qE 'recoveries=[1-9]'; then
+      echo "ci.sh: chaos drill did not recover" >&2
+      exit 1
+    fi
+  }
+  chaos_drill "serve.engine.emac:once=5"
+  chaos_drill "serve.engine.fft:once=3"
+  chaos_drill "serve.engine.emac:once=2;serve.engine.fft:once=40"
 fi
 
 stage "all stages passed"

@@ -17,3 +17,7 @@ inline void fixture_bad_metric_names(Registry& reg, int i) {
   RPBCM_OBS_GAUGE("rpbcm.serve", 1.0 * i);      // serve area, missing name
   RPBCM_OBS_COUNT("rpbcm.numeric.eMAC.bins", i);  // uppercase mid-segment
 }
+
+inline void fixture_bad_fault_site(int& x) {
+  RPBCM_FAULT_POINT("fixture.write", x = 0);  // only two segments
+}

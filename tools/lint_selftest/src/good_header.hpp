@@ -28,3 +28,8 @@ inline void fixture_clean_metric_names(Registry& reg, const std::string& dyn,
   // Explicitly waived awkward name:
   RPBCM_OBS_COUNT("legacy.count", i);  // rpbcm-lint: allow(metric-name)
 }
+
+inline void fixture_clean_fault_sites(const std::string& dyn_site, int& x) {
+  RPBCM_FAULT_POINT("fixture.header.write", x = 1);  // valid 3-segment site
+  RPBCM_FAULT_POINT(dyn_site, x = 2);  // dynamic names are not checked
+}

@@ -38,6 +38,13 @@
 //                    std::execution in src/ — unordered reductions produce
 //                    run-to-run FP differences; kernel reductions must use
 //                    the fixed chunk tree in base/parallel.hpp
+//   fault-site       string-literal site names passed to
+//                    RPBCM_FAULT_POINT must follow the registry grammar
+//                    `<area>.<component>.<event>` — at least three
+//                    dot-separated lowercase [a-z0-9_] segments
+//                    (docs/robustness.md) — so RPBCM_FAULTS configs stay
+//                    greppable and collision-free. Dynamically built names
+//                    are not checked.
 //
 // A finding may be waived on its line with `// rpbcm-lint: allow(<rule>)`.
 // Waivers are themselves checked: a waiver that suppresses nothing is
@@ -689,6 +696,69 @@ void check_unordered_iteration(const fs::path& file, const std::string& code) {
   }
 }
 
+// --- rule: fault-site ------------------------------------------------------
+
+// <area>.<component>.<event>[.<more>]: at least three dot-separated
+// lowercase [a-z0-9_] segments — the same grammar
+// base::FaultRegistry::valid_site_name enforces at arm time. The lint rule
+// catches sites that only a fault-injection run would ever reach.
+bool valid_fault_site(std::string_view name) {
+  std::size_t segments = 0;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    const std::string_view seg = name.substr(start, dot - start);
+    if (seg.empty()) return false;
+    for (char c : seg)
+      if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+            std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_'))
+        return false;
+    ++segments;
+    if (dot == name.size()) break;
+    start = dot + 1;
+  }
+  return segments >= 3;
+}
+
+void check_fault_sites(const fs::path& file, const std::string& raw,
+                       const std::string& code) {
+  static constexpr std::string_view kMacro = "RPBCM_FAULT_POINT";
+  std::size_t pos = 0;
+  while ((pos = code.find(kMacro, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += kMacro.size();
+    if (at > 0 && is_ident_char(code[at - 1])) continue;
+    if (pos < code.size() && is_ident_char(code[pos])) continue;
+    std::size_t open = pos;
+    while (open < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[open])))
+      ++open;
+    if (open >= code.size() || code[open] != '(') continue;
+    int depth = 0;
+    std::size_t close = open;
+    for (; close < code.size(); ++close) {
+      if (code[close] == '(') ++depth;
+      if (code[close] == ')' && --depth == 0) break;
+    }
+    if (depth != 0) break;
+    const auto starts = arg_starts(code, open, close);
+    if (starts.empty()) continue;
+    const std::size_t arg_end = starts.size() > 1 ? starts[1] - 1 : close;
+    bool is_literal = false;
+    const std::string name =
+        leading_literal(raw, code, starts[0], arg_end, &is_literal);
+    if (!is_literal) continue;  // dynamically built site: unchecked
+    if (valid_fault_site(name)) continue;
+    const std::size_t line = line_of(code, at);
+    if (line_has_waiver(line, "fault-site")) continue;
+    report(file, line, "fault-site",
+           "fault site \"" + name +
+               "\" does not follow `<area>.<component>.<event>` "
+               "(>=3 lowercase [a-z0-9_] dot segments, docs/robustness.md)");
+  }
+}
+
 // --- rule: no-std-reduce ---------------------------------------------------
 
 void check_no_std_reduce(const fs::path& file, const std::string& code) {
@@ -760,6 +830,7 @@ int main(int argc, char** argv) {
       // the tokens the scanner looks for (including the waiver syntax in
       // documentation).
       if (rel == fs::path("src") / "obs" / "macros.hpp") continue;
+      if (rel == fs::path("src") / "base" / "fault.hpp") continue;
       if (rel == fs::path("tools") / "rpbcm_lint.cpp") continue;
       // Self-test fixtures contain deliberate violations (the selftest
       // CTests run the tools on those trees and expect the findings).
@@ -775,6 +846,7 @@ int main(int argc, char** argv) {
       if (scope.no_assert) check_no_raw_assert(rel, code);
       check_obs_macro_args(rel, code);
       check_metric_names(rel, raw, code);
+      check_fault_sites(rel, raw, code);
       // Determinism rules: library code only. Random sources are banned
       // across all of src/; the unordered-iteration rule covers the layers
       // whose outputs feed FP accumulations or serialized artifacts.
